@@ -1,0 +1,91 @@
+"""Experiment E3 (Appendix D): the binomial bias bound behind Theorem 3.5.
+
+Reproduces the appendix's chain of reasoning numerically:
+
+* the paper's iteration count ``k(eps, n) = 4*ceil((e/(eps*pi))^2 n^4)``,
+* its closed-form lower bound on ``Pr[X > k/2 + n^2]``,
+* the exact binomial tail (the ground truth the bound approximates), and
+* the much smaller ``k`` that already suffices when computed exactly --
+  showing how conservative the paper's constants are (ablation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.binomial import (
+    bias_bound_row,
+    coinflip_iterations,
+    minimum_iterations_for_bias,
+    monte_carlo_tail,
+    paper_tail_lower_bound,
+)
+
+CASES = [(2, 0.25), (2, 0.1), (3, 0.25), (3, 0.1)]
+
+
+def test_e3_bias_bound_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [bias_bound_row(n, epsilon) for n, epsilon in CASES],
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "E3: Appendix D bias bound, paper k vs exact binomial tail",
+        ["n", "eps", "k (paper)", "paper bound", "exact Pr[X>k/2+n^2]", "claim 1/2-eps", "holds"],
+        [
+            (
+                row.n,
+                row.epsilon,
+                row.k,
+                f"{row.paper_bound:.4f}",
+                f"{row.exact_probability:.4f}",
+                f"{0.5 - row.epsilon:.4f}",
+                row.satisfies_claim,
+            )
+            for row in rows
+        ],
+    )
+    assert all(row.satisfies_claim for row in rows)
+    # The paper's closed-form bound must itself clear 1/2 - eps.
+    for row in rows:
+        assert row.paper_bound >= 0.5 - row.epsilon - 1e-9
+
+
+def test_e3_paper_constant_is_conservative(benchmark):
+    """Ablation: the exactly-computed minimal k is orders of magnitude below the paper's."""
+    def build():
+        rows = []
+        for n, epsilon in [(2, 0.25), (3, 0.25)]:
+            paper_k = coinflip_iterations(epsilon, n)
+            minimal_k = minimum_iterations_for_bias(n, epsilon)
+            rows.append((n, epsilon, paper_k, minimal_k, f"{paper_k / minimal_k:.0f}x"))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "E3b: paper k vs minimal k achieving the same bias (exact computation)",
+        ["n", "eps", "paper k", "minimal k", "overshoot"],
+        rows,
+    )
+    for _n, _eps, paper_k, minimal_k, _ratio in rows:
+        assert paper_k >= minimal_k
+
+
+@pytest.mark.parametrize("n,epsilon", [(2, 0.25)])
+def test_e3_monte_carlo_cross_check(benchmark, n, epsilon):
+    """A Monte-Carlo estimate of the tail agrees with the exact computation."""
+    k = min(coinflip_iterations(epsilon, n), 512)
+    threshold = k // 2 + n * n
+    estimate = benchmark.pedantic(
+        lambda: monte_carlo_tail(k, threshold, samples=2000), rounds=1, iterations=1
+    )
+    exact = bias_bound_row(n, epsilon, k_override=k).exact_probability
+    print_table(
+        "E3c: Monte-Carlo vs exact binomial tail",
+        ["k", "threshold", "exact", "monte-carlo"],
+        [(k, threshold, f"{exact:.4f}", f"{estimate:.4f}")],
+    )
+    assert estimate == pytest.approx(exact, abs=0.05)
+    assert paper_tail_lower_bound(k, n) <= exact + 1e-9

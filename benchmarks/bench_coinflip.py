@@ -1,0 +1,76 @@
+"""Experiment E1 (Theorem 3.5): CoinFlip bias and agreement under attack.
+
+The theorem claims that for every bit value the probability that all honest
+parties output that value is at least ``1/2 - eps``, and that honest parties
+always agree -- even against Byzantine participants.  We measure the empirical
+output frequencies for several adversaries at simulation-scale iteration
+counts and check (a) perfect agreement, (b) both outcomes occur with
+non-negligible frequency, (c) the adversary does not push either outcome
+below a loose statistical floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.adversary import BadShareBehavior, CrashBehavior, DeterministicValueDealer
+from repro.core import api
+
+TRIALS = 24
+#: An odd iteration count so the majority vote cannot tie (with the paper's
+#: enormous even k, ties are negligible; at simulation scale they would skew
+#: the distribution towards the tie-breaking value).
+ROUNDS = 3
+#: Loose statistical floor for 24 Bernoulli(~1/2) trials; far below the
+#: expectation of 12 but strong enough to catch a fully-biased coin.
+MIN_OCCURRENCES = 4
+
+ADVERSARIES = {
+    "honest": None,
+    "crash": {3: CrashBehavior.factory()},
+    "bad-share": {3: BadShareBehavior.factory()},
+    "constant-dealer": {2: DeterministicValueDealer.factory(0)},
+}
+
+
+def _frequencies(corruptions):
+    stats = api.run_many(
+        api.run_coinflip, range(TRIALS), n=4, rounds=ROUNDS, corruptions=corruptions
+    )
+    return stats
+
+
+@pytest.mark.parametrize("adversary", list(ADVERSARIES))
+def test_e1_coinflip_bias(benchmark, adversary):
+    corruptions = ADVERSARIES[adversary]
+    single = benchmark(lambda: api.run_coinflip(4, seed=0, rounds=ROUNDS, corruptions=corruptions))
+    assert single.agreed_value in (0, 1)
+
+    stats = _frequencies(corruptions)
+    zeros = stats.value_counts[repr(0)]
+    ones = stats.value_counts[repr(1)]
+    print_table(
+        f"E1: CoinFlip(eps=0.25) output frequencies, n=4, adversary={adversary}",
+        ["value", "count", "frequency", "paper lower bound"],
+        [
+            (0, zeros, f"{zeros / TRIALS:.2f}", "0.25 (1/2 - eps)"),
+            (1, ones, f"{ones / TRIALS:.2f}", "0.25 (1/2 - eps)"),
+        ],
+    )
+    # Agreement must be perfect; bias must not be total.
+    assert stats.disagreement_rate == 0.0
+    assert zeros >= MIN_OCCURRENCES
+    assert ones >= MIN_OCCURRENCES
+
+
+def test_e1_coinflip_larger_system(benchmark):
+    result = benchmark(lambda: api.run_coinflip(7, seed=1, rounds=ROUNDS))
+    assert result.agreed_value in (0, 1)
+    stats = api.run_many(api.run_coinflip, range(12), n=7, rounds=1)
+    print_table(
+        "E1: CoinFlip output frequencies, n=7 (honest)",
+        ["value", "frequency"],
+        [(value, f"{stats.frequency(value):.2f}") for value in (0, 1)],
+    )
+    assert stats.disagreement_rate == 0.0

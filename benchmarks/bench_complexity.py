@@ -1,0 +1,110 @@
+"""Experiment E8: message complexity versus system size.
+
+The paper's protocols are polynomial-message constructions: A-Cast and SVSS
+are O(n^2) messages, CommonSubset runs n BA instances, CoinFlip multiplies all
+of that by its iteration count (n^4-scale at paper parameters).  This
+experiment measures the simulator's message counts across system sizes and
+compares them with the closed-form predictions of ``repro.analysis.complexity``,
+and reports the paper-scale extrapolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.complexity import (
+    acast_messages,
+    coinflip_expected_messages,
+    coinflip_theoretical_messages,
+    predictions_for,
+    svss_rec_messages,
+    svss_share_messages,
+)
+from repro.core import api
+
+SIZES = [4, 7, 10]
+ROUNDS = 1
+
+
+def _measured(n: int) -> dict:
+    acast = api.run_acast(n, "x", sender=0, seed=0).trace.messages_sent
+    svss = api.run_svss(n, 5, dealer=0, seed=0).trace.messages_sent
+    aba = api.run_aba(n, {pid: pid % 2 for pid in range(n)}, seed=0).trace.messages_sent
+    coinflip = api.run_coinflip(n, seed=0, rounds=ROUNDS).trace.messages_sent
+    return {"acast": acast, "svss": svss, "aba": aba, "coinflip": coinflip}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e8_message_counts_scale_polynomially(benchmark, n):
+    measured = benchmark.pedantic(lambda: _measured(n), rounds=1, iterations=1)
+    predictions = predictions_for(n, ROUNDS)
+    print_table(
+        f"E8: measured vs predicted message counts, n={n}",
+        ["protocol", "measured", "predicted", "ratio"],
+        [
+            (
+                "acast",
+                measured["acast"],
+                int(acast_messages(n)),
+                f"{measured['acast'] / acast_messages(n):.2f}",
+            ),
+            (
+                "svss (share+rec)",
+                measured["svss"],
+                int(svss_share_messages(n) + svss_rec_messages(n)),
+                f"{measured['svss'] / (svss_share_messages(n) + svss_rec_messages(n)):.2f}",
+            ),
+            (
+                "aba",
+                measured["aba"],
+                int(predictions["aba"]),
+                f"{measured['aba'] / predictions['aba']:.2f}",
+            ),
+            (
+                "coinflip (1 iter)",
+                measured["coinflip"],
+                int(predictions["coinflip"]),
+                f"{measured['coinflip'] / predictions['coinflip']:.2f}",
+            ),
+        ],
+    )
+    # The shape claim: measured counts stay within a small constant of the
+    # closed-form predictions (they share the same polynomial order).
+    assert measured["acast"] <= 2 * acast_messages(n)
+    assert measured["svss"] <= 3 * (svss_share_messages(n) + svss_rec_messages(n))
+    assert measured["coinflip"] <= 4 * predictions["coinflip"]
+
+
+def test_e8_growth_between_sizes(benchmark):
+    counts = benchmark.pedantic(
+        lambda: {n: api.run_coinflip(n, seed=0, rounds=1).trace.messages_sent for n in (4, 7)},
+        rounds=1,
+        iterations=1,
+    )
+    ratio = counts[7] / counts[4]
+    predicted_ratio = coinflip_expected_messages(7, 1) / coinflip_expected_messages(4, 1)
+    print_table(
+        "E8b: CoinFlip message growth n=4 -> n=7",
+        ["measured ratio", "predicted ratio"],
+        [(f"{ratio:.2f}", f"{predicted_ratio:.2f}")],
+    )
+    assert ratio > 2  # super-linear growth, as predicted
+    assert ratio < 4 * predicted_ratio
+
+
+def test_e8_paper_scale_extrapolation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            (n, eps, int(coinflip_theoretical_messages(n, eps)))
+            for n, eps in [(4, 0.25), (7, 0.25), (7, 0.1)]
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "E8c: extrapolated message count at the paper's full iteration count",
+        ["n", "eps", "messages (predicted)"],
+        rows,
+    )
+    assert rows[0][2] < rows[1][2] < rows[2][2]

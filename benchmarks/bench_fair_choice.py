@@ -1,0 +1,68 @@
+"""Experiment E4 (Theorem 4.3 / Appendix E): FairChoice validity.
+
+Two complementary reproductions:
+
+* analytic -- the Appendix-E closed-form bound, the exact probability with
+  ideal coins and the worst-case probability with eps-biased coins, for a
+  sweep of ``m``;
+* empirical -- repeated FairChoice executions in the simulator, measuring how
+  often the output lands in the smallest possible majority subset.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.analysis.fairness import fairness_row
+from repro.core import api
+
+TRIALS = 20
+ANALYTIC_MS = [3, 4, 5, 6, 8]
+
+
+def test_e4_fairness_bound_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [fairness_row(m) for m in ANALYTIC_MS], rounds=1, iterations=1
+    )
+    print_table(
+        "E4: FairChoice validity for the smallest majority subset (analytic)",
+        ["m", "bits", "eps", "paper bound", "worst case", "ideal coins", "> 1/2"],
+        [
+            (
+                row.m,
+                row.bits,
+                f"{row.epsilon:.5f}",
+                f"{row.paper_bound:.4f}",
+                f"{row.worst_case:.4f}",
+                f"{row.ideal_probability:.4f}",
+                row.satisfies_claim,
+            )
+            for row in rows
+        ],
+    )
+    assert all(row.satisfies_claim for row in rows)
+    assert all(row.paper_bound > 0.5 for row in rows)
+
+
+def test_e4_fair_choice_empirical(benchmark):
+    m = 3
+    target = {0, 1}  # smallest majority subset
+
+    single = benchmark(lambda: api.run_fair_choice(4, m, seed=0, coinflip_rounds=1))
+    assert 0 <= single.agreed_value < m
+
+    hits = 0
+    disagreements = 0
+    for seed in range(TRIALS):
+        result = api.run_fair_choice(4, m, seed=seed, coinflip_rounds=1)
+        if result.disagreement:
+            disagreements += 1
+        elif result.agreed_value in target:
+            hits += 1
+    print_table(
+        "E4b: empirical FairChoice hit rate for majority subset {0,1}, m=3",
+        ["trials", "hits", "rate", "paper lower bound"],
+        [(TRIALS, hits, f"{hits / TRIALS:.2f}", "0.50")],
+    )
+    assert disagreements == 0
+    # Expected hit rate is about 2/3; assert a loose floor well above chance-of-zero.
+    assert hits >= TRIALS // 3

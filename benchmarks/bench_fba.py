@@ -1,0 +1,109 @@
+"""Experiment E5 (Theorem 4.5): FBA validity and fair validity.
+
+Measures, against a value-injecting Byzantine party:
+
+* unanimous honest inputs always win (classic validity), and
+* with divergent honest inputs, the adversary's value wins at most about half
+  the time (fair validity) -- the paper's headline property.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.adversary import FBAValueInjector
+from repro.adversary.scheduling import favour_parties
+from repro.core import api
+
+TRIALS = 16
+ADVERSARY = 3
+EVIL = "adversary-value"
+
+
+def test_e5_unanimous_validity(benchmark):
+    inputs = {0: "honest", 1: "honest", 2: "honest", 3: EVIL}
+
+    single = benchmark(
+        lambda: api.run_fba(
+            4,
+            inputs,
+            seed=0,
+            coinflip_rounds=1,
+            corruptions={ADVERSARY: FBAValueInjector.factory(EVIL)},
+            scheduler=favour_parties([ADVERSARY]),
+        )
+    )
+    assert single.agreed_value == "honest"
+
+    wins = 0
+    for seed in range(TRIALS):
+        result = api.run_fba(
+            4,
+            inputs,
+            seed=seed,
+            coinflip_rounds=1,
+            corruptions={ADVERSARY: FBAValueInjector.factory(EVIL)},
+        )
+        if result.agreed_value == "honest":
+            wins += 1
+    print_table(
+        "E5: FBA with unanimous honest inputs vs value-injecting adversary",
+        ["trials", "honest wins", "paper claim"],
+        [(TRIALS, wins, "all trials")],
+    )
+    assert wins == TRIALS
+
+
+def test_e5_fair_validity_with_divergent_inputs(benchmark):
+    inputs = {0: "h0", 1: "h1", 2: "h2", 3: EVIL}
+
+    single = benchmark(
+        lambda: api.run_fba(
+            4,
+            inputs,
+            seed=0,
+            coinflip_rounds=1,
+            corruptions={ADVERSARY: FBAValueInjector.factory(EVIL)},
+        )
+    )
+    assert single.agreed_value in {"h0", "h1", "h2", EVIL}
+
+    honest_wins = 0
+    adversary_wins = 0
+    for seed in range(TRIALS):
+        result = api.run_fba(
+            4,
+            inputs,
+            seed=100 + seed,
+            coinflip_rounds=1,
+            corruptions={ADVERSARY: FBAValueInjector.factory(EVIL)},
+        )
+        assert not result.disagreement
+        if result.agreed_value == EVIL:
+            adversary_wins += 1
+        else:
+            honest_wins += 1
+    print_table(
+        "E5b: FBA fair validity with divergent honest inputs",
+        ["trials", "honest value wins", "adversary value wins", "paper claim"],
+        [(TRIALS, honest_wins, adversary_wins, "honest wins >= 1/2 of trials (in expectation)")],
+    )
+    # Loose statistical floor: expectation is >= TRIALS/2, demand > TRIALS/4.
+    assert honest_wins > TRIALS // 4
+
+
+def test_e5_fair_validity_without_corruption(benchmark):
+    """All-honest divergent inputs: the output is always someone's input."""
+    inputs = {0: "a", 1: "b", 2: "c", 3: "d"}
+    single = benchmark(lambda: api.run_fba(4, inputs, seed=0, coinflip_rounds=1))
+    assert single.agreed_value in set(inputs.values())
+
+    winners = {}
+    for seed in range(TRIALS):
+        result = api.run_fba(4, inputs, seed=seed, coinflip_rounds=1)
+        winners[result.agreed_value] = winners.get(result.agreed_value, 0) + 1
+    print_table(
+        "E5c: FBA winner distribution, four distinct honest inputs",
+        ["value", "wins"],
+        sorted(winners.items()),
+    )
+    assert set(winners) <= set(inputs.values())

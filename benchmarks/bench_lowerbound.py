@@ -1,0 +1,76 @@
+"""Experiment E6 (Theorem 2.2): the lower-bound attacks.
+
+Regenerates the lower-bound table: for each candidate AVSS, which properties
+hold (Secrecy / Termination, decided by exact enumeration), the Claim-1
+view-splitting success probability, and the Claim-2 wrong-output rate.  The
+theorem's prediction -- secrecy + termination forces a correctness failure
+above the ``1/3 - eps`` budget -- must hold for every candidate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.lowerbound import (
+    CORRECTNESS_FAILURE_THRESHOLD,
+    DealerSplitAttack,
+    ReconstructionAttack,
+    masked_xor_avss,
+    run_experiment,
+)
+
+TRIALS = 300
+
+
+def test_e6_lower_bound_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_experiment(trials=TRIALS, seed=0), rounds=1, iterations=1
+    )
+    print_table(
+        "E6: Theorem 2.2 attacks against candidate AVSS protocols (n=4, t=1)",
+        [
+            "candidate",
+            "secrecy",
+            "termination",
+            "claim1 split | guess",
+            "claim2 wrong output",
+            "violates (2/3+eps)-correctness",
+        ],
+        [
+            (
+                row.candidate,
+                row.secrecy_holds,
+                f"{row.termination_rate:.2f}",
+                f"{row.claim1_split_rate_given_guess:.2f}",
+                f"{row.claim2_wrong_output_rate:.2f}",
+                row.correctness_violated,
+            )
+            for row in rows.values()
+        ],
+    )
+    assert all(row.consistent_with_theorem for row in rows.values())
+    masked = rows["masked-xor"]
+    assert masked.secrecy_holds
+    assert masked.correctness_violated
+    assert masked.claim2_wrong_output_rate > CORRECTNESS_FAILURE_THRESHOLD
+    checked = rows["echo-checked"]
+    assert not checked.secrecy_holds
+
+
+def test_e6_claim1_attack_speed(benchmark):
+    """Per-execution cost of the dealer view-splitting attack."""
+    import random
+
+    attack = DealerSplitAttack(masked_xor_avss())
+    rng = random.Random(0)
+    outcome = benchmark(lambda: attack.execute(rng))
+    assert outcome.applicable
+
+
+def test_e6_claim2_attack_speed(benchmark):
+    """Per-execution cost of the reconstruction re-simulation attack."""
+    import random
+
+    attack = ReconstructionAttack(masked_xor_avss())
+    rng = random.Random(1)
+    outcome = benchmark(lambda: attack.execute(rng))
+    assert outcome.a_output is not None

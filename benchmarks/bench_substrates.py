@@ -1,0 +1,97 @@
+"""Experiment E9: substrate sanity and the BA coin-source ablation.
+
+Verifies that the substrate protocols the paper assumes (A-Cast, binary BA,
+CommonSubset) satisfy their definitions under adversarial conditions, and
+compares BA behaviour across coin sources (perfect-oracle coin vs local coin
+vs the SVSS-based weak coin), which is the design-choice ablation called out
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.adversary import CrashBehavior, RandomNoiseBehavior
+from repro.core import api
+from repro.protocols.aba import LocalCoinSource, OracleCoinSource, ProtocolCoinSource
+from repro.protocols.weak_coin import WeakCommonCoin
+
+TRIALS = 10
+
+
+def test_e9_acast_under_faults(benchmark):
+    single = benchmark(
+        lambda: api.run_acast(4, "v", sender=0, seed=0, corruptions={3: CrashBehavior.factory()})
+    )
+    assert single.agreed_value == "v"
+
+    delivered = sum(
+        1
+        for seed in range(TRIALS)
+        if api.run_acast(
+            4, "v", sender=0, seed=seed, corruptions={2: RandomNoiseBehavior.factory()}
+        ).agreed_value
+        == "v"
+    )
+    print_table(
+        "E9: A-Cast validity under a noisy Byzantine party",
+        ["trials", "correct deliveries"],
+        [(TRIALS, delivered)],
+    )
+    assert delivered == TRIALS
+
+
+def test_e9_common_subset_under_crash(benchmark):
+    single = benchmark(
+        lambda: api.run_common_subset(
+            4, [0, 1, 2], seed=0, corruptions={3: CrashBehavior.factory()}
+        )
+    )
+    assert len(single.agreed_value) >= 3
+
+    agreements = sum(
+        1
+        for seed in range(TRIALS)
+        if not api.run_common_subset(
+            4, [0, 1, 2], seed=seed, corruptions={3: CrashBehavior.factory()}
+        ).disagreement
+    )
+    print_table(
+        "E9b: CommonSubset agreement with a crashed party",
+        ["trials", "agreed"],
+        [(TRIALS, agreements)],
+    )
+    assert agreements == TRIALS
+
+
+COIN_SOURCES = {
+    "oracle (ideal common coin)": lambda: OracleCoinSource(7),
+    "local coin (Ben-Or)": lambda: LocalCoinSource(),
+    "SVSS weak coin": lambda: ProtocolCoinSource(WeakCommonCoin.factory),
+}
+
+
+@pytest.mark.parametrize("source_name", list(COIN_SOURCES))
+def test_e9_aba_coin_source_ablation(benchmark, source_name):
+    """BA safety is coin-independent; cost is not.  Measures both."""
+    source_factory = COIN_SOURCES[source_name]
+    inputs = {0: 0, 1: 1, 2: 0, 3: 1}
+
+    single = benchmark(
+        lambda: api.run_aba(4, inputs, seed=0, coin_source=source_factory())
+    )
+    assert single.agreed_value in (0, 1)
+
+    disagreements = 0
+    messages = 0
+    for seed in range(TRIALS):
+        result = api.run_aba(4, inputs, seed=seed, coin_source=source_factory())
+        disagreements += int(result.disagreement)
+        messages += result.trace.messages_sent
+    print_table(
+        f"E9c: binary BA with split inputs, coin source = {source_name}",
+        ["trials", "disagreements", "mean messages"],
+        [(TRIALS, disagreements, messages // TRIALS)],
+    )
+    assert disagreements == 0

@@ -1,0 +1,91 @@
+"""Experiment E7 (Definition 3.2): SVSS binding-or-shun and shun accounting.
+
+Measures, over batches of SVSS sessions with Byzantine participants:
+
+* honest-dealer validity (the dealt secret is always reconstructed by honest
+  parties unless a shunning event occurred),
+* the binding-or-shun disjunction (any reconstruction disagreement coincides
+  with at least one new shunning event), and
+* the global shun budget (< n^2 shunning events, the quantity the CoinFlip
+  analysis charges failures against).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.adversary import BadShareBehavior, WithholdingDealerBehavior
+from repro.core import api
+
+SESSIONS = 12
+
+
+def test_e7_honest_dealer_validity(benchmark):
+    single = benchmark(lambda: api.run_svss(4, 777, dealer=0, seed=0))
+    assert single.agreed_value == 777
+
+    stats = api.run_many(api.run_svss, range(SESSIONS), n=4, secret=777, dealer=0)
+    print_table(
+        "E7: SVSS honest-dealer validity",
+        ["sessions", "correct reconstructions", "shun events"],
+        [(SESSIONS, stats.value_counts[repr(777)], stats.total_shun_events)],
+    )
+    assert stats.value_counts[repr(777)] == SESSIONS
+    assert stats.total_shun_events == 0
+
+
+def test_e7_binding_or_shun_under_attack(benchmark):
+    secret = 424242
+
+    def run(seed=0):
+        return api.run_svss(
+            4, secret, dealer=0, seed=seed, corruptions={3: BadShareBehavior.factory()}
+        )
+
+    benchmark(run)
+
+    violations_without_shun = 0
+    total_shuns = 0
+    wrong_outputs = 0
+    for seed in range(SESSIONS):
+        result = run(seed)
+        shuns = result.trace.total_shun_events()
+        total_shuns += shuns
+        wrong = [v for v in result.outputs.values() if v != secret]
+        wrong_outputs += len(wrong)
+        if wrong and shuns == 0:
+            violations_without_shun += 1
+    print_table(
+        "E7b: binding-or-shun with a corrupted reconstructor",
+        ["sessions", "wrong outputs", "shun events", "binding broken w/o shun"],
+        [(SESSIONS, wrong_outputs, total_shuns, violations_without_shun)],
+    )
+    assert violations_without_shun == 0
+    assert total_shuns < SESSIONS * 16  # far below the per-run n^2 budget
+
+
+def test_e7_withholding_dealer_recovery(benchmark):
+    """Liveness under a row-withholding dealer: every honest party terminates."""
+    def run(seed=0):
+        return api.run_svss(
+            4,
+            99,
+            dealer=0,
+            seed=seed,
+            corruptions={0: WithholdingDealerBehavior.factory(victims=[2])},
+        )
+
+    single = benchmark(run)
+    assert 2 in single.outputs
+
+    recoveries = 0
+    for seed in range(SESSIONS):
+        result = run(seed)
+        share = result.network.processes[2].protocol(("svss_harness", "share"))
+        if share.output is not None and share.output.recovered:
+            recoveries += 1
+    print_table(
+        "E7c: row recovery at the withheld victim",
+        ["sessions", "victim terminated via row recovery"],
+        [(SESSIONS, recoveries)],
+    )
+    assert recoveries == SESSIONS

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every module in this directory regenerates one experiment from DESIGN.md
+(section 5).  Each experiment prints a small table comparing the paper's
+claimed value with the measured value, and asserts the qualitative "shape"
+(who wins, which bound holds); absolute running times are reported by
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import pytest
+
+#: Every experiment table is also appended here, so the results survive
+#: pytest's stdout capture and can be pasted into EXPERIMENTS.md.
+RESULTS_PATH = Path(__file__).resolve().parent / "experiment_tables.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_results_file():
+    """Start each benchmark session with a fresh results file."""
+    RESULTS_PATH.write_text("")
+    yield
+
+
+def _emit(text: str) -> None:
+    print(text)
+    with RESULTS_PATH.open("a") as handle:
+        handle.write(text + "\n")
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print an aligned experiment table and append it to the results file."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(column) for column in header]
+    for row in rows:
+        widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+    line = "  ".join(name.ljust(width) for name, width in zip(header, widths))
+    _emit("")
+    _emit(f"== {title} ==")
+    _emit(line)
+    _emit("-" * len(line))
+    for row in rows:
+        _emit("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+def print_kv(title: str, values: Mapping[str, object]) -> None:
+    """Print a key/value experiment summary and append it to the results file."""
+    _emit("")
+    _emit(f"== {title} ==")
+    for key, value in values.items():
+        _emit(f"  {key}: {value}")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs work in offline environments whose setuptools lacks
+the PEP 660 editable-wheel path (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro: reproduction of "Revisiting Asynchronous Fault Tolerant Computation
+with Optimal Resilience" (Abraham, Dolev, Stern; PODC 2020).
+
+The package provides
+
+* a deterministic asynchronous network simulator with adversarial scheduling
+  (:mod:`repro.net`),
+* information-theoretic secret-sharing primitives (:mod:`repro.crypto`),
+* the paper's protocol stack -- A-Cast, shunning VSS, binary BA, CommonSubset,
+  the strong common coin ``CoinFlip``, ``FairChoice`` and the fair Byzantine
+  agreement ``FBA`` (:mod:`repro.protocols`),
+* the Section-2 lower-bound attack machinery (:mod:`repro.lowerbound`),
+* analytic reproductions of the appendices (:mod:`repro.analysis`), and
+* one-call runners (:mod:`repro.core.api`, re-exported as ``repro.api``).
+"""
+
+from repro.core import api
+from repro.core.config import DEFAULT_PRIME, ProtocolParams, max_faults
+from repro.net.runtime import Simulation, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "api",
+    "DEFAULT_PRIME",
+    "ProtocolParams",
+    "max_faults",
+    "Simulation",
+    "SimulationResult",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Adversary framework: corrupted-party behaviours and scheduling attacks."""
+
+from repro.adversary.attacks import (
+    BadShareBehavior,
+    DeterministicValueDealer,
+    EquivocatingACastSender,
+    FBAValueInjector,
+    PointCorruptingBehavior,
+    WithholdingDealerBehavior,
+    corrupt_map,
+)
+from repro.adversary.scheduling import (
+    delay_protocol,
+    favour_parties,
+    isolate_party,
+    random_scheduler,
+    split_brain,
+)
+from repro.adversary.behaviors import (
+    Behavior,
+    CrashBehavior,
+    EquivocatingBehavior,
+    HonestButMutatingBehavior,
+    RandomNoiseBehavior,
+    ReplayBehavior,
+    SilentAfterBehavior,
+    crash_all,
+)
+
+__all__ = [
+    "Behavior",
+    "CrashBehavior",
+    "EquivocatingBehavior",
+    "HonestButMutatingBehavior",
+    "RandomNoiseBehavior",
+    "ReplayBehavior",
+    "SilentAfterBehavior",
+    "crash_all",
+    "BadShareBehavior",
+    "DeterministicValueDealer",
+    "EquivocatingACastSender",
+    "FBAValueInjector",
+    "PointCorruptingBehavior",
+    "WithholdingDealerBehavior",
+    "corrupt_map",
+    "delay_protocol",
+    "favour_parties",
+    "isolate_party",
+    "random_scheduler",
+    "split_brain",
+]

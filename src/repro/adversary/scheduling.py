@@ -1,0 +1,74 @@
+"""Adversarial scheduling strategies used by the experiments.
+
+The scheduler *is* the asynchronous adversary's second lever (besides
+corrupting parties): it decides delivery order.  The strategies here compose
+the primitives from :mod:`repro.net.scheduler` into the named attacks the
+benchmarks use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.net.message import Message
+from repro.net.scheduler import (
+    DelayScheduler,
+    PartitionScheduler,
+    RandomScheduler,
+    Scheduler,
+    TargetedScheduler,
+)
+
+
+def isolate_party(victim: int, max_delay_steps: Optional[int] = None) -> Scheduler:
+    """Starve all traffic to and from ``victim`` for as long as possible.
+
+    The classic "slow party" adversary: the victim is effectively partitioned
+    until every other message has been delivered.  Protocols with optimal
+    resilience must terminate without the victim (it is indistinguishable from
+    a crashed party), then let it catch up.
+    """
+    return DelayScheduler(
+        lambda message: victim in (message.sender, message.receiver),
+        max_delay_steps=max_delay_steps,
+    )
+
+
+def favour_parties(favoured: Iterable[int]) -> Scheduler:
+    """Deliver traffic among ``favoured`` parties first (rushing adversary).
+
+    This gives the favoured coalition a head start in every protocol phase,
+    which is how an adversary maximises its information advantage before the
+    slow honest parties contribute.
+    """
+    favoured_set = set(favoured)
+
+    def priority(message: Message) -> float:
+        inside = message.sender in favoured_set and message.receiver in favoured_set
+        return 0.0 if inside else 1.0
+
+    return TargetedScheduler(priority)
+
+
+def split_brain(
+    group_a: Iterable[int], group_b: Iterable[int], duration: int
+) -> Scheduler:
+    """Partition the two groups for ``duration`` deliveries, then heal."""
+    return PartitionScheduler(group_a, group_b, duration)
+
+
+def delay_protocol(root: str, max_delay_steps: Optional[int] = None) -> Scheduler:
+    """Starve all messages belonging to one top-level protocol session.
+
+    Used to check that protocols are robust to arbitrary interleaving between
+    concurrent protocol instances (e.g. delaying every CommonSubset message
+    until the SVSS layer has gone quiet).
+    """
+    return DelayScheduler(
+        lambda message: message.root == root, max_delay_steps=max_delay_steps
+    )
+
+
+def random_scheduler() -> Scheduler:
+    """The default fair-but-unpredictable scheduler."""
+    return RandomScheduler()

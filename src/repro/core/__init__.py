@@ -1,0 +1,10 @@
+"""Core configuration, public API and result types."""
+
+from repro.core.config import DEFAULT_PRIME, ProtocolParams, max_faults, validate_resilience
+
+__all__ = [
+    "DEFAULT_PRIME",
+    "ProtocolParams",
+    "max_faults",
+    "validate_resilience",
+]

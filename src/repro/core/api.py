@@ -1,0 +1,254 @@
+"""One-call runners for every protocol in the library.
+
+These functions are the public entry points used by the examples, tests and
+benchmarks.  Each builds a :class:`~repro.net.runtime.Simulation`, wires the
+requested protocol at every honest party, applies corruptions and the chosen
+scheduler, runs to completion and returns a
+:class:`~repro.net.runtime.SimulationResult`.
+
+Example::
+
+    from repro import api
+    result = api.run_coinflip(n=4, seed=1, rounds=4)
+    print(result.agreed_value)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+
+from repro.core.config import ProtocolParams
+from repro.core.results import TrialAggregate, aggregate
+from repro.net.process import Process
+from repro.net.runtime import Simulation, SimulationResult
+from repro.net.scheduler import Scheduler
+from repro.protocols.aba import BinaryAgreement, CoinSource, OracleCoinSource
+from repro.protocols.acast import ACast
+from repro.protocols.coinflip import CoinFlip
+from repro.protocols.common_subset import CommonSubset
+from repro.protocols.fair_choice import FairChoice
+from repro.protocols.fba import FairByzantineAgreement
+from repro.protocols.svss import SVSSRec, SVSSShare
+from repro.protocols.weak_coin import WeakCommonCoin
+
+BehaviorFactory = Callable[[Process], Any]
+Corruptions = Optional[Mapping[int, BehaviorFactory]]
+
+#: Default iteration override used when callers do not specify one; keeps
+#: simulations fast while exercising the full mechanism (see DESIGN.md).  An
+#: odd value avoids majority ties, which at simulation scale would visibly
+#: skew the coin towards the tie-breaking value.
+DEFAULT_COINFLIP_ROUNDS = 5
+
+
+def _simulation(
+    n: int,
+    seed: int,
+    scheduler: Optional[Scheduler],
+    corruptions: Corruptions,
+    max_steps: Optional[int] = None,
+) -> Simulation:
+    params = ProtocolParams.for_parties(n)
+    sim = Simulation(params=params, scheduler=scheduler, seed=seed)
+    if max_steps is not None:
+        sim.max_steps = max_steps
+    for pid, factory in (corruptions or {}).items():
+        sim.corrupt(pid, factory)
+    return sim
+
+
+def run_acast(
+    n: int,
+    value: Any,
+    sender: int = 0,
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    corruptions: Corruptions = None,
+) -> SimulationResult:
+    """Run one reliable broadcast of ``value`` from ``sender``."""
+    sim = _simulation(n, seed, scheduler, corruptions)
+    return sim.run(
+        ("acast",),
+        ACast.factory(sender),
+        inputs={sender: {"value": value}},
+    )
+
+
+def run_svss(
+    n: int,
+    secret: int,
+    dealer: int = 0,
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    corruptions: Corruptions = None,
+) -> SimulationResult:
+    """Run SVSS-Share followed by SVSS-Rec and return the reconstructed values.
+
+    The share and reconstruction phases are driven by a small wrapper protocol
+    at every party, mirroring how CoinFlip uses SVSS.
+    """
+    from repro.net.message import SessionId
+    from repro.net.protocol import Protocol
+
+    class ShareThenReconstruct(Protocol):
+        """Test harness protocol: complete SVSS-Share, then reconstruct."""
+
+        def on_start(self, value: Optional[int] = None, **_: Any) -> None:
+            kwargs = {"value": value} if self.pid == dealer else {}
+            self.spawn(("share",), SVSSShare.factory(dealer), **kwargs)
+
+        def on_child_complete(self, child: Protocol) -> None:
+            if isinstance(child, SVSSShare):
+                self.spawn(("rec",), SVSSRec.factory(dealer), share=child.output)
+            elif isinstance(child, SVSSRec):
+                self.complete(int(child.output))
+
+    def factory(process: Process, session: SessionId) -> Protocol:
+        return ShareThenReconstruct(process, session)
+
+    sim = _simulation(n, seed, scheduler, corruptions)
+    return sim.run(
+        ("svss_harness",),
+        factory,
+        inputs={dealer: {"value": secret}},
+    )
+
+
+def run_aba(
+    n: int,
+    inputs: Mapping[int, int],
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    corruptions: Corruptions = None,
+    coin_source: Optional[CoinSource] = None,
+) -> SimulationResult:
+    """Run binary Byzantine agreement with the given per-party inputs."""
+    sim = _simulation(n, seed, scheduler, corruptions)
+    source = coin_source or OracleCoinSource(seed)
+    return sim.run(
+        ("aba",),
+        BinaryAgreement.factory(source),
+        inputs={pid: {"value": value} for pid, value in inputs.items()},
+    )
+
+
+def run_common_subset(
+    n: int,
+    ready_parties: Iterable[int],
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    corruptions: Corruptions = None,
+    coin_source: Optional[CoinSource] = None,
+) -> SimulationResult:
+    """Run CommonSubset where the predicate is immediately true for ``ready_parties``."""
+    ready = set(ready_parties)
+    source = coin_source or OracleCoinSource(seed)
+
+    from repro.net.message import SessionId
+    from repro.net.protocol import Protocol
+
+    class PredicateDriver(Protocol):
+        """Harness: set the predicate for ``ready`` then report the subset."""
+
+        def on_start(self, **_: Any) -> None:
+            child = self.spawn(("cs",), CommonSubset.factory(source), k=self.params.quorum)
+            for index in sorted(ready):
+                child.set_predicate(index)
+
+        def on_child_complete(self, child: Protocol) -> None:
+            self.complete(frozenset(child.output))
+
+    def factory(process: Process, session: SessionId) -> Protocol:
+        return PredicateDriver(process, session)
+
+    sim = _simulation(n, seed, scheduler, corruptions)
+    return sim.run(("common_subset_harness",), factory)
+
+
+def run_weak_coin(
+    n: int,
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    corruptions: Corruptions = None,
+) -> SimulationResult:
+    """Run one weak common coin flip."""
+    sim = _simulation(n, seed, scheduler, corruptions)
+    return sim.run(("weak_coin",), WeakCommonCoin.factory())
+
+
+def run_coinflip(
+    n: int,
+    seed: int = 0,
+    epsilon: float = 0.25,
+    rounds: Optional[int] = DEFAULT_COINFLIP_ROUNDS,
+    scheduler: Optional[Scheduler] = None,
+    corruptions: Corruptions = None,
+    coin_source: Optional[CoinSource] = None,
+    max_steps: Optional[int] = None,
+) -> SimulationResult:
+    """Run the strong common coin (Algorithm 1) once."""
+    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps)
+    source = coin_source or OracleCoinSource(seed)
+    return sim.run(
+        ("coinflip",),
+        CoinFlip.factory(epsilon=epsilon, rounds_override=rounds, coin_source=source),
+    )
+
+
+def run_fair_choice(
+    n: int,
+    m: int,
+    seed: int = 0,
+    coinflip_rounds: int = 1,
+    scheduler: Optional[Scheduler] = None,
+    corruptions: Corruptions = None,
+    coin_source: Optional[CoinSource] = None,
+    max_steps: Optional[int] = None,
+) -> SimulationResult:
+    """Run FairChoice (Algorithm 2) over ``m`` candidates."""
+    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps)
+    source = coin_source or OracleCoinSource(seed)
+    return sim.run(
+        ("fair_choice",),
+        FairChoice.factory(
+            coinflip_rounds_override=coinflip_rounds, coin_source=source
+        ),
+        common_input={"m": m},
+    )
+
+
+def run_fba(
+    n: int,
+    inputs: Mapping[int, Any],
+    seed: int = 0,
+    coinflip_rounds: int = 1,
+    scheduler: Optional[Scheduler] = None,
+    corruptions: Corruptions = None,
+    coin_source: Optional[CoinSource] = None,
+    max_steps: Optional[int] = None,
+) -> SimulationResult:
+    """Run fair Byzantine agreement (Algorithm 3) with the given inputs."""
+    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps)
+    source = coin_source or OracleCoinSource(seed)
+    return sim.run(
+        ("fba",),
+        FairByzantineAgreement.factory(
+            coin_source=source, coinflip_rounds_override=coinflip_rounds
+        ),
+        inputs={pid: {"value": value} for pid, value in inputs.items()},
+    )
+
+
+def run_many(
+    runner: Callable[..., SimulationResult],
+    seeds: Iterable[int],
+    **kwargs: Any,
+) -> TrialAggregate:
+    """Run ``runner`` once per seed and aggregate the outcomes.
+
+    Example::
+
+        stats = run_many(run_coinflip, range(50), n=4, rounds=3)
+        print(stats.frequency(0), stats.frequency(1))
+    """
+    return aggregate(runner(seed=seed, **kwargs) for seed in seeds)

@@ -1,0 +1,79 @@
+"""Protocol parameterisation shared by every protocol in the library.
+
+The central object is :class:`ProtocolParams`, which carries the number of
+parties ``n``, the corruption bound ``t`` and the finite field used by the
+secret-sharing layer.  The paper's protocols require optimal resilience,
+``n >= 3t + 1``; the constructor validates this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Default prime modulus for the secret-sharing field.  Large enough that the
+#: ``mod 2`` reduction used by CoinFlip (step 6 of Algorithm 1) is essentially
+#: unbiased, small enough that arithmetic stays cheap in pure Python.
+DEFAULT_PRIME = 2_147_483_647  # 2**31 - 1, a Mersenne prime
+
+
+def validate_resilience(n: int, t: int) -> None:
+    """Raise :class:`ConfigurationError` unless ``n >= 3t + 1`` and ``t >= 0``."""
+    if n <= 0:
+        raise ConfigurationError(f"number of parties must be positive, got n={n}")
+    if t < 0:
+        raise ConfigurationError(f"corruption bound must be non-negative, got t={t}")
+    if n < 3 * t + 1:
+        raise ConfigurationError(
+            f"optimal resilience requires n >= 3t + 1; got n={n}, t={t}"
+        )
+
+
+def max_faults(n: int) -> int:
+    """Return the largest ``t`` with ``3t + 1 <= n`` (optimal resilience)."""
+    if n < 1:
+        raise ConfigurationError(f"number of parties must be positive, got n={n}")
+    return (n - 1) // 3
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Immutable protocol parameters.
+
+    Attributes:
+        n: total number of parties, indexed ``0 .. n-1``.
+        t: maximum number of corrupted parties tolerated.
+        prime: modulus of the finite field used for secret sharing.
+    """
+
+    n: int
+    t: int
+    prime: int = field(default=DEFAULT_PRIME)
+
+    def __post_init__(self) -> None:
+        validate_resilience(self.n, self.t)
+        if self.prime <= self.n:
+            raise ConfigurationError(
+                f"field modulus must exceed the number of parties; "
+                f"got prime={self.prime}, n={self.n}"
+            )
+
+    @classmethod
+    def for_parties(cls, n: int, prime: int = DEFAULT_PRIME) -> "ProtocolParams":
+        """Build parameters for ``n`` parties with the maximum tolerated ``t``."""
+        return cls(n=n, t=max_faults(n), prime=prime)
+
+    @property
+    def quorum(self) -> int:
+        """Size of an ``n - t`` quorum (at least ``2t + 1`` honest-capable set)."""
+        return self.n - self.t
+
+    @property
+    def party_ids(self) -> range:
+        """Iterable of all party identifiers."""
+        return range(self.n)
+
+    def is_valid_party(self, pid: int) -> bool:
+        """Return True when ``pid`` names an existing party."""
+        return 0 <= pid < self.n

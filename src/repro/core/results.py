@@ -1,0 +1,100 @@
+"""Aggregated experiment results.
+
+The one-call runners in :mod:`repro.core.api` return a
+:class:`~repro.net.runtime.SimulationResult` per execution; the helpers here
+aggregate many executions (different seeds) into the statistics the paper's
+theorems talk about: per-value output frequencies, disagreement rates,
+fair-validity rates, message counts and shun counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.net.runtime import SimulationResult
+
+
+@dataclass
+class TrialAggregate:
+    """Statistics over a batch of simulated executions of one protocol."""
+
+    trials: int = 0
+    disagreements: int = 0
+    value_counts: Counter = field(default_factory=Counter)
+    total_messages: int = 0
+    total_steps: int = 0
+    total_shun_events: int = 0
+    outputs: List[Any] = field(default_factory=list)
+
+    def add(self, result: SimulationResult) -> None:
+        """Fold one execution into the aggregate."""
+        self.trials += 1
+        self.total_messages += result.trace.messages_sent
+        self.total_steps += result.steps
+        self.total_shun_events += result.trace.total_shun_events()
+        if result.disagreement:
+            self.disagreements += 1
+            self.outputs.append(dict(result.outputs))
+            return
+        value = result.values[0] if result.values else None
+        self.outputs.append(value)
+        self.value_counts[repr(value)] += 1
+
+    # ------------------------------------------------------------------
+    def frequency(self, value: Any) -> float:
+        """Fraction of agreeing trials whose common output was ``value``."""
+        if self.trials == 0:
+            return 0.0
+        return self.value_counts[repr(value)] / self.trials
+
+    @property
+    def disagreement_rate(self) -> float:
+        """Fraction of trials in which honest parties disagreed."""
+        return self.disagreements / self.trials if self.trials else 0.0
+
+    @property
+    def mean_messages(self) -> float:
+        """Average number of messages sent per trial."""
+        return self.total_messages / self.trials if self.trials else 0.0
+
+    @property
+    def mean_steps(self) -> float:
+        """Average number of deliveries needed per trial."""
+        return self.total_steps / self.trials if self.trials else 0.0
+
+    @property
+    def mean_shun_events(self) -> float:
+        """Average number of shunning events per trial."""
+        return self.total_shun_events / self.trials if self.trials else 0.0
+
+    def hit_rate(self, predicate) -> float:
+        """Fraction of agreeing trials whose output satisfies ``predicate``."""
+        if self.trials == 0:
+            return 0.0
+        hits = sum(
+            1
+            for output in self.outputs
+            if not isinstance(output, dict) and predicate(output)
+        )
+        return hits / self.trials
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline metrics as a plain dictionary (for benchmark reporting)."""
+        return {
+            "trials": self.trials,
+            "disagreement_rate": self.disagreement_rate,
+            "value_counts": dict(self.value_counts),
+            "mean_messages": round(self.mean_messages, 1),
+            "mean_steps": round(self.mean_steps, 1),
+            "mean_shun_events": round(self.mean_shun_events, 3),
+        }
+
+
+def aggregate(results: Iterable[SimulationResult]) -> TrialAggregate:
+    """Aggregate an iterable of simulation results."""
+    stats = TrialAggregate()
+    for result in results:
+        stats.add(result)
+    return stats

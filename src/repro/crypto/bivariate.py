@@ -1,0 +1,149 @@
+"""Symmetric bivariate polynomials over a prime field.
+
+The shunning VSS (`repro.protocols.svss`) follows the classical bivariate
+construction: the dealer embeds the secret as ``F(0, 0)`` of a random
+*symmetric* bivariate polynomial of degree ``t`` in each variable, and hands
+party ``i`` the row polynomial ``f_i(y) = F(i, y)``.  Symmetry gives the
+pairwise consistency check ``f_i(j) = F(i, j) = F(j, i) = f_j(i)`` that
+parties use to validate each other's shares.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.crypto.field import Field, FieldElement, IntoField
+from repro.crypto.polynomial import Polynomial
+from repro.errors import InterpolationError
+
+
+class SymmetricBivariatePolynomial:
+    """A symmetric polynomial ``F(x, y)`` of degree ``t`` in each variable.
+
+    Stored as the full ``(t+1) x (t+1)`` coefficient matrix ``c[i][j]`` with
+    ``c[i][j] == c[j][i]``, i.e. ``F(x, y) = sum c[i][j] x^i y^j``.
+    """
+
+    def __init__(self, field: Field, coefficients: Sequence[Sequence[IntoField]]) -> None:
+        self.field = field
+        matrix = [[field(c) for c in row] for row in coefficients]
+        size = len(matrix)
+        for row in matrix:
+            if len(row) != size:
+                raise InterpolationError("coefficient matrix must be square")
+        for i in range(size):
+            for j in range(size):
+                if matrix[i][j] != matrix[j][i]:
+                    raise InterpolationError("coefficient matrix must be symmetric")
+        self.coefficients: List[List[FieldElement]] = matrix
+
+    # Construction ------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        field: Field,
+        degree: int,
+        rng: random.Random,
+        secret: IntoField | None = None,
+    ) -> "SymmetricBivariatePolynomial":
+        """A random symmetric bivariate polynomial with ``F(0,0) = secret``."""
+        size = degree + 1
+        matrix = [[field.zero() for _ in range(size)] for _ in range(size)]
+        for i in range(size):
+            for j in range(i, size):
+                value = field.random(rng)
+                matrix[i][j] = value
+                matrix[j][i] = value
+        if secret is not None:
+            matrix[0][0] = field(secret)
+        return cls(field, matrix)
+
+    # Queries ------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree bound in each variable."""
+        return len(self.coefficients) - 1
+
+    def __call__(self, x: IntoField, y: IntoField) -> FieldElement:
+        """Evaluate ``F(x, y)``."""
+        x = self.field(x)
+        y = self.field(y)
+        acc = self.field.zero()
+        # Horner in x of polynomials in y.
+        for row in reversed(self.coefficients):
+            inner = self.field.zero()
+            for coefficient in reversed(row):
+                inner = inner * y + coefficient
+            acc = acc * x + inner
+        return acc
+
+    @property
+    def secret(self) -> FieldElement:
+        """``F(0, 0)``, the embedded secret."""
+        return self.coefficients[0][0]
+
+    def row(self, index: IntoField) -> Polynomial:
+        """The row polynomial ``f_index(y) = F(index, y)`` handed to a party."""
+        x = self.field(index)
+        coeffs = [self.field.zero()] * (self.degree + 1)
+        x_power = self.field.one()
+        for i in range(self.degree + 1):
+            for j in range(self.degree + 1):
+                coeffs[j] = coeffs[j] + self.coefficients[i][j] * x_power
+            x_power = x_power * x
+        return Polynomial(self.field, coeffs)
+
+    def rows(self, n: int) -> List[Polynomial]:
+        """Row polynomials for parties ``1..n`` (index 0 of the list is party 1)."""
+        return [self.row(i) for i in range(1, n + 1)]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def interpolate_from_rows(
+        cls, field: Field, rows: Sequence[Tuple[IntoField, Polynomial]], degree: int
+    ) -> "SymmetricBivariatePolynomial":
+        """Reconstruct ``F`` from ``degree + 1`` row polynomials.
+
+        Args:
+            field: coefficient field.
+            rows: pairs ``(i, f_i)`` of row index and row polynomial.
+            degree: the degree bound ``t``.
+
+        Raises:
+            InterpolationError: if fewer than ``degree + 1`` rows are supplied
+                or the rows are not consistent with a symmetric polynomial.
+        """
+        if len(rows) < degree + 1:
+            raise InterpolationError(
+                f"need {degree + 1} rows to reconstruct, got {len(rows)}"
+            )
+        selected = list(rows[: degree + 1])
+        # For each coefficient position j of y, interpolate across x.
+        matrix: List[List[FieldElement]] = [
+            [field.zero() for _ in range(degree + 1)] for _ in range(degree + 1)
+        ]
+        for j in range(degree + 1):
+            points = []
+            for x_value, row_poly in selected:
+                coeffs = row_poly.coefficients
+                coefficient = coeffs[j] if j < len(coeffs) else field.zero()
+                points.append((x_value, coefficient))
+            column_poly = Polynomial.interpolate(field, points)
+            column_coeffs = column_poly.coefficients
+            for i in range(degree + 1):
+                matrix[i][j] = (
+                    column_coeffs[i] if i < len(column_coeffs) else field.zero()
+                )
+        # Symmetrise defensively: if the rows came from a genuine symmetric
+        # polynomial this is a no-op; otherwise constructing the object would
+        # raise, which is the behaviour we want for corrupted inputs.
+        return cls(field, matrix)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymmetricBivariatePolynomial):
+            return NotImplemented
+        return self.field == other.field and self.coefficients == other.coefficients
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SymmetricBivariatePolynomial(degree={self.degree})"

@@ -1,0 +1,169 @@
+"""Prime-field arithmetic GF(p).
+
+The paper's protocols are information-theoretic and work over any finite
+field larger than the number of parties.  We implement a straightforward
+prime field; elements are represented by :class:`FieldElement` wrappers so
+that protocol code reads like the algebra in the paper while accidental
+mixing of moduli raises immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+from repro.errors import FieldError
+
+IntoField = Union[int, "FieldElement"]
+
+
+def is_probable_prime(value: int, rounds: int = 16) -> bool:
+    """Miller-Rabin primality test (deterministic for 64-bit inputs)."""
+    if value < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for prime in small_primes:
+        if value % prime == 0:
+            return value == prime
+    d = value - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are sufficient for all 64-bit integers.
+    witnesses = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)[:rounds]
+    for a in witnesses:
+        x = pow(a, d, value)
+        if x in (1, value - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % value
+            if x == value - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class Field:
+    """A prime field GF(p)."""
+
+    prime: int
+
+    def __post_init__(self) -> None:
+        if self.prime < 2 or not is_probable_prime(self.prime):
+            raise FieldError(f"field modulus must be prime, got {self.prime}")
+
+    # ------------------------------------------------------------------
+    def __call__(self, value: IntoField) -> "FieldElement":
+        """Coerce an integer (or element of this field) into the field."""
+        if isinstance(value, FieldElement):
+            if value.field != self:
+                raise FieldError("cannot coerce an element of a different field")
+            return value
+        return FieldElement(int(value) % self.prime, self)
+
+    def zero(self) -> "FieldElement":
+        """The additive identity."""
+        return FieldElement(0, self)
+
+    def one(self) -> "FieldElement":
+        """The multiplicative identity."""
+        return FieldElement(1, self)
+
+    def random(self, rng: random.Random) -> "FieldElement":
+        """A uniformly random field element drawn from ``rng``."""
+        return FieldElement(rng.randrange(self.prime), self)
+
+    def random_nonzero(self, rng: random.Random) -> "FieldElement":
+        """A uniformly random nonzero field element."""
+        return FieldElement(rng.randrange(1, self.prime), self)
+
+    def elements(self, values: Iterable[IntoField]) -> List["FieldElement"]:
+        """Coerce an iterable of integers into field elements."""
+        return [self(v) for v in values]
+
+    @property
+    def order(self) -> int:
+        """Number of elements in the field."""
+        return self.prime
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"GF({self.prime})"
+
+
+@dataclass(frozen=True)
+class FieldElement:
+    """An element of a prime field.  Supports ``+ - * / **`` and comparison."""
+
+    value: int
+    field: Field
+
+    def _coerce(self, other: IntoField) -> "FieldElement":
+        if isinstance(other, FieldElement):
+            if other.field != self.field:
+                raise FieldError("cannot mix elements of different fields")
+            return other
+        return self.field(other)
+
+    # Arithmetic -------------------------------------------------------
+    def __add__(self, other: IntoField) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement((self.value + other.value) % self.field.prime, self.field)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntoField) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement((self.value - other.value) % self.field.prime, self.field)
+
+    def __rsub__(self, other: IntoField) -> "FieldElement":
+        return self._coerce(other) - self
+
+    def __mul__(self, other: IntoField) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement((self.value * other.value) % self.field.prime, self.field)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement((-self.value) % self.field.prime, self.field)
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse; raises :class:`FieldError` for zero."""
+        if self.value == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return FieldElement(pow(self.value, -1, self.field.prime), self.field)
+
+    def __truediv__(self, other: IntoField) -> "FieldElement":
+        return self * self._coerce(other).inverse()
+
+    def __rtruediv__(self, other: IntoField) -> "FieldElement":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FieldElement(pow(self.value, exponent, self.field.prime), self.field)
+
+    # Comparison / hashing ---------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldElement):
+            return self.field == other.field and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other % self.field.prime
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.field.prime))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.value}"

@@ -1,0 +1,186 @@
+"""Univariate polynomials over a prime field, with Lagrange interpolation.
+
+These are the workhorse of the secret-sharing layer: a degree-``t`` polynomial
+with ``f(0) = secret`` defines a Shamir sharing, and interpolation through
+``t + 1`` points recovers it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.crypto.field import Field, FieldElement, IntoField
+from repro.errors import InterpolationError
+
+
+class Polynomial:
+    """A polynomial ``c0 + c1 x + ... + cd x^d`` over a prime field.
+
+    Coefficients are stored low-degree first with trailing zeros trimmed, so
+    two equal polynomials always compare equal.
+    """
+
+    def __init__(self, field: Field, coefficients: Iterable[IntoField]) -> None:
+        self.field = field
+        coeffs = [field(c) for c in coefficients]
+        while len(coeffs) > 1 and coeffs[-1].value == 0:
+            coeffs.pop()
+        if not coeffs:
+            coeffs = [field.zero()]
+        self.coefficients: List[FieldElement] = coeffs
+
+    # Construction ------------------------------------------------------
+    @classmethod
+    def zero(cls, field: Field) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(field, [0])
+
+    @classmethod
+    def constant(cls, field: Field, value: IntoField) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        return cls(field, [value])
+
+    @classmethod
+    def random(
+        cls,
+        field: Field,
+        degree: int,
+        rng: random.Random,
+        constant_term: IntoField | None = None,
+    ) -> "Polynomial":
+        """A random polynomial of exactly the given degree bound.
+
+        Args:
+            field: the coefficient field.
+            degree: the degree bound (the polynomial has ``degree + 1``
+                coefficients; the leading ones may be zero, as is standard for
+                secret sharing).
+            rng: randomness source.
+            constant_term: when given, fixes ``f(0)``.
+        """
+        if degree < 0:
+            raise InterpolationError(f"degree must be non-negative, got {degree}")
+        coeffs = [field.random(rng) for _ in range(degree + 1)]
+        if constant_term is not None:
+            coeffs[0] = field(constant_term)
+        return cls(field, coeffs)
+
+    @classmethod
+    def interpolate(
+        cls, field: Field, points: Sequence[Tuple[IntoField, IntoField]]
+    ) -> "Polynomial":
+        """Lagrange interpolation through ``points`` (x values must be distinct).
+
+        Returns the unique polynomial of degree < len(points) through the
+        points.
+
+        Raises:
+            InterpolationError: on duplicate x coordinates or empty input.
+        """
+        if not points:
+            raise InterpolationError("cannot interpolate through zero points")
+        xs = [field(x) for x, _ in points]
+        ys = [field(y) for _, y in points]
+        if len({x.value for x in xs}) != len(xs):
+            raise InterpolationError("interpolation points must have distinct x values")
+        result = cls.zero(field)
+        for i, (xi, yi) in enumerate(zip(xs, ys)):
+            numerator = cls(field, [1])
+            denominator = field.one()
+            for j, xj in enumerate(xs):
+                if i == j:
+                    continue
+                numerator = numerator * cls(field, [-xj.value, 1])
+                denominator = denominator * (xi - xj)
+            result = result + numerator * (yi / denominator)
+        return result
+
+    # Queries ------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (0 for constants, including zero)."""
+        return len(self.coefficients) - 1
+
+    def __call__(self, x: IntoField) -> FieldElement:
+        """Evaluate via Horner's rule."""
+        x = self.field(x)
+        acc = self.field.zero()
+        for coefficient in reversed(self.coefficients):
+            acc = acc * x + coefficient
+        return acc
+
+    def evaluate_at(self, xs: Iterable[IntoField]) -> List[FieldElement]:
+        """Evaluate at several points."""
+        return [self(x) for x in xs]
+
+    def shares(self, n: int) -> Dict[int, FieldElement]:
+        """Evaluate at the canonical party points ``1..n`` (Shamir shares)."""
+        return {i: self(i) for i in range(1, n + 1)}
+
+    @property
+    def constant_term(self) -> FieldElement:
+        """``f(0)``, the shared secret in Shamir's scheme."""
+        return self.coefficients[0]
+
+    # Arithmetic ----------------------------------------------------------
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        size = max(len(self.coefficients), len(other.coefficients))
+        coeffs = []
+        for index in range(size):
+            a = self.coefficients[index] if index < len(self.coefficients) else self.field.zero()
+            b = other.coefficients[index] if index < len(other.coefficients) else self.field.zero()
+            coeffs.append(a + b)
+        return Polynomial(self.field, coeffs)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + (other * self.field(-1))
+
+    def __mul__(self, other: "Polynomial | FieldElement | int") -> "Polynomial":
+        if isinstance(other, (FieldElement, int)):
+            scalar = self.field(other)
+            return Polynomial(self.field, [c * scalar for c in self.coefficients])
+        coeffs = [self.field.zero()] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            for j, b in enumerate(other.coefficients):
+                coeffs[i + j] = coeffs[i + j] + a * b
+        return Polynomial(self.field, coeffs)
+
+    __rmul__ = __mul__
+
+    def divmod(self, divisor: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
+        """Polynomial long division; returns ``(quotient, remainder)``."""
+        if all(c.value == 0 for c in divisor.coefficients):
+            raise InterpolationError("polynomial division by zero")
+        remainder = list(self.coefficients)
+        quotient = [self.field.zero()] * max(1, len(remainder) - len(divisor.coefficients) + 1)
+        divisor_lead = divisor.coefficients[-1]
+        divisor_degree = divisor.degree
+        for index in range(len(remainder) - 1, divisor_degree - 1, -1):
+            coefficient = remainder[index] / divisor_lead
+            position = index - divisor_degree
+            quotient[position] = coefficient
+            for offset, dcoeff in enumerate(divisor.coefficients):
+                remainder[position + offset] = remainder[position + offset] - coefficient * dcoeff
+        return Polynomial(self.field, quotient), Polynomial(self.field, remainder)
+
+    # Comparison ----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.field == other.field and self.coefficients == other.coefficients
+
+    def __hash__(self) -> int:
+        return hash((self.field.prime, tuple(c.value for c in self.coefficients)))
+
+    def to_ints(self) -> List[int]:
+        """Coefficients as plain integers (wire format)."""
+        return [c.value for c in self.coefficients]
+
+    @classmethod
+    def from_ints(cls, field: Field, values: Sequence[int]) -> "Polynomial":
+        """Inverse of :meth:`to_ints`."""
+        return cls(field, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Polynomial({self.to_ints()})"

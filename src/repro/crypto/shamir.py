@@ -1,0 +1,128 @@
+"""Shamir secret sharing over a prime field.
+
+Used directly by the simple (non-shunning) AVSS baseline and the weak common
+coin, and as the reconstruction backend of the shunning VSS.  Reconstruction
+comes in two flavours: plain interpolation through ``t + 1`` shares, and
+robust reconstruction that error-corrects up to ``t`` wrong shares via
+Berlekamp-Welch when at least ``3t + 1`` shares are available.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.crypto.field import Field, FieldElement, IntoField
+from repro.crypto.polynomial import Polynomial
+from repro.crypto.reed_solomon import berlekamp_welch
+from repro.errors import DecodingError, InterpolationError
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """One party's share: the evaluation of the sharing polynomial at ``index``."""
+
+    index: int
+    value: FieldElement
+
+
+def share_secret(
+    field: Field,
+    secret: IntoField,
+    n: int,
+    t: int,
+    rng: random.Random,
+) -> Tuple[Polynomial, Dict[int, ShamirShare]]:
+    """Create a ``(t+1)``-out-of-``n`` Shamir sharing of ``secret``.
+
+    Returns the sharing polynomial (degree ``t``, ``f(0) = secret``) and the
+    share of each party ``i`` in ``1..n``, namely ``f(i)``.
+    """
+    polynomial = Polynomial.random(field, t, rng, constant_term=secret)
+    shares = {
+        i: ShamirShare(index=i, value=polynomial(i)) for i in range(1, n + 1)
+    }
+    return polynomial, shares
+
+
+def reconstruct(
+    field: Field, shares: Iterable[ShamirShare], degree: int
+) -> FieldElement:
+    """Reconstruct the secret from exactly ``degree + 1`` (or more) shares.
+
+    Plain interpolation -- all supplied shares are trusted.  Use
+    :func:`reconstruct_robust` when some shares may be wrong.
+
+    Raises:
+        InterpolationError: with fewer than ``degree + 1`` shares or duplicate
+            indices.
+    """
+    share_list = list(shares)
+    if len(share_list) < degree + 1:
+        raise InterpolationError(
+            f"need {degree + 1} shares to reconstruct, got {len(share_list)}"
+        )
+    points = [(s.index, s.value) for s in share_list[: degree + 1]]
+    polynomial = Polynomial.interpolate(field, points)
+    return polynomial.constant_term
+
+
+def reconstruct_robust(
+    field: Field,
+    shares: Iterable[ShamirShare],
+    degree: int,
+    max_errors: int,
+) -> FieldElement:
+    """Reconstruct tolerating up to ``max_errors`` corrupted shares.
+
+    Uses Berlekamp-Welch decoding, which needs
+    ``len(shares) >= degree + 1 + 2 * max_errors``.
+
+    Raises:
+        DecodingError: when decoding is impossible with the given parameters.
+    """
+    share_list = list(shares)
+    needed = degree + 1 + 2 * max_errors
+    if len(share_list) < needed:
+        raise DecodingError(
+            f"robust reconstruction of a degree-{degree} polynomial with "
+            f"{max_errors} errors needs {needed} shares, got {len(share_list)}"
+        )
+    points = [(field(s.index), s.value) for s in share_list]
+    polynomial = berlekamp_welch(field, points, degree, max_errors)
+    return polynomial.constant_term
+
+
+def verify_share(polynomial: Polynomial, share: ShamirShare) -> bool:
+    """True when ``share`` lies on ``polynomial`` (dealer-side check)."""
+    return polynomial(share.index) == share.value
+
+
+def shares_to_wire(shares: Mapping[int, ShamirShare]) -> Dict[int, int]:
+    """Serialise shares to plain integers for message payloads."""
+    return {index: share.value.value for index, share in shares.items()}
+
+
+def share_from_wire(field: Field, index: int, value: int) -> ShamirShare:
+    """Deserialise one share received from the network."""
+    return ShamirShare(index=index, value=field(value))
+
+
+def additive_shares(
+    field: Field, secret: IntoField, count: int, rng: random.Random
+) -> List[FieldElement]:
+    """Split ``secret`` into ``count`` additive shares (sum equals secret).
+
+    Used by the toy AVSS in the lower-bound experiments, where the simplest
+    possible hiding structure keeps the transcript space enumerable.
+    """
+    if count < 1:
+        raise InterpolationError("additive sharing needs at least one share")
+    secret_element = field(secret)
+    shares = [field.random(rng) for _ in range(count - 1)]
+    last = secret_element
+    for share in shares:
+        last = last - share
+    shares.append(last)
+    return shares

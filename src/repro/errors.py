@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when protocol parameters are invalid (e.g. ``n < 3t + 1``)."""
+
+
+class FieldError(ReproError):
+    """Raised on invalid finite-field operations (e.g. division by zero)."""
+
+
+class InterpolationError(ReproError):
+    """Raised when polynomial interpolation is impossible or ambiguous."""
+
+
+class DecodingError(ReproError):
+    """Raised when Reed-Solomon decoding cannot correct the received word."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol receives input it can never accept.
+
+    Honest protocol code never raises this for messages sent by faulty
+    parties -- those are silently ignored or trigger shunning.  It is raised
+    for programming errors such as starting a protocol twice.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised by the network runtime (e.g. step budget exhausted)."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler returns an invalid choice."""

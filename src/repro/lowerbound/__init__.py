@@ -1,0 +1,43 @@
+"""Section-2 lower bound: transcript enumeration and the two attacks."""
+
+from repro.lowerbound.attack import (
+    DealerAttackOutcome,
+    DealerSplitAttack,
+    ReconstructionAttack,
+    ReconstructionAttackOutcome,
+)
+from repro.lowerbound.experiment import (
+    CORRECTNESS_FAILURE_THRESHOLD,
+    LowerBoundRow,
+    evaluate_candidate,
+    format_report,
+    run_experiment,
+)
+from repro.lowerbound.toy_avss import all_candidates, echo_checked_avss, masked_xor_avss
+from repro.lowerbound.transcripts import (
+    CandidateAVSS,
+    ReconstructionRunner,
+    ScriptedShareRunner,
+    ShareEnumerator,
+    Transcript,
+)
+
+__all__ = [
+    "DealerAttackOutcome",
+    "DealerSplitAttack",
+    "ReconstructionAttack",
+    "ReconstructionAttackOutcome",
+    "CORRECTNESS_FAILURE_THRESHOLD",
+    "LowerBoundRow",
+    "evaluate_candidate",
+    "format_report",
+    "run_experiment",
+    "all_candidates",
+    "echo_checked_avss",
+    "masked_xor_avss",
+    "CandidateAVSS",
+    "ReconstructionRunner",
+    "ScriptedShareRunner",
+    "ShareEnumerator",
+    "Transcript",
+]

@@ -1,0 +1,226 @@
+"""Candidate AVSS protocols used by the lower-bound experiments.
+
+Theorem 2.2 says that *no* ``(2/3 + eps)``-correct, almost-surely terminating
+AVSS exists for ``n = 4, t = 1``.  To make the attack machinery concrete we
+supply small candidate protocols with bounded randomness and show what the
+generic attack does to each:
+
+* :func:`masked_xor_avss` -- the textbook "mask the secret additively"
+  attempt.  It satisfies Secrecy and Termination, so the Section-2 attacks
+  apply -- and indeed the Claim-2 reconstruction attack makes an honest party
+  output the wrong value with probability far above ``1/3 - eps``.
+* :func:`echo_checked_avss` -- a "fixed" variant in which A and B exchange
+  their shares during the share phase so that reconstruction can be
+  cross-checked.  The cross-check defeats the reconstruction attack, but the
+  exchange leaks the secret to any single corrupted party: the enumeration
+  engine shows Secrecy no longer holds, exactly the trade-off the lower bound
+  says is unavoidable.
+
+The share encoding: the dealer holds a secret ``s ∈ {0,1}`` and a uniform mask
+``r``; party A's share is ``s XOR r``, party B's share is ``r`` and party C's
+share is ``s XOR r``.  Any single share is uniform; shares of A (or C)
+together with B's share determine the secret.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.lowerbound.transcripts import CandidateAVSS
+
+ShareInbox = Dict[Tuple[int, str], Any]
+
+
+def _dealer_shares(secret: int, mask: int) -> Dict[str, int]:
+    """Per-party share values for the masked-XOR encoding."""
+    return {"A": secret ^ mask, "B": mask, "C": secret ^ mask}
+
+
+def _own_share(party: str, view: ShareInbox) -> Optional[int]:
+    """The share ``party`` received from the dealer in round 0, if any."""
+    message = view.get((0, "D"))
+    if isinstance(message, tuple) and len(message) == 2 and message[0] == "SHARE":
+        return int(message[1])
+    return None
+
+
+def _collect_claimed_shares(party: str, view: ShareInbox, rec_view: ShareInbox) -> Dict[str, int]:
+    """Shares known to ``party`` after reconstruction messages are delivered."""
+    known: Dict[str, int] = {}
+    own = _own_share(party, view)
+    if own is not None:
+        known[party] = own
+    for (_round, sender), message in rec_view.items():
+        if (
+            isinstance(message, tuple)
+            and len(message) == 3
+            and message[0] == "REC"
+            and message[1] in ("A", "B", "C")
+        ):
+            known.setdefault(message[1], int(message[2]))
+    return known
+
+
+def _xor_reconstruct(known: Dict[str, int]) -> Optional[int]:
+    """Combine one A/C share with B's share; None when impossible."""
+    if "B" not in known:
+        return None
+    if "A" in known:
+        return known["A"] ^ known["B"]
+    if "C" in known:
+        return known["C"] ^ known["B"]
+    return None
+
+
+# ----------------------------------------------------------------------
+# Candidate 1: masked XOR sharing, no cross-checking.
+# ----------------------------------------------------------------------
+def _masked_share_messages(
+    party: str,
+    round_index: int,
+    secret: Optional[int],
+    randomness: Any,
+    view: ShareInbox,
+) -> Dict[str, Any]:
+    if party == "D" and round_index == 0:
+        shares = _dealer_shares(int(secret or 0), int(randomness))
+        return {name: ("SHARE", value) for name, value in shares.items()}
+    if party in ("A", "B", "C") and round_index == 1:
+        if _own_share(party, view) is not None:
+            return {other: ("OK",) for other in ("D", "A", "B", "C") if other != party}
+    return {}
+
+
+def _masked_share_complete(party: str, randomness: Any, view: ShareInbox) -> bool:
+    if party == "D":
+        return any(message == ("OK",) for message in view.values())
+    if _own_share(party, view) is None:
+        return False
+    return any(
+        message == ("OK",) and sender != "D"
+        for (_round, sender), message in view.items()
+    )
+
+
+def _masked_rec_messages(
+    party: str,
+    randomness: Any,
+    share_view: ShareInbox,
+    round_index: int,
+    rec_view: ShareInbox,
+) -> Dict[str, Any]:
+    if round_index != 0:
+        return {}
+    own = _own_share(party, share_view)
+    if own is None:
+        return {}
+    return {
+        other: ("REC", party, own)
+        for other in ("A", "B", "C")
+        if other != party
+    }
+
+
+def _masked_rec_output(
+    party: str,
+    randomness: Any,
+    share_view: ShareInbox,
+    rec_view: ShareInbox,
+) -> Optional[int]:
+    return _xor_reconstruct(_collect_claimed_shares(party, share_view, rec_view))
+
+
+def masked_xor_avss() -> CandidateAVSS:
+    """The secrecy-preserving candidate attacked by experiments E6a/E6b."""
+    return CandidateAVSS(
+        name="masked-xor",
+        randomness={"D": (0, 1), "A": (None,), "B": (None,), "C": (None,)},
+        share_rounds=2,
+        rec_rounds=1,
+        share_message_fn=_masked_share_messages,
+        share_complete_fn=_masked_share_complete,
+        rec_message_fn=_masked_rec_messages,
+        rec_output_fn=_masked_rec_output,
+    )
+
+
+# ----------------------------------------------------------------------
+# Candidate 2: A and B cross-exchange their shares during the share phase.
+# ----------------------------------------------------------------------
+def _echo_share_messages(
+    party: str,
+    round_index: int,
+    secret: Optional[int],
+    randomness: Any,
+    view: ShareInbox,
+) -> Dict[str, Any]:
+    if party == "D" and round_index == 0:
+        shares = _dealer_shares(int(secret or 0), int(randomness))
+        return {name: ("SHARE", value) for name, value in shares.items()}
+    if party in ("A", "B", "C") and round_index == 1:
+        own = _own_share(party, view)
+        if own is not None:
+            sends: Dict[str, Any] = {
+                other: ("ECHO", party, own)
+                for other in ("A", "B", "C")
+                if other != party
+            }
+            sends["D"] = ("OK",)
+            return sends
+    return {}
+
+
+def _echo_share_complete(party: str, randomness: Any, view: ShareInbox) -> bool:
+    if party == "D":
+        return any(message == ("OK",) for message in view.values())
+    if _own_share(party, view) is None:
+        return False
+    return any(
+        isinstance(message, tuple) and message and message[0] == "ECHO"
+        for message in view.values()
+    )
+
+
+def _echo_peer_shares(share_view: ShareInbox) -> Dict[str, int]:
+    """Shares learned from peers' ECHO messages during the share phase."""
+    learned: Dict[str, int] = {}
+    for (_round, _sender), message in share_view.items():
+        if isinstance(message, tuple) and len(message) == 3 and message[0] == "ECHO":
+            learned[message[1]] = int(message[2])
+    return learned
+
+
+def _echo_rec_output(
+    party: str,
+    randomness: Any,
+    share_view: ShareInbox,
+    rec_view: ShareInbox,
+) -> Optional[int]:
+    # Shares recorded during the share phase take precedence over claims made
+    # during reconstruction -- this is the "cross-check" that defeats the
+    # Claim-2 attack (at the price of Secrecy).
+    known = _collect_claimed_shares(party, share_view, rec_view)
+    known.update(_echo_peer_shares(share_view))
+    own = _own_share(party, share_view)
+    if own is not None:
+        known[party] = own
+    return _xor_reconstruct(known)
+
+
+def echo_checked_avss() -> CandidateAVSS:
+    """The cross-checking candidate: robust reconstruction, broken secrecy."""
+    return CandidateAVSS(
+        name="echo-checked",
+        randomness={"D": (0, 1), "A": (None,), "B": (None,), "C": (None,)},
+        share_rounds=2,
+        rec_rounds=1,
+        share_message_fn=_echo_share_messages,
+        share_complete_fn=_echo_share_complete,
+        rec_message_fn=_masked_rec_messages,
+        rec_output_fn=_echo_rec_output,
+    )
+
+
+def all_candidates() -> Tuple[CandidateAVSS, ...]:
+    """Every candidate exercised by the E6 experiment."""
+    return (masked_xor_avss(), echo_checked_avss())

@@ -1,0 +1,349 @@
+"""Transcript enumeration for the Section-2 lower bound.
+
+The lower-bound adversary of Theorem 2.2 is information-theoretic: to mount
+the Claim-1 attack the faulty dealer samples from *conditional distributions
+of protocol transcripts* (for example "A's randomness given that the dealer
+shared 0 and the run stayed short"), and the Claim-2 attacker re-samples a
+fake view consistent with the messages it actually exchanged.
+
+For a candidate AVSS whose per-round randomness is drawn from small finite
+domains, those distributions are exactly computable by enumerating every
+synchronous run.  This module provides
+
+* :class:`CandidateAVSS` -- a declarative description of a candidate 4-party
+  AVSS (share/reconstruct message functions, completion and output rules),
+* :class:`Transcript` -- one fully-determined synchronous run,
+* :class:`ShareEnumerator` -- enumerates all share-phase runs for a given
+  secret and active-party set, and computes marginal / conditional
+  distributions over any transcript feature,
+* :class:`ScriptedShareRunner` -- replays the share phase with one party's
+  messages scripted by the adversary (used to *execute* the Claim-1 attack),
+* :class:`ReconstructionRunner` -- runs the reconstruction phase from given
+  (possibly fabricated) share views.
+
+Parties are named ``"D"`` (the dealer), ``"A"``, ``"B"`` and ``"C"``,
+matching the paper's proof.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+PARTIES: Tuple[str, ...] = ("D", "A", "B", "C")
+
+#: A party's view of the share phase: its randomness plus every message it
+#: received, as a sorted tuple of ``(round, sender, message)``.
+ShareView = Tuple[Any, Tuple[Tuple[int, str, Any], ...]]
+
+#: ``message_fn(party, round, secret, randomness, view_so_far) -> {receiver: message}``
+MessageFn = Callable[[str, int, Optional[int], Any, Dict[Tuple[int, str], Any]], Dict[str, Any]]
+#: ``complete_fn(party, randomness, view) -> bool``
+CompleteFn = Callable[[str, Any, Dict[Tuple[int, str], Any]], bool]
+#: ``rec_message_fn(party, randomness, share_view, round, rec_view) -> {receiver: message}``
+RecMessageFn = Callable[[str, Any, Dict[Tuple[int, str], Any], int, Dict[Tuple[int, str], Any]], Dict[str, Any]]
+#: ``rec_output_fn(party, randomness, share_view, rec_view) -> Optional[int]``
+RecOutputFn = Callable[[str, Any, Dict[Tuple[int, str], Any], Dict[Tuple[int, str], Any]], Optional[int]]
+
+
+@dataclass(frozen=True)
+class CandidateAVSS:
+    """A declarative candidate AVSS for four parties with a binary secret.
+
+    Attributes:
+        name: human-readable candidate name.
+        randomness: per-party list of possible random values (use ``[None]``
+            for deterministic parties).
+        share_rounds: number of synchronous share-phase rounds.
+        rec_rounds: number of synchronous reconstruction-phase rounds.
+        share_message_fn: share-phase message function.
+        share_complete_fn: share-phase completion predicate.
+        rec_message_fn: reconstruction-phase message function.
+        rec_output_fn: reconstruction output function (None = no output yet).
+    """
+
+    name: str
+    randomness: Mapping[str, Sequence[Any]]
+    share_rounds: int
+    rec_rounds: int
+    share_message_fn: MessageFn
+    share_complete_fn: CompleteFn
+    rec_message_fn: RecMessageFn
+    rec_output_fn: RecOutputFn
+
+
+@dataclass(frozen=True)
+class Transcript:
+    """One fully-determined synchronous share-phase run."""
+
+    secret: int
+    randomness: Tuple[Tuple[str, Any], ...]
+    #: ``(round, sender, receiver) -> message``
+    messages: Tuple[Tuple[Tuple[int, str, str], Any], ...]
+    completed: FrozenSet[str]
+    probability: float
+
+    # ------------------------------------------------------------------
+    def randomness_of(self, party: str) -> Any:
+        """The random value ``party`` used in this run."""
+        return dict(self.randomness)[party]
+
+    def messages_between(self, x: str, y: str) -> Tuple[Tuple[int, str, str, Any], ...]:
+        """All messages exchanged (in both directions) between ``x`` and ``y``."""
+        items = []
+        for (round_index, sender, receiver), message in self.messages:
+            if {sender, receiver} == {x, y}:
+                items.append((round_index, sender, receiver, message))
+        return tuple(sorted(items))
+
+    def messages_to(self, receiver: str) -> Dict[Tuple[int, str], Any]:
+        """Messages received by ``receiver`` keyed by ``(round, sender)``."""
+        inbox: Dict[Tuple[int, str], Any] = {}
+        for (round_index, sender, rcv), message in self.messages:
+            if rcv == receiver:
+                inbox[(round_index, sender)] = message
+        return inbox
+
+    def view(self, party: str) -> ShareView:
+        """The party's full share-phase view (randomness + inbox)."""
+        inbox = self.messages_to(party)
+        return (
+            self.randomness_of(party),
+            tuple(sorted((r, s, m) for (r, s), m in inbox.items())),
+        )
+
+
+def _run_share_phase(
+    candidate: CandidateAVSS,
+    secret: int,
+    randomness: Dict[str, Any],
+    active: Sequence[str],
+    script: Optional[Mapping[Tuple[int, str, str], Any]] = None,
+    scripted_party: Optional[str] = None,
+) -> Tuple[Dict[Tuple[int, str, str], Any], Dict[str, Dict[Tuple[int, str], Any]]]:
+    """Execute the share phase synchronously.
+
+    Returns the message log and every party's inbox.  When ``scripted_party``
+    is given, its outgoing messages are taken from ``script`` (missing entries
+    mean "no message") instead of the candidate's message function.
+    """
+    inboxes: Dict[str, Dict[Tuple[int, str], Any]] = {p: {} for p in PARTIES}
+    log: Dict[Tuple[int, str, str], Any] = {}
+    for round_index in range(candidate.share_rounds):
+        outgoing: Dict[Tuple[str, str], Any] = {}
+        for sender in active:
+            if sender == scripted_party:
+                assert script is not None
+                for receiver in PARTIES:
+                    key = (round_index, sender, receiver)
+                    if key in script:
+                        outgoing[(sender, receiver)] = script[key]
+                continue
+            sends = candidate.share_message_fn(
+                sender,
+                round_index,
+                secret if sender == "D" else None,
+                randomness[sender],
+                dict(inboxes[sender]),
+            )
+            for receiver, message in sends.items():
+                outgoing[(sender, receiver)] = message
+        for (sender, receiver), message in outgoing.items():
+            log[(round_index, sender, receiver)] = message
+            if receiver in active or receiver in PARTIES:
+                inboxes[receiver][(round_index, sender)] = message
+    return log, inboxes
+
+
+class ShareEnumerator:
+    """Enumerates every share-phase run for one secret and active-party set."""
+
+    def __init__(
+        self,
+        candidate: CandidateAVSS,
+        active: Sequence[str] = ("D", "A", "B"),
+    ) -> None:
+        self.candidate = candidate
+        self.active = tuple(active)
+        self._cache: Dict[int, List[Transcript]] = {}
+
+    # ------------------------------------------------------------------
+    def transcripts(self, secret: int) -> List[Transcript]:
+        """All runs with the dealer sharing ``secret`` (uniform randomness)."""
+        if secret in self._cache:
+            return self._cache[secret]
+        domains = [list(self.candidate.randomness.get(p, [None])) for p in self.active]
+        total = 1
+        for domain in domains:
+            total *= len(domain)
+        runs: List[Transcript] = []
+        for assignment in itertools.product(*domains):
+            randomness = {p: None for p in PARTIES}
+            randomness.update(dict(zip(self.active, assignment)))
+            log, inboxes = _run_share_phase(
+                self.candidate, secret, randomness, self.active
+            )
+            completed = frozenset(
+                party
+                for party in self.active
+                if self.candidate.share_complete_fn(
+                    party, randomness[party], dict(inboxes[party])
+                )
+            )
+            runs.append(
+                Transcript(
+                    secret=secret,
+                    randomness=tuple(sorted(randomness.items())),
+                    messages=tuple(sorted(log.items())),
+                    completed=completed,
+                    probability=1.0 / total,
+                )
+            )
+        self._cache[secret] = runs
+        return runs
+
+    # ------------------------------------------------------------------
+    def distribution(
+        self,
+        secret: int,
+        feature: Callable[[Transcript], Any],
+        condition: Optional[Callable[[Transcript], bool]] = None,
+    ) -> Counter:
+        """Probability distribution of ``feature`` conditioned on ``condition``."""
+        weights: Counter = Counter()
+        total = 0.0
+        for transcript in self.transcripts(secret):
+            if condition is not None and not condition(transcript):
+                continue
+            weights[feature(transcript)] += transcript.probability
+            total += transcript.probability
+        if total <= 0:
+            return Counter()
+        return Counter({value: weight / total for value, weight in weights.items()})
+
+    def sample(
+        self,
+        rng: random.Random,
+        secret: int,
+        feature: Callable[[Transcript], Any],
+        condition: Optional[Callable[[Transcript], bool]] = None,
+    ) -> Any:
+        """Sample a value of ``feature`` from its conditional distribution."""
+        distribution = self.distribution(secret, feature, condition)
+        if not distribution:
+            raise ValueError("conditional distribution is empty")
+        values = list(distribution)
+        weights = [distribution[v] for v in values]
+        return rng.choices(values, weights=weights, k=1)[0]
+
+    # ------------------------------------------------------------------
+    def view_support(self, secret: int, party: str) -> FrozenSet[ShareView]:
+        """The set of views ``party`` can hold when the dealer shares ``secret``."""
+        return frozenset(t.view(party) for t in self.transcripts(secret))
+
+    def secrecy_holds(self, party: str) -> bool:
+        """True when ``party``'s view distribution is identical for both secrets."""
+        d0 = self.distribution(0, lambda t: t.view(party))
+        d1 = self.distribution(1, lambda t: t.view(party))
+        keys = set(d0) | set(d1)
+        return all(abs(d0.get(k, 0.0) - d1.get(k, 0.0)) < 1e-12 for k in keys)
+
+    def termination_rate(self, secret: int, parties: Iterable[str] = ("A", "B")) -> float:
+        """Probability that every listed party completes the share phase."""
+        targets = tuple(parties)
+        total = 0.0
+        for transcript in self.transcripts(secret):
+            if all(p in transcript.completed for p in targets):
+                total += transcript.probability
+        return total
+
+
+class ScriptedShareRunner:
+    """Runs the share phase with one party's messages scripted (the attacker)."""
+
+    def __init__(self, candidate: CandidateAVSS, active: Sequence[str] = ("D", "A", "B")) -> None:
+        self.candidate = candidate
+        self.active = tuple(active)
+
+    def run(
+        self,
+        secret: Optional[int],
+        randomness: Dict[str, Any],
+        scripted_party: str,
+        script: Mapping[Tuple[int, str, str], Any],
+    ) -> Transcript:
+        """Execute one run; ``secret`` may be None when the dealer is scripted."""
+        full_randomness = {p: None for p in PARTIES}
+        full_randomness.update(randomness)
+        log, inboxes = _run_share_phase(
+            self.candidate,
+            secret if secret is not None else 0,
+            full_randomness,
+            self.active,
+            script=script,
+            scripted_party=scripted_party,
+        )
+        completed = frozenset(
+            party
+            for party in self.active
+            if party != scripted_party
+            and self.candidate.share_complete_fn(
+                party, full_randomness[party], dict(inboxes[party])
+            )
+        )
+        return Transcript(
+            secret=secret if secret is not None else -1,
+            randomness=tuple(sorted(full_randomness.items())),
+            messages=tuple(sorted(log.items())),
+            completed=completed,
+            probability=1.0,
+        )
+
+
+class ReconstructionRunner:
+    """Runs the reconstruction phase among a set of active parties.
+
+    Each party contributes its share-phase view (possibly empty for a party
+    that heard nothing, possibly *fabricated* for the Claim-2 attacker) and
+    its randomness; the runner executes the candidate's reconstruction rounds
+    synchronously and collects outputs.
+    """
+
+    def __init__(self, candidate: CandidateAVSS, active: Sequence[str] = ("A", "B", "C")) -> None:
+        self.candidate = candidate
+        self.active = tuple(active)
+
+    def run(
+        self,
+        share_views: Mapping[str, Mapping[Tuple[int, str], Any]],
+        randomness: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Optional[int]]:
+        """Execute reconstruction and return each active party's output."""
+        randomness = dict(randomness or {})
+        rec_inboxes: Dict[str, Dict[Tuple[int, str], Any]] = {p: {} for p in PARTIES}
+        for round_index in range(self.candidate.rec_rounds):
+            outgoing: Dict[Tuple[str, str], Any] = {}
+            for sender in self.active:
+                sends = self.candidate.rec_message_fn(
+                    sender,
+                    randomness.get(sender),
+                    dict(share_views.get(sender, {})),
+                    round_index,
+                    dict(rec_inboxes[sender]),
+                )
+                for receiver, message in sends.items():
+                    outgoing[(sender, receiver)] = message
+            for (sender, receiver), message in outgoing.items():
+                rec_inboxes[receiver][(round_index, sender)] = message
+        outputs: Dict[str, Optional[int]] = {}
+        for party in self.active:
+            outputs[party] = self.candidate.rec_output_fn(
+                party,
+                randomness.get(party),
+                dict(share_views.get(party, {})),
+                dict(rec_inboxes[party]),
+            )
+        return outputs

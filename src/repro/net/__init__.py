@@ -1,0 +1,41 @@
+"""Asynchronous network simulation substrate."""
+
+from repro.net.message import Message, SessionId, session_child, session_is_descendant
+from repro.net.network import DEFAULT_MAX_STEPS, Network
+from repro.net.process import Process
+from repro.net.protocol import Protocol
+from repro.net.runtime import Simulation, SimulationResult
+from repro.net.scheduler import (
+    DelayScheduler,
+    FIFOScheduler,
+    PartitionScheduler,
+    RandomScheduler,
+    Scheduler,
+    TargetedScheduler,
+    delay_from_parties,
+    delay_to_parties,
+)
+from repro.net.tracing import Trace, TraceEvent
+
+__all__ = [
+    "Message",
+    "SessionId",
+    "session_child",
+    "session_is_descendant",
+    "Network",
+    "DEFAULT_MAX_STEPS",
+    "Process",
+    "Protocol",
+    "Simulation",
+    "SimulationResult",
+    "Scheduler",
+    "FIFOScheduler",
+    "RandomScheduler",
+    "DelayScheduler",
+    "PartitionScheduler",
+    "TargetedScheduler",
+    "delay_from_parties",
+    "delay_to_parties",
+    "Trace",
+    "TraceEvent",
+]

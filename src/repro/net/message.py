@@ -1,0 +1,69 @@
+"""Message model for the asynchronous network simulator.
+
+A :class:`Message` is addressed to a *protocol session* on a receiving party.
+Sessions are hierarchical tuples (for example ``("coinflip", 3, "svss", 2,
+"share")``), which lets an arbitrarily deep stack of sub-protocols multiplex
+over one simulated network without any global registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+#: A session identifier: a tuple of hashable path components.  The empty tuple
+#: is reserved and never used by protocols.
+SessionId = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point message in flight.
+
+    Attributes:
+        sender: party id of the sender.
+        receiver: party id of the destination.
+        session: hierarchical session identifier of the destination protocol.
+        payload: protocol payload; by convention a tuple whose first element
+            is a short message-type string (``("ECHO", value)``).
+        seq: global sequence number assigned by the network at send time.
+            Used for deterministic tie-breaking and FIFO scheduling.
+    """
+
+    sender: int
+    receiver: int
+    session: SessionId
+    payload: Tuple[Any, ...]
+    seq: int = 0
+
+    @property
+    def kind(self) -> Any:
+        """The message-type tag (first payload element), or None if empty."""
+        if not self.payload:
+            return None
+        return self.payload[0]
+
+    @property
+    def root(self) -> Any:
+        """The root component of the session path (top-level protocol name)."""
+        if not self.session:
+            return None
+        return self.session[0]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Message(#{self.seq} {self.sender}->{self.receiver} "
+            f"{'/'.join(map(str, self.session))} {self.payload!r})"
+        )
+
+
+def session_child(session: SessionId, *components: Any) -> SessionId:
+    """Return the session id of a child protocol under ``session``."""
+    return tuple(session) + tuple(components)
+
+
+def session_is_descendant(session: SessionId, ancestor: SessionId) -> bool:
+    """Return True when ``session`` equals or lies below ``ancestor``."""
+    return len(session) >= len(ancestor) and tuple(session[: len(ancestor)]) == tuple(
+        ancestor
+    )

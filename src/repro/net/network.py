@@ -1,0 +1,171 @@
+"""The simulated asynchronous network.
+
+A :class:`Network` owns the parties (:class:`~repro.net.process.Process`
+objects), the multiset of in-flight messages and the scheduler.  One *step*
+delivers exactly one message, chosen by the scheduler; this is the standard
+formalisation of asynchrony, in which the adversary fully controls message
+ordering but every message is eventually delivered.
+
+The network is deterministic given its seed, the scheduler and the protocol
+code, which makes failures reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import ProtocolParams
+from repro.errors import SimulationError
+from repro.net.message import Message, SessionId
+from repro.net.process import Process
+from repro.net.scheduler import RandomScheduler, Scheduler
+from repro.net.tracing import Trace
+
+#: Default cap on delivered messages per run; generous enough for every
+#: protocol in the library at simulation scale, small enough to catch
+#: accidental non-termination in tests.
+DEFAULT_MAX_STEPS = 2_000_000
+
+
+class Network:
+    """Event-driven simulator of an asynchronous message-passing system."""
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        scheduler: Optional[Scheduler] = None,
+        seed: int = 0,
+        keep_events: bool = False,
+    ) -> None:
+        self.params = params
+        self.scheduler = scheduler or RandomScheduler()
+        self.seed = seed
+        self.master_rng = random.Random(seed)
+        self.scheduler_rng = random.Random(self.master_rng.getrandbits(64))
+        self.trace = Trace(keep_events=keep_events)
+        self.step_count = 0
+        self._next_seq = 0
+        self.pending: List[Message] = []
+        self.processes: List[Process] = [
+            Process(
+                pid,
+                params,
+                self,
+                random.Random(self.master_rng.getrandbits(64)),
+            )
+            for pid in range(params.n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Sending.
+    # ------------------------------------------------------------------
+    def submit(
+        self, sender: int, receiver: int, session: SessionId, payload: tuple
+    ) -> None:
+        """Queue a message for asynchronous delivery."""
+        if not self.params.is_valid_party(receiver):
+            raise SimulationError(f"message addressed to unknown party {receiver}")
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            session=session,
+            payload=payload,
+            seq=self._next_seq,
+        )
+        self._next_seq += 1
+        self.pending.append(message)
+        self.trace.on_send(self.step_count, message)
+
+    # ------------------------------------------------------------------
+    # Stepping.
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Deliver one message.  Returns False when nothing is in flight."""
+        if not self.pending:
+            return False
+        choice = self.scheduler.validate(
+            self.scheduler.choose(self.pending, self.scheduler_rng, self.step_count),
+            self.pending,
+        )
+        message = self.pending.pop(choice)
+        self.step_count += 1
+        self.trace.on_deliver(self.step_count, message)
+        self.processes[message.receiver].deliver(message)
+        return True
+
+    def run(
+        self,
+        until: Optional[Callable[["Network"], bool]] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> int:
+        """Deliver messages until ``until`` holds or the network goes quiet.
+
+        Args:
+            until: stop condition checked before every delivery; ``None``
+                means "run until no messages are in flight".
+            max_steps: safety cap on deliveries for this call.
+
+        Returns:
+            The number of messages delivered by this call.
+
+        Raises:
+            SimulationError: if ``max_steps`` deliveries happen without the
+                stop condition being reached (likely non-termination), or if
+                the network goes quiet while ``until`` is still false
+                (deadlock -- typically a protocol bug or an impossible fault
+                pattern).
+        """
+        delivered = 0
+        while True:
+            if until is not None and until(self):
+                return delivered
+            if delivered >= max_steps:
+                raise SimulationError(
+                    f"run() exceeded {max_steps} deliveries without reaching "
+                    f"its stop condition"
+                )
+            if not self.step():
+                if until is None:
+                    return delivered
+                raise SimulationError(
+                    "network is quiescent but the stop condition is not met "
+                    "(protocol deadlock)"
+                )
+            delivered += 1
+
+    def run_to_quiescence(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
+        """Deliver messages until none remain in flight."""
+        return self.run(until=None, max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+    # Convenience queries.
+    # ------------------------------------------------------------------
+    def honest_pids(self) -> List[int]:
+        """Party ids that are not corrupted."""
+        return [p.pid for p in self.processes if not p.is_corrupted]
+
+    def corrupted_pids(self) -> List[int]:
+        """Party ids controlled by the adversary."""
+        return [p.pid for p in self.processes if p.is_corrupted]
+
+    def honest_outputs(self, session: SessionId) -> Dict[int, object]:
+        """Outputs of honest parties that completed ``session``."""
+        outputs: Dict[int, object] = {}
+        for process in self.processes:
+            if process.is_corrupted:
+                continue
+            instance = process.protocol(session)
+            if instance is not None and instance.finished:
+                outputs[process.pid] = instance.output
+        return outputs
+
+    def all_honest_finished(self, session: SessionId) -> bool:
+        """True when every honest party has completed ``session``."""
+        for process in self.processes:
+            if process.is_corrupted:
+                continue
+            instance = process.protocol(session)
+            if instance is None or not instance.finished:
+                return False
+        return True

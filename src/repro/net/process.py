@@ -1,0 +1,175 @@
+"""Process: one simulated party hosting a tree of protocol instances.
+
+The process routes incoming messages to protocol instances by session id,
+buffers messages for sessions that have not been created yet (a constant
+occurrence in asynchronous protocols, where parties start sub-protocols at
+different times), applies the shunning rule, and exposes the sending path to
+its protocols.
+
+A process may be *corrupted* by installing a behaviour object (see
+``repro.adversary.behaviors``); from then on the behaviour, not the honest
+protocol tree, decides how to react to deliveries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.config import ProtocolParams
+from repro.net.message import Message, SessionId
+from repro.net.protocol import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.adversary.behaviors import Behavior
+    from repro.net.network import Network
+
+
+class Process:
+    """One party of the distributed system."""
+
+    def __init__(
+        self,
+        pid: int,
+        params: ProtocolParams,
+        network: "Network",
+        rng: random.Random,
+    ) -> None:
+        self.pid = pid
+        self.params = params
+        self.network = network
+        self.rng = rng
+        self.protocols: Dict[SessionId, Protocol] = {}
+        self._pending: Dict[SessionId, List[Tuple[int, tuple]]] = {}
+        #: party id -> creation index after which its messages are ignored.
+        self._shunned_from: Dict[int, int] = {}
+        self._creation_counter = 0
+        #: Optional adversarial behaviour; None means honest.
+        self.behavior: Optional["Behavior"] = None
+        #: Optional hook mutating outgoing (receiver, session, payload) tuples;
+        #: returning None drops the message.  Used by honest-but-mutating
+        #: adversaries.
+        self.outgoing_mutator: Optional[
+            Callable[[int, SessionId, tuple], Optional[tuple]]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Corruption.
+    # ------------------------------------------------------------------
+    @property
+    def is_corrupted(self) -> bool:
+        """True when an adversarial behaviour has been installed."""
+        return self.behavior is not None
+
+    def corrupt(self, behavior: "Behavior") -> None:
+        """Install ``behavior``; the process stops acting honestly."""
+        self.behavior = behavior
+        behavior.attach(self)
+        self.network.trace.on_corrupt(self.network.step_count, self.pid)
+
+    # ------------------------------------------------------------------
+    # Protocol management.
+    # ------------------------------------------------------------------
+    def create_protocol(
+        self,
+        session: SessionId,
+        factory: Callable[["Process", SessionId], Protocol],
+    ) -> Protocol:
+        """Create the protocol instance for ``session`` (or return the existing one).
+
+        Messages buffered for the session stay buffered until the instance is
+        *started* (see :meth:`flush_pending`): protocols must never observe
+        traffic before their ``on_start`` has initialised their state.
+        """
+        session = tuple(session)
+        existing = self.protocols.get(session)
+        if existing is not None:
+            return existing
+        instance = factory(self, session)
+        instance.birth_index = self._creation_counter
+        self._creation_counter += 1
+        self.protocols[session] = instance
+        return instance
+
+    def flush_pending(self, instance: Protocol) -> None:
+        """Deliver messages buffered for ``instance`` (called right after start)."""
+        buffered = self._pending.pop(instance.session, [])
+        for sender, payload in buffered:
+            if not self._is_shunned_for(sender, instance):
+                instance.on_message(sender, payload)
+
+    def protocol(self, session: SessionId) -> Optional[Protocol]:
+        """Return the protocol instance for ``session`` if it exists."""
+        return self.protocols.get(tuple(session))
+
+    # ------------------------------------------------------------------
+    # Sending / receiving.
+    # ------------------------------------------------------------------
+    def send(self, receiver: int, session: SessionId, payload: tuple) -> None:
+        """Send one message; applies the outgoing mutator when installed."""
+        if self.outgoing_mutator is not None:
+            mutated = self.outgoing_mutator(receiver, tuple(session), payload)
+            if mutated is None:
+                return
+            receiver, session, payload = mutated
+        self.network.submit(self.pid, receiver, tuple(session), tuple(payload))
+
+    def deliver(self, message: Message) -> None:
+        """Handle a message delivered by the network to this party."""
+        if self.behavior is not None:
+            self.behavior.on_message(message)
+            return
+        session = message.session
+        instance = self.protocols.get(session)
+        if instance is None or not instance.started:
+            self._pending.setdefault(session, []).append(
+                (message.sender, message.payload)
+            )
+            return
+        if self._is_shunned_for(message.sender, instance):
+            self.network.trace.on_drop(self.network.step_count, message, "shunned")
+            return
+        instance.on_message(message.sender, message.payload)
+
+    # ------------------------------------------------------------------
+    # Shunning (Definition 3.2): once party i shuns party j, it accepts j's
+    # messages in interactions that already existed, but drops them in every
+    # interaction created afterwards.
+    # ------------------------------------------------------------------
+    def shun(self, party: int, session: SessionId) -> None:
+        """Start shunning ``party`` from now on (recorded against ``session``)."""
+        if party == self.pid:
+            return
+        if party not in self._shunned_from:
+            self._shunned_from[party] = self._creation_counter
+            self.network.trace.on_shun(
+                self.network.step_count, self.pid, party, tuple(session)
+            )
+
+    def is_shunning(self, party: int) -> bool:
+        """True when this process has ever shunned ``party``."""
+        return party in self._shunned_from
+
+    def _is_shunned_for(self, sender: int, instance: Protocol) -> bool:
+        threshold = self._shunned_from.get(sender)
+        if threshold is None:
+            return False
+        return instance.birth_index >= threshold
+
+    # ------------------------------------------------------------------
+    # Completion bookkeeping.
+    # ------------------------------------------------------------------
+    def notify_completion(self, instance: Protocol) -> None:
+        """Record a protocol completion in the network trace."""
+        self.network.trace.on_complete(
+            self.network.step_count, self.pid, instance.session, instance.output
+        )
+
+    # ------------------------------------------------------------------
+    def root_protocols(self) -> List[Protocol]:
+        """All protocol instances whose session has length 1."""
+        return [p for s, p in self.protocols.items() if len(s) == 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        tag = "corrupted" if self.is_corrupted else "honest"
+        return f"<Process {self.pid} ({tag}) protocols={len(self.protocols)}>"

@@ -1,0 +1,182 @@
+"""Protocol base class: the programming model for every protocol in the library.
+
+A :class:`Protocol` instance lives inside a :class:`~repro.net.process.Process`
+(one party) and is addressed by a hierarchical session id.  Protocols
+
+* send point-to-point messages with :meth:`Protocol.send` and
+  :meth:`Protocol.broadcast`,
+* spawn sub-protocols with :meth:`Protocol.spawn` (the child session id is the
+  parent's session id extended by a key, so all parties derive the same id
+  without coordination),
+* deliver their result with :meth:`Protocol.complete`, which notifies the
+  parent via :meth:`Protocol.on_child_complete`.
+
+Completion does **not** stop a protocol: as required throughout the paper
+("continue participating in all relevant invocations until they terminate"),
+a completed protocol keeps processing messages so that slower parties can
+still finish.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.core.config import ProtocolParams
+from repro.errors import ProtocolError
+from repro.net.message import SessionId, session_child
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.process import Process
+
+
+class Protocol:
+    """Base class for all protocol implementations.
+
+    Subclasses override :meth:`on_start`, :meth:`on_message` and (when they
+    spawn children) :meth:`on_child_complete`.
+    """
+
+    def __init__(self, process: "Process", session: SessionId) -> None:
+        self.process = process
+        self.session: SessionId = tuple(session)
+        self.parent: Optional[Protocol] = None
+        self.children: Dict[Any, Protocol] = {}
+        self.started = False
+        self.finished = False
+        self.output: Any = None
+        #: Monotone creation index assigned by the process; used by the
+        #: shunning bookkeeping ("ignore messages in *future* interactions").
+        self.birth_index: int = -1
+
+    # ------------------------------------------------------------------
+    # Convenience accessors.
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        """This party's identifier."""
+        return self.process.pid
+
+    @property
+    def params(self) -> ProtocolParams:
+        """Protocol parameters (n, t, field prime)."""
+        return self.process.params
+
+    @property
+    def n(self) -> int:
+        """Total number of parties."""
+        return self.process.params.n
+
+    @property
+    def t(self) -> int:
+        """Corruption bound."""
+        return self.process.params.t
+
+    @property
+    def rng(self) -> random.Random:
+        """This party's private random source."""
+        return self.process.rng
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self, **kwargs: Any) -> "Protocol":
+        """Start the protocol (at most once).  Returns self for chaining.
+
+        Messages that arrived before the protocol started are delivered
+        immediately after ``on_start`` returns, in arrival order.
+        """
+        if self.started:
+            raise ProtocolError(
+                f"protocol {self.session} at party {self.pid} started twice"
+            )
+        self.started = True
+        self.on_start(**kwargs)
+        self.process.flush_pending(self)
+        return self
+
+    def complete(self, value: Any) -> None:
+        """Record the protocol output and notify the parent (idempotent)."""
+        if self.finished:
+            return
+        self.finished = True
+        self.output = value
+        self.process.notify_completion(self)
+        if self.parent is not None:
+            self.parent.on_child_complete(self)
+
+    # ------------------------------------------------------------------
+    # Communication.
+    # ------------------------------------------------------------------
+    def send(self, receiver: int, *payload: Any) -> None:
+        """Send ``payload`` to ``receiver``, addressed to this same session."""
+        self.process.send(receiver, self.session, tuple(payload))
+
+    def broadcast(self, *payload: Any) -> None:
+        """Send ``payload`` to every party, including ourselves.
+
+        The self-addressed copy travels through the network like any other
+        message, so the scheduler may reorder it; protocols must not assume
+        they hear themselves first.
+        """
+        for receiver in range(self.n):
+            self.send(receiver, *payload)
+
+    # ------------------------------------------------------------------
+    # Sub-protocols.
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        key: Any,
+        factory: Callable[["Process", SessionId], "Protocol"],
+        start: bool = True,
+        **start_kwargs: Any,
+    ) -> "Protocol":
+        """Create (and by default start) a child protocol.
+
+        Args:
+            key: child key; the child's session id is ``self.session + key``
+                when ``key`` is a tuple, else ``self.session + (key,)``.
+            factory: ``factory(process, session)`` returning the child.
+            start: whether to call :meth:`start` immediately.
+            start_kwargs: forwarded to the child's :meth:`on_start`.
+        """
+        key_components = key if isinstance(key, tuple) else (key,)
+        child_session = session_child(self.session, *key_components)
+        child = self.process.create_protocol(child_session, factory)
+        child.parent = self
+        self.children[key] = child
+        if start and not child.started:
+            child.start(**start_kwargs)
+        return child
+
+    def child(self, key: Any) -> Optional["Protocol"]:
+        """Return the child spawned under ``key``, or None."""
+        return self.children.get(key)
+
+    # ------------------------------------------------------------------
+    # Shunning support (used by SVSS; see Definition 3.2 in the paper).
+    # ------------------------------------------------------------------
+    def shun(self, party: int) -> None:
+        """Shun ``party``: accept nothing from it in protocols created later."""
+        self.process.shun(party, self.session)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks.
+    # ------------------------------------------------------------------
+    def on_start(self, **kwargs: Any) -> None:
+        """Called once when the protocol starts.  Override in subclasses."""
+
+    def on_message(self, sender: int, payload: tuple) -> None:
+        """Called for every message delivered to this session.  Override."""
+
+    def on_child_complete(self, child: "Protocol") -> None:
+        """Called when a child spawned by this protocol completes.  Override."""
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = "done" if self.finished else ("running" if self.started else "new")
+        return (
+            f"<{type(self).__name__} pid={self.pid} "
+            f"session={'/'.join(map(str, self.session))} {status}>"
+        )

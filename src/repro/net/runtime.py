@@ -1,0 +1,170 @@
+"""High-level simulation driver.
+
+:class:`Simulation` wires one root protocol per party (honest parties run the
+real protocol, corrupted parties run an adversarial behaviour), runs the
+network until every honest party has produced an output, and returns a
+structured :class:`SimulationResult`.
+
+This is the layer the public API (``repro.core.api``), the examples and the
+benchmarks build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.config import ProtocolParams
+from repro.errors import ConfigurationError
+from repro.net.message import SessionId
+from repro.net.network import DEFAULT_MAX_STEPS, Network
+from repro.net.process import Process
+from repro.net.protocol import Protocol
+from repro.net.scheduler import Scheduler
+
+#: ``factory(process, session) -> Protocol``
+ProtocolFactory = Callable[[Process, SessionId], Protocol]
+#: ``behavior_factory(process) -> Behavior`` (imported lazily to avoid cycles)
+BehaviorFactory = Callable[[Process], Any]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        session: the root session that was run.
+        outputs: mapping of honest party id to its protocol output.
+        steps: number of messages delivered during the run.
+        network: the network object, for inspection of the trace.
+    """
+
+    session: SessionId
+    outputs: Dict[int, Any]
+    steps: int
+    network: Network
+
+    @property
+    def values(self) -> List[Any]:
+        """Honest outputs in party-id order."""
+        return [self.outputs[pid] for pid in sorted(self.outputs)]
+
+    @property
+    def agreed_value(self) -> Any:
+        """The single honest output value.
+
+        Raises:
+            ValueError: if honest parties disagree (useful in tests asserting
+                agreement) or nobody produced an output.
+        """
+        distinct = {repr(v): v for v in self.outputs.values()}
+        if not distinct:
+            raise ValueError("no honest party produced an output")
+        if len(distinct) > 1:
+            raise ValueError(f"honest parties disagree: {self.outputs!r}")
+        return next(iter(distinct.values()))
+
+    @property
+    def disagreement(self) -> bool:
+        """True when two honest parties output different values."""
+        values = [repr(v) for v in self.outputs.values()]
+        return len(set(values)) > 1
+
+    @property
+    def trace(self):
+        """The network trace (message counts, shun events, completions)."""
+        return self.network.trace
+
+
+@dataclass
+class Simulation:
+    """Builder/runner for a single protocol execution.
+
+    Typical use::
+
+        sim = Simulation(ProtocolParams.for_parties(4), seed=7)
+        sim.corrupt(3, CrashBehavior.factory())
+        result = sim.run(("aba",), make_aba_factory(), inputs={0: 1, 1: 0, 2: 1})
+    """
+
+    params: ProtocolParams
+    scheduler: Optional[Scheduler] = None
+    seed: int = 0
+    keep_events: bool = False
+    max_steps: int = DEFAULT_MAX_STEPS
+    _corruptions: Dict[int, BehaviorFactory] = field(default_factory=dict)
+    network: Optional[Network] = None
+
+    def corrupt(self, pid: int, behavior_factory: BehaviorFactory) -> "Simulation":
+        """Mark ``pid`` as corrupted, controlled by ``behavior_factory``."""
+        if not self.params.is_valid_party(pid):
+            raise ConfigurationError(f"cannot corrupt unknown party {pid}")
+        self._corruptions[pid] = behavior_factory
+        if len(self._corruptions) > self.params.t:
+            raise ConfigurationError(
+                f"cannot corrupt more than t={self.params.t} parties "
+                f"(requested {len(self._corruptions)})"
+            )
+        return self
+
+    def build_network(self) -> Network:
+        """Create the network and apply corruptions (idempotent)."""
+        if self.network is None:
+            self.network = Network(
+                self.params,
+                scheduler=self.scheduler,
+                seed=self.seed,
+                keep_events=self.keep_events,
+            )
+            for pid, factory in self._corruptions.items():
+                process = self.network.processes[pid]
+                process.corrupt(factory(process))
+        return self.network
+
+    def run(
+        self,
+        session: SessionId,
+        factory: ProtocolFactory,
+        inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        common_input: Optional[Dict[str, Any]] = None,
+        until: Optional[Callable[[Network], bool]] = None,
+        run_to_quiescence: bool = False,
+    ) -> SimulationResult:
+        """Run ``factory`` as the root protocol at every honest party.
+
+        Args:
+            session: root session id, e.g. ``("fba",)``.
+            factory: protocol factory applied at every honest party.
+            inputs: per-party keyword arguments passed to ``on_start``.
+            common_input: keyword arguments passed to every party's
+                ``on_start`` (merged under per-party inputs).
+            until: custom stop condition; default is "all honest parties
+                completed the root session".
+            run_to_quiescence: after the stop condition holds, keep delivering
+                the remaining messages (useful when inspecting full traces).
+        """
+        session = tuple(session)
+        network = self.build_network()
+        inputs = inputs or {}
+        common_input = common_input or {}
+        for process in network.processes:
+            if process.is_corrupted and not getattr(
+                process.behavior, "runs_honest_protocol", False
+            ):
+                continue
+            kwargs = dict(common_input)
+            kwargs.update(inputs.get(process.pid, {}))
+            instance = process.create_protocol(session, factory)
+            if not instance.started:
+                instance.start(**kwargs)
+
+        stop = until or (lambda net: net.all_honest_finished(session))
+        steps = network.run(until=stop, max_steps=self.max_steps)
+        if run_to_quiescence:
+            steps += network.run_to_quiescence(max_steps=self.max_steps)
+        return SimulationResult(
+            session=session,
+            outputs=network.honest_outputs(session),
+            steps=network.step_count,
+            network=network,
+        )

@@ -1,0 +1,179 @@
+"""Message schedulers: the formal "adversary" of the asynchronous model.
+
+In the asynchronous model the only power the environment has over message
+delivery is *ordering*: every message is eventually delivered, but the
+adversary decides when.  A :class:`Scheduler` captures exactly this power --
+at each network step it inspects the multiset of in-flight messages and
+chooses which one is delivered next.
+
+Provided schedulers:
+
+* :class:`FIFOScheduler` -- deliver in send order (a synchronous-looking run).
+* :class:`RandomScheduler` -- deliver a uniformly random pending message.
+* :class:`DelayScheduler` -- starve messages matching a predicate for as long
+  as any other message is available (classic adversarial delay).
+* :class:`PartitionScheduler` -- delay messages crossing a party partition for
+  a configurable number of steps.
+* :class:`TargetedScheduler` -- order messages by an arbitrary priority key.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Sequence, Set
+
+from repro.errors import SchedulingError
+from repro.net.message import Message
+
+
+class Scheduler(ABC):
+    """Chooses which pending message the network delivers next."""
+
+    @abstractmethod
+    def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
+        """Return the index (into ``pending``) of the message to deliver.
+
+        Args:
+            pending: the non-empty sequence of in-flight messages.
+            rng: the network's random source (use this, never ``random``).
+            step: the network's step counter, for time-dependent strategies.
+        """
+
+    def validate(self, choice: int, pending: Sequence[Message]) -> int:
+        """Check a choice is in range; raise :class:`SchedulingError` otherwise."""
+        if not 0 <= choice < len(pending):
+            raise SchedulingError(
+                f"scheduler chose index {choice} out of {len(pending)} pending messages"
+            )
+        return choice
+
+
+class FIFOScheduler(Scheduler):
+    """Delivers messages in the order they were sent."""
+
+    def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
+        best = 0
+        best_seq = pending[0].seq
+        for index, message in enumerate(pending):
+            if message.seq < best_seq:
+                best, best_seq = index, message.seq
+        return best
+
+
+class RandomScheduler(Scheduler):
+    """Delivers a uniformly random pending message.
+
+    This is the default scheduler: it exercises genuinely asynchronous
+    interleavings while remaining fair (every message is delivered with
+    probability 1).
+    """
+
+    def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
+        return rng.randrange(len(pending))
+
+
+class DelayScheduler(Scheduler):
+    """Starves messages matching ``should_delay`` while anything else is pending.
+
+    The matched messages are still delivered eventually (when they are the
+    only ones left, or after ``max_delay_steps``), so the run remains a valid
+    asynchronous execution.
+    """
+
+    def __init__(
+        self,
+        should_delay: Callable[[Message], bool],
+        base: Scheduler | None = None,
+        max_delay_steps: int | None = None,
+    ) -> None:
+        self.should_delay = should_delay
+        self.base = base or RandomScheduler()
+        self.max_delay_steps = max_delay_steps
+
+    def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
+        expired = (
+            self.max_delay_steps is not None and step >= self.max_delay_steps
+        )
+        if not expired:
+            preferred = [
+                index
+                for index, message in enumerate(pending)
+                if not self.should_delay(message)
+            ]
+            if preferred:
+                sub = [pending[index] for index in preferred]
+                inner = self.base.choose(sub, rng, step)
+                return preferred[self.base.validate(inner, sub)]
+        return self.base.validate(self.base.choose(pending, rng, step), pending)
+
+
+class PartitionScheduler(Scheduler):
+    """Delays all traffic between two party groups for ``duration`` steps.
+
+    After ``duration`` network steps the partition heals and the base
+    scheduler takes over completely.
+    """
+
+    def __init__(
+        self,
+        group_a: Iterable[int],
+        group_b: Iterable[int],
+        duration: int,
+        base: Scheduler | None = None,
+    ) -> None:
+        self.group_a: Set[int] = set(group_a)
+        self.group_b: Set[int] = set(group_b)
+        self.duration = duration
+        self.base = base or RandomScheduler()
+
+    def _crosses(self, message: Message) -> bool:
+        a_to_b = message.sender in self.group_a and message.receiver in self.group_b
+        b_to_a = message.sender in self.group_b and message.receiver in self.group_a
+        return a_to_b or b_to_a
+
+    def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
+        if step < self.duration:
+            preferred = [
+                index
+                for index, message in enumerate(pending)
+                if not self._crosses(message)
+            ]
+            if preferred:
+                sub = [pending[index] for index in preferred]
+                inner = self.base.choose(sub, rng, step)
+                return preferred[self.base.validate(inner, sub)]
+        return self.base.validate(self.base.choose(pending, rng, step), pending)
+
+
+class TargetedScheduler(Scheduler):
+    """Delivers the pending message minimising ``priority(message)``.
+
+    Ties are broken by send order.  Useful for building precise adversarial
+    schedules in tests (e.g. "deliver everything to party 0 before party 1
+    hears anything").
+    """
+
+    def __init__(self, priority: Callable[[Message], float]) -> None:
+        self.priority = priority
+
+    def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
+        best = 0
+        best_key = (self.priority(pending[0]), pending[0].seq)
+        for index, message in enumerate(pending):
+            key = (self.priority(message), message.seq)
+            if key < best_key:
+                best, best_key = index, key
+        return best
+
+
+def delay_from_parties(parties: Iterable[int], **kwargs) -> DelayScheduler:
+    """Convenience: a :class:`DelayScheduler` starving all messages *sent by* ``parties``."""
+    blocked = set(parties)
+    return DelayScheduler(lambda message: message.sender in blocked, **kwargs)
+
+
+def delay_to_parties(parties: Iterable[int], **kwargs) -> DelayScheduler:
+    """Convenience: a :class:`DelayScheduler` starving all messages *sent to* ``parties``."""
+    blocked = set(parties)
+    return DelayScheduler(lambda message: message.receiver in blocked, **kwargs)

@@ -1,0 +1,123 @@
+"""Execution tracing and metrics for simulated protocol runs.
+
+Every :class:`~repro.net.network.Network` owns a :class:`Trace`.  Protocols and
+the runtime record events into it; benchmarks and tests read aggregate
+statistics (message counts, delivery counts, shunning events, completion
+times) from it after the run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.message import Message, SessionId
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single trace record.
+
+    Attributes:
+        step: network step counter at which the event occurred.
+        kind: event category (``send``, ``deliver``, ``drop``, ``complete``,
+            ``shun``, ``corrupt``, ``note``).
+        party: the party the event concerns (receiver for deliveries, the
+            shunning party for shun events), or None for global events.
+        detail: free-form event payload.
+    """
+
+    step: int
+    kind: str
+    party: Optional[int]
+    detail: Any
+
+
+class Trace:
+    """Collects events and aggregate metrics for one simulated execution."""
+
+    def __init__(self, keep_events: bool = False) -> None:
+        #: When True the full event list is retained (memory heavy for large
+        #: runs); aggregate counters are always maintained.
+        self.keep_events = keep_events
+        self.events: List[TraceEvent] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.sent_by_root: Counter = Counter()
+        self.sent_by_kind: Counter = Counter()
+        self.completions: Dict[Tuple[int, SessionId], Tuple[int, Any]] = {}
+        self.shun_events: List[Tuple[int, int, SessionId]] = []
+        self.notes: List[Tuple[int, Any]] = []
+
+    def record(self, step: int, kind: str, party: Optional[int], detail: Any) -> None:
+        """Append a raw event (only stored when ``keep_events`` is set)."""
+        if self.keep_events:
+            self.events.append(TraceEvent(step, kind, party, detail))
+
+    def on_send(self, step: int, message: Message) -> None:
+        """Record that ``message`` was handed to the network."""
+        self.messages_sent += 1
+        self.sent_by_root[message.root] += 1
+        self.sent_by_kind[message.kind] += 1
+        self.record(step, "send", message.sender, message)
+
+    def on_deliver(self, step: int, message: Message) -> None:
+        """Record that ``message`` was delivered to its receiver."""
+        self.messages_delivered += 1
+        self.record(step, "deliver", message.receiver, message)
+
+    def on_drop(self, step: int, message: Message, reason: str) -> None:
+        """Record that ``message`` was dropped (e.g. sender shunned)."""
+        self.messages_dropped += 1
+        self.record(step, "drop", message.receiver, (reason, message))
+
+    def on_complete(self, step: int, party: int, session: SessionId, value: Any) -> None:
+        """Record the first completion of ``session`` at ``party``."""
+        key = (party, tuple(session))
+        if key not in self.completions:
+            self.completions[key] = (step, value)
+        self.record(step, "complete", party, (session, value))
+
+    def on_shun(self, step: int, shunner: int, shunned: int, session: SessionId) -> None:
+        """Record that ``shunner`` started shunning ``shunned`` in ``session``."""
+        self.shun_events.append((shunner, shunned, tuple(session)))
+        self.record(step, "shun", shunner, (shunned, session))
+
+    def on_corrupt(self, step: int, party: int) -> None:
+        """Record that ``party`` was corrupted by the adversary."""
+        self.record(step, "corrupt", party, None)
+
+    def note(self, step: int, detail: Any) -> None:
+        """Record a free-form annotation."""
+        self.notes.append((step, detail))
+        self.record(step, "note", None, detail)
+
+    # ------------------------------------------------------------------
+    # Aggregate queries used by tests and benchmarks.
+    # ------------------------------------------------------------------
+    def completion_step(self, party: int, session: SessionId) -> Optional[int]:
+        """Step at which ``party`` completed ``session``, or None."""
+        entry = self.completions.get((party, tuple(session)))
+        return None if entry is None else entry[0]
+
+    def completed_value(self, party: int, session: SessionId) -> Optional[Any]:
+        """Output value of ``party`` for ``session``, or None if not completed."""
+        entry = self.completions.get((party, tuple(session)))
+        return None if entry is None else entry[1]
+
+    def total_shun_events(self) -> int:
+        """Number of shunning events recorded in this execution."""
+        return len(self.shun_events)
+
+    def summary(self) -> Dict[str, Any]:
+        """Return a dictionary of headline metrics for reporting."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "completions": len(self.completions),
+            "shun_events": len(self.shun_events),
+            "sent_by_root": dict(self.sent_by_root),
+        }

@@ -1,0 +1,34 @@
+"""Protocol implementations: substrates and the paper's contributions."""
+
+from repro.protocols.aba import (
+    BinaryAgreement,
+    CoinSource,
+    LocalCoinSource,
+    OracleCoinSource,
+    ProtocolCoinSource,
+)
+from repro.protocols.acast import ACast
+from repro.protocols.coinflip import CoinFlip
+from repro.protocols.common_subset import CommonSubset
+from repro.protocols.fair_choice import FairChoice
+from repro.protocols.fba import FairByzantineAgreement
+from repro.protocols.svss import ShareState, SVSSRec, SVSSShare, party_point
+from repro.protocols.weak_coin import WeakCommonCoin
+
+__all__ = [
+    "ACast",
+    "BinaryAgreement",
+    "CoinSource",
+    "LocalCoinSource",
+    "OracleCoinSource",
+    "ProtocolCoinSource",
+    "CoinFlip",
+    "CommonSubset",
+    "FairChoice",
+    "FairByzantineAgreement",
+    "ShareState",
+    "SVSSRec",
+    "SVSSShare",
+    "party_point",
+    "WeakCommonCoin",
+]

@@ -1,0 +1,277 @@
+"""Almost-surely terminating binary asynchronous Byzantine agreement.
+
+The paper uses (Definition 3.3) a binary BA protocol with Termination,
+Validity and Correctness, citing Abraham-Dolev-Halpern [2] for an
+almost-surely terminating construction with polynomial expected round count.
+We implement the standard common-coin-based binary ABA (the
+Mostefaoui-Moumen-Raynal structure: BVAL / AUX / coin rounds), parameterised
+by a *coin source*:
+
+* :class:`OracleCoinSource` -- a perfect common coin derived from a seed
+  shared by all parties.  This is the default for simulations: the BA
+  substrate is assumed by the paper, and the oracle keeps runs fast while
+  exercising all agreement logic.
+* :class:`LocalCoinSource` -- each party flips its own coin (Ben-Or '83
+  style); almost-surely terminating but with exponential expected time.
+  Used as a baseline in the substrate benchmarks.
+* :class:`ProtocolCoinSource` -- runs a real coin protocol (for example the
+  SVSS-based weak coin, or the paper's own CoinFlip) as a sub-protocol per
+  round: the fully information-theoretic stack.
+
+Safety (validity and agreement) never depends on the coin; only expected
+round count does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.net.message import SessionId
+from repro.net.process import Process
+from repro.net.protocol import Protocol
+
+
+class CoinSource(ABC):
+    """Provides the per-round common coin used by :class:`BinaryAgreement`."""
+
+    @abstractmethod
+    def immediate(self, protocol: Protocol, round_index: int) -> Optional[int]:
+        """Return the coin for ``round_index`` if available without interaction."""
+
+    def protocol_factory(
+        self, protocol: Protocol, round_index: int
+    ) -> Callable[[Process, SessionId], Protocol]:
+        """Factory for a coin sub-protocol (used when :meth:`immediate` is None)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide a protocol-based coin"
+        )
+
+
+class OracleCoinSource(CoinSource):
+    """A perfect common coin: identical, unbiased and unpredictable-enough bits
+    derived from ``(seed, session, round)``.  All parties share the source, so
+    they observe the same coin value -- the ideal functionality assumed of the
+    BA substrate."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def immediate(self, protocol: Protocol, round_index: int) -> Optional[int]:
+        digest = hashlib.sha256(
+            repr((self.seed, tuple(protocol.session), round_index)).encode()
+        ).digest()
+        return digest[0] & 1
+
+
+class LocalCoinSource(CoinSource):
+    """Each party flips an independent local coin (Ben-Or style)."""
+
+    def immediate(self, protocol: Protocol, round_index: int) -> Optional[int]:
+        return protocol.rng.randrange(2)
+
+
+class ProtocolCoinSource(CoinSource):
+    """Runs ``coin_factory()`` as a sub-protocol for every round's coin.
+
+    The sub-protocol must complete with an integer output; its parity is the
+    coin.  Example: ``ProtocolCoinSource(WeakCommonCoin.factory)``.
+    """
+
+    def __init__(
+        self, coin_factory: Callable[[], Callable[[Process, SessionId], Protocol]]
+    ) -> None:
+        self.coin_factory = coin_factory
+
+    def immediate(self, protocol: Protocol, round_index: int) -> Optional[int]:
+        return None
+
+    def protocol_factory(
+        self, protocol: Protocol, round_index: int
+    ) -> Callable[[Process, SessionId], Protocol]:
+        return self.coin_factory()
+
+
+class BinaryAgreement(Protocol):
+    """Binary asynchronous Byzantine agreement (Definition 3.3).
+
+    Start kwargs:
+        value: this party's binary input.
+
+    Output: the agreed bit.
+
+    The protocol keeps participating after deciding so that slower parties can
+    still terminate, as the paper requires of all its sub-protocols.
+    """
+
+    def __init__(
+        self, process: Process, session: SessionId, coin_source: CoinSource
+    ) -> None:
+        super().__init__(process, session)
+        self.coin_source = coin_source
+        self.est: Optional[int] = None
+        self.round = 0
+        self.decided: Optional[int] = None
+        self._bval_sent: Dict[int, Set[int]] = defaultdict(set)
+        self._bvals: Dict[int, Dict[int, Set[int]]] = defaultdict(
+            lambda: {0: set(), 1: set()}
+        )
+        self._bin_values: Dict[int, Set[int]] = defaultdict(set)
+        self._aux_sent: Dict[int, bool] = defaultdict(bool)
+        self._auxes: Dict[int, Dict[int, int]] = defaultdict(dict)
+        self._coins: Dict[int, int] = {}
+        self._coin_requested: Set[int] = set()
+        self._dones: Dict[int, Set[int]] = {0: set(), 1: set()}
+        self._done_sent = False
+        self.halted = False
+
+    @classmethod
+    def factory(
+        cls, coin_source: CoinSource
+    ) -> Callable[[Process, SessionId], "BinaryAgreement"]:
+        """Protocol factory fixing the coin source."""
+        def build(process: Process, session: SessionId) -> "BinaryAgreement":
+            return cls(process, session, coin_source)
+
+        return build
+
+    # ------------------------------------------------------------------
+    def on_start(self, value: Any = 0, **_: Any) -> None:
+        self.est = 1 if value else 0
+        self._broadcast_bval(self.round, self.est)
+        # Messages (and even whole thresholds) may have been buffered and
+        # replayed before start -- for example when this party joins a
+        # CommonSubset BA late.  Re-evaluate progress immediately.
+        self._try_advance(self.round)
+
+    def on_message(self, sender: int, payload: tuple) -> None:
+        if not payload:
+            return
+        kind = payload[0]
+        if kind == "DONE" and len(payload) == 2:
+            self._on_done(sender, payload[1])
+            return
+        if self.halted:
+            return
+        if kind == "BVAL" and len(payload) == 3:
+            self._on_bval(sender, payload[1], payload[2])
+        elif kind == "AUX" and len(payload) == 3:
+            self._on_aux(sender, payload[1], payload[2])
+
+    def on_child_complete(self, child: Protocol) -> None:
+        # Protocol-based coins complete here; the child key is ("coin", round).
+        for key, instance in self.children.items():
+            if instance is child and isinstance(key, tuple) and key and key[0] == "coin":
+                round_index = key[1]
+                self._coins[round_index] = int(child.output) & 1
+                self._try_advance(round_index)
+                return
+
+    # ------------------------------------------------------------------
+    def _broadcast_bval(self, round_index: int, value: int) -> None:
+        if value in self._bval_sent[round_index]:
+            return
+        self._bval_sent[round_index].add(value)
+        self.broadcast("BVAL", round_index, value)
+
+    def _on_bval(self, sender: int, round_index: Any, value: Any) -> None:
+        if not self._valid_round_value(round_index, value):
+            return
+        supporters = self._bvals[round_index][value]
+        supporters.add(sender)
+        if len(supporters) >= self.t + 1 and value not in self._bval_sent[round_index]:
+            # Amplification: at least one honest party proposed this value.
+            self._broadcast_bval(round_index, value)
+        if len(supporters) >= self.n - self.t and value not in self._bin_values[round_index]:
+            self._bin_values[round_index].add(value)
+            self._maybe_send_aux(round_index)
+            self._try_advance(round_index)
+
+    def _on_aux(self, sender: int, round_index: Any, value: Any) -> None:
+        if not self._valid_round_value(round_index, value):
+            return
+        self._auxes[round_index].setdefault(sender, value)
+        self._try_advance(round_index)
+
+    @staticmethod
+    def _valid_round_value(round_index: Any, value: Any) -> bool:
+        return isinstance(round_index, int) and round_index >= 0 and value in (0, 1)
+
+    def _maybe_send_aux(self, round_index: int) -> None:
+        if round_index != self.round or self._aux_sent[round_index]:
+            return
+        if not self._bin_values[round_index] or not self.started:
+            return
+        self._aux_sent[round_index] = True
+        value = min(self._bin_values[round_index])
+        self.broadcast("AUX", round_index, value)
+
+    # ------------------------------------------------------------------
+    def _try_advance(self, round_index: int) -> None:
+        if self.est is None or round_index != self.round:
+            return
+        self._maybe_send_aux(round_index)
+        if not self._aux_sent[round_index]:
+            return
+        accepted = {
+            sender: value
+            for sender, value in self._auxes[round_index].items()
+            if value in self._bin_values[round_index]
+        }
+        if len(accepted) < self.n - self.t:
+            return
+        if round_index not in self._coins:
+            if round_index not in self._coin_requested:
+                self._coin_requested.add(round_index)
+                self._request_coin(round_index)
+            if round_index not in self._coins:
+                return
+        coin = self._coins[round_index]
+        values = set(accepted.values())
+        if len(values) == 1:
+            value = values.pop()
+            self.est = value
+            if value == coin and self.decided is None:
+                self._decide(value)
+        else:
+            self.est = coin
+        if self.halted:
+            return
+        self.round += 1
+        self._broadcast_bval(self.round, self.est)
+        # Messages for the new round may already have arrived.
+        self._try_advance(self.round)
+
+    # ------------------------------------------------------------------
+    # Termination convergence: a decided party announces DONE; t+1 DONE
+    # announcements for a value let any party adopt it (at least one honest
+    # party decided it), and n-t announcements let a party halt outright.
+    # This keeps the "continue participating so laggards terminate" guarantee
+    # without running coin rounds forever.
+    # ------------------------------------------------------------------
+    def _decide(self, value: int) -> None:
+        if self.decided is None:
+            self.decided = value
+            if not self._done_sent:
+                self._done_sent = True
+                self.broadcast("DONE", value)
+            self.complete(value)
+
+    def _on_done(self, sender: int, value: Any) -> None:
+        if value not in (0, 1):
+            return
+        self._dones[value].add(sender)
+        if len(self._dones[value]) >= self.t + 1 and self.decided is None:
+            self._decide(value)
+        if len(self._dones[value]) >= self.n - self.t and self.decided == value:
+            self.halted = True
+
+    def _request_coin(self, round_index: int) -> None:
+        bit = self.coin_source.immediate(self, round_index)
+        if bit is not None:
+            self._coins[round_index] = bit
+            return
+        factory = self.coin_source.protocol_factory(self, round_index)
+        self.spawn(("coin", round_index), factory)

@@ -1,0 +1,219 @@
+"""CoinFlip: the paper's strong common coin (Algorithm 1, Theorem 3.5).
+
+The protocol runs ``k`` sequential iterations.  In iteration ``r`` every party
+deals an SVSS sharing of a uniformly random bit, the parties agree (via
+``CommonSubset``) on a set ``S_r`` of at least ``n - t`` dealers whose sharing
+completed, reconstruct exactly those sharings and XOR the reconstructed bits
+into the iteration's coin ``b'_r``.  After all ``k`` iterations each party
+takes the majority of its iteration coins and feeds it into one final binary
+Byzantine agreement, whose output is the coin.
+
+Why this gives a *strong* coin: the SVSS hiding property means the adversary
+must commit to ``S_r`` before learning any honest dealer's bit, so every
+iteration whose SVSS instances behave is a fair flip; at most ``n^2``
+iterations can be spoiled (each spoilage forces a fresh shunning event); and
+the binomial concentration of Appendix D shows ``k`` fair flips out-vote the
+``n^2`` spoiled ones with probability at least ``1/2 - eps`` for either
+outcome.  The final BA guarantees all honest parties output the *same* bit --
+the property a weak coin lacks.
+
+The paper's ``k`` is ``4*ceil((e/(eps*pi))^2 n^4)`` -- astronomically large for
+simulation (see DESIGN.md).  ``rounds_override`` substitutes a smaller ``k``;
+the analysis module reports the theoretical value alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional
+
+from repro.analysis.binomial import coinflip_iterations
+from repro.net.message import SessionId
+from repro.net.process import Process
+from repro.net.protocol import Protocol
+from repro.protocols.aba import BinaryAgreement, CoinSource, OracleCoinSource
+from repro.protocols.common_subset import CommonSubset
+from repro.protocols.svss import ShareState, SVSSRec, SVSSShare
+
+
+class _Iteration:
+    """Book-keeping for one CoinFlip iteration at one party."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.share_states: Dict[int, ShareState] = {}
+        self.subset: Optional[FrozenSet[int]] = None
+        self.rec_spawned: set[int] = set()
+        self.rec_values: Dict[int, int] = {}
+        self.coin: Optional[int] = None
+
+
+class CoinFlip(Protocol):
+    """Algorithm 1: ``CoinFlip(eps)``.
+
+    Start kwargs: none (the bias and iteration count are fixed by the factory).
+
+    Output: a bit in ``{0, 1}``, identical at every honest party.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        session: SessionId,
+        epsilon: float = 0.25,
+        rounds_override: Optional[int] = None,
+        coin_source: Optional[CoinSource] = None,
+    ) -> None:
+        super().__init__(process, session)
+        self.epsilon = epsilon
+        self.coin_source = coin_source or OracleCoinSource()
+        self.theoretical_rounds = coinflip_iterations(epsilon, self.n)
+        self.rounds = rounds_override or self.theoretical_rounds
+        self.iterations: Dict[int, _Iteration] = {}
+        self.current_iteration = 0
+        self._ba_started = False
+
+    @classmethod
+    def factory(
+        cls,
+        epsilon: float = 0.25,
+        rounds_override: Optional[int] = None,
+        coin_source: Optional[CoinSource] = None,
+    ) -> Callable[[Process, SessionId], "CoinFlip"]:
+        """Protocol factory fixing the bias, iteration override and coin source."""
+        def build(process: Process, session: SessionId) -> "CoinFlip":
+            return cls(
+                process,
+                session,
+                epsilon=epsilon,
+                rounds_override=rounds_override,
+                coin_source=coin_source,
+            )
+
+        return build
+
+    # ------------------------------------------------------------------
+    def on_start(self, **_: Any) -> None:
+        self._begin_iteration(0)
+
+    def on_message(self, sender: int, payload: tuple) -> None:
+        # All communication happens in child protocols.
+        return
+
+    # ------------------------------------------------------------------
+    def _begin_iteration(self, index: int) -> None:
+        self.current_iteration = index
+        iteration = self.iterations.setdefault(index, _Iteration(index))
+        my_bit = self.rng.randrange(2)
+        for dealer in range(self.n):
+            kwargs = {"value": my_bit} if dealer == self.pid else {}
+            self.spawn(("share", index, dealer), SVSSShare.factory(dealer), **kwargs)
+        self.spawn(
+            ("cs", index),
+            CommonSubset.factory(self.coin_source),
+            k=self.params.quorum,
+        )
+        # Shares may already have completed synchronously (not possible with
+        # network messaging, but keeps the logic uniform).
+        self._sync_predicate(iteration)
+
+    def _sync_predicate(self, iteration: _Iteration) -> None:
+        subset_child = self.child(("cs", iteration.index))
+        if subset_child is None:
+            return
+        for dealer in iteration.share_states:
+            subset_child.set_predicate(dealer)
+
+    # ------------------------------------------------------------------
+    def on_child_complete(self, child: Protocol) -> None:
+        key = self._key_of(child)
+        if key is None:
+            return
+        if key[0] == "share":
+            self._on_share_complete(key[1], key[2], child)
+        elif key[0] == "cs":
+            self._on_subset_complete(key[1], child)
+        elif key[0] == "rec":
+            self._on_rec_complete(key[1], key[2], child)
+        elif key[0] == "final_ba":
+            self.complete(int(child.output))
+
+    def _key_of(self, child: Protocol) -> Optional[tuple]:
+        for key, instance in self.children.items():
+            if instance is child:
+                return key if isinstance(key, tuple) else (key,)
+        return None
+
+    # ------------------------------------------------------------------
+    def _on_share_complete(self, index: int, dealer: int, child: Protocol) -> None:
+        iteration = self.iterations.setdefault(index, _Iteration(index))
+        iteration.share_states[dealer] = child.output
+        subset_child = self.child(("cs", index))
+        if subset_child is not None:
+            subset_child.set_predicate(dealer)
+        self._maybe_reconstruct(iteration)
+
+    def _on_subset_complete(self, index: int, child: Protocol) -> None:
+        iteration = self.iterations.setdefault(index, _Iteration(index))
+        iteration.subset = frozenset(child.output)
+        self._maybe_reconstruct(iteration)
+
+    def _maybe_reconstruct(self, iteration: _Iteration) -> None:
+        if iteration.subset is None:
+            return
+        for dealer in sorted(iteration.subset):
+            if dealer in iteration.rec_spawned:
+                continue
+            share_state = iteration.share_states.get(dealer)
+            if share_state is None:
+                # Our SVSS-Share for this dealer has not completed yet;
+                # Definition 3.2's termination property guarantees it will.
+                continue
+            iteration.rec_spawned.add(dealer)
+            self.spawn(
+                ("rec", iteration.index, dealer),
+                SVSSRec.factory(dealer),
+                share=share_state,
+            )
+        self._maybe_finish_iteration(iteration)
+
+    def _on_rec_complete(self, index: int, dealer: int, child: Protocol) -> None:
+        iteration = self.iterations.setdefault(index, _Iteration(index))
+        iteration.rec_values[dealer] = int(child.output)
+        self._maybe_finish_iteration(iteration)
+
+    def _maybe_finish_iteration(self, iteration: _Iteration) -> None:
+        if iteration.coin is not None or iteration.subset is None:
+            return
+        if any(dealer not in iteration.rec_values for dealer in iteration.subset):
+            return
+        coin = 0
+        for dealer in iteration.subset:
+            coin ^= iteration.rec_values[dealer] & 1
+        iteration.coin = coin
+        if iteration.index != self.current_iteration:
+            return
+        if iteration.index + 1 < self.rounds:
+            self._begin_iteration(iteration.index + 1)
+        else:
+            self._start_final_agreement()
+
+    # ------------------------------------------------------------------
+    def _start_final_agreement(self) -> None:
+        if self._ba_started:
+            return
+        self._ba_started = True
+        ones = sum(
+            1 for iteration in self.iterations.values() if iteration.coin == 1
+        )
+        majority = 1 if 2 * ones > self.rounds else 0
+        self.spawn(
+            ("final_ba",),
+            BinaryAgreement.factory(self.coin_source),
+            value=majority,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def iteration_coins(self) -> Dict[int, Optional[int]]:
+        """Per-iteration coins computed so far (diagnostics for benchmarks)."""
+        return {index: it.coin for index, it in self.iterations.items()}

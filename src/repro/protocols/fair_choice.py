@@ -1,0 +1,114 @@
+"""FairChoice: almost-fair selection of one out of ``m`` indices (Algorithm 2).
+
+The parties flip ``l`` strong common coins (``N = 2**l`` is the smallest power
+of two at least ``2 m^2``), interpret the bits as a number ``r < N`` and output
+``r mod m``.  Theorem 4.3: for any subset ``G`` of more than half the indices,
+the output lands in ``G`` with probability at least 1/2, and all honest
+parties output the same index.
+
+``FBA`` uses this to pick which agreed party's input to adopt when inputs
+diverge; because more than half of the agreed parties are honest, the fairness
+guarantee turns into FBA's fair-validity property.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.analysis.binomial import fair_choice_bits, fair_choice_epsilon
+from repro.net.message import SessionId
+from repro.net.process import Process
+from repro.net.protocol import Protocol
+from repro.protocols.aba import CoinSource
+from repro.protocols.coinflip import CoinFlip
+
+
+class FairChoice(Protocol):
+    """Algorithm 2: ``FairChoice(m)``.
+
+    Start kwargs:
+        m: the number of candidates (must be at least 3 and identical at all
+            honest parties, as the paper requires).
+
+    Output: an index in ``{0, ..., m-1}``, identical at every honest party.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        session: SessionId,
+        coinflip_rounds_override: Optional[int] = None,
+        epsilon_override: Optional[float] = None,
+        coin_source: Optional[CoinSource] = None,
+    ) -> None:
+        super().__init__(process, session)
+        self.coinflip_rounds_override = coinflip_rounds_override
+        self.epsilon_override = epsilon_override
+        self.coin_source = coin_source
+        self.m: Optional[int] = None
+        self.bits: Optional[int] = None
+        self.coin_bits: Dict[int, int] = {}
+
+    @classmethod
+    def factory(
+        cls,
+        coinflip_rounds_override: Optional[int] = None,
+        epsilon_override: Optional[float] = None,
+        coin_source: Optional[CoinSource] = None,
+    ) -> Callable[[Process, SessionId], "FairChoice"]:
+        """Protocol factory fixing the simulation-scale overrides."""
+        def build(process: Process, session: SessionId) -> "FairChoice":
+            return cls(
+                process,
+                session,
+                coinflip_rounds_override=coinflip_rounds_override,
+                epsilon_override=epsilon_override,
+                coin_source=coin_source,
+            )
+
+        return build
+
+    # ------------------------------------------------------------------
+    def on_start(self, m: Optional[int] = None, **_: Any) -> None:
+        if m is None or m < 3:
+            raise ValueError("FairChoice requires the candidate count m >= 3")
+        self.m = m
+        self.bits = fair_choice_bits(m)
+        epsilon = (
+            self.epsilon_override
+            if self.epsilon_override is not None
+            else fair_choice_epsilon(m)
+        )
+        for index in range(self.bits):
+            self.spawn(
+                ("coin", index),
+                CoinFlip.factory(
+                    epsilon=epsilon,
+                    rounds_override=self.coinflip_rounds_override,
+                    coin_source=self.coin_source,
+                ),
+            )
+
+    def on_message(self, sender: int, payload: tuple) -> None:
+        # All communication happens in the CoinFlip children.
+        return
+
+    def on_child_complete(self, child: Protocol) -> None:
+        if not isinstance(child, CoinFlip):
+            return
+        for key, instance in self.children.items():
+            if instance is child and isinstance(key, tuple) and key[0] == "coin":
+                self.coin_bits[key[1]] = int(child.output) & 1
+                break
+        self._maybe_complete()
+
+    # ------------------------------------------------------------------
+    def _maybe_complete(self) -> None:
+        if self.finished or self.bits is None or self.m is None:
+            return
+        if len(self.coin_bits) < self.bits:
+            return
+        value = 0
+        for index in range(self.bits):
+            value = (value << 1) | self.coin_bits[index]
+        self.complete(value % self.m)

@@ -1,0 +1,143 @@
+"""FBA: multivalued Byzantine agreement with fair validity (Algorithm 3).
+
+Every party A-Casts its input, the parties agree (via ``CommonSubset``) on a
+set ``S`` of at least ``n - t`` parties whose broadcasts completed, and then:
+
+* if more than half of the values broadcast by ``S`` are equal, that value is
+  the output (this realises classic validity: unanimous honest inputs always
+  win, because honest parties form a majority of ``S``);
+* otherwise ``FairChoice(|S|)`` picks one member of ``S`` "almost fairly" and
+  its broadcast value is the output.  Since more than half of ``S`` is honest,
+  the output is some honest party's input with probability at least 1/2 --
+  the paper's *fair validity* (Theorem 4.5), which it highlights as the first
+  such guarantee in the information-theoretic asynchronous setting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, FrozenSet, Optional
+
+from repro.net.message import SessionId
+from repro.net.process import Process
+from repro.net.protocol import Protocol
+from repro.protocols.aba import CoinSource, OracleCoinSource
+from repro.protocols.acast import ACast
+from repro.protocols.common_subset import CommonSubset
+from repro.protocols.fair_choice import FairChoice
+
+
+class FairByzantineAgreement(Protocol):
+    """Algorithm 3: ``FBA``.
+
+    Start kwargs:
+        value: this party's (arbitrary, hashable) input value.
+
+    Output: one value, identical at every honest party.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        session: SessionId,
+        coin_source: Optional[CoinSource] = None,
+        coinflip_rounds_override: Optional[int] = None,
+        epsilon_override: Optional[float] = None,
+    ) -> None:
+        super().__init__(process, session)
+        self.coin_source = coin_source or OracleCoinSource()
+        self.coinflip_rounds_override = coinflip_rounds_override
+        self.epsilon_override = epsilon_override
+        self.broadcast_values: Dict[int, Any] = {}
+        self.subset: Optional[FrozenSet[int]] = None
+        self._fair_choice_started = False
+
+    @classmethod
+    def factory(
+        cls,
+        coin_source: Optional[CoinSource] = None,
+        coinflip_rounds_override: Optional[int] = None,
+        epsilon_override: Optional[float] = None,
+    ) -> Callable[[Process, SessionId], "FairByzantineAgreement"]:
+        """Protocol factory fixing the coin source and simulation overrides."""
+        def build(process: Process, session: SessionId) -> "FairByzantineAgreement":
+            return cls(
+                process,
+                session,
+                coin_source=coin_source,
+                coinflip_rounds_override=coinflip_rounds_override,
+                epsilon_override=epsilon_override,
+            )
+
+        return build
+
+    # ------------------------------------------------------------------
+    def on_start(self, value: Any = None, **_: Any) -> None:
+        if value is None:
+            raise ValueError("FBA requires an input value")
+        for sender in range(self.n):
+            kwargs = {"value": value} if sender == self.pid else {}
+            self.spawn(("acast", sender), ACast.factory(sender), **kwargs)
+        self.spawn(
+            ("cs",),
+            CommonSubset.factory(self.coin_source),
+            k=self.params.quorum,
+        )
+
+    def on_message(self, sender: int, payload: tuple) -> None:
+        # All communication happens in child protocols.
+        return
+
+    # ------------------------------------------------------------------
+    def on_child_complete(self, child: Protocol) -> None:
+        if isinstance(child, ACast):
+            self._on_acast_complete(child)
+        elif isinstance(child, CommonSubset):
+            self.subset = frozenset(child.output)
+            self._maybe_decide()
+        elif isinstance(child, FairChoice):
+            self._on_fair_choice_complete(int(child.output))
+
+    def _on_acast_complete(self, child: ACast) -> None:
+        self.broadcast_values[child.sender] = child.output
+        subset_child = self.child(("cs",))
+        if subset_child is not None:
+            subset_child.set_predicate(child.sender)
+        self._maybe_decide()
+
+    # ------------------------------------------------------------------
+    def _maybe_decide(self) -> None:
+        if self.finished or self.subset is None:
+            return
+        if any(sender not in self.broadcast_values for sender in self.subset):
+            return
+        values = [self.broadcast_values[sender] for sender in self.subset]
+        m = len(self.subset)
+        counts = Counter(repr(value) for value in values)
+        top_repr, top_count = counts.most_common(1)[0]
+        if top_count > m / 2:
+            for value in values:
+                if repr(value) == top_repr:
+                    self.complete(value)
+                    return
+        if not self._fair_choice_started:
+            self._fair_choice_started = True
+            self.spawn(
+                ("fair_choice",),
+                FairChoice.factory(
+                    coinflip_rounds_override=self.coinflip_rounds_override,
+                    epsilon_override=self.epsilon_override,
+                    coin_source=self.coin_source,
+                ),
+                m=m,
+            )
+
+    def _on_fair_choice_complete(self, choice: int) -> None:
+        if self.finished or self.subset is None:
+            return
+        # "Let j be the k'th biggest value in S, with 0 understood as the
+        # biggest" -- sort the agreed party ids in descending order and pick
+        # the chosen position.
+        ranked = sorted(self.subset, reverse=True)
+        chosen_party = ranked[choice % len(ranked)]
+        self.complete(self.broadcast_values[chosen_party])

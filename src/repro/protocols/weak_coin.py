@@ -1,0 +1,99 @@
+"""A weak common coin built from SVSS.
+
+This is the baseline primitive the paper contrasts its *strong* common coin
+against (Section 3): in a weak coin, with constant probability different
+honest parties may output different values, and the adversary may bias some
+flips outright.  The construction here follows the classic recipe used by the
+almost-surely terminating BA line of work [2]: every party deals an SVSS of a
+random bit, each party fixes the set of the first ``n - t`` sharings it
+completed, reconstructs those, and outputs the XOR of the reconstructed bits.
+
+Because different parties may fix different sets, outputs can differ -- that
+disagreement probability is exactly what experiment E2 measures against the
+strong coin of ``repro.protocols.coinflip``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.net.message import SessionId
+from repro.net.process import Process
+from repro.net.protocol import Protocol
+from repro.protocols.svss import ShareState, SVSSRec, SVSSShare
+
+
+class WeakCommonCoin(Protocol):
+    """One weak-coin flip.
+
+    Start kwargs: none.
+
+    Output: a bit in ``{0, 1}``.  Honest parties may disagree with constant
+    probability; see the module docstring.
+    """
+
+    def __init__(self, process: Process, session: SessionId) -> None:
+        super().__init__(process, session)
+        self.attached: Optional[List[int]] = None
+        self.share_states: Dict[int, ShareState] = {}
+        self.reconstructed: Dict[int, int] = {}
+        self._rec_spawned: Set[int] = set()
+
+    @classmethod
+    def factory(cls) -> Callable[[Process, SessionId], "WeakCommonCoin"]:
+        """Protocol factory (no configuration needed)."""
+        def build(process: Process, session: SessionId) -> "WeakCommonCoin":
+            return cls(process, session)
+
+        return build
+
+    # ------------------------------------------------------------------
+    def on_start(self, **_: Any) -> None:
+        my_bit = self.rng.randrange(2)
+        for dealer in range(self.n):
+            kwargs = {"value": my_bit} if dealer == self.pid else {}
+            self.spawn(("share", dealer), SVSSShare.factory(dealer), **kwargs)
+
+    def on_child_complete(self, child: Protocol) -> None:
+        if isinstance(child, SVSSShare):
+            self._on_share_complete(child)
+        elif isinstance(child, SVSSRec):
+            self._on_rec_complete(child)
+
+    # ------------------------------------------------------------------
+    def _on_share_complete(self, child: SVSSShare) -> None:
+        dealer = child.dealer
+        self.share_states[dealer] = child.output
+        if self.attached is None and len(self.share_states) >= self.n - self.t:
+            # Fix the set of sharings this party will combine into its coin.
+            self.attached = sorted(self.share_states)[: self.n - self.t]
+        # Reconstruct every sharing we complete, not only the attached ones:
+        # other parties may have attached a different set and need our help
+        # to reconstruct it (termination of SVSS-Rec requires t+1 honest
+        # participants).
+        self._spawn_rec(dealer)
+        self._maybe_finish()
+
+    def _spawn_rec(self, dealer: int) -> None:
+        if dealer in self._rec_spawned:
+            return
+        self._rec_spawned.add(dealer)
+        self.spawn(
+            ("rec", dealer),
+            SVSSRec.factory(dealer),
+            share=self.share_states[dealer],
+        )
+
+    def _on_rec_complete(self, child: SVSSRec) -> None:
+        self.reconstructed[child.dealer] = int(child.output)
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.finished or self.attached is None:
+            return
+        if not all(dealer in self.reconstructed for dealer in self.attached):
+            return
+        coin = 0
+        for dealer in self.attached:
+            coin ^= self.reconstructed[dealer] & 1
+        self.complete(coin)

@@ -1,0 +1,80 @@
+"""Tests for the named adversarial scheduling strategies."""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversary.scheduling import (
+    delay_protocol,
+    favour_parties,
+    isolate_party,
+    random_scheduler,
+    split_brain,
+)
+from repro.core import api
+from repro.net.message import Message
+
+RNG = random.Random(0)
+
+
+def _msg(sender, receiver, seq, root="p"):
+    return Message(sender, receiver, (root,), ("X",), seq=seq)
+
+
+class TestStrategies:
+    def test_isolate_party_starves_victim(self):
+        pending = [_msg(0, 1, 0), _msg(2, 3, 1), _msg(1, 2, 2)]
+        scheduler = isolate_party(1)
+        for _ in range(20):
+            chosen = pending[scheduler.choose(pending, RNG, 0)]
+            assert 1 not in (chosen.sender, chosen.receiver)
+
+    def test_isolate_party_releases_when_only_victim_traffic(self):
+        pending = [_msg(0, 1, 0), _msg(1, 2, 1)]
+        scheduler = isolate_party(1)
+        assert scheduler.choose(pending, RNG, 0) in (0, 1)
+
+    def test_favour_parties_prefers_coalition(self):
+        pending = [_msg(0, 3, 0), _msg(2, 3, 1), _msg(3, 2, 2)]
+        scheduler = favour_parties([2, 3])
+        chosen = pending[scheduler.choose(pending, RNG, 0)]
+        assert chosen.sender in (2, 3) and chosen.receiver in (2, 3)
+
+    def test_split_brain_prefers_intra_group(self):
+        pending = [_msg(0, 2, 0), _msg(0, 1, 1), _msg(2, 3, 2)]
+        scheduler = split_brain([0, 1], [2, 3], duration=50)
+        chosen = pending[scheduler.choose(pending, RNG, 5)]
+        assert {chosen.sender, chosen.receiver} in ({0, 1}, {2, 3})
+
+    def test_delay_protocol_prefers_other_roots(self):
+        pending = [_msg(0, 1, 0, root="aba"), _msg(0, 1, 1, root="svss")]
+        scheduler = delay_protocol("aba")
+        assert pending[scheduler.choose(pending, RNG, 0)].root == "svss"
+
+    def test_random_scheduler_is_a_scheduler(self):
+        pending = [_msg(0, 1, 0), _msg(1, 2, 1)]
+        assert random_scheduler().choose(pending, RNG, 0) in (0, 1)
+
+
+class TestStrategiesEndToEnd:
+    def test_protocols_survive_every_named_strategy(self):
+        """Every strategy is a valid asynchronous schedule: protocols terminate."""
+        strategies = {
+            "isolate": isolate_party(2),
+            "favour": favour_parties([0, 1]),
+            "split": split_brain([0, 1], [2, 3], duration=150),
+            "delay-root": delay_protocol("missing-root"),
+        }
+        for name, scheduler in strategies.items():
+            result = api.run_svss(4, 77, dealer=0, seed=1, scheduler=scheduler)
+            assert result.agreed_value == 77, name
+
+    def test_aba_under_every_named_strategy(self):
+        strategies = [
+            isolate_party(0),
+            favour_parties([2, 3]),
+            split_brain([0, 2], [1, 3], duration=100),
+        ]
+        for scheduler in strategies:
+            result = api.run_aba(4, {0: 1, 1: 0, 2: 1, 3: 0}, seed=2, scheduler=scheduler)
+            assert not result.disagreement

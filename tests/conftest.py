@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import ProtocolParams
+from repro.crypto.field import Field
+
+
+@pytest.fixture
+def params4() -> ProtocolParams:
+    """Four parties, one fault: the paper's canonical configuration."""
+    return ProtocolParams.for_parties(4)
+
+
+@pytest.fixture
+def params7() -> ProtocolParams:
+    """Seven parties, two faults."""
+    return ProtocolParams.for_parties(7)
+
+
+@pytest.fixture
+def small_field() -> Field:
+    """A small prime field used by crypto unit tests."""
+    return Field(101)
+
+
+@pytest.fixture
+def big_field() -> Field:
+    """The default protocol field."""
+    return Field(2_147_483_647)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic randomness source for crypto tests."""
+    return random.Random(12345)

@@ -1,0 +1,103 @@
+"""Tests for symmetric bivariate polynomials (the SVSS sharing structure)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.bivariate import SymmetricBivariatePolynomial
+from repro.crypto.field import Field
+from repro.errors import InterpolationError
+
+FIELD = Field(101)
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(InterpolationError):
+            SymmetricBivariatePolynomial(FIELD, [[1, 2], [3, 4], [5, 6]])
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(InterpolationError):
+            SymmetricBivariatePolynomial(FIELD, [[1, 2], [3, 4]])
+
+    def test_random_embeds_secret(self):
+        rng = random.Random(0)
+        poly = SymmetricBivariatePolynomial.random(FIELD, 2, rng, secret=42)
+        assert poly.secret == 42
+        assert poly(0, 0) == 42
+
+    def test_random_is_symmetric(self):
+        rng = random.Random(1)
+        poly = SymmetricBivariatePolynomial.random(FIELD, 3, rng)
+        for x in range(5):
+            for y in range(5):
+                assert poly(x, y) == poly(y, x)
+
+    def test_degree(self):
+        rng = random.Random(2)
+        assert SymmetricBivariatePolynomial.random(FIELD, 4, rng).degree == 4
+
+
+class TestRows:
+    def test_row_matches_evaluation(self):
+        rng = random.Random(3)
+        poly = SymmetricBivariatePolynomial.random(FIELD, 2, rng, secret=9)
+        for index in range(1, 5):
+            row = poly.row(index)
+            for y in range(6):
+                assert row(y) == poly(index, y)
+
+    def test_rows_cross_consistency(self):
+        """f_i(j) == f_j(i): the pairwise check SVSS relies on."""
+        rng = random.Random(4)
+        poly = SymmetricBivariatePolynomial.random(FIELD, 2, rng)
+        rows = poly.rows(4)
+        for i in range(1, 5):
+            for j in range(1, 5):
+                assert rows[i - 1](j) == rows[j - 1](i)
+
+    def test_row_degree_bounded(self):
+        rng = random.Random(5)
+        poly = SymmetricBivariatePolynomial.random(FIELD, 3, rng)
+        assert poly.row(2).degree <= 3
+
+    def test_row_zero_evaluations_interpolate_secret(self):
+        """The points (i, f_i(0)) lie on the degree-t polynomial F(x, 0)."""
+        from repro.crypto.polynomial import Polynomial
+
+        rng = random.Random(6)
+        poly = SymmetricBivariatePolynomial.random(FIELD, 2, rng, secret=77)
+        points = [(i, poly.row(i)(0)) for i in range(1, 4)]
+        recovered = Polynomial.interpolate(FIELD, points)
+        assert recovered(0) == 77
+
+
+class TestReconstruction:
+    def test_interpolate_from_rows_recovers(self):
+        rng = random.Random(7)
+        original = SymmetricBivariatePolynomial.random(FIELD, 2, rng, secret=13)
+        rows = [(i, original.row(i)) for i in range(1, 4)]
+        recovered = SymmetricBivariatePolynomial.interpolate_from_rows(FIELD, rows, 2)
+        assert recovered == original
+
+    def test_interpolate_needs_enough_rows(self):
+        rng = random.Random(8)
+        original = SymmetricBivariatePolynomial.random(FIELD, 2, rng)
+        rows = [(i, original.row(i)) for i in range(1, 3)]
+        with pytest.raises(InterpolationError):
+            SymmetricBivariatePolynomial.interpolate_from_rows(FIELD, rows, 2)
+
+
+@settings(max_examples=25)
+@given(degree=st.integers(1, 4), secret=st.integers(0, 100), seed=st.integers(0, 10_000))
+def test_symmetry_and_secret_property(degree, secret, seed):
+    """Random sharings are symmetric and embed the secret, for any degree."""
+    rng = random.Random(seed)
+    poly = SymmetricBivariatePolynomial.random(FIELD, degree, rng, secret=secret)
+    assert poly.secret == secret
+    for x in range(degree + 2):
+        for y in range(degree + 2):
+            assert poly(x, y) == poly(y, x)

@@ -1,0 +1,144 @@
+"""Tests for prime-field arithmetic (repro.crypto.field)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.field import Field, FieldElement, is_probable_prime
+from repro.errors import FieldError
+
+PRIME = 101
+FIELD = Field(PRIME)
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("value", [2, 3, 5, 7, 101, 997, 2_147_483_647])
+    def test_accepts_primes(self, value):
+        assert is_probable_prime(value)
+
+    @pytest.mark.parametrize("value", [0, 1, 4, 100, 561, 2_147_483_646])
+    def test_rejects_composites(self, value):
+        assert not is_probable_prime(value)
+
+
+class TestFieldConstruction:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(FieldError):
+            Field(100)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(FieldError):
+            Field(1)
+
+    def test_coercion_reduces_mod_p(self):
+        assert FIELD(PRIME + 5).value == 5
+        assert FIELD(-1).value == PRIME - 1
+
+    def test_coercion_of_foreign_element_fails(self):
+        other = Field(103)
+        with pytest.raises(FieldError):
+            FIELD(other(1))
+
+    def test_zero_and_one(self):
+        assert FIELD.zero().value == 0
+        assert FIELD.one().value == 1
+
+    def test_elements_batch_coercion(self):
+        assert [e.value for e in FIELD.elements([1, 2, PRIME])] == [1, 2, 0]
+
+    def test_order(self):
+        assert FIELD.order == PRIME
+
+
+class TestArithmetic:
+    def test_addition_wraps(self):
+        assert (FIELD(PRIME - 1) + FIELD(2)).value == 1
+
+    def test_subtraction_wraps(self):
+        assert (FIELD(0) - FIELD(1)).value == PRIME - 1
+
+    def test_multiplication(self):
+        assert (FIELD(10) * FIELD(11)).value == 110 % PRIME
+
+    def test_negation(self):
+        assert (-FIELD(1)).value == PRIME - 1
+
+    def test_division(self):
+        a, b = FIELD(17), FIELD(23)
+        assert (a / b) * b == a
+
+    def test_integer_operands(self):
+        assert (FIELD(5) + 10).value == 15
+        assert (10 + FIELD(5)).value == 15
+        assert (FIELD(5) * 3).value == 15
+        assert (3 - FIELD(5)).value == (3 - 5) % PRIME
+
+    def test_pow(self):
+        assert (FIELD(3) ** 4).value == 81 % PRIME
+        assert (FIELD(3) ** 0).value == 1
+
+    def test_negative_pow_is_inverse_pow(self):
+        assert FIELD(3) ** -1 == FIELD(3).inverse()
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(FieldError):
+            FIELD.zero().inverse()
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(FieldError):
+            FIELD(1) / FIELD(0)
+
+    def test_cross_field_arithmetic_raises(self):
+        with pytest.raises(FieldError):
+            FIELD(1) + Field(103)(1)
+
+    def test_equality_with_int(self):
+        assert FIELD(5) == 5
+        assert FIELD(5) == 5 + PRIME
+        assert FIELD(5) != 6
+
+    def test_bool_and_int_conversion(self):
+        assert not FIELD(0)
+        assert FIELD(1)
+        assert int(FIELD(7)) == 7
+
+    def test_hashable(self):
+        assert len({FIELD(1), FIELD(1), FIELD(2)}) == 2
+
+
+class TestRandomness:
+    def test_random_in_range(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0 <= FIELD.random(rng).value < PRIME
+
+    def test_random_nonzero(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert FIELD.random_nonzero(rng).value != 0
+
+
+@given(a=st.integers(0, PRIME - 1), b=st.integers(0, PRIME - 1), c=st.integers(0, PRIME - 1))
+def test_field_axioms(a, b, c):
+    """Associativity, commutativity and distributivity hold."""
+    fa, fb, fc = FIELD(a), FIELD(b), FIELD(c)
+    assert (fa + fb) + fc == fa + (fb + fc)
+    assert fa + fb == fb + fa
+    assert (fa * fb) * fc == fa * (fb * fc)
+    assert fa * fb == fb * fa
+    assert fa * (fb + fc) == fa * fb + fa * fc
+
+
+@given(a=st.integers(1, PRIME - 1))
+def test_inverse_roundtrip(a):
+    """x * x^-1 == 1 for every nonzero x."""
+    element = FIELD(a)
+    assert element * element.inverse() == FIELD.one()
+
+
+@given(a=st.integers(0, PRIME - 1), b=st.integers(0, PRIME - 1))
+def test_subtraction_is_inverse_of_addition(a, b):
+    assert (FIELD(a) + FIELD(b)) - FIELD(b) == FIELD(a)

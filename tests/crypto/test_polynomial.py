@@ -1,0 +1,154 @@
+"""Tests for univariate polynomials and Lagrange interpolation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.field import Field
+from repro.crypto.polynomial import Polynomial
+from repro.errors import InterpolationError
+
+FIELD = Field(101)
+
+
+class TestConstruction:
+    def test_trailing_zeros_trimmed(self):
+        assert Polynomial(FIELD, [1, 2, 0, 0]).degree == 1
+
+    def test_zero_polynomial_degree(self):
+        assert Polynomial.zero(FIELD).degree == 0
+        assert Polynomial(FIELD, []).degree == 0
+
+    def test_constant(self):
+        poly = Polynomial.constant(FIELD, 7)
+        assert poly.degree == 0
+        assert poly(55) == 7
+
+    def test_random_respects_constant_term(self):
+        rng = random.Random(1)
+        poly = Polynomial.random(FIELD, 3, rng, constant_term=42)
+        assert poly.constant_term == 42
+        assert poly.degree <= 3
+
+    def test_random_negative_degree_rejected(self):
+        with pytest.raises(InterpolationError):
+            Polynomial.random(FIELD, -1, random.Random(0))
+
+    def test_wire_roundtrip(self):
+        poly = Polynomial(FIELD, [3, 1, 4, 1, 5])
+        assert Polynomial.from_ints(FIELD, poly.to_ints()) == poly
+
+
+class TestEvaluation:
+    def test_horner_matches_naive(self):
+        poly = Polynomial(FIELD, [3, 0, 2, 5])
+        for x in range(10):
+            naive = (3 + 2 * x**2 + 5 * x**3) % 101
+            assert poly(x) == naive
+
+    def test_shares_are_evaluations(self):
+        poly = Polynomial(FIELD, [7, 1])
+        shares = poly.shares(4)
+        assert set(shares) == {1, 2, 3, 4}
+        assert all(shares[i] == poly(i) for i in shares)
+
+    def test_evaluate_at_many(self):
+        poly = Polynomial(FIELD, [1, 1])
+        assert poly.evaluate_at([0, 1, 2]) == [FIELD(1), FIELD(2), FIELD(3)]
+
+
+class TestInterpolation:
+    def test_through_line(self):
+        poly = Polynomial.interpolate(FIELD, [(1, 2), (2, 4)])
+        assert poly(0) == 0
+        assert poly(3) == 6
+
+    def test_recovers_original(self):
+        rng = random.Random(7)
+        original = Polynomial.random(FIELD, 4, rng)
+        points = [(x, original(x)) for x in range(1, 6)]
+        assert Polynomial.interpolate(FIELD, points) == original
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(InterpolationError):
+            Polynomial.interpolate(FIELD, [(1, 1), (1, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InterpolationError):
+            Polynomial.interpolate(FIELD, [])
+
+    def test_single_point_is_constant(self):
+        poly = Polynomial.interpolate(FIELD, [(5, 9)])
+        assert poly.degree == 0
+        assert poly(0) == 9
+
+
+class TestArithmetic:
+    def test_addition(self):
+        a = Polynomial(FIELD, [1, 2])
+        b = Polynomial(FIELD, [3, 4, 5])
+        assert (a + b) == Polynomial(FIELD, [4, 6, 5])
+
+    def test_subtraction_cancels(self):
+        a = Polynomial(FIELD, [9, 8, 7])
+        assert (a - a) == Polynomial.zero(FIELD)
+
+    def test_scalar_multiplication(self):
+        a = Polynomial(FIELD, [1, 2, 3])
+        assert a * 2 == Polynomial(FIELD, [2, 4, 6])
+        assert 2 * a == a * 2
+
+    def test_polynomial_multiplication(self):
+        a = Polynomial(FIELD, [1, 1])  # (1 + x)
+        b = Polynomial(FIELD, [1, 100])  # (1 - x) mod 101
+        assert a * b == Polynomial(FIELD, [1, 0, 100])  # 1 - x^2
+
+    def test_divmod_roundtrip(self):
+        rng = random.Random(3)
+        numerator = Polynomial.random(FIELD, 6, rng)
+        divisor = Polynomial.random(FIELD, 2, rng)
+        if divisor.coefficients[-1].value == 0:
+            divisor = divisor + Polynomial(FIELD, [0, 0, 1])
+        quotient, remainder = numerator.divmod(divisor)
+        assert quotient * divisor + remainder == numerator
+        assert remainder.degree < divisor.degree or remainder == Polynomial.zero(FIELD)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(InterpolationError):
+            Polynomial(FIELD, [1, 2]).divmod(Polynomial.zero(FIELD))
+
+    def test_hash_consistent_with_eq(self):
+        a = Polynomial(FIELD, [1, 2, 0])
+        b = Polynomial(FIELD, [1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+@settings(max_examples=50)
+@given(
+    coefficients=st.lists(st.integers(0, 100), min_size=1, max_size=6),
+    x=st.integers(0, 100),
+    y=st.integers(0, 100),
+)
+def test_evaluation_is_linear(coefficients, x, y):
+    """(f + g)(x) == f(x) + g(x) and (c*f)(x) == c*f(x)."""
+    f = Polynomial(FIELD, coefficients)
+    g = Polynomial(FIELD, list(reversed(coefficients)))
+    assert (f + g)(x) == f(x) + g(x)
+    assert (f * y)(x) == f(x) * y
+
+
+@settings(max_examples=30)
+@given(
+    degree=st.integers(0, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_interpolation_roundtrip_property(degree, seed):
+    """Interpolating degree+1 evaluations recovers any polynomial exactly."""
+    rng = random.Random(seed)
+    original = Polynomial.random(FIELD, degree, rng)
+    points = [(x, original(x)) for x in range(1, degree + 2)]
+    assert Polynomial.interpolate(FIELD, points) == original

@@ -1,0 +1,106 @@
+"""Tests for Berlekamp-Welch decoding."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.field import Field
+from repro.crypto.polynomial import Polynomial
+from repro.crypto.reed_solomon import berlekamp_welch, correctable
+from repro.errors import DecodingError
+
+FIELD = Field(101)
+
+
+def _points_with_errors(poly, xs, errors, rng):
+    points = []
+    error_positions = set(rng.sample(range(len(xs)), errors))
+    for position, x in enumerate(xs):
+        y = poly(x)
+        if position in error_positions:
+            y = y + rng.randrange(1, 100)
+        points.append((FIELD(x), y))
+    return points
+
+
+class TestCorrectable:
+    @pytest.mark.parametrize(
+        "n,degree,expected", [(4, 1, 1), (7, 2, 2), (10, 3, 3), (5, 1, 1), (3, 1, 0)]
+    )
+    def test_values(self, n, degree, expected):
+        assert correctable(n, degree) == expected
+
+
+class TestDecoding:
+    def test_no_errors(self):
+        poly = Polynomial(FIELD, [5, 7, 11])
+        points = [(FIELD(x), poly(x)) for x in range(1, 8)]
+        assert berlekamp_welch(FIELD, points, degree=2, max_errors=2) == poly
+
+    def test_single_error(self):
+        rng = random.Random(0)
+        poly = Polynomial(FIELD, [9, 3])
+        points = _points_with_errors(poly, [1, 2, 3, 4], 1, rng)
+        assert berlekamp_welch(FIELD, points, degree=1, max_errors=1) == poly
+
+    def test_max_errors_at_optimal_resilience(self):
+        """n = 3t+1 points correct exactly t errors for a degree-t polynomial."""
+        rng = random.Random(1)
+        for t in (1, 2, 3):
+            n = 3 * t + 1
+            poly = Polynomial.random(FIELD, t, rng)
+            points = _points_with_errors(poly, list(range(1, n + 1)), t, rng)
+            assert berlekamp_welch(FIELD, points, degree=t, max_errors=t) == poly
+
+    def test_too_few_points_rejected(self):
+        poly = Polynomial(FIELD, [1, 2])
+        points = [(FIELD(x), poly(x)) for x in range(1, 4)]
+        with pytest.raises(DecodingError):
+            berlekamp_welch(FIELD, points, degree=1, max_errors=1)
+
+    def test_duplicate_x_rejected(self):
+        points = [(FIELD(1), FIELD(1)), (FIELD(1), FIELD(2)), (FIELD(2), FIELD(3)), (FIELD(3), FIELD(4))]
+        with pytest.raises(DecodingError):
+            berlekamp_welch(FIELD, points, degree=1, max_errors=1)
+
+    def test_negative_max_errors_rejected(self):
+        with pytest.raises(DecodingError):
+            berlekamp_welch(FIELD, [(FIELD(1), FIELD(1))], degree=0, max_errors=-1)
+
+    def test_zero_errors_with_inconsistent_points_rejected(self):
+        points = [(FIELD(1), FIELD(1)), (FIELD(2), FIELD(2)), (FIELD(3), FIELD(100))]
+        with pytest.raises(DecodingError):
+            berlekamp_welch(FIELD, points, degree=1, max_errors=0)
+
+    def test_too_many_errors_detected(self):
+        """With more corruption than the decoder tolerates, it must not return silently wrong."""
+        rng = random.Random(2)
+        poly = Polynomial(FIELD, [4, 4])
+        # 4 points, 2 errors, decoder allowed 1: must raise (cannot decode).
+        points = _points_with_errors(poly, [1, 2, 3, 4], 2, rng)
+        try:
+            decoded = berlekamp_welch(FIELD, points, degree=1, max_errors=1)
+        except DecodingError:
+            return
+        # If decoding "succeeded", it must at least explain 3 of the 4 points;
+        # it is allowed to differ from the original polynomial.
+        agreement = sum(1 for x, y in points if decoded(x) == y)
+        assert agreement >= 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    degree=st.integers(1, 3),
+    seed=st.integers(0, 100_000),
+)
+def test_decoding_property(degree, seed):
+    """For n = 3t+1 evaluation points with up to t corruptions, decoding recovers the polynomial."""
+    rng = random.Random(seed)
+    n = 3 * degree + 1
+    poly = Polynomial.random(FIELD, degree, rng)
+    errors = rng.randint(0, degree)
+    points = _points_with_errors(poly, list(range(1, n + 1)), errors, rng)
+    assert berlekamp_welch(FIELD, points, degree=degree, max_errors=degree) == poly

@@ -1,0 +1,152 @@
+"""Tests for Shamir secret sharing and robust reconstruction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.field import Field
+from repro.crypto.shamir import (
+    ShamirShare,
+    additive_shares,
+    reconstruct,
+    reconstruct_robust,
+    share_from_wire,
+    share_secret,
+    shares_to_wire,
+    verify_share,
+)
+from repro.errors import DecodingError, InterpolationError
+
+FIELD = Field(2_147_483_647)
+
+
+class TestSharing:
+    def test_share_count_and_indices(self):
+        _, shares = share_secret(FIELD, 99, n=7, t=2, rng=random.Random(0))
+        assert sorted(shares) == list(range(1, 8))
+
+    def test_polynomial_embeds_secret(self):
+        poly, _ = share_secret(FIELD, 1234, n=4, t=1, rng=random.Random(1))
+        assert poly.constant_term == 1234
+        assert poly.degree <= 1
+
+    def test_all_shares_verify(self):
+        poly, shares = share_secret(FIELD, 5, n=7, t=2, rng=random.Random(2))
+        assert all(verify_share(poly, share) for share in shares.values())
+
+    def test_tampered_share_fails_verification(self):
+        poly, shares = share_secret(FIELD, 5, n=4, t=1, rng=random.Random(3))
+        bad = ShamirShare(index=1, value=shares[1].value + 1)
+        assert not verify_share(poly, bad)
+
+    def test_wire_roundtrip(self):
+        _, shares = share_secret(FIELD, 42, n=4, t=1, rng=random.Random(4))
+        wire = shares_to_wire(shares)
+        restored = {i: share_from_wire(FIELD, i, v) for i, v in wire.items()}
+        assert restored == shares
+
+
+class TestReconstruction:
+    def test_exact_threshold(self):
+        _, shares = share_secret(FIELD, 777, n=7, t=2, rng=random.Random(5))
+        subset = [shares[i] for i in (1, 4, 6)]
+        assert reconstruct(FIELD, subset, degree=2) == 777
+
+    def test_too_few_shares_rejected(self):
+        _, shares = share_secret(FIELD, 777, n=7, t=2, rng=random.Random(6))
+        with pytest.raises(InterpolationError):
+            reconstruct(FIELD, [shares[1], shares[2]], degree=2)
+
+    def test_any_threshold_subset_works(self):
+        _, shares = share_secret(FIELD, 31337, n=7, t=2, rng=random.Random(7))
+        import itertools
+
+        for subset in itertools.combinations(range(1, 8), 3):
+            assert reconstruct(FIELD, [shares[i] for i in subset], degree=2) == 31337
+
+    def test_fewer_than_threshold_reveals_nothing(self):
+        """Any t shares are consistent with every possible secret."""
+        from repro.crypto.polynomial import Polynomial
+
+        _, shares = share_secret(FIELD, 0, n=4, t=1, rng=random.Random(8))
+        observed = shares[2]
+        # For any candidate secret there is a degree-1 polynomial through
+        # (0, candidate) and (2, observed) -- so one share is uninformative.
+        for candidate in (0, 1, 999):
+            poly = Polynomial.interpolate(FIELD, [(0, candidate), (2, observed.value)])
+            assert poly(2) == observed.value
+            assert poly(0) == candidate
+
+
+class TestRobustReconstruction:
+    def test_corrects_t_errors_with_full_shares(self):
+        _, shares = share_secret(FIELD, 2024, n=4, t=1, rng=random.Random(9))
+        corrupted = dict(shares)
+        corrupted[3] = ShamirShare(index=3, value=shares[3].value + 5)
+        assert (
+            reconstruct_robust(FIELD, corrupted.values(), degree=1, max_errors=1) == 2024
+        )
+
+    def test_needs_enough_shares(self):
+        _, shares = share_secret(FIELD, 2024, n=4, t=1, rng=random.Random(10))
+        with pytest.raises(DecodingError):
+            reconstruct_robust(
+                FIELD, [shares[1], shares[2], shares[3]], degree=1, max_errors=1
+            )
+
+    def test_two_errors_among_seven(self):
+        _, shares = share_secret(FIELD, 555, n=7, t=2, rng=random.Random(11))
+        corrupted = dict(shares)
+        corrupted[1] = ShamirShare(index=1, value=FIELD(0))
+        corrupted[5] = ShamirShare(index=5, value=FIELD(123456))
+        assert (
+            reconstruct_robust(FIELD, corrupted.values(), degree=2, max_errors=2) == 555
+        )
+
+
+class TestAdditiveSharing:
+    def test_shares_sum_to_secret(self):
+        rng = random.Random(12)
+        shares = additive_shares(FIELD, 90, 5, rng)
+        total = FIELD(0)
+        for share in shares:
+            total = total + share
+        assert total == 90
+
+    def test_single_share_is_secret(self):
+        shares = additive_shares(FIELD, 7, 1, random.Random(13))
+        assert len(shares) == 1 and shares[0] == 7
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(InterpolationError):
+            additive_shares(FIELD, 7, 0, random.Random(14))
+
+
+@settings(max_examples=40)
+@given(
+    secret=st.integers(0, 2_147_483_646),
+    n=st.integers(4, 10),
+    seed=st.integers(0, 100_000),
+)
+def test_share_reconstruct_roundtrip(secret, n, seed):
+    """Sharing then reconstructing from any t+1 shares returns the secret."""
+    t = (n - 1) // 3
+    rng = random.Random(seed)
+    _, shares = share_secret(FIELD, secret, n=n, t=t, rng=rng)
+    chosen = rng.sample(sorted(shares), t + 1)
+    assert reconstruct(FIELD, [shares[i] for i in chosen], degree=t) == secret
+
+
+@settings(max_examples=25)
+@given(secret=st.integers(0, 1_000_000), seed=st.integers(0, 100_000))
+def test_robust_reconstruction_with_adversarial_share(secret, seed):
+    """Berlekamp-Welch corrects a single adversarial share at n=4, t=1."""
+    rng = random.Random(seed)
+    _, shares = share_secret(FIELD, secret, n=4, t=1, rng=rng)
+    victim = rng.choice(sorted(shares))
+    corrupted = dict(shares)
+    corrupted[victim] = ShamirShare(index=victim, value=shares[victim].value + rng.randrange(1, 1000))
+    assert reconstruct_robust(FIELD, corrupted.values(), degree=1, max_errors=1) == secret

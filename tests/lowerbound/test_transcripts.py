@@ -1,0 +1,144 @@
+"""Tests for the lower-bound transcript enumeration engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lowerbound.toy_avss import all_candidates, echo_checked_avss, masked_xor_avss
+from repro.lowerbound.transcripts import (
+    ReconstructionRunner,
+    ScriptedShareRunner,
+    ShareEnumerator,
+)
+
+
+class TestEnumeration:
+    def test_run_count_matches_randomness_space(self):
+        enumerator = ShareEnumerator(masked_xor_avss(), active=("D", "A", "B"))
+        # Only the dealer is randomised (mask in {0,1}).
+        assert len(enumerator.transcripts(0)) == 2
+        assert len(enumerator.transcripts(1)) == 2
+
+    def test_probabilities_sum_to_one(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        assert sum(t.probability for t in enumerator.transcripts(0)) == pytest.approx(1.0)
+
+    def test_all_parties_complete_in_honest_runs(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        for transcript in enumerator.transcripts(0):
+            assert {"A", "B", "D"} <= set(transcript.completed)
+
+    def test_messages_between_is_symmetric_in_arguments(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        transcript = enumerator.transcripts(0)[0]
+        assert transcript.messages_between("A", "D") == transcript.messages_between("D", "A")
+
+    def test_view_contains_randomness_and_inbox(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        transcript = enumerator.transcripts(1)[0]
+        randomness, inbox = transcript.view("A")
+        assert randomness is None
+        assert any(sender == "D" for _round, sender, _message in inbox)
+
+
+class TestDistributions:
+    def test_distribution_normalised(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        distribution = enumerator.distribution(0, lambda t: t.view("A"))
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_conditional_distribution(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        distribution = enumerator.distribution(
+            0,
+            lambda t: t.randomness_of("D"),
+            condition=lambda t: t.randomness_of("D") == 1,
+        )
+        assert distribution == {1: 1.0}
+
+    def test_empty_condition_returns_empty(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        assert (
+            enumerator.distribution(0, lambda t: 0, condition=lambda t: False) == {}
+        )
+
+    def test_sample_from_empty_condition_raises(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        with pytest.raises(ValueError):
+            enumerator.sample(random.Random(0), 0, lambda t: 0, condition=lambda t: False)
+
+    def test_sample_respects_support(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        rng = random.Random(1)
+        for _ in range(20):
+            value = enumerator.sample(rng, 0, lambda t: t.randomness_of("D"))
+            assert value in (0, 1)
+
+
+class TestProperties:
+    def test_masked_xor_satisfies_secrecy(self):
+        enumerator = ShareEnumerator(masked_xor_avss())
+        assert enumerator.secrecy_holds("A")
+        assert enumerator.secrecy_holds("B")
+
+    def test_echo_checked_violates_secrecy(self):
+        enumerator = ShareEnumerator(echo_checked_avss())
+        assert not enumerator.secrecy_holds("A")
+        assert not enumerator.secrecy_holds("B")
+
+    def test_termination_rate_is_one_for_both_candidates(self):
+        for candidate in all_candidates():
+            enumerator = ShareEnumerator(candidate)
+            assert enumerator.termination_rate(0) == pytest.approx(1.0)
+            assert enumerator.termination_rate(1) == pytest.approx(1.0)
+
+    def test_lemma_2_4_joint_distribution_equality(self):
+        """Lemma 2.4 reproduced: for a secrecy-preserving candidate the joint
+        distribution of (m_AD, m_AB, r_A) is identical for both secrets."""
+        enumerator = ShareEnumerator(masked_xor_avss())
+        feature = lambda t: (  # noqa: E731
+            t.messages_between("A", "D"),
+            t.messages_between("A", "B"),
+            t.randomness_of("A"),
+        )
+        d0 = enumerator.distribution(0, feature)
+        d1 = enumerator.distribution(1, feature)
+        assert set(d0) == set(d1)
+        for key in d0:
+            assert d0[key] == pytest.approx(d1[key])
+
+
+class TestRunners:
+    def test_scripted_runner_reproduces_honest_run(self):
+        candidate = masked_xor_avss()
+        enumerator = ShareEnumerator(candidate)
+        reference = enumerator.transcripts(0)[0]
+        script = {
+            (round_index, "D", receiver): message
+            for (round_index, sender, receiver), message in reference.messages
+            if sender == "D"
+        }
+        runner = ScriptedShareRunner(candidate)
+        replay = runner.run(
+            secret=None,
+            randomness={"A": None, "B": None},
+            scripted_party="D",
+            script=script,
+        )
+        assert replay.view("A") == reference.view("A")
+        assert replay.view("B") == reference.view("B")
+
+    def test_reconstruction_of_honest_sharing(self):
+        candidate = masked_xor_avss()
+        enumerator = ShareEnumerator(candidate, active=("D", "A", "B", "C"))
+        for secret in (0, 1):
+            for transcript in enumerator.transcripts(secret):
+                runner = ReconstructionRunner(candidate, active=("A", "B", "C"))
+                outputs = runner.run(
+                    {party: transcript.messages_to(party) for party in ("A", "B", "C")}
+                )
+                assert outputs["A"] == secret
+                assert outputs["B"] == secret
+                assert outputs["C"] == secret

@@ -1,0 +1,44 @@
+"""Tests for the message model and session helpers."""
+
+from __future__ import annotations
+
+from repro.net.message import Message, session_child, session_is_descendant
+
+
+class TestMessage:
+    def test_kind_is_first_payload_element(self):
+        message = Message(0, 1, ("acast",), ("ECHO", 42), seq=3)
+        assert message.kind == "ECHO"
+
+    def test_kind_of_empty_payload(self):
+        assert Message(0, 1, ("acast",), ()).kind is None
+
+    def test_root_is_first_session_component(self):
+        assert Message(0, 1, ("fba", "cs", "ba", 2), ("AUX",)).root == "fba"
+
+    def test_root_of_empty_session(self):
+        assert Message(0, 1, (), ("X",)).root is None
+
+    def test_frozen(self):
+        import pytest
+
+        message = Message(0, 1, ("acast",), ("ECHO",))
+        with pytest.raises(Exception):
+            message.sender = 5  # type: ignore[misc]
+
+
+class TestSessionHelpers:
+    def test_session_child_appends(self):
+        assert session_child(("fba",), "cs") == ("fba", "cs")
+        assert session_child(("fba",), "ba", 3) == ("fba", "ba", 3)
+
+    def test_session_child_of_empty(self):
+        assert session_child((), "root") == ("root",)
+
+    def test_descendant_includes_self(self):
+        assert session_is_descendant(("a", "b"), ("a", "b"))
+
+    def test_descendant_strict(self):
+        assert session_is_descendant(("a", "b", "c"), ("a",))
+        assert not session_is_descendant(("a",), ("a", "b"))
+        assert not session_is_descendant(("x", "b"), ("a",))

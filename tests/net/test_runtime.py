@@ -1,0 +1,93 @@
+"""Tests for the Simulation driver and SimulationResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import CrashBehavior
+from repro.core.config import ProtocolParams
+from repro.errors import ConfigurationError
+from repro.net.protocol import Protocol
+from repro.net.runtime import Simulation
+from repro.protocols.acast import ACast
+
+
+class Immediate(Protocol):
+    """Completes instantly with its start argument."""
+
+    def on_start(self, value=None, **_):
+        self.broadcast("NOP")
+        self.complete(value)
+
+
+def immediate_factory(process, session):
+    return Immediate(process, session)
+
+
+class TestSimulation:
+    def test_runs_root_at_every_honest_party(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        result = sim.run(("imm",), immediate_factory, common_input={"value": 9})
+        assert result.outputs == {0: 9, 1: 9, 2: 9, 3: 9}
+
+    def test_per_party_inputs_override_common(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        result = sim.run(
+            ("imm",),
+            immediate_factory,
+            common_input={"value": 0},
+            inputs={2: {"value": 5}},
+        )
+        assert result.outputs[2] == 5
+        assert result.outputs[0] == 0
+
+    def test_corrupted_party_excluded_from_outputs(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        sim.corrupt(3, CrashBehavior.factory())
+        result = sim.run(("imm",), immediate_factory, common_input={"value": 1})
+        assert set(result.outputs) == {0, 1, 2}
+
+    def test_cannot_corrupt_more_than_t(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        sim.corrupt(3, CrashBehavior.factory())
+        with pytest.raises(ConfigurationError):
+            sim.corrupt(2, CrashBehavior.factory())
+
+    def test_cannot_corrupt_unknown_party(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        with pytest.raises(ConfigurationError):
+            sim.corrupt(17, CrashBehavior.factory())
+
+    def test_agreed_value_raises_on_disagreement(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        result = sim.run(
+            ("imm",),
+            immediate_factory,
+            inputs={pid: {"value": pid} for pid in range(4)},
+        )
+        assert result.disagreement
+        with pytest.raises(ValueError):
+            _ = result.agreed_value
+
+    def test_agreed_value_on_agreement(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        result = sim.run(("imm",), immediate_factory, common_input={"value": "x"})
+        assert not result.disagreement
+        assert result.agreed_value == "x"
+        assert result.values == ["x"] * 4
+
+    def test_build_network_is_idempotent(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        assert sim.build_network() is sim.build_network()
+
+    def test_acast_through_simulation(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=3)
+        result = sim.run(
+            ("acast",), ACast.factory(0), inputs={0: {"value": "payload"}}
+        )
+        assert result.agreed_value == "payload"
+
+    def test_trace_accessible_from_result(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        result = sim.run(("imm",), immediate_factory, common_input={"value": 1})
+        assert result.trace.messages_sent >= 16

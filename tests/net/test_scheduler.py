@@ -1,0 +1,125 @@
+"""Tests for the message schedulers (the formalised asynchronous adversary)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.net.message import Message
+from repro.net.scheduler import (
+    DelayScheduler,
+    FIFOScheduler,
+    PartitionScheduler,
+    RandomScheduler,
+    TargetedScheduler,
+    delay_from_parties,
+    delay_to_parties,
+)
+
+
+def _msg(sender, receiver, seq, kind="X"):
+    return Message(sender, receiver, ("p",), (kind,), seq=seq)
+
+
+PENDING = [_msg(0, 1, 5), _msg(1, 2, 3), _msg(2, 3, 9), _msg(3, 0, 1)]
+RNG = random.Random(0)
+
+
+class TestFIFO:
+    def test_picks_lowest_seq(self):
+        scheduler = FIFOScheduler()
+        assert scheduler.choose(PENDING, RNG, 0) == 3  # seq=1
+
+    def test_full_drain_is_in_order(self):
+        scheduler = FIFOScheduler()
+        pending = list(PENDING)
+        order = []
+        while pending:
+            index = scheduler.choose(pending, RNG, 0)
+            order.append(pending.pop(index).seq)
+        assert order == sorted(order)
+
+
+class TestRandom:
+    def test_always_in_range(self):
+        scheduler = RandomScheduler()
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= scheduler.choose(PENDING, rng, 0) < len(PENDING)
+
+    def test_covers_all_choices(self):
+        scheduler = RandomScheduler()
+        rng = random.Random(2)
+        seen = {scheduler.choose(PENDING, rng, 0) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestValidation:
+    def test_validate_rejects_out_of_range(self):
+        scheduler = FIFOScheduler()
+        with pytest.raises(SchedulingError):
+            scheduler.validate(7, PENDING)
+        with pytest.raises(SchedulingError):
+            scheduler.validate(-1, PENDING)
+
+    def test_validate_accepts_in_range(self):
+        assert FIFOScheduler().validate(2, PENDING) == 2
+
+
+class TestDelay:
+    def test_starves_matching_messages(self):
+        scheduler = DelayScheduler(lambda m: m.sender == 0, base=FIFOScheduler())
+        choice = scheduler.choose(PENDING, RNG, 0)
+        assert PENDING[choice].sender != 0
+
+    def test_delivers_when_only_matching_remain(self):
+        scheduler = DelayScheduler(lambda m: True, base=FIFOScheduler())
+        assert scheduler.choose(PENDING, RNG, 0) == 3
+
+    def test_expiry_releases_messages(self):
+        scheduler = DelayScheduler(
+            lambda m: m.sender == 3, base=FIFOScheduler(), max_delay_steps=10
+        )
+        before = scheduler.choose(PENDING, RNG, step=0)
+        after = scheduler.choose(PENDING, RNG, step=10)
+        assert PENDING[before].sender != 3
+        assert PENDING[after].seq == 1  # FIFO order once the delay expires
+
+    def test_delay_from_parties_helper(self):
+        scheduler = delay_from_parties([0, 1], base=FIFOScheduler())
+        assert PENDING[scheduler.choose(PENDING, RNG, 0)].sender not in (0, 1)
+
+    def test_delay_to_parties_helper(self):
+        scheduler = delay_to_parties([0, 3], base=FIFOScheduler())
+        assert PENDING[scheduler.choose(PENDING, RNG, 0)].receiver not in (0, 3)
+
+
+class TestPartition:
+    def test_blocks_cross_partition_traffic(self):
+        scheduler = PartitionScheduler([0, 1], [2, 3], duration=100, base=FIFOScheduler())
+        chosen = PENDING[scheduler.choose(PENDING, RNG, step=0)]
+        inside_a = chosen.sender in (0, 1) and chosen.receiver in (0, 1)
+        inside_b = chosen.sender in (2, 3) and chosen.receiver in (2, 3)
+        assert inside_a or inside_b
+
+    def test_heals_after_duration(self):
+        scheduler = PartitionScheduler([0, 1], [2, 3], duration=5, base=FIFOScheduler())
+        assert PENDING[scheduler.choose(PENDING, RNG, step=5)].seq == 1
+
+    def test_cross_only_traffic_still_delivered(self):
+        cross_only = [_msg(0, 2, 1), _msg(3, 1, 2)]
+        scheduler = PartitionScheduler([0, 1], [2, 3], duration=100, base=FIFOScheduler())
+        assert scheduler.choose(cross_only, RNG, 0) in (0, 1)
+
+
+class TestTargeted:
+    def test_priority_ordering(self):
+        scheduler = TargetedScheduler(lambda m: m.receiver)
+        assert PENDING[scheduler.choose(PENDING, RNG, 0)].receiver == 0
+
+    def test_tie_break_by_seq(self):
+        pending = [_msg(0, 1, 9), _msg(2, 1, 2)]
+        scheduler = TargetedScheduler(lambda m: 0.0)
+        assert scheduler.choose(pending, RNG, 0) == 1

@@ -1,0 +1,132 @@
+"""Tests for binary asynchronous Byzantine agreement (Definition 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import CrashBehavior, RandomNoiseBehavior
+from repro.adversary.scheduling import isolate_party
+from repro.core import api
+from repro.net.scheduler import FIFOScheduler
+from repro.protocols.aba import LocalCoinSource, OracleCoinSource, ProtocolCoinSource
+from repro.protocols.weak_coin import WeakCommonCoin
+
+
+class TestValidity:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_input_is_output(self, value):
+        result = api.run_aba(4, {pid: value for pid in range(4)}, seed=value)
+        assert result.agreed_value == value
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_with_crash(self, value):
+        inputs = {0: value, 1: value, 2: value}
+        result = api.run_aba(
+            4, inputs, seed=7 + value, corruptions={3: CrashBehavior.factory()}
+        )
+        assert result.agreed_value == value
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_larger_system(self, value):
+        result = api.run_aba(7, {pid: value for pid in range(7)}, seed=value)
+        assert result.agreed_value == value
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mixed_inputs_agree(self, seed):
+        inputs = {0: 0, 1: 1, 2: seed % 2, 3: (seed + 1) % 2}
+        result = api.run_aba(4, inputs, seed=seed)
+        assert not result.disagreement
+        assert result.agreed_value in (0, 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_output_is_some_honest_input(self, seed):
+        """With binary values and at least one of each, any output is valid;
+        but with all-but-one identical the framework must not invent values."""
+        inputs = {0: 1, 1: 1, 2: 1, 3: 0}
+        result = api.run_aba(4, inputs, seed=seed)
+        assert result.agreed_value in (0, 1)
+
+    def test_mixed_inputs_with_crash(self):
+        result = api.run_aba(
+            4, {0: 0, 1: 1, 2: 0}, seed=3, corruptions={3: CrashBehavior.factory()}
+        )
+        assert not result.disagreement
+
+    def test_noise_adversary(self):
+        result = api.run_aba(
+            4,
+            {0: 1, 1: 0, 2: 1},
+            seed=5,
+            corruptions={3: RandomNoiseBehavior.factory()},
+        )
+        assert not result.disagreement
+
+    def test_isolating_scheduler(self):
+        result = api.run_aba(
+            4, {0: 1, 1: 0, 2: 1, 3: 0}, seed=6, scheduler=isolate_party(1)
+        )
+        assert not result.disagreement
+
+    def test_fifo_scheduler(self):
+        result = api.run_aba(4, {0: 1, 1: 0, 2: 1, 3: 0}, seed=1, scheduler=FIFOScheduler())
+        assert not result.disagreement
+
+
+class TestCoinSources:
+    def test_local_coin_terminates(self):
+        result = api.run_aba(
+            4, {0: 0, 1: 1, 2: 0, 3: 1}, seed=2, coin_source=LocalCoinSource()
+        )
+        assert not result.disagreement
+
+    def test_weak_coin_protocol_source(self):
+        """The fully information-theoretic stack: ABA driven by an SVSS-based weak coin."""
+        source = ProtocolCoinSource(WeakCommonCoin.factory)
+        result = api.run_aba(4, {0: 0, 1: 1, 2: 1, 3: 0}, seed=4, coin_source=source)
+        assert not result.disagreement
+
+    def test_oracle_coin_is_common(self):
+        """All parties see the same oracle coin value for the same round."""
+        from repro.core.config import ProtocolParams
+        from repro.net.network import Network
+
+        network = Network(ProtocolParams.for_parties(4), seed=0)
+        source = OracleCoinSource(99)
+        from repro.protocols.aba import BinaryAgreement
+
+        instances = [
+            BinaryAgreement(process, ("aba",), source) for process in network.processes
+        ]
+        coins = {source.immediate(instance, 5) for instance in instances}
+        assert len(coins) == 1
+
+    def test_oracle_coin_varies_with_round(self):
+        from repro.core.config import ProtocolParams
+        from repro.net.network import Network
+        from repro.protocols.aba import BinaryAgreement
+
+        network = Network(ProtocolParams.for_parties(4), seed=0)
+        source = OracleCoinSource(1)
+        instance = BinaryAgreement(network.processes[0], ("aba",), source)
+        values = {source.immediate(instance, r) for r in range(64)}
+        assert values == {0, 1}
+
+
+class TestRobustness:
+    def test_malformed_payloads_ignored(self):
+        """Garbage BVAL/AUX rounds and values must not crash or corrupt agreement."""
+        result = api.run_aba(
+            4,
+            {0: 1, 1: 1, 2: 0},
+            seed=8,
+            corruptions={3: RandomNoiseBehavior.factory(burst=4)},
+        )
+        assert not result.disagreement
+
+    def test_statistical_validity_over_seeds(self):
+        """Unanimous input 1 must never produce 0, over many schedules."""
+        for seed in range(10):
+            result = api.run_aba(4, {pid: 1 for pid in range(4)}, seed=seed)
+            assert result.agreed_value == 1

@@ -1,0 +1,48 @@
+"""Tests for the CommonSubset protocol (Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import CrashBehavior
+from repro.core import api
+from repro.net.scheduler import FIFOScheduler
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_parties_output_same_set(self, seed):
+        result = api.run_common_subset(4, [0, 1, 2, 3], seed=seed)
+        assert not result.disagreement
+
+    def test_output_at_least_quorum_size(self):
+        result = api.run_common_subset(4, [0, 1, 2, 3], seed=1)
+        assert len(result.agreed_value) >= 3
+
+    def test_output_subset_of_ready_parties_when_only_quorum_ready(self):
+        """Correctness: every index in S is backed by some honest predicate."""
+        ready = [0, 1, 2]
+        result = api.run_common_subset(4, ready, seed=2)
+        assert set(result.agreed_value) <= set(ready)
+        assert len(result.agreed_value) >= 3
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_crashed_party(self, seed):
+        result = api.run_common_subset(
+            4, [0, 1, 2], seed=seed, corruptions={3: CrashBehavior.factory()}
+        )
+        assert len(result.agreed_value) >= 3
+        assert set(result.agreed_value) <= {0, 1, 2}
+
+    def test_larger_system(self):
+        result = api.run_common_subset(7, list(range(7)), seed=3)
+        assert len(result.agreed_value) >= 5
+        assert not result.disagreement
+
+    def test_fifo_scheduler(self):
+        result = api.run_common_subset(4, [0, 1, 2, 3], seed=0, scheduler=FIFOScheduler())
+        assert not result.disagreement
+
+    def test_subset_is_frozenset(self):
+        result = api.run_common_subset(4, [0, 1, 2, 3], seed=4)
+        assert isinstance(result.agreed_value, frozenset)

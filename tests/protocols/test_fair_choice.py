@@ -1,0 +1,62 @@
+"""Tests for FairChoice (Algorithm 2, Theorem 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import CrashBehavior
+from repro.core import api
+from repro.core.config import ProtocolParams
+from repro.net.runtime import Simulation
+from repro.protocols.fair_choice import FairChoice
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m", [3, 4, 5])
+    def test_output_in_range_and_agreed(self, m):
+        result = api.run_fair_choice(4, m, seed=m)
+        assert not result.disagreement
+        assert 0 <= result.agreed_value < m
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_across_seeds(self, seed):
+        result = api.run_fair_choice(4, 4, seed=seed)
+        assert not result.disagreement
+
+    def test_with_crashed_party(self):
+        result = api.run_fair_choice(
+            4, 3, seed=1, corruptions={3: CrashBehavior.factory()}
+        )
+        assert 0 <= result.agreed_value < 3
+        assert set(result.outputs) == {0, 1, 2}
+
+    def test_rejects_small_m(self):
+        sim = Simulation(ProtocolParams.for_parties(4), seed=0)
+        with pytest.raises(ValueError):
+            sim.run(("fc",), FairChoice.factory(coinflip_rounds_override=1), common_input={"m": 2})
+
+    def test_bit_count_matches_analysis(self):
+        from repro.analysis.binomial import fair_choice_bits
+
+        result = api.run_fair_choice(4, 3, seed=2)
+        instance = result.network.processes[0].protocol(("fair_choice",))
+        assert instance.bits == fair_choice_bits(3)
+        assert len(instance.coin_bits) == instance.bits
+
+
+class TestFairness:
+    def test_multiple_outcomes_possible(self):
+        """Across seeds the choice is not constant (no trivial fixed winner)."""
+        outcomes = {api.run_fair_choice(4, 3, seed=seed).agreed_value for seed in range(10)}
+        assert len(outcomes) >= 2
+
+    def test_majority_subset_hit_rate(self):
+        """Any majority subset should win at least roughly half the elections."""
+        m = 3
+        target = {0, 1}
+        hits = sum(
+            1
+            for seed in range(14)
+            if api.run_fair_choice(4, m, seed=100 + seed).agreed_value in target
+        )
+        assert hits >= 5  # statistical sanity bound well below the expected 2/3 * 14

@@ -1,0 +1,65 @@
+"""Tests for the one-call API and the result aggregation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api
+from repro.core.results import TrialAggregate, aggregate
+
+
+class TestRunners:
+    def test_run_many_aggregates(self):
+        stats = api.run_many(api.run_coinflip, range(4), n=4, rounds=1)
+        assert stats.trials == 4
+        assert stats.disagreement_rate == 0.0
+        assert stats.frequency(0) + stats.frequency(1) == pytest.approx(1.0)
+
+    def test_run_many_with_acast(self):
+        stats = api.run_many(api.run_acast, range(3), n=4, value="v", sender=0)
+        assert stats.trials == 3
+        assert stats.frequency("v") == 1.0
+
+    def test_default_coinflip_rounds_applied(self):
+        result = api.run_coinflip(4, seed=0)
+        instance = result.network.processes[0].protocol(("coinflip",))
+        assert instance.rounds == api.DEFAULT_COINFLIP_ROUNDS
+
+    def test_max_steps_override(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            api.run_coinflip(4, seed=0, rounds=2, max_steps=10)
+
+
+class TestAggregate:
+    def test_mean_metrics(self):
+        results = [api.run_acast(4, "x", sender=0, seed=seed) for seed in range(3)]
+        stats = aggregate(results)
+        assert stats.trials == 3
+        assert stats.mean_messages > 0
+        assert stats.mean_steps > 0
+        assert stats.mean_shun_events == 0.0
+
+    def test_hit_rate(self):
+        results = [api.run_coinflip(4, seed=seed, rounds=1) for seed in range(6)]
+        stats = aggregate(results)
+        total = stats.hit_rate(lambda v: v == 0) + stats.hit_rate(lambda v: v == 1)
+        assert total == pytest.approx(1.0)
+
+    def test_summary_keys(self):
+        stats = TrialAggregate()
+        stats.add(api.run_acast(4, "x", sender=0, seed=0))
+        summary = stats.summary()
+        assert {"trials", "disagreement_rate", "mean_messages"} <= set(summary)
+
+    def test_disagreement_counted(self):
+        stats = aggregate([api.run_weak_coin(4, seed=seed) for seed in range(6)])
+        assert 0.0 <= stats.disagreement_rate <= 1.0
+        assert stats.trials == 6
+
+    def test_empty_aggregate(self):
+        stats = TrialAggregate()
+        assert stats.frequency("anything") == 0.0
+        assert stats.disagreement_rate == 0.0
+        assert stats.mean_messages == 0.0

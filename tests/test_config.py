@@ -1,0 +1,90 @@
+"""Tests for protocol parameter validation (repro.core.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DEFAULT_PRIME, ProtocolParams, max_faults, validate_resilience
+from repro.errors import ConfigurationError
+
+
+class TestValidateResilience:
+    def test_minimum_configuration(self):
+        validate_resilience(4, 1)
+
+    def test_crash_free_configuration(self):
+        validate_resilience(1, 0)
+
+    def test_exact_boundary(self):
+        validate_resilience(7, 2)
+
+    def test_rejects_n_equal_3t(self):
+        with pytest.raises(ConfigurationError):
+            validate_resilience(3, 1)
+
+    def test_rejects_n_below_3t_plus_1(self):
+        with pytest.raises(ConfigurationError):
+            validate_resilience(6, 2)
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ConfigurationError):
+            validate_resilience(4, -1)
+
+    def test_rejects_zero_parties(self):
+        with pytest.raises(ConfigurationError):
+            validate_resilience(0, 0)
+
+
+class TestMaxFaults:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 0), (2, 0), (3, 0), (4, 1), (6, 1), (7, 2), (10, 3), (13, 4), (100, 33)],
+    )
+    def test_values(self, n, expected):
+        assert max_faults(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            max_faults(0)
+
+    def test_consistent_with_validation(self):
+        for n in range(1, 50):
+            validate_resilience(n, max_faults(n))
+
+
+class TestProtocolParams:
+    def test_for_parties_uses_max_faults(self):
+        params = ProtocolParams.for_parties(10)
+        assert params.n == 10
+        assert params.t == 3
+
+    def test_quorum_is_n_minus_t(self):
+        params = ProtocolParams(n=7, t=2)
+        assert params.quorum == 5
+
+    def test_party_ids(self):
+        params = ProtocolParams.for_parties(4)
+        assert list(params.party_ids) == [0, 1, 2, 3]
+
+    def test_is_valid_party(self):
+        params = ProtocolParams.for_parties(4)
+        assert params.is_valid_party(0)
+        assert params.is_valid_party(3)
+        assert not params.is_valid_party(4)
+        assert not params.is_valid_party(-1)
+
+    def test_default_prime(self):
+        assert ProtocolParams.for_parties(4).prime == DEFAULT_PRIME
+
+    def test_rejects_bad_resilience(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(n=4, t=2)
+
+    def test_rejects_tiny_prime(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(n=7, t=2, prime=5)
+
+    def test_frozen(self):
+        params = ProtocolParams.for_parties(4)
+        with pytest.raises(AttributeError):
+            params.n = 5  # type: ignore[misc]

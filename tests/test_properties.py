@@ -1,0 +1,93 @@
+"""Hypothesis property tests over the protocol stack.
+
+These generate random system sizes, inputs, fault patterns and schedules and
+assert the paper's invariants: agreement is never violated, unanimous validity
+always holds, outputs always come from the allowed domain, and honest-dealer
+SVSS always reconstructs the dealt secret.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary import CrashBehavior
+from repro.core import api
+
+SLOW = dict(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**SLOW)
+@given(
+    seed=st.integers(0, 10_000),
+    sender=st.integers(0, 3),
+    value=st.one_of(st.integers(), st.text(max_size=8), st.tuples(st.integers(), st.integers())),
+)
+def test_acast_validity_property(seed, sender, value):
+    """Whatever the sender broadcasts is exactly what every honest party delivers."""
+    result = api.run_acast(4, value, sender=sender, seed=seed)
+    assert result.agreed_value == value
+    assert len(result.outputs) == 4
+
+
+@settings(**SLOW)
+@given(seed=st.integers(0, 10_000), secret=st.integers(0, 2_147_483_646), dealer=st.integers(0, 3))
+def test_svss_honest_dealer_property(seed, secret, dealer):
+    """SVSS with an honest dealer always reconstructs the dealt secret everywhere."""
+    result = api.run_svss(4, secret, dealer=dealer, seed=seed)
+    assert result.agreed_value == secret
+
+
+@settings(**SLOW)
+@given(
+    seed=st.integers(0, 10_000),
+    inputs=st.lists(st.integers(0, 1), min_size=4, max_size=4),
+)
+def test_aba_agreement_and_validity_property(seed, inputs):
+    """ABA outputs a single bit; if inputs are unanimous it is that bit."""
+    mapping = dict(enumerate(inputs))
+    result = api.run_aba(4, mapping, seed=seed)
+    assert not result.disagreement
+    assert result.agreed_value in (0, 1)
+    if len(set(inputs)) == 1:
+        assert result.agreed_value == inputs[0]
+
+
+@settings(**SLOW)
+@given(seed=st.integers(0, 10_000), crash=st.one_of(st.none(), st.integers(0, 3)))
+def test_coinflip_agreement_property(seed, crash):
+    """The strong coin never lets honest parties disagree, with or without a crash."""
+    corruptions = {crash: CrashBehavior.factory()} if crash is not None else None
+    result = api.run_coinflip(4, seed=seed, rounds=1, corruptions=corruptions)
+    assert not result.disagreement
+    assert result.agreed_value in (0, 1)
+
+
+@settings(**SLOW)
+@given(
+    seed=st.integers(0, 10_000),
+    values=st.lists(st.sampled_from(["a", "b", "c", "unanimous"]), min_size=4, max_size=4),
+)
+def test_fba_agreement_and_validity_property(seed, values):
+    """FBA always agrees, outputs someone's input, and honours unanimity."""
+    inputs = dict(enumerate(values))
+    result = api.run_fba(4, inputs, seed=seed, coinflip_rounds=1)
+    assert not result.disagreement
+    assert result.agreed_value in set(values)
+    if len(set(values)) == 1:
+        assert result.agreed_value == values[0]
+
+
+@settings(**SLOW)
+@given(seed=st.integers(0, 10_000), ready_extra=st.integers(0, 1))
+def test_common_subset_property(seed, ready_extra):
+    """CommonSubset outputs an agreed set of size >= n - t drawn from ready parties."""
+    ready = [0, 1, 2] + ([3] if ready_extra else [])
+    result = api.run_common_subset(4, ready, seed=seed)
+    assert not result.disagreement
+    subset = result.agreed_value
+    assert len(subset) >= 3
+    assert set(subset) <= set(ready)
