@@ -3,28 +3,51 @@
 The paper's motivation for the *strong* common coin: a weak coin lets honest
 parties disagree with constant probability, a strong coin never does.  We
 measure the disagreement rate of both under asynchronous (random) scheduling.
+
+Both measurements are expressed as a declarative campaign
+(:mod:`repro.experiments`), so the same sweep can also be run standalone::
+
+    python -m repro.experiments run <campaign.json> --workers 4
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import print_table
-from repro.core import api
+from repro.experiments import CampaignSpec, ExperimentSpec, run_campaign
 
 TRIALS = 30
 
-
-def _disagreement_rate(runner, **kwargs) -> float:
-    stats = api.run_many(runner, range(TRIALS), **kwargs)
-    return stats.disagreement_rate
+CAMPAIGN = CampaignSpec(
+    name="e2-strong-vs-weak",
+    cells=[
+        ExperimentSpec(
+            name="strong-coin",
+            protocol="coinflip",
+            n=4,
+            seeds=list(range(TRIALS)),
+            params={"rounds": 1},
+        ),
+        ExperimentSpec(
+            name="weak-coin",
+            protocol="weak_coin",
+            n=4,
+            seeds=list(range(TRIALS)),
+        ),
+    ],
+)
 
 
 def test_e2_strong_vs_weak_coin_agreement(benchmark):
     strong_rate = benchmark.pedantic(
-        lambda: _disagreement_rate(api.run_coinflip, n=4, rounds=1),
+        lambda: run_campaign(CampaignSpec(name="e2-strong", cells=[CAMPAIGN.cell("strong-coin")]))[
+            "strong-coin"
+        ].disagreement_rate,
         rounds=1,
         iterations=1,
     )
-    weak_rate = _disagreement_rate(api.run_weak_coin, n=4)
+    weak_rate = run_campaign(
+        CampaignSpec(name="e2-weak", cells=[CAMPAIGN.cell("weak-coin")])
+    )["weak-coin"].disagreement_rate
     print_table(
         "E2: honest-party disagreement rate (asynchronous scheduling, n=4)",
         ["primitive", "disagreement rate", "paper claim"],
@@ -46,7 +69,11 @@ def test_e2_weak_coin_disagreement_is_real(benchmark):
     than failed -- the weak coin is only *allowed* to disagree.
     """
     rate = benchmark.pedantic(
-        lambda: _disagreement_rate(api.run_weak_coin, n=4), rounds=1, iterations=1
+        lambda: run_campaign(
+            CampaignSpec(name="e2b-weak", cells=[CAMPAIGN.cell("weak-coin")])
+        )["weak-coin"].disagreement_rate,
+        rounds=1,
+        iterations=1,
     )
     print_table(
         "E2b: weak coin disagreement over a wider seed sweep",

@@ -5,46 +5,64 @@ Measures, against a value-injecting Byzantine party:
 * unanimous honest inputs always win (classic validity), and
 * with divergent honest inputs, the adversary's value wins at most about half
   the time (fair validity) -- the paper's headline property.
+
+Each measurement is one cell of a declarative campaign
+(:mod:`repro.experiments`): the adversary (behaviour + scheduler) and the
+seed sweep live in data, not in hand-rolled loops.
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import print_table
-from repro.adversary import FBAValueInjector
-from repro.adversary.scheduling import favour_parties
-from repro.core import api
+from repro.experiments import (
+    BehaviorSpec,
+    CampaignSpec,
+    ExperimentSpec,
+    SchedulerSpec,
+    run_campaign,
+)
 
 TRIALS = 16
 ADVERSARY = 3
 EVIL = "adversary-value"
 
+INJECTOR = {ADVERSARY: BehaviorSpec("fba_value_injector", {"value": EVIL})}
+
+
+def _fba_cell(name: str, inputs, seeds, adversary=None, scheduler=None) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        protocol="fba",
+        n=4,
+        seeds=list(seeds),
+        params={"inputs": dict(inputs), "coinflip_rounds": 1},
+        adversary=dict(adversary or {}),
+        scheduler=scheduler,
+    )
+
+
+def _run_cell(cell: ExperimentSpec):
+    return run_campaign(CampaignSpec(name=f"e5-{cell.name}", cells=[cell]))[cell.name]
+
 
 def test_e5_unanimous_validity(benchmark):
     inputs = {0: "honest", 1: "honest", 2: "honest", 3: EVIL}
 
-    single = benchmark(
-        lambda: api.run_fba(
-            4,
-            inputs,
-            seed=0,
-            coinflip_rounds=1,
-            corruptions={ADVERSARY: FBAValueInjector.factory(EVIL)},
-            scheduler=favour_parties([ADVERSARY]),
+    rushed = benchmark(
+        lambda: _run_cell(
+            _fba_cell(
+                "unanimous-rushed",
+                inputs,
+                seeds=[0],
+                adversary=INJECTOR,
+                scheduler=SchedulerSpec("favour_parties", {"favoured": [ADVERSARY]}),
+            )
         )
     )
-    assert single.agreed_value == "honest"
+    assert rushed.frequency("honest") == 1.0
 
-    wins = 0
-    for seed in range(TRIALS):
-        result = api.run_fba(
-            4,
-            inputs,
-            seed=seed,
-            coinflip_rounds=1,
-            corruptions={ADVERSARY: FBAValueInjector.factory(EVIL)},
-        )
-        if result.agreed_value == "honest":
-            wins += 1
+    stats = _run_cell(_fba_cell("unanimous", inputs, seeds=range(TRIALS), adversary=INJECTOR))
+    wins = stats.value_counts[repr("honest")]
     print_table(
         "E5: FBA with unanimous honest inputs vs value-injecting adversary",
         ["trials", "honest wins", "paper claim"],
@@ -57,31 +75,20 @@ def test_e5_fair_validity_with_divergent_inputs(benchmark):
     inputs = {0: "h0", 1: "h1", 2: "h2", 3: EVIL}
 
     single = benchmark(
-        lambda: api.run_fba(
-            4,
-            inputs,
-            seed=0,
-            coinflip_rounds=1,
-            corruptions={ADVERSARY: FBAValueInjector.factory(EVIL)},
+        lambda: _run_cell(
+            _fba_cell("divergent-single", inputs, seeds=[0], adversary=INJECTOR)
         )
     )
-    assert single.agreed_value in {"h0", "h1", "h2", EVIL}
+    assert single.disagreements == 0
+    assert sum(single.value_counts.values()) == 1
+    assert set(single.value_counts) <= {repr(v) for v in ("h0", "h1", "h2", EVIL)}
 
-    honest_wins = 0
-    adversary_wins = 0
-    for seed in range(TRIALS):
-        result = api.run_fba(
-            4,
-            inputs,
-            seed=100 + seed,
-            coinflip_rounds=1,
-            corruptions={ADVERSARY: FBAValueInjector.factory(EVIL)},
-        )
-        assert not result.disagreement
-        if result.agreed_value == EVIL:
-            adversary_wins += 1
-        else:
-            honest_wins += 1
+    stats = _run_cell(
+        _fba_cell("divergent", inputs, seeds=range(100, 100 + TRIALS), adversary=INJECTOR)
+    )
+    assert stats.disagreements == 0
+    adversary_wins = stats.value_counts[repr(EVIL)]
+    honest_wins = stats.trials - adversary_wins
     print_table(
         "E5b: FBA fair validity with divergent honest inputs",
         ["trials", "honest value wins", "adversary value wins", "paper claim"],
@@ -94,16 +101,16 @@ def test_e5_fair_validity_with_divergent_inputs(benchmark):
 def test_e5_fair_validity_without_corruption(benchmark):
     """All-honest divergent inputs: the output is always someone's input."""
     inputs = {0: "a", 1: "b", 2: "c", 3: "d"}
-    single = benchmark(lambda: api.run_fba(4, inputs, seed=0, coinflip_rounds=1))
-    assert single.agreed_value in set(inputs.values())
+    single = benchmark(lambda: _run_cell(_fba_cell("all-honest-single", inputs, seeds=[0])))
+    assert single.disagreements == 0
+    assert sum(single.value_counts.values()) == 1
+    assert set(single.value_counts) <= {repr(v) for v in inputs.values()}
 
-    winners = {}
-    for seed in range(TRIALS):
-        result = api.run_fba(4, inputs, seed=seed, coinflip_rounds=1)
-        winners[result.agreed_value] = winners.get(result.agreed_value, 0) + 1
+    stats = _run_cell(_fba_cell("all-honest", inputs, seeds=range(TRIALS)))
     print_table(
         "E5c: FBA winner distribution, four distinct honest inputs",
         ["value", "wins"],
-        sorted(winners.items()),
+        sorted(stats.value_counts.items()),
     )
-    assert set(winners) <= set(inputs.values())
+    assert set(stats.value_counts) <= {repr(v) for v in inputs.values()}
+    assert stats.disagreements == 0

@@ -1,0 +1,87 @@
+"""Campaign demo: sweep the strong coin's bias, honestly and under attack.
+
+Builds a declarative campaign over ``CoinFlip`` grid points (iteration counts
+crossed with an honest run vs. a bit-rigging Byzantine dealer), runs it on a
+worker pool, persists the aggregates to JSON, then reloads the artifact and
+prints the measured coin bias per cell.
+
+The point of the subsystem: the whole sweep below is *data*.  Saved with
+``campaign.save(...)`` it can be re-run, resumed or extended from the CLI::
+
+    python -m repro.experiments run bias_sweep.json --workers 4
+
+Run with::
+
+    PYTHONPATH=src python examples/campaign_bias_sweep.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments import (
+    BehaviorSpec,
+    CampaignSpec,
+    ExperimentSpec,
+    ResultStore,
+    run_campaign,
+)
+
+TRIALS = 20
+
+
+def build_campaign() -> CampaignSpec:
+    cells = []
+    for rounds in (1, 3):
+        for attack in (None, "rigged-dealer"):
+            adversary = (
+                {3: BehaviorSpec("deterministic_value_dealer", {"value": 0})}
+                if attack
+                else {}
+            )
+            cells.append(
+                ExperimentSpec(
+                    name=f"rounds={rounds},{attack or 'honest'}",
+                    protocol="coinflip",
+                    n=4,
+                    seeds=list(range(TRIALS)),
+                    params={"rounds": rounds, "epsilon": 0.25},
+                    adversary=adversary,
+                )
+            )
+    return CampaignSpec(name="coin-bias-sweep", cells=cells)
+
+
+def main() -> None:
+    campaign = build_campaign()
+    out_path = Path(tempfile.mkdtemp(prefix="bias-sweep-")) / "results.json"
+    store = ResultStore.open(out_path)
+
+    print(f"== {campaign.name}: {len(campaign.cells)} cells x {TRIALS} trials, 2 workers ==")
+    run_campaign(
+        campaign,
+        workers=2,
+        store=store,
+        progress=lambda event: print(
+            f"  [{event.completed}/{event.total}] {event.cell}"
+        ),
+    )
+
+    # Reload from the persisted artifact (what the CLI `report` would read).
+    reloaded = ResultStore.open(out_path)
+    print(f"\nresults persisted to {out_path}\n")
+    print(f"{'cell':<28} {'P[coin=0]':>10} {'P[coin=1]':>10} {'bias':>8}")
+    for name in reloaded.cell_names():
+        stats = reloaded.get(name)
+        p0, p1 = stats.frequency(0), stats.frequency(1)
+        print(f"{name:<28} {p0:>10.2f} {p1:>10.2f} {abs(p0 - 0.5):>8.2f}")
+    print(
+        "\nThe rigged dealer cannot push the XOR-combined coin off balance:\n"
+        "hiding means its constant bits are independent of the honest bits\n"
+        "(Theorem 3.4's bias bound epsilon covers exactly this adversary)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,45 @@
-"""Setuptools shim.
+"""Packaging for the PODC 2020 Abraham-Dolev-Stern reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that editable installs work in offline environments whose setuptools lacks
-the PEP 660 editable-wheel path (no ``wheel`` package available).
+Kept as a plain ``setup.py`` (rather than ``pyproject.toml``) so editable
+installs work in offline environments whose setuptools lacks the PEP 660
+editable-wheel path (no ``wheel`` package available).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single-source the version from the package itself.
+VERSION = re.search(
+    r'^__version__ = "(.+?)"',
+    (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-podc-abrahamds20",
+    version=VERSION,
+    description=(
+        "Reproduction of 'Revisiting Asynchronous Fault Tolerant Computation "
+        "with Optimal Resilience' (Abraham, Dolev, Stern; PODC 2020): "
+        "asynchronous network simulator, SVSS/CoinFlip/FBA protocol stack, "
+        "lower-bound attacks and a parallel experiment-campaign harness."
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro-experiments = repro.experiments.cli:main",
+        ]
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

@@ -18,7 +18,7 @@ from repro.core import api
 from repro.core.config import DEFAULT_PRIME, ProtocolParams, max_faults
 from repro.net.runtime import Simulation, SimulationResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "api",

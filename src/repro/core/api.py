@@ -34,10 +34,13 @@ from repro.protocols.weak_coin import WeakCommonCoin
 BehaviorFactory = Callable[[Process], Any]
 Corruptions = Optional[Mapping[int, BehaviorFactory]]
 
-#: Default iteration override used when callers do not specify one; keeps
-#: simulations fast while exercising the full mechanism (see DESIGN.md).  An
-#: odd value avoids majority ties, which at simulation scale would visibly
-#: skew the coin towards the tie-breaking value.
+#: Default iteration override used when callers do not specify one.  The
+#: paper's CoinFlip runs k = Theta(log(1/epsilon)) SVSS iterations; at
+#: simulation scale a handful of iterations already exercises the full
+#: mechanism (dealing, reconstruction, XOR combination) while keeping each
+#: trial fast enough for thousand-seed sweeps.  An odd value avoids majority
+#: ties, which at simulation scale would visibly skew the coin towards the
+#: tie-breaking value.
 DEFAULT_COINFLIP_ROUNDS = 5
 
 
@@ -242,13 +245,33 @@ def run_fba(
 def run_many(
     runner: Callable[..., SimulationResult],
     seeds: Iterable[int],
+    workers: int = 1,
+    chunk_trials: Optional[int] = None,
     **kwargs: Any,
 ) -> TrialAggregate:
     """Run ``runner`` once per seed and aggregate the outcomes.
 
+    With ``workers > 1`` the seeds are fanned out across a process pool via
+    :mod:`repro.experiments.runner`, ``chunk_trials`` seeds per task; every
+    trial is still seeded explicitly and chunk aggregates travel back as
+    pickled objects, so the result is identical to a sequential run.
+    Parallel execution requires ``runner`` and all ``kwargs`` to be picklable
+    (module-level functions and plain data are; lambdas and bound schedulers
+    may not be).
+
     Example::
 
-        stats = run_many(run_coinflip, range(50), n=4, rounds=3)
+        stats = run_many(run_coinflip, range(50), n=4, rounds=3, workers=4)
         print(stats.frequency(0), stats.frequency(1))
     """
+    if workers > 1:
+        from repro.experiments.runner import DEFAULT_CHUNK_TRIALS, run_seeds
+
+        return run_seeds(
+            runner,
+            seeds,
+            workers=workers,
+            chunk_trials=chunk_trials or DEFAULT_CHUNK_TRIALS,
+            **kwargs,
+        )
     return aggregate(runner(seed=seed, **kwargs) for seed in seeds)

@@ -16,6 +16,25 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.net.runtime import SimulationResult
 
 
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of an output value to JSON-compatible types.
+
+    Primitive values pass through unchanged; containers are converted
+    recursively (dictionary keys become strings, as JSON requires); anything
+    else falls back to ``repr``, which is also how :class:`TrialAggregate`
+    keys its value counts.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(item) for item in value), key=repr)
+    return repr(value)
+
+
 @dataclass
 class TrialAggregate:
     """Statistics over a batch of simulated executions of one protocol."""
@@ -41,6 +60,63 @@ class TrialAggregate:
         value = result.values[0] if result.values else None
         self.outputs.append(value)
         self.value_counts[repr(value)] += 1
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "TrialAggregate") -> "TrialAggregate":
+        """Return a new aggregate combining ``self`` then ``other``.
+
+        Merging preserves trial order (``self``'s outputs come first), so
+        folding per-chunk aggregates back together in dispatch order yields
+        exactly the aggregate a sequential run would have produced.  The
+        operation is associative with :meth:`empty` as identity, which is what
+        lets the campaign runner fan chunks out to worker processes.
+        """
+        combined = TrialAggregate(
+            trials=self.trials + other.trials,
+            disagreements=self.disagreements + other.disagreements,
+            value_counts=self.value_counts + other.value_counts,
+            total_messages=self.total_messages + other.total_messages,
+            total_steps=self.total_steps + other.total_steps,
+            total_shun_events=self.total_shun_events + other.total_shun_events,
+            outputs=self.outputs + other.outputs,
+        )
+        return combined
+
+    @classmethod
+    def empty(cls) -> "TrialAggregate":
+        """The identity element for :meth:`merge`."""
+        return cls()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-compatible representation (lossless up to :func:`_jsonable`).
+
+        Unlike :meth:`summary` this keeps the raw totals and per-trial
+        outputs, so aggregates can be persisted, shipped across process
+        boundaries and recombined with :meth:`merge` after
+        :meth:`from_dict`.
+        """
+        return {
+            "trials": self.trials,
+            "disagreements": self.disagreements,
+            "value_counts": dict(self.value_counts),
+            "total_messages": self.total_messages,
+            "total_steps": self.total_steps,
+            "total_shun_events": self.total_shun_events,
+            "outputs": [_jsonable(output) for output in self.outputs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrialAggregate":
+        """Rebuild an aggregate from :meth:`to_dict` output."""
+        return cls(
+            trials=int(data["trials"]),
+            disagreements=int(data["disagreements"]),
+            value_counts=Counter(data["value_counts"]),
+            total_messages=int(data["total_messages"]),
+            total_steps=int(data["total_steps"]),
+            total_shun_events=int(data["total_shun_events"]),
+            outputs=list(data["outputs"]),
+        )
 
     # ------------------------------------------------------------------
     def frequency(self, value: Any) -> float:

@@ -42,3 +42,8 @@ class SimulationError(ReproError):
 
 class SchedulingError(ReproError):
     """Raised when a scheduler returns an invalid choice."""
+
+
+class ExperimentError(ReproError):
+    """Raised for invalid campaign specs, unknown registry names and
+    incompatible result stores in :mod:`repro.experiments`."""

@@ -1,0 +1,47 @@
+"""Experiment campaign subsystem: declarative sweeps, parallel execution,
+persisted results.
+
+The paper's claims are statistical statements over many executions; this
+package turns "many executions" into a first-class artifact:
+
+* :mod:`~repro.experiments.spec` -- JSON-serializable campaign descriptions,
+* :mod:`~repro.experiments.registry` -- string names for runners, behaviours
+  and schedulers,
+* :mod:`~repro.experiments.runner` -- deterministic sequential/parallel
+  orchestration,
+* :mod:`~repro.experiments.store` -- persisted, resumable results,
+* :mod:`~repro.experiments.cli` -- ``python -m repro.experiments`` /
+  ``repro-experiments``.
+"""
+
+from repro.experiments.registry import BEHAVIORS, RUNNERS, SCHEDULERS
+from repro.experiments.runner import (
+    CampaignProgress,
+    run_campaign,
+    run_cell,
+    run_seeds,
+    run_trial,
+)
+from repro.experiments.spec import (
+    BehaviorSpec,
+    CampaignSpec,
+    ExperimentSpec,
+    SchedulerSpec,
+)
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "BEHAVIORS",
+    "RUNNERS",
+    "SCHEDULERS",
+    "BehaviorSpec",
+    "CampaignProgress",
+    "CampaignSpec",
+    "ExperimentSpec",
+    "ResultStore",
+    "SchedulerSpec",
+    "run_campaign",
+    "run_cell",
+    "run_seeds",
+    "run_trial",
+]

@@ -1,0 +1,207 @@
+"""Command-line front end for experiment campaigns.
+
+Usage (also installed as the ``repro-experiments`` console script)::
+
+    python -m repro.experiments run campaign.json --workers 4
+    python -m repro.experiments report campaign.results.json
+    python -m repro.experiments validate campaign.json
+
+``run`` executes (or resumes) a campaign and persists per-cell aggregates to
+the ``--out`` JSON file; cells already present in the file with a matching
+spec hash are skipped, so re-running after an interruption only pays for the
+missing cells.  ``report`` pretty-prints a results file; ``--drop CELL``
+removes one cell first (the next ``run`` recomputes exactly that cell).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import BEHAVIORS, RUNNERS, SCHEDULERS
+from repro.experiments.runner import DEFAULT_CHUNK_TRIALS, CampaignProgress, run_campaign
+from repro.experiments.spec import CampaignSpec
+from repro.experiments.store import ResultStore
+
+
+def _print_table(header: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(column) for column in header]
+    for row in rows:
+        widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+    line = "  ".join(name.ljust(width) for name, width in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+def _default_out(campaign_path: Path) -> Path:
+    return campaign_path.with_name(campaign_path.stem + ".results.json")
+
+
+def _summary_rows(summaries: Dict[str, Dict[str, Any]]) -> List[Sequence[Any]]:
+    rows: List[Sequence[Any]] = []
+    for name, summary in sorted(summaries.items()):
+        counts = ", ".join(
+            f"{value}: {count}" for value, count in sorted(summary["value_counts"].items())
+        )
+        rows.append(
+            (
+                name,
+                summary["trials"],
+                f"{summary['disagreement_rate']:.3f}",
+                summary["mean_messages"],
+                summary["mean_steps"],
+                counts or "-",
+            )
+        )
+    return rows
+
+
+SUMMARY_HEADER = ("cell", "trials", "disagree", "msgs/trial", "steps/trial", "value counts")
+
+
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    campaign_path = Path(args.campaign)
+    campaign = CampaignSpec.load(campaign_path)
+    out_path = Path(args.out) if args.out else _default_out(campaign_path)
+    if args.fresh and out_path.exists():
+        out_path.unlink()
+    store = ResultStore.open(out_path)
+
+    def report_progress(event: CampaignProgress) -> None:
+        if args.quiet:
+            return
+        state = "resumed" if event.resumed else "ran"
+        print(
+            f"[{event.completed}/{event.total}] {event.cell}: "
+            f"{state} {event.cell_completed}/{event.cell_trials} trials",
+            flush=True,
+        )
+
+    results = run_campaign(
+        campaign,
+        workers=args.workers,
+        store=store,
+        progress=report_progress,
+        chunk_trials=args.chunk_trials,
+    )
+    if not args.quiet:
+        print()
+        print(f"campaign {campaign.name!r}: {campaign.trials} trials, "
+              f"{len(results)} cells -> {out_path}")
+        _print_table(
+            SUMMARY_HEADER,
+            _summary_rows({name: agg.summary() for name, agg in results.items()}),
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore.open(Path(args.results))
+    if args.drop:
+        if not store.delete(args.drop):
+            print(f"no cell {args.drop!r} in {args.results}", file=sys.stderr)
+            return 1
+        store.save()
+        print(f"dropped cell {args.drop!r}; the next `run` will recompute it")
+        return 0
+    print(f"campaign: {store.campaign}")
+    _print_table(SUMMARY_HEADER, _summary_rows(store.summaries()))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    campaign = CampaignSpec.load(Path(args.campaign))
+    campaign.validate()
+    unknown: List[str] = []
+    for cell in campaign.cells:
+        if cell.protocol not in RUNNERS:
+            unknown.append(f"cell {cell.name!r}: unknown protocol {cell.protocol!r}")
+        for spec in cell.adversary.values():
+            if spec.behavior not in BEHAVIORS:
+                unknown.append(f"cell {cell.name!r}: unknown behavior {spec.behavior!r}")
+        if cell.scheduler is not None and cell.scheduler.scheduler not in SCHEDULERS:
+            unknown.append(
+                f"cell {cell.name!r}: unknown scheduler {cell.scheduler.scheduler!r}"
+            )
+    if unknown:
+        for line in unknown:
+            print(line, file=sys.stderr)
+        return 1
+    print(
+        f"campaign {campaign.name!r}: {len(campaign.cells)} cells, "
+        f"{campaign.trials} trials, ok"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run, resume and report declarative experiment campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run (or resume) a campaign")
+    run_parser.add_argument("campaign", help="path to a campaign JSON spec")
+    run_parser.add_argument(
+        "--out", help="results JSON path (default: <campaign>.results.json)"
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: 1)"
+    )
+    run_parser.add_argument(
+        "--chunk-trials",
+        type=int,
+        default=DEFAULT_CHUNK_TRIALS,
+        help=f"seeds per dispatched chunk (default: {DEFAULT_CHUNK_TRIALS})",
+    )
+    run_parser.add_argument(
+        "--fresh", action="store_true", help="discard existing results instead of resuming"
+    )
+    run_parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    report_parser = sub.add_parser("report", help="summarise a results file")
+    report_parser.add_argument("results", help="path to a results JSON file")
+    report_parser.add_argument(
+        "--drop", metavar="CELL", help="delete one cell's result (forces recompute)"
+    )
+    report_parser.set_defaults(handler=_cmd_report)
+
+    validate_parser = sub.add_parser(
+        "validate", help="check a campaign spec without running it"
+    )
+    validate_parser.add_argument("campaign", help="path to a campaign JSON spec")
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # Completed cells are already persisted; re-running resumes there.
+        print("\ninterrupted; completed cells were saved -- re-run to resume",
+              file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

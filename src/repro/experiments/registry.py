@@ -1,0 +1,153 @@
+"""String-keyed registries binding campaign specs to executable code.
+
+Campaign specs (:mod:`repro.experiments.spec`) refer to protocol runners,
+adversarial behaviours and message schedulers by *name* so they stay plain
+JSON.  The three registries here resolve those names:
+
+* :data:`RUNNERS` -- the one-call runners from :mod:`repro.core.api`.
+* :data:`BEHAVIORS` -- behaviour-factory builders from
+  :mod:`repro.adversary.behaviors` / :mod:`repro.adversary.attacks`.
+* :data:`SCHEDULERS` -- scheduler builders from :mod:`repro.net.scheduler`
+  and :mod:`repro.adversary.scheduling`.
+
+Downstream code can extend any registry::
+
+    @RUNNERS.register("my_protocol")
+    def run_my_protocol(n, seed=0, scheduler=None, corruptions=None):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.adversary import attacks, behaviors, scheduling
+from repro.core import api
+from repro.errors import ExperimentError
+from repro.experiments.spec import BehaviorSpec, SchedulerSpec
+from repro.net import scheduler as net_scheduler
+
+
+class Registry:
+    """A named mapping from string keys to callables.
+
+    Each entry may carry a *normalizer*: a function applied to the keyword
+    arguments before the entry is invoked.  Normalizers repair the lossy bits
+    of JSON -- most importantly integer dictionary keys (JSON object keys are
+    always strings), e.g. the ``inputs`` maps of the agreement runners.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Callable[..., Any]] = {}
+        self._normalizers: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {}
+
+    def register(
+        self,
+        name: str,
+        normalizer: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering ``name``; re-registration overrides."""
+
+        def install(target: Callable[..., Any]) -> Callable[..., Any]:
+            self._entries[name] = target
+            if normalizer is not None:
+                self._normalizers[name] = normalizer
+            return target
+
+        return install
+
+    def add(self, name: str, target: Callable[..., Any], **kwargs: Any) -> None:
+        """Function-call form of :meth:`register`."""
+        self.register(name, **kwargs)(target)
+
+    def get(self, name: str) -> Callable[..., Any]:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise ExperimentError(
+                f"unknown {self.kind} {name!r}; known: {known}"
+            ) from None
+
+    def normalize(self, name: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply the entry's normalizer (if any) to keyword arguments."""
+        normalizer = self._normalizers.get(name)
+        return normalizer(dict(kwargs)) if normalizer else dict(kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+
+RUNNERS = Registry("protocol runner")
+BEHAVIORS = Registry("adversary behavior")
+SCHEDULERS = Registry("scheduler")
+
+
+# ----------------------------------------------------------------------
+# Normalizers
+def _int_keyed_inputs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON object keys are strings; party-indexed maps need int keys back."""
+    if "inputs" in kwargs:
+        kwargs["inputs"] = {int(pid): value for pid, value in kwargs["inputs"].items()}
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# Protocol runners (repro.core.api)
+RUNNERS.add("acast", api.run_acast)
+RUNNERS.add("svss", api.run_svss)
+RUNNERS.add("aba", api.run_aba, normalizer=_int_keyed_inputs)
+RUNNERS.add("common_subset", api.run_common_subset)
+RUNNERS.add("weak_coin", api.run_weak_coin)
+RUNNERS.add("coinflip", api.run_coinflip)
+RUNNERS.add("fair_choice", api.run_fair_choice)
+RUNNERS.add("fba", api.run_fba, normalizer=_int_keyed_inputs)
+
+
+# ----------------------------------------------------------------------
+# Adversarial behaviours.  Each entry is a ``(**params) -> factory`` builder;
+# the returned factory is the ``process -> Behavior`` callable that
+# :meth:`repro.net.runtime.Simulation.corrupt` expects.
+BEHAVIORS.add("crash", behaviors.CrashBehavior.factory)
+BEHAVIORS.add("silent_after", behaviors.SilentAfterBehavior.factory)
+BEHAVIORS.add("replay", behaviors.ReplayBehavior.factory)
+BEHAVIORS.add("random_noise", behaviors.RandomNoiseBehavior.factory)
+BEHAVIORS.add("equivocating", behaviors.EquivocatingBehavior.factory)
+BEHAVIORS.add("withholding_dealer", attacks.WithholdingDealerBehavior.factory)
+BEHAVIORS.add("bad_share", attacks.BadShareBehavior.factory)
+BEHAVIORS.add("point_corrupting", attacks.PointCorruptingBehavior.factory)
+BEHAVIORS.add("deterministic_value_dealer", attacks.DeterministicValueDealer.factory)
+BEHAVIORS.add("fba_value_injector", attacks.FBAValueInjector.factory)
+
+
+# ----------------------------------------------------------------------
+# Schedulers
+SCHEDULERS.add("fifo", net_scheduler.FIFOScheduler)
+SCHEDULERS.add("random", net_scheduler.RandomScheduler)
+SCHEDULERS.add("isolate_party", scheduling.isolate_party)
+SCHEDULERS.add("favour_parties", scheduling.favour_parties)
+SCHEDULERS.add("split_brain", scheduling.split_brain)
+SCHEDULERS.add("delay_protocol", scheduling.delay_protocol)
+SCHEDULERS.add("delay_from_parties", net_scheduler.delay_from_parties)
+SCHEDULERS.add("delay_to_parties", net_scheduler.delay_to_parties)
+
+
+# ----------------------------------------------------------------------
+def build_behavior_factory(spec: BehaviorSpec) -> Callable[..., Any]:
+    """Instantiate the behaviour factory a :class:`BehaviorSpec` names."""
+    builder = BEHAVIORS.get(spec.behavior)
+    params = BEHAVIORS.normalize(spec.behavior, spec.params)
+    return builder(**params)
+
+
+def build_scheduler(spec: Optional[SchedulerSpec]) -> Optional[net_scheduler.Scheduler]:
+    """Instantiate the scheduler a :class:`SchedulerSpec` names (or ``None``)."""
+    if spec is None:
+        return None
+    builder = SCHEDULERS.get(spec.scheduler)
+    params = SCHEDULERS.normalize(spec.scheduler, spec.params)
+    return builder(**params)

@@ -1,0 +1,254 @@
+"""Campaign orchestration: sequential or process-parallel trial execution.
+
+The runner turns a :class:`~repro.experiments.spec.CampaignSpec` into
+:class:`~repro.core.results.TrialAggregate` statistics, one per cell.  Trials
+are grouped into fixed-size *chunks*; each chunk is executed by a worker (a
+``multiprocessing`` pool process, or inline when ``workers <= 1``) and the
+per-chunk aggregates are merged back **in chunk order**.
+
+Determinism: every trial is seeded explicitly from the spec's seed list and
+workers carry no other randomness, so the merged statistics are identical
+whatever the worker count or completion order -- a parallel campaign is
+byte-for-byte the same artifact as a sequential one.  This is asserted by
+``tests/experiments/test_runner.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.results import TrialAggregate
+from repro.experiments.registry import RUNNERS, build_behavior_factory, build_scheduler
+from repro.experiments.spec import CampaignSpec, ExperimentSpec
+from repro.experiments.store import ResultStore
+from repro.net.runtime import SimulationResult
+
+#: Seeds per dispatched chunk.  Small enough to keep a pool busy and progress
+#: lively, large enough to amortise task pickling.
+DEFAULT_CHUNK_TRIALS = 8
+
+ProgressCallback = Callable[["CampaignProgress"], None]
+
+
+@dataclass
+class CampaignProgress:
+    """Progress snapshot passed to the runner's progress callback."""
+
+    cell: str
+    cell_completed: int
+    cell_trials: int
+    completed: int
+    total: int
+    resumed: bool = False
+
+
+def _chunks(seeds: Sequence[int], size: int) -> List[List[int]]:
+    return [list(seeds[start : start + size]) for start in range(0, len(seeds), size)]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits ``sys.path``); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ----------------------------------------------------------------------
+# Trial execution (shared by the inline and pooled paths)
+def run_trial(cell: ExperimentSpec, seed: int) -> SimulationResult:
+    """Run one trial of ``cell``: resolve registry names, build, simulate."""
+    runner = RUNNERS.get(cell.protocol)
+    kwargs = RUNNERS.normalize(cell.protocol, cell.params)
+    corruptions = {
+        pid: build_behavior_factory(spec) for pid, spec in sorted(cell.adversary.items())
+    }
+    return runner(
+        n=cell.n,
+        seed=seed,
+        scheduler=build_scheduler(cell.scheduler),
+        corruptions=corruptions or None,
+        **kwargs,
+    )
+
+
+def _run_cell_chunk(task: Tuple[int, Dict[str, Any], List[int]]) -> Tuple[int, Dict[str, Any]]:
+    """Worker entry point: run one chunk of one cell's seeds.
+
+    Takes and returns plain picklable data (the cell as a dict, the aggregate
+    as a dict) so it works under both fork and spawn start methods.  The
+    sequential path calls this exact function inline, which is what makes
+    parallel and sequential campaigns bit-identical by construction.
+    """
+    index, cell_dict, seeds = task
+    cell = ExperimentSpec.from_dict(cell_dict)
+    aggregate = TrialAggregate()
+    for seed in seeds:
+        aggregate.add(run_trial(cell, seed))
+    return index, aggregate.to_dict()
+
+
+def run_cell(cell: ExperimentSpec, chunk_trials: int = DEFAULT_CHUNK_TRIALS) -> TrialAggregate:
+    """Run every trial of one cell sequentially and return its aggregate."""
+    cell.validate()
+    merged = TrialAggregate.empty()
+    cell_dict = cell.to_dict()
+    for index, chunk in enumerate(_chunks(cell.seeds, chunk_trials)):
+        _, chunk_dict = _run_cell_chunk((index, cell_dict, chunk))
+        merged = merged.merge(TrialAggregate.from_dict(chunk_dict))
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Campaign orchestration
+def run_campaign(
+    campaign: CampaignSpec,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressCallback] = None,
+    chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+) -> Dict[str, TrialAggregate]:
+    """Run (or resume) a campaign and return ``{cell name: aggregate}``.
+
+    Args:
+        campaign: the declarative spec; validated before anything runs.
+        workers: process-pool size; ``<= 1`` runs inline in this process.
+        store: optional :class:`ResultStore`.  Cells whose results are
+            already persisted (matching spec hash) are *not* re-run; freshly
+            completed cells are persisted -- and the store saved -- as soon
+            as their last chunk lands, so an interrupted campaign resumes at
+            cell granularity.
+        progress: optional callback invoked after every completed chunk (and
+            once per resumed cell) with a :class:`CampaignProgress`.
+        chunk_trials: seeds per dispatched chunk.
+    """
+    campaign.validate()
+    for cell in campaign.cells:  # fail fast on unknown registry names
+        RUNNERS.get(cell.protocol)
+        for spec in cell.adversary.values():
+            build_behavior_factory(spec)
+        build_scheduler(cell.scheduler)
+    if store is not None:
+        store.bind_campaign(campaign.name)
+
+    total = campaign.trials
+    completed = 0
+    results: Dict[str, TrialAggregate] = {}
+
+    # Partition cells into resumed and pending, then chunk the pending ones.
+    tasks: List[Tuple[int, Dict[str, Any], List[int]]] = []
+    task_cell: Dict[int, ExperimentSpec] = {}
+    cell_chunks: Dict[str, Dict[int, Optional[Dict[str, Any]]]] = {}
+    cell_done: Dict[str, int] = {}
+    for cell in campaign.cells:
+        if store is not None and store.has_cell(cell.name, cell.spec_hash()):
+            results[cell.name] = store.get(cell.name)
+            completed += cell.trials
+            if progress is not None:
+                progress(
+                    CampaignProgress(
+                        cell=cell.name,
+                        cell_completed=cell.trials,
+                        cell_trials=cell.trials,
+                        completed=completed,
+                        total=total,
+                        resumed=True,
+                    )
+                )
+            continue
+        cell_dict = cell.to_dict()
+        cell_chunks[cell.name] = {}
+        cell_done[cell.name] = 0
+        for chunk in _chunks(cell.seeds, chunk_trials):
+            index = len(tasks)
+            tasks.append((index, cell_dict, chunk))
+            task_cell[index] = cell
+            cell_chunks[cell.name][index] = None
+
+    def complete_chunk(index: int, aggregate_dict: Dict[str, Any]) -> None:
+        nonlocal completed
+        cell = task_cell[index]
+        chunks = cell_chunks[cell.name]
+        chunks[index] = aggregate_dict
+        chunk_len = len(tasks[index][2])
+        cell_done[cell.name] += chunk_len
+        completed += chunk_len
+        if all(part is not None for part in chunks.values()):
+            merged = TrialAggregate.empty()
+            for task_index in sorted(chunks):
+                merged = merged.merge(TrialAggregate.from_dict(chunks[task_index]))
+            results[cell.name] = merged
+            if store is not None:
+                store.put(cell.name, cell.spec_hash(), merged)
+                store.save()
+        if progress is not None:
+            progress(
+                CampaignProgress(
+                    cell=cell.name,
+                    cell_completed=cell_done[cell.name],
+                    cell_trials=cell.trials,
+                    completed=completed,
+                    total=total,
+                )
+            )
+
+    if workers > 1 and len(tasks) > 1:
+        context = _pool_context()
+        with context.Pool(processes=min(workers, len(tasks))) as pool:
+            for index, aggregate_dict in pool.imap_unordered(_run_cell_chunk, tasks):
+                complete_chunk(index, aggregate_dict)
+    else:
+        for task in tasks:
+            index, aggregate_dict = _run_cell_chunk(task)
+            complete_chunk(index, aggregate_dict)
+
+    return results
+
+
+# ----------------------------------------------------------------------
+# Generic seed fan-out (backs api.run_many(workers=N))
+def _run_seeds_chunk(
+    task: Tuple[int, Callable[..., SimulationResult], List[int], Dict[str, Any]],
+) -> Tuple[int, TrialAggregate]:
+    index, runner, seeds, kwargs = task
+    aggregate = TrialAggregate()
+    for seed in seeds:
+        aggregate.add(runner(seed=seed, **kwargs))
+    # Unlike the campaign path, chunks travel back as pickled aggregates (not
+    # to_dict), so outputs keep their Python types (frozensets, tuples, ...)
+    # and the result is indistinguishable from a sequential run_many.
+    return index, aggregate
+
+
+def run_seeds(
+    runner: Callable[..., SimulationResult],
+    seeds: Iterable[int],
+    workers: int = 1,
+    chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    **kwargs: Any,
+) -> TrialAggregate:
+    """Fan ``runner`` out over ``seeds`` across a process pool.
+
+    ``runner`` and ``kwargs`` must be picklable (module-level callables and
+    plain data).  For registry-named experiments prefer :func:`run_campaign`,
+    whose tasks are always plain JSON-shaped data.
+    """
+    seed_list = [int(seed) for seed in seeds]
+    tasks = [
+        (index, runner, chunk, kwargs)
+        for index, chunk in enumerate(_chunks(seed_list, chunk_trials))
+    ]
+    parts: Dict[int, TrialAggregate] = {}
+    if workers > 1 and len(tasks) > 1:
+        context = _pool_context()
+        with context.Pool(processes=min(workers, len(tasks))) as pool:
+            for index, aggregate in pool.imap_unordered(_run_seeds_chunk, tasks):
+                parts[index] = aggregate
+    else:
+        for task in tasks:
+            index, aggregate = _run_seeds_chunk(task)
+            parts[index] = aggregate
+    merged = TrialAggregate.empty()
+    for index in sorted(parts):
+        merged = merged.merge(parts[index])
+    return merged

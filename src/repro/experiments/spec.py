@@ -1,0 +1,309 @@
+"""Declarative experiment campaign specifications.
+
+A *campaign* is a reproducible artifact: a named list of *cells*, each cell
+describing one point of an experiment grid -- which protocol to run, with how
+many parties, under which adversary (corrupted-party behaviours plus a
+message scheduler), with which protocol parameters, over which seeds.  Every
+piece is named by a registry string (:mod:`repro.experiments.registry`), so a
+campaign serializes losslessly to JSON and back::
+
+    campaign = CampaignSpec.grid(
+        "bias-sweep",
+        protocol="coinflip",
+        n=4,
+        seeds=range(50),
+        axes={"epsilon": [0.25, 0.125], "rounds": [1, 3]},
+    )
+    campaign.save("bias_sweep.json")
+    same = CampaignSpec.load("bias_sweep.json")
+
+The specs deliberately contain *no* live objects: behaviours and schedulers
+are named and parameterised, and instantiated per trial by the runner.  That
+is what makes campaigns shippable to worker processes, diffable in review and
+resumable across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ExperimentError
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class BehaviorSpec:
+    """A named adversarial behaviour plus its constructor parameters."""
+
+    behavior: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"behavior": self.behavior}
+        if self.params:
+            data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BehaviorSpec":
+        return cls(behavior=str(data["behavior"]), params=dict(data.get("params", {})))
+
+
+@dataclass
+class SchedulerSpec:
+    """A named message scheduler plus its constructor parameters."""
+
+    scheduler: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"scheduler": self.scheduler}
+        if self.params:
+            data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulerSpec":
+        return cls(scheduler=str(data["scheduler"]), params=dict(data.get("params", {})))
+
+
+@dataclass
+class ExperimentSpec:
+    """One cell of a campaign: a protocol configuration and its seeds.
+
+    Attributes:
+        name: unique (within the campaign) human-readable cell identifier.
+        protocol: runner name in :data:`repro.experiments.registry.RUNNERS`.
+        n: number of parties.
+        seeds: the explicit seed list; each seed is one trial.  Seeds are
+            explicit (never derived from wall clock or worker identity) so a
+            campaign is exactly reproducible however trials are distributed.
+        params: extra keyword arguments for the runner (e.g. ``rounds``,
+            ``epsilon``, ``inputs``).
+        adversary: corrupted party id -> behaviour spec.
+        scheduler: optional message-scheduler spec (``None`` = runner default).
+    """
+
+    #: Runner arguments the spec supplies through dedicated fields; cells may
+    #: not also smuggle them in through ``params``.
+    RESERVED_PARAMS = frozenset({"n", "seed", "seeds", "scheduler", "corruptions"})
+
+    name: str
+    protocol: str
+    n: int
+    seeds: List[int]
+    params: Dict[str, Any] = field(default_factory=dict)
+    adversary: Dict[int, BehaviorSpec] = field(default_factory=dict)
+    scheduler: Optional[SchedulerSpec] = None
+
+    def __post_init__(self) -> None:
+        self.seeds = [int(seed) for seed in self.seeds]
+        self.adversary = {
+            int(pid): spec if isinstance(spec, BehaviorSpec) else BehaviorSpec.from_dict(spec)
+            for pid, spec in self.adversary.items()
+        }
+        if isinstance(self.scheduler, Mapping):
+            self.scheduler = SchedulerSpec.from_dict(self.scheduler)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`ExperimentError`."""
+        if not self.name:
+            raise ExperimentError("experiment cell needs a non-empty name")
+        if not self.protocol:
+            raise ExperimentError(f"cell {self.name!r}: missing protocol name")
+        if self.n < 1:
+            raise ExperimentError(f"cell {self.name!r}: n must be positive, got {self.n}")
+        if not self.seeds:
+            raise ExperimentError(f"cell {self.name!r}: seed list is empty")
+        reserved = self.RESERVED_PARAMS.intersection(self.params)
+        if reserved:
+            raise ExperimentError(
+                f"cell {self.name!r}: params may not override "
+                f"{', '.join(sorted(reserved))} (use the dedicated spec fields)"
+            )
+        for pid in self.adversary:
+            if not 0 <= pid < self.n:
+                raise ExperimentError(
+                    f"cell {self.name!r}: corrupted pid {pid} outside 0..{self.n - 1}"
+                )
+
+    @property
+    def trials(self) -> int:
+        """Number of trials this cell contributes."""
+        return len(self.seeds)
+
+    def spec_hash(self) -> str:
+        """Content hash of the cell (name excluded) used for resume checks.
+
+        Stored next to persisted results; a cell whose definition changed
+        hashes differently, so stale results are never silently reused.
+        """
+        data = self.to_dict()
+        data.pop("name")
+        return hashlib.sha256(canonical_json(data).encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "protocol": self.protocol,
+            "n": self.n,
+            "seeds": list(self.seeds),
+        }
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.adversary:
+            data["adversary"] = {
+                str(pid): spec.to_dict() for pid, spec in sorted(self.adversary.items())
+            }
+        if self.scheduler is not None:
+            data["scheduler"] = self.scheduler.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        try:
+            return cls(
+                name=str(data["name"]),
+                protocol=str(data["protocol"]),
+                n=int(data["n"]),
+                seeds=list(data["seeds"]),
+                params=dict(data.get("params", {})),
+                adversary={
+                    int(pid): BehaviorSpec.from_dict(spec)
+                    for pid, spec in data.get("adversary", {}).items()
+                },
+                scheduler=(
+                    SchedulerSpec.from_dict(data["scheduler"])
+                    if data.get("scheduler") is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(f"malformed experiment cell: {exc}") from exc
+
+
+@dataclass
+class CampaignSpec:
+    """A named, ordered collection of experiment cells."""
+
+    name: str
+    cells: List[ExperimentSpec] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if not self.name:
+            raise ExperimentError("campaign needs a non-empty name")
+        if not self.cells:
+            raise ExperimentError(f"campaign {self.name!r} has no cells")
+        seen: set = set()
+        for cell in self.cells:
+            cell.validate()
+            if cell.name in seen:
+                raise ExperimentError(
+                    f"campaign {self.name!r}: duplicate cell name {cell.name!r}"
+                )
+            seen.add(cell.name)
+
+    @property
+    def trials(self) -> int:
+        """Total number of trials across all cells."""
+        return sum(cell.trials for cell in self.cells)
+
+    def cell(self, name: str) -> ExperimentSpec:
+        """Look a cell up by name."""
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise ExperimentError(f"campaign {self.name!r} has no cell {name!r}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "cells": [cell.to_dict() for cell in self.cells]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        try:
+            return cls(
+                name=str(data["name"]),
+                cells=[ExperimentSpec.from_dict(cell) for cell in data["cells"]],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(f"malformed campaign: {exc}") from exc
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"campaign is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        protocol: str,
+        n: Union[int, Sequence[int]],
+        seeds: Iterable[int],
+        axes: Optional[Mapping[str, Sequence[Any]]] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        adversary: Optional[Mapping[int, BehaviorSpec]] = None,
+        scheduler: Optional[SchedulerSpec] = None,
+    ) -> "CampaignSpec":
+        """Build a campaign as the cartesian product of parameter axes.
+
+        ``n`` may be a single party count or a sequence of them (an implicit
+        ``n`` axis); ``axes`` maps runner parameter names to value lists.
+        Every grid point becomes one cell named ``<key>=<value>,...`` with
+        the shared ``seeds``, ``params``, ``adversary`` and ``scheduler``.
+        """
+        seed_list = [int(seed) for seed in seeds]
+        ns = [n] if isinstance(n, int) else list(n)
+        axis_items = sorted((axes or {}).items())
+        axis_keys = [key for key, _ in axis_items]
+        axis_values = [list(values) for _, values in axis_items]
+        cells: List[ExperimentSpec] = []
+        for n_value in ns:
+            for combo in itertools.product(*axis_values):
+                labels = []
+                if len(ns) > 1:
+                    labels.append(f"n={n_value}")
+                labels.extend(f"{key}={value}" for key, value in zip(axis_keys, combo))
+                cell_params = dict(params or {})
+                cell_params.update(zip(axis_keys, combo))
+                cells.append(
+                    ExperimentSpec(
+                        name=",".join(labels) or "default",
+                        protocol=protocol,
+                        n=n_value,
+                        seeds=list(seed_list),
+                        params=cell_params,
+                        adversary=dict(adversary or {}),
+                        scheduler=scheduler,
+                    )
+                )
+        campaign = cls(name=name, cells=cells)
+        campaign.validate()
+        return campaign

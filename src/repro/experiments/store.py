@@ -1,0 +1,122 @@
+"""JSON persistence for campaign results, with cell-granular resume.
+
+A :class:`ResultStore` is a single JSON file mapping cell names to their
+persisted :class:`~repro.core.results.TrialAggregate` plus the spec hash the
+result was computed under.  The file is deliberately deterministic -- sorted
+keys, no timestamps -- so the same campaign always produces byte-identical
+artifacts regardless of worker count, which makes results diffable and
+cacheable.
+
+Resume protocol (used by :func:`repro.experiments.runner.run_campaign`):
+
+* a cell is *complete* iff the store holds an entry under its name whose
+  ``spec_hash`` matches the cell's current hash;
+* entries with a stale hash (the cell definition changed) are ignored and
+  overwritten;
+* deleting an entry (or the :meth:`delete` helper / ``report --drop``) makes
+  exactly that cell run again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.results import TrialAggregate
+from repro.errors import ExperimentError
+
+STORE_VERSION = 1
+
+
+class ResultStore:
+    """Load/modify/save the persisted results of one campaign."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._data: Dict[str, Any] = {
+            "version": STORE_VERSION,
+            "campaign": None,
+            "cells": {},
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "ResultStore":
+        """Return a store for ``path``, loading existing contents if present."""
+        store = cls(path)
+        if store.path.exists():
+            store.reload()
+        return store
+
+    def reload(self) -> None:
+        """(Re)read the backing file, validating shape and version."""
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ExperimentError(f"cannot read result store {self.path}: {exc}") from exc
+        if not isinstance(data, dict) or "cells" not in data:
+            raise ExperimentError(f"{self.path} is not a campaign result store")
+        version = data.get("version")
+        if version != STORE_VERSION:
+            raise ExperimentError(
+                f"{self.path}: unsupported store version {version!r} "
+                f"(expected {STORE_VERSION})"
+            )
+        self._data = data
+
+    def save(self) -> None:
+        """Atomically write the store (write temp file, then rename)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(self._data, indent=2, sort_keys=True) + "\n"
+        temp = self.path.with_name(self.path.name + ".tmp")
+        temp.write_text(text)
+        os.replace(temp, self.path)
+
+    # ------------------------------------------------------------------
+    @property
+    def campaign(self) -> Optional[str]:
+        return self._data.get("campaign")
+
+    def bind_campaign(self, name: str) -> None:
+        """Claim the store for ``name``; refuse to mix campaigns in one file."""
+        current = self._data.get("campaign")
+        if current is None:
+            self._data["campaign"] = name
+        elif current != name:
+            raise ExperimentError(
+                f"result store {self.path} belongs to campaign {current!r}, "
+                f"not {name!r}; use a different --out path"
+            )
+
+    # ------------------------------------------------------------------
+    def cell_names(self) -> List[str]:
+        return sorted(self._data["cells"])
+
+    def has_cell(self, name: str, spec_hash: str) -> bool:
+        """True when a result for ``name`` computed under ``spec_hash`` exists."""
+        entry = self._data["cells"].get(name)
+        return entry is not None and entry.get("spec_hash") == spec_hash
+
+    def get(self, name: str) -> TrialAggregate:
+        try:
+            entry = self._data["cells"][name]
+        except KeyError:
+            raise ExperimentError(f"store {self.path} has no cell {name!r}") from None
+        return TrialAggregate.from_dict(entry["aggregate"])
+
+    def put(self, name: str, spec_hash: str, aggregate: TrialAggregate) -> None:
+        self._data["cells"][name] = {
+            "spec_hash": spec_hash,
+            "aggregate": aggregate.to_dict(),
+        }
+
+    def delete(self, name: str) -> bool:
+        """Drop one cell's result; returns whether it existed."""
+        return self._data["cells"].pop(name, None) is not None
+
+    # ------------------------------------------------------------------
+    def summaries(self) -> Dict[str, Dict[str, Any]]:
+        """Headline metrics per cell (for ``report``)."""
+        return {name: self.get(name).summary() for name in self.cell_names()}

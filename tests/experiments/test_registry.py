@@ -1,0 +1,79 @@
+"""Tests for the runner/behavior/scheduler registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.behaviors import CrashBehavior
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    BEHAVIORS,
+    RUNNERS,
+    SCHEDULERS,
+    Registry,
+    build_behavior_factory,
+    build_scheduler,
+)
+from repro.experiments.spec import BehaviorSpec, SchedulerSpec
+from repro.net.scheduler import FIFOScheduler, Scheduler
+
+
+class TestRegistry:
+    def test_known_runner_names(self):
+        assert {"coinflip", "fba", "fair_choice", "acast", "weak_coin"} <= set(
+            RUNNERS.names()
+        )
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ExperimentError, match="unknown protocol runner 'nope'"):
+            RUNNERS.get("nope")
+
+    def test_contains(self):
+        assert "crash" in BEHAVIORS
+        assert "fifo" in SCHEDULERS
+        assert "nope" not in RUNNERS
+
+    def test_register_decorator_and_override(self):
+        registry = Registry("thing")
+
+        @registry.register("x")
+        def build():
+            return 1
+
+        assert registry.get("x") is build
+        registry.add("x", lambda: 2)
+        assert registry.get("x")() == 2
+
+    def test_inputs_normalizer_restores_int_keys(self):
+        kwargs = RUNNERS.normalize("fba", {"inputs": {"0": "a", "1": "b"}})
+        assert kwargs["inputs"] == {0: "a", 1: "b"}
+        # Runners without a normalizer pass kwargs through (copied).
+        original = {"rounds": 1}
+        assert RUNNERS.normalize("coinflip", original) == original
+        assert RUNNERS.normalize("coinflip", original) is not original
+
+
+class TestBuilders:
+    def test_build_behavior_factory(self):
+        factory = build_behavior_factory(BehaviorSpec("crash"))
+        assert isinstance(factory(None), CrashBehavior)
+
+    def test_build_behavior_with_params(self):
+        factory = build_behavior_factory(
+            BehaviorSpec("silent_after", {"active_deliveries": 2})
+        )
+        assert factory(None).active_deliveries == 2
+
+    def test_build_scheduler(self):
+        assert isinstance(build_scheduler(SchedulerSpec("fifo")), FIFOScheduler)
+        assert isinstance(
+            build_scheduler(SchedulerSpec("favour_parties", {"favoured": [0, 1]})),
+            Scheduler,
+        )
+
+    def test_build_scheduler_none_passthrough(self):
+        assert build_scheduler(None) is None
+
+    def test_unknown_behavior_raises(self):
+        with pytest.raises(ExperimentError, match="unknown adversary behavior"):
+            build_behavior_factory(BehaviorSpec("nope"))

@@ -1,0 +1,169 @@
+"""Tests for the campaign orchestrator: determinism, parallelism, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.results import TrialAggregate
+from repro.errors import ExperimentError
+from repro.experiments.runner import run_campaign, run_cell, run_seeds, run_trial
+from repro.experiments.spec import (
+    BehaviorSpec,
+    CampaignSpec,
+    ExperimentSpec,
+    SchedulerSpec,
+)
+from repro.experiments.store import ResultStore
+
+
+def _acast_cell(name: str = "acast", seeds=range(4), **overrides) -> ExperimentSpec:
+    spec = dict(
+        name=name,
+        protocol="acast",
+        n=4,
+        seeds=list(seeds),
+        params={"value": "v", "sender": 0},
+    )
+    spec.update(overrides)
+    return ExperimentSpec(**spec)
+
+
+def _campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="runner-test",
+        cells=[
+            _acast_cell("plain"),
+            _acast_cell(
+                "crash",
+                adversary={3: BehaviorSpec("crash")},
+                scheduler=SchedulerSpec("fifo"),
+            ),
+            ExperimentSpec(
+                name="coin", protocol="coinflip", n=4, seeds=[0, 1], params={"rounds": 1}
+            ),
+        ],
+    )
+
+
+class TestTrialAndCell:
+    def test_run_trial_resolves_registry_names(self):
+        result = run_trial(_acast_cell(), seed=0)
+        assert result.agreed_value == "v"
+
+    def test_run_trial_applies_corruptions(self):
+        result = run_trial(_acast_cell(adversary={3: BehaviorSpec("crash")}), seed=0)
+        assert 3 not in result.outputs
+
+    def test_run_cell_matches_trial_by_trial_execution(self):
+        cell = _acast_cell(seeds=range(5))
+        stats = run_cell(cell, chunk_trials=2)
+        expected = TrialAggregate()
+        for seed in cell.seeds:
+            expected.add(run_trial(cell, seed))
+        assert stats.to_dict() == expected.to_dict()
+
+    def test_unknown_protocol_fails_before_running(self):
+        campaign = CampaignSpec(name="bad", cells=[_acast_cell(protocol="nope")])
+        with pytest.raises(ExperimentError, match="unknown protocol runner"):
+            run_campaign(campaign)
+
+
+class TestParallelEquality:
+    def test_parallel_equals_sequential_statistics(self):
+        campaign = _campaign()
+        sequential = run_campaign(campaign, workers=1, chunk_trials=2)
+        parallel = run_campaign(campaign, workers=3, chunk_trials=2)
+        assert set(sequential) == set(parallel)
+        for name in sequential:
+            assert sequential[name].to_dict() == parallel[name].to_dict()
+
+    def test_parallel_store_bytes_identical(self, tmp_path):
+        campaign = _campaign()
+        seq_path, par_path = tmp_path / "seq.json", tmp_path / "par.json"
+        run_campaign(campaign, workers=1, store=ResultStore.open(seq_path), chunk_trials=2)
+        run_campaign(campaign, workers=3, store=ResultStore.open(par_path), chunk_trials=2)
+        assert seq_path.read_bytes() == par_path.read_bytes()
+
+    def test_chunk_size_does_not_change_statistics(self):
+        campaign = CampaignSpec(name="chunks", cells=[_acast_cell(seeds=range(7))])
+        by_one = run_campaign(campaign, chunk_trials=1)["acast"]
+        by_five = run_campaign(campaign, chunk_trials=5)["acast"]
+        assert by_one.to_dict() == by_five.to_dict()
+
+
+class TestResume:
+    def test_resume_skips_completed_cells(self, tmp_path):
+        campaign = _campaign()
+        store = ResultStore.open(tmp_path / "results.json")
+        run_campaign(campaign, store=store, chunk_trials=2)
+        first_bytes = (tmp_path / "results.json").read_bytes()
+
+        events = []
+        run_campaign(
+            campaign,
+            store=ResultStore.open(tmp_path / "results.json"),
+            progress=events.append,
+        )
+        assert all(event.resumed for event in events)
+        assert {event.cell for event in events} == {cell.name for cell in campaign.cells}
+        assert (tmp_path / "results.json").read_bytes() == first_bytes
+
+    def test_resume_recomputes_only_deleted_cell(self, tmp_path):
+        campaign = _campaign()
+        path = tmp_path / "results.json"
+        run_campaign(campaign, store=ResultStore.open(path), chunk_trials=2)
+        first_bytes = path.read_bytes()
+
+        store = ResultStore.open(path)
+        assert store.delete("crash")
+        store.save()
+
+        events = []
+        run_campaign(campaign, store=ResultStore.open(path), progress=events.append, chunk_trials=2)
+        ran = {event.cell for event in events if not event.resumed}
+        assert ran == {"crash"}
+        assert path.read_bytes() == first_bytes
+
+    def test_changed_spec_invalidates_stored_cell(self, tmp_path):
+        path = tmp_path / "results.json"
+        campaign = CampaignSpec(name="c", cells=[_acast_cell(seeds=range(2))])
+        run_campaign(campaign, store=ResultStore.open(path))
+
+        changed = CampaignSpec(name="c", cells=[_acast_cell(seeds=range(3))])
+        events = []
+        results = run_campaign(changed, store=ResultStore.open(path), progress=events.append)
+        assert not any(event.resumed for event in events)
+        assert results["acast"].trials == 3
+
+    def test_store_campaign_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "results.json"
+        run_campaign(CampaignSpec(name="a", cells=[_acast_cell(seeds=[0])]),
+                     store=ResultStore.open(path))
+        with pytest.raises(ExperimentError, match="belongs to campaign"):
+            run_campaign(CampaignSpec(name="b", cells=[_acast_cell(seeds=[0])]),
+                         store=ResultStore.open(path))
+
+
+class TestProgress:
+    def test_progress_counts_reach_total(self):
+        campaign = _campaign()
+        events = []
+        run_campaign(campaign, progress=events.append, chunk_trials=2)
+        assert events[-1].completed == campaign.trials
+        assert events[-1].total == campaign.trials
+        per_cell = [event for event in events if event.cell == "plain"]
+        assert per_cell[-1].cell_completed == 4
+
+
+class TestRunSeeds:
+    def test_run_seeds_parallel_matches_sequential(self):
+        from repro.core import api
+
+        sequential = run_seeds(api.run_acast, range(5), workers=1, n=4, value="v")
+        parallel = run_seeds(api.run_acast, range(5), workers=2, chunk_trials=2,
+                             n=4, value="v")
+        assert sequential.to_dict() == parallel.to_dict()
+        assert parallel.trials == 5
+        assert parallel.frequency("v") == 1.0

@@ -1,0 +1,154 @@
+"""Tests for campaign/experiment spec serialization and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.spec import (
+    BehaviorSpec,
+    CampaignSpec,
+    ExperimentSpec,
+    SchedulerSpec,
+)
+
+
+def _campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="demo",
+        cells=[
+            ExperimentSpec(
+                name="plain",
+                protocol="coinflip",
+                n=4,
+                seeds=[0, 1, 2],
+                params={"rounds": 1},
+            ),
+            ExperimentSpec(
+                name="attacked",
+                protocol="fba",
+                n=4,
+                seeds=[5, 6],
+                params={"inputs": {"0": "a", "1": "b", "2": "c", "3": "d"}},
+                adversary={3: BehaviorSpec("crash")},
+                scheduler=SchedulerSpec("favour_parties", {"favoured": [3]}),
+            ),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        campaign = _campaign()
+        clone = CampaignSpec.from_json(campaign.to_json())
+        assert clone == campaign
+        assert clone.to_json() == campaign.to_json()
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign = _campaign()
+        campaign.save(path)
+        assert CampaignSpec.load(path) == campaign
+
+    def test_adversary_keys_are_ints_after_round_trip(self):
+        clone = CampaignSpec.from_json(_campaign().to_json())
+        assert list(clone.cell("attacked").adversary) == [3]
+
+    def test_from_dict_accepts_plain_nested_dicts(self):
+        cell = ExperimentSpec(
+            name="x",
+            protocol="coinflip",
+            n=4,
+            seeds=[0],
+            adversary={1: {"behavior": "crash"}},  # type: ignore[dict-item]
+            scheduler={"scheduler": "fifo"},  # type: ignore[arg-type]
+        )
+        assert cell.adversary[1] == BehaviorSpec("crash")
+        assert cell.scheduler == SchedulerSpec("fifo")
+
+    def test_malformed_json_raises_experiment_error(self):
+        with pytest.raises(ExperimentError):
+            CampaignSpec.from_json("{not json")
+        with pytest.raises(ExperimentError):
+            CampaignSpec.from_json('{"name": "x"}')
+
+
+class TestValidation:
+    def test_valid_campaign_passes(self):
+        _campaign().validate()
+
+    def test_duplicate_cell_names_rejected(self):
+        campaign = _campaign()
+        campaign.cells[1].name = campaign.cells[0].name
+        with pytest.raises(ExperimentError, match="duplicate"):
+            campaign.validate()
+
+    def test_empty_seeds_rejected(self):
+        campaign = _campaign()
+        campaign.cells[0].seeds = []
+        with pytest.raises(ExperimentError, match="seed list"):
+            campaign.validate()
+
+    def test_corrupted_pid_out_of_range_rejected(self):
+        campaign = _campaign()
+        campaign.cells[1].adversary[7] = BehaviorSpec("crash")
+        with pytest.raises(ExperimentError, match="pid 7"):
+            campaign.validate()
+
+    def test_reserved_params_rejected(self):
+        campaign = _campaign()
+        campaign.cells[0].params["seed"] = 7
+        with pytest.raises(ExperimentError, match="params may not override seed"):
+            campaign.validate()
+        campaign.cells[0].params = {"scheduler": "fifo", "rounds": 1}
+        with pytest.raises(ExperimentError, match="scheduler"):
+            campaign.validate()
+
+    def test_unknown_cell_lookup_raises(self):
+        with pytest.raises(ExperimentError, match="no cell"):
+            _campaign().cell("missing")
+
+
+class TestSpecHash:
+    def test_hash_ignores_name_but_not_parameters(self):
+        cell = _campaign().cells[0]
+        renamed = ExperimentSpec.from_dict({**cell.to_dict(), "name": "other"})
+        assert renamed.spec_hash() == cell.spec_hash()
+        changed = ExperimentSpec.from_dict({**cell.to_dict(), "seeds": [0, 1]})
+        assert changed.spec_hash() != cell.spec_hash()
+
+    def test_hash_stable_across_round_trip(self):
+        cell = _campaign().cells[1]
+        clone = ExperimentSpec.from_dict(cell.to_dict())
+        assert clone.spec_hash() == cell.spec_hash()
+
+
+class TestGrid:
+    def test_grid_expands_cartesian_product(self):
+        campaign = CampaignSpec.grid(
+            "sweep",
+            protocol="coinflip",
+            n=[4, 7],
+            seeds=range(3),
+            axes={"rounds": [1, 3], "epsilon": [0.25]},
+        )
+        assert len(campaign.cells) == 4
+        names = [cell.name for cell in campaign.cells]
+        assert "n=4,epsilon=0.25,rounds=1" in names
+        by_name = {cell.name: cell for cell in campaign.cells}
+        cell = by_name["n=7,epsilon=0.25,rounds=3"]
+        assert cell.n == 7
+        assert cell.params == {"epsilon": 0.25, "rounds": 3}
+        assert cell.seeds == [0, 1, 2]
+
+    def test_grid_single_n_omits_n_label(self):
+        campaign = CampaignSpec.grid(
+            "sweep", protocol="coinflip", n=4, seeds=[0], axes={"rounds": [1]}
+        )
+        assert [cell.name for cell in campaign.cells] == ["rounds=1"]
+
+    def test_grid_trials_property(self):
+        campaign = CampaignSpec.grid(
+            "sweep", protocol="coinflip", n=4, seeds=range(5), axes={"rounds": [1, 3]}
+        )
+        assert campaign.trials == 10

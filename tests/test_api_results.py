@@ -58,6 +58,110 @@ class TestAggregate:
         assert 0.0 <= stats.disagreement_rate <= 1.0
         assert stats.trials == 6
 
+
+class TestMerge:
+    def _parts(self):
+        results = [api.run_coinflip(4, seed=seed, rounds=1) for seed in range(6)]
+        return (
+            aggregate(results[:2]),
+            aggregate(results[2:5]),
+            aggregate(results[5:]),
+            aggregate(results),
+        )
+
+    def test_merge_equals_single_pass(self):
+        a, b, c, whole = self._parts()
+        merged = a.merge(b).merge(c)
+        assert merged.to_dict() == whole.to_dict()
+
+    def test_merge_is_associative(self):
+        a, b, c, _ = self._parts()
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_dict() == right.to_dict()
+
+    def test_merge_preserves_output_order(self):
+        a, b, _, whole = self._parts()
+        assert a.merge(b).outputs == whole.outputs[:5]
+
+    def test_empty_is_identity(self):
+        _, b, _, _ = self._parts()
+        empty = TrialAggregate.empty()
+        assert empty.merge(b).to_dict() == b.to_dict()
+        assert b.merge(empty).to_dict() == b.to_dict()
+
+    def test_merge_of_empties_is_empty(self):
+        merged = TrialAggregate.empty().merge(TrialAggregate.empty())
+        assert merged.trials == 0
+        assert merged.disagreement_rate == 0.0
+        assert merged.mean_messages == 0.0
+        assert merged.frequency(0) == 0.0
+
+    def test_merge_does_not_mutate_operands(self):
+        a, b, _, _ = self._parts()
+        before_a, before_b = a.to_dict(), b.to_dict()
+        a.merge(b)
+        assert a.to_dict() == before_a
+        assert b.to_dict() == before_b
+
+
+class TestSerialization:
+    def test_round_trip_through_json(self):
+        import json
+
+        stats = api.run_many(api.run_coinflip, range(4), n=4, rounds=1)
+        restored = TrialAggregate.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert restored.to_dict() == stats.to_dict()
+        assert restored.trials == stats.trials
+        assert restored.frequency(0) == stats.frequency(0)
+        assert restored.mean_messages == stats.mean_messages
+
+    def test_empty_round_trip(self):
+        restored = TrialAggregate.from_dict(TrialAggregate.empty().to_dict())
+        assert restored.trials == 0
+        assert restored.to_dict() == TrialAggregate.empty().to_dict()
+
+    def test_restored_aggregate_can_keep_accumulating(self):
+        stats = TrialAggregate.from_dict(
+            api.run_many(api.run_acast, range(2), n=4, value="v").to_dict()
+        )
+        stats.add(api.run_acast(4, "v", seed=9))
+        assert stats.trials == 3
+        assert stats.frequency("v") == 1.0
+
+    def test_non_json_outputs_fall_back_to_repr(self):
+        stats = TrialAggregate()
+        stats.add(api.run_common_subset(4, ready_parties=[0, 1, 2], seed=0))
+        data = stats.to_dict()
+        assert isinstance(data["outputs"][0], (list, str))
+
+
+class TestParallelRunMany:
+    def test_workers_match_sequential_statistics(self):
+        # 10 seeds > DEFAULT_CHUNK_TRIALS, so the pool path genuinely runs.
+        sequential = api.run_many(api.run_coinflip, range(10), n=4, rounds=1)
+        parallel = api.run_many(api.run_coinflip, range(10), n=4, rounds=1, workers=2)
+        assert parallel.to_dict() == sequential.to_dict()
+        assert parallel.outputs == sequential.outputs
+
+    def test_workers_preserve_output_types(self):
+        # Pickled (not JSON-ified) chunk transport: non-primitive outputs such
+        # as CommonSubset's frozensets survive the pool unchanged.
+        stats = api.run_many(
+            api.run_common_subset,
+            range(3),
+            n=4,
+            ready_parties=[0, 1, 2],
+            workers=2,
+            chunk_trials=1,
+        )
+        assert all(isinstance(output, frozenset) for output in stats.outputs)
+        assert stats.hit_rate(lambda s: s == frozenset({0, 1, 2})) == 1.0
+
+    def test_workers_one_is_sequential_path(self):
+        stats = api.run_many(api.run_acast, range(2), workers=1, n=4, value="v")
+        assert stats.trials == 2
+
     def test_empty_aggregate(self):
         stats = TrialAggregate()
         assert stats.frequency("anything") == 0.0
