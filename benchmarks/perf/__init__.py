@@ -1,0 +1,22 @@
+"""Microbenchmark harness for the crypto kernels and the network delivery loop.
+
+Unlike the experiment benchmarks in ``benchmarks/bench_*.py`` (which reproduce
+paper-level statistics), this package times the *substrate*: raw workloads on
+the secret-sharing kernels and the network delivery queues.  It exists so
+every future PR has a perf trajectory to compare against:
+
+* ``python -m benchmarks.perf`` runs all workloads and writes
+  ``BENCH_crypto.json`` and ``BENCH_net.json`` (checked in at the repo root as
+  the current baselines);
+* ``python -m benchmarks.perf --quick`` is the CI smoke mode -- smaller
+  repeat counts, same workload shapes.
+
+Each workload reports ``before_s`` (the legacy implementation: object-layer
+crypto from the seed, or the full-scan delivery loop via
+:func:`repro.net.scheduler.force_scan`) and ``after_s`` (the current fast
+path), plus their ratio.  Workloads without a runnable legacy path (e.g. the
+end-to-end coinflip trial, whose protocol stack only exists on the current
+code) report ``after_s`` only and serve as trend lines.
+"""
+
+from benchmarks.perf.harness import BenchResult, run_and_write  # noqa: F401

@@ -1,0 +1,53 @@
+"""CLI entry point: ``python -m benchmarks.perf [--quick] [--out-dir DIR]``."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from benchmarks.perf import bench_crypto, bench_net
+from benchmarks.perf.harness import run_and_write
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Time crypto-kernel and network-delivery workloads and "
+        "write BENCH_crypto.json / BENCH_net.json baselines.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: same workloads, smaller sizes and repeat counts",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("."),
+        help="directory for the BENCH_*.json files (default: current directory)",
+    )
+    args = parser.parse_args(argv)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    print(f"crypto workloads ({'quick' if args.quick else 'full'} mode):")
+    crypto_results = bench_crypto.run(args.quick)
+    run_and_write(
+        "crypto kernels (share / reconstruct / decode / coinflip)",
+        args.out_dir / "BENCH_crypto.json",
+        crypto_results,
+        args.quick,
+    )
+
+    print(f"net workloads ({'quick' if args.quick else 'full'} mode):")
+    net_results = bench_net.run(args.quick)
+    run_and_write(
+        "network delivery loop (indexed queues vs full scan)",
+        args.out_dir / "BENCH_net.json",
+        net_results,
+        args.quick,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

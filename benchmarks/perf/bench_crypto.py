@@ -1,0 +1,106 @@
+"""Crypto-kernel workloads: share, reconstruct, robust decode, coinflip trial.
+
+All sized at the paper's optimal-resilience point for ``n = 16`` parties
+(``t = 5``, ``n = 3t + 1``), over the default 31-bit Mersenne prime field.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from benchmarks.perf import legacy
+from benchmarks.perf.harness import BenchResult, compare
+from repro.core import api
+from repro.core.config import DEFAULT_PRIME
+from repro.crypto.bivariate import SymmetricBivariatePolynomial
+from repro.crypto.field import Field
+from repro.crypto.shamir import ShamirShare, reconstruct, reconstruct_robust, share_secret
+
+N = 16
+T = 5  # n = 3t + 1
+
+
+def run(quick: bool) -> List[BenchResult]:
+    field = Field(DEFAULT_PRIME)
+    scale = 1 if quick else 10
+    results: List[BenchResult] = []
+
+    # -- Shamir share generation ---------------------------------------
+    rng_after = random.Random(0)
+    rng_before = random.Random(0)
+    results.append(
+        compare(
+            "shamir_share",
+            lambda: share_secret(field, 1234, N, T, rng_after),
+            lambda: legacy.legacy_share_values(field, T, 1234, rng_before, N),
+            number=200 * scale,
+            n=N,
+            t=T,
+        )
+    )
+
+    # -- Plain reconstruction (t+1 shares, the CoinFlip hot path) ------
+    _, shares = share_secret(field, 777, N, T, random.Random(1))
+    subset = [shares[i] for i in range(1, T + 2)]
+    points = [(s.index, s.value) for s in subset]
+    results.append(
+        compare(
+            "shamir_reconstruct",
+            lambda: reconstruct(field, subset, T),
+            lambda: legacy.legacy_reconstruct(field, points),
+            number=500 * scale,
+            n=N,
+            t=T,
+            shares=T + 1,
+        )
+    )
+
+    # -- Robust reconstruction via Berlekamp-Welch (t errors) ----------
+    corrupted = list(shares.values())
+    for index in range(T):  # corrupt t of the n shares
+        share = corrupted[index]
+        corrupted[index] = ShamirShare(share.index, share.value + 1)
+    bw_points = [(field(s.index), s.value) for s in corrupted]
+    results.append(
+        compare(
+            "robust_decode",
+            lambda: reconstruct_robust(field, corrupted, T, T),
+            lambda: legacy.legacy_berlekamp_welch(field, bw_points, T, T),
+            number=5 * scale,
+            n=N,
+            t=T,
+            errors=T,
+        )
+    )
+
+    # -- Bivariate dealing (SVSS dealer: n row polynomials) ------------
+    bivariate = SymmetricBivariatePolynomial.random(field, T, random.Random(2), secret=5)
+    results.append(
+        compare(
+            "bivariate_rows",
+            lambda: bivariate.rows(N),
+            lambda: [
+                legacy.legacy_bivariate_row(field, bivariate.coefficients, i)
+                for i in range(1, N + 1)
+            ],
+            number=20 * scale,
+            n=N,
+            t=T,
+        )
+    )
+
+    # -- End-to-end coinflip trial (trend line; no legacy equivalent) --
+    seeds = iter(range(100000))
+    results.append(
+        compare(
+            "coinflip_trial",
+            lambda: api.run_coinflip(n=4, seed=next(seeds), rounds=2),
+            None,
+            number=3 * scale,
+            repeats=2,
+            n=4,
+            rounds=2,
+        )
+    )
+    return results

@@ -1,0 +1,113 @@
+"""Network delivery-loop workloads: steady-state drains at ``n = 16``.
+
+Each workload builds one network per implementation, preloads the in-flight
+queue to a fixed depth (untimed), and then times the steady-state loop
+"submit one, deliver one" -- so the measured cost is purely the per-step
+scheduler work at that queue depth.  The same message stream runs through the
+legacy full-scan loop (:func:`repro.net.scheduler.force_scan`) and the
+indexed delivery queues.  Receivers host no protocol, so delivered messages
+just land in the process inbox buffer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from benchmarks.perf.harness import BenchResult, compare
+from repro.core.config import ProtocolParams
+from repro.net.network import Network
+from repro.net.scheduler import (
+    FIFOScheduler,
+    RandomScheduler,
+    Scheduler,
+    TargetedScheduler,
+    force_scan,
+)
+
+N = 16
+
+
+def _steady_state_stepper(
+    scheduler: Scheduler, steps: int, depth: int, tracing: bool = True
+) -> Callable[[], int]:
+    """A closure delivering ``steps`` messages at constant in-flight depth.
+
+    The network persists across calls (the harness calls it once for warmup
+    and once per repeat), so every timed call runs at the same queue depth.
+    """
+    params = ProtocolParams.for_parties(N)
+    network = Network(params, scheduler=scheduler, seed=0, tracing=tracing)
+    rng = random.Random(1)
+    for index in range(depth):
+        network.submit(rng.randrange(N), rng.randrange(N), ("bench",), ("M", index))
+
+    def step_loop() -> int:
+        submit = network.submit
+        step = network.step
+        randrange = rng.randrange
+        for index in range(steps):
+            submit(randrange(N), randrange(N), ("bench",), ("M", index))
+            step()
+        return network.step_count
+
+    return step_loop
+
+
+def run(quick: bool) -> List[BenchResult]:
+    depth = 256 if quick else 1024
+    steps = 2000 if quick else 10000
+    repeats = 2 if quick else 3
+    results: List[BenchResult] = []
+
+    def workload(
+        name: str,
+        make: Callable[[], Scheduler],
+        workload_depth: int = 0,
+        workload_repeats: int = 0,
+        **extra,
+    ) -> None:
+        use_depth = workload_depth or depth
+        results.append(
+            compare(
+                name,
+                _steady_state_stepper(make(), steps, use_depth),
+                _steady_state_stepper(force_scan(make()), steps, use_depth),
+                number=1,
+                repeats=workload_repeats or repeats,
+                n=N,
+                pending_depth=use_depth,
+                steps=steps,
+                **extra,
+            )
+        )
+
+    workload("fifo_delivery", FIFOScheduler)
+    workload("random_delivery", RandomScheduler)
+    workload(
+        "targeted_delivery",
+        lambda: TargetedScheduler(lambda message: message.receiver),
+    )
+    # Random delivery far past the adaptive queue's Fenwick crossover: this is
+    # where the O(pending) memmove of the legacy pop dominates.
+    workload(
+        "random_delivery_flood",
+        RandomScheduler,
+        workload_depth=200000,
+        workload_repeats=2,
+    )
+
+    # -- Tracing satellite: disabled-trace fast path vs counters on ----
+    results.append(
+        compare(
+            "tracing_off_vs_on",
+            _steady_state_stepper(FIFOScheduler(), steps, depth, tracing=False),
+            _steady_state_stepper(FIFOScheduler(), steps, depth, tracing=True),
+            number=1,
+            repeats=repeats,
+            n=N,
+            pending_depth=depth,
+            steps=steps,
+        )
+    )
+    return results

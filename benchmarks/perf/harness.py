@@ -1,0 +1,111 @@
+"""Timing and reporting utilities for the perf microbenchmarks.
+
+Methodology: every workload is a zero-argument callable timed with
+``time.perf_counter`` over ``number`` calls per sample; ``repeats`` samples
+are taken and the *minimum* per-call time is reported (the standard
+microbenchmark estimator -- the minimum is the sample least polluted by
+scheduler noise).  One untimed warmup call precedes sampling so one-time
+costs (memoised Lagrange bases, interned fields, queue growth) land in the
+steady state that campaigns actually run in.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class BenchResult:
+    """One workload's measurement."""
+
+    name: str
+    after_s: float
+    before_s: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.before_s is None or self.after_s <= 0:
+            return None
+        return self.before_s / self.after_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        speedup = self.speedup
+        return {
+            "name": self.name,
+            "params": self.params,
+            "before_s": self.before_s,
+            "after_s": self.after_s,
+            "speedup": None if speedup is None else round(speedup, 2),
+        }
+
+
+def time_per_call(
+    fn: Callable[[], Any], number: int, repeats: int = 3
+) -> float:
+    """Best-of-``repeats`` mean seconds per call of ``fn`` over ``number`` calls."""
+    fn()  # warmup: caches, lazy allocations
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = (time.perf_counter() - start) / number
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def compare(
+    name: str,
+    after: Callable[[], Any],
+    before: Optional[Callable[[], Any]] = None,
+    *,
+    number: int,
+    repeats: int = 3,
+    **params: Any,
+) -> BenchResult:
+    """Time the fast path (and optionally the legacy path) of one workload."""
+    after_s = time_per_call(after, number, repeats)
+    before_s = (
+        None if before is None else time_per_call(before, number, repeats)
+    )
+    result = BenchResult(name=name, after_s=after_s, before_s=before_s, params=params)
+    speedup = result.speedup
+    tail = "" if speedup is None else f"  before={before_s * 1e6:9.1f}us  {speedup:6.2f}x"
+    print(f"  {name:<28} after={after_s * 1e6:9.1f}us{tail}")
+    return result
+
+
+def run_and_write(
+    title: str,
+    out_path: Path,
+    results: List[BenchResult],
+    quick: bool,
+) -> None:
+    """Serialise one benchmark family to its ``BENCH_*.json`` baseline file."""
+    payload = {
+        "meta": {
+            "title": title,
+            "mode": "quick" if quick else "full",
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "methodology": (
+                "best-of-repeats mean perf_counter time per call after one "
+                "untimed warmup; before = legacy (seed) implementation, "
+                "after = current fast path; null before_s marks trend-only "
+                "workloads with no legacy equivalent"
+            ),
+        },
+        "results": [result.to_dict() for result in results],
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")

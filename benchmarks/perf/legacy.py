@@ -1,0 +1,238 @@
+"""Frozen copies of the seed's object-layer crypto algorithms.
+
+These are the pre-kernel implementations (per-operation ``FieldElement``
+allocation, O(k^3) Lagrange interpolation, FieldElement Gaussian
+elimination), kept verbatim so ``python -m benchmarks.perf`` can measure the
+"before" side of every crypto workload on the same interpreter and inputs.
+They are *benchmark oracles only* -- production code paths live in
+``repro.crypto`` and delegate to ``repro.crypto.kernels``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.field import Field, FieldElement
+from repro.errors import DecodingError, InterpolationError
+
+
+class LegacyPolynomial:
+    """The seed's Polynomial: every coefficient and intermediate is a FieldElement."""
+
+    def __init__(self, field: Field, coefficients) -> None:
+        self.field = field
+        coeffs = [field(c) for c in coefficients]
+        while len(coeffs) > 1 and coeffs[-1].value == 0:
+            coeffs.pop()
+        if not coeffs:
+            coeffs = [field.zero()]
+        self.coefficients: List[FieldElement] = coeffs
+
+    @classmethod
+    def zero(cls, field: Field) -> "LegacyPolynomial":
+        return cls(field, [0])
+
+    @classmethod
+    def random(
+        cls, field: Field, degree: int, rng: random.Random, constant_term=None
+    ) -> "LegacyPolynomial":
+        coeffs = [field.random(rng) for _ in range(degree + 1)]
+        if constant_term is not None:
+            coeffs[0] = field(constant_term)
+        return cls(field, coeffs)
+
+    @classmethod
+    def interpolate(cls, field: Field, points) -> "LegacyPolynomial":
+        if not points:
+            raise InterpolationError("cannot interpolate through zero points")
+        xs = [field(x) for x, _ in points]
+        ys = [field(y) for _, y in points]
+        if len({x.value for x in xs}) != len(xs):
+            raise InterpolationError("interpolation points must have distinct x values")
+        result = cls.zero(field)
+        for i, (xi, yi) in enumerate(zip(xs, ys)):
+            numerator = cls(field, [1])
+            denominator = field.one()
+            for j, xj in enumerate(xs):
+                if i == j:
+                    continue
+                numerator = numerator * cls(field, [-xj.value, 1])
+                denominator = denominator * (xi - xj)
+            result = result + numerator * (yi / denominator)
+        return result
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    @property
+    def constant_term(self) -> FieldElement:
+        return self.coefficients[0]
+
+    def __call__(self, x) -> FieldElement:
+        x = self.field(x)
+        acc = self.field.zero()
+        for coefficient in reversed(self.coefficients):
+            acc = acc * x + coefficient
+        return acc
+
+    def __add__(self, other: "LegacyPolynomial") -> "LegacyPolynomial":
+        size = max(len(self.coefficients), len(other.coefficients))
+        coeffs = []
+        for index in range(size):
+            a = self.coefficients[index] if index < len(self.coefficients) else self.field.zero()
+            b = other.coefficients[index] if index < len(other.coefficients) else self.field.zero()
+            coeffs.append(a + b)
+        return LegacyPolynomial(self.field, coeffs)
+
+    def __mul__(self, other) -> "LegacyPolynomial":
+        if isinstance(other, (FieldElement, int)):
+            scalar = self.field(other)
+            return LegacyPolynomial(self.field, [c * scalar for c in self.coefficients])
+        coeffs = [self.field.zero()] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            for j, b in enumerate(other.coefficients):
+                coeffs[i + j] = coeffs[i + j] + a * b
+        return LegacyPolynomial(self.field, coeffs)
+
+    def divmod(self, divisor: "LegacyPolynomial"):
+        if all(c.value == 0 for c in divisor.coefficients):
+            raise InterpolationError("polynomial division by zero")
+        remainder = list(self.coefficients)
+        quotient = [self.field.zero()] * max(1, len(remainder) - len(divisor.coefficients) + 1)
+        divisor_lead = divisor.coefficients[-1]
+        divisor_degree = divisor.degree
+        for index in range(len(remainder) - 1, divisor_degree - 1, -1):
+            coefficient = remainder[index] / divisor_lead
+            position = index - divisor_degree
+            quotient[position] = coefficient
+            for offset, dcoeff in enumerate(divisor.coefficients):
+                remainder[position + offset] = remainder[position + offset] - coefficient * dcoeff
+        return LegacyPolynomial(self.field, quotient), LegacyPolynomial(self.field, remainder)
+
+
+def legacy_share_values(field: Field, t: int, secret: int, rng: random.Random, n: int) -> Dict[int, FieldElement]:
+    """The seed's share generation: one object-layer Horner per party point."""
+    polynomial = LegacyPolynomial.random(field, t, rng, constant_term=secret)
+    return {i: polynomial(i) for i in range(1, n + 1)}
+
+
+def legacy_reconstruct(field: Field, points) -> FieldElement:
+    """The seed's plain reconstruction: full O(k^3) Lagrange interpolation."""
+    return LegacyPolynomial.interpolate(field, points).constant_term
+
+
+def _legacy_solve(
+    field: Field, matrix: List[List[FieldElement]], rhs: List[FieldElement]
+) -> Optional[List[FieldElement]]:
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    augmented = [list(row) + [rhs[r]] for r, row in enumerate(matrix)]
+    pivot_cols: List[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if augmented[row][col].value != 0:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        augmented[pivot_row], augmented[pivot] = augmented[pivot], augmented[pivot_row]
+        inverse = augmented[pivot_row][col].inverse()
+        augmented[pivot_row] = [entry * inverse for entry in augmented[pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and augmented[row][col].value != 0:
+                factor = augmented[row][col]
+                augmented[row] = [
+                    entry - factor * pivot_entry
+                    for entry, pivot_entry in zip(augmented[row], augmented[pivot_row])
+                ]
+        pivot_cols.append(col)
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+    for row in range(pivot_row, rows):
+        if all(entry.value == 0 for entry in augmented[row][:-1]) and augmented[row][-1].value != 0:
+            return None
+    solution = [field.zero()] * cols
+    for row_index, col in enumerate(pivot_cols):
+        solution[col] = augmented[row_index][-1]
+    return solution
+
+
+def legacy_berlekamp_welch(
+    field: Field,
+    points: Sequence[Tuple[FieldElement, FieldElement]],
+    degree: int,
+    max_errors: int,
+) -> LegacyPolynomial:
+    """The seed's Berlekamp-Welch: FieldElement matrix build + elimination."""
+    n = len(points)
+    if max_errors < 0:
+        raise DecodingError("max_errors must be non-negative")
+    if n < degree + 1 + 2 * max_errors:
+        raise DecodingError("too few points")
+    xs = [field(x) for x, _ in points]
+    if len({x.value for x in xs}) != len(xs):
+        raise DecodingError("decoding points must have distinct x values")
+
+    if max_errors == 0:
+        polynomial = LegacyPolynomial.interpolate(field, list(points[: degree + 1]))
+        for x, y in points:
+            if polynomial(x) != field(y):
+                raise DecodingError("points are not on a single polynomial")
+        return polynomial
+
+    num_e = max_errors
+    num_q = degree + max_errors + 1
+    matrix: List[List[FieldElement]] = []
+    rhs: List[FieldElement] = []
+    for x_raw, y_raw in points:
+        x = field(x_raw)
+        y = field(y_raw)
+        row: List[FieldElement] = []
+        x_power = field.one()
+        for _ in range(num_e):
+            row.append(y * x_power)
+            x_power = x_power * x
+        leading = y * x_power
+        x_power = field.one()
+        for _ in range(num_q):
+            row.append(-x_power)
+            x_power = x_power * x
+        matrix.append(row)
+        rhs.append(-leading)
+
+    solution = _legacy_solve(field, matrix, rhs)
+    if solution is None:
+        raise DecodingError("Berlekamp-Welch system is inconsistent (too many errors)")
+    e_coeffs = solution[:num_e] + [field.one()]
+    q_coeffs = solution[num_e:]
+    error_locator = LegacyPolynomial(field, e_coeffs)
+    q_polynomial = LegacyPolynomial(field, q_coeffs)
+    quotient, remainder = q_polynomial.divmod(error_locator)
+    if any(c.value != 0 for c in remainder.coefficients):
+        raise DecodingError("error locator does not divide Q; too many errors")
+    if quotient.degree > degree:
+        raise DecodingError("decoded polynomial exceeds the expected degree")
+    disagreements = sum(1 for x, y in points if quotient(x) != field(y))
+    if disagreements > max_errors:
+        raise DecodingError("too many disagreements")
+    return quotient
+
+
+def legacy_bivariate_row(
+    field: Field, coefficients: List[List[FieldElement]], index: int
+) -> LegacyPolynomial:
+    """The seed's bivariate row extraction: O(t^2) FieldElement accumulation."""
+    degree = len(coefficients) - 1
+    x = field(index)
+    coeffs = [field.zero()] * (degree + 1)
+    x_power = field.one()
+    for i in range(degree + 1):
+        for j in range(degree + 1):
+            coeffs[j] = coeffs[j] + coefficients[i][j] * x_power
+        x_power = x_power * x
+    return LegacyPolynomial(field, coeffs)

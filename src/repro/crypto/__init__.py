@@ -1,4 +1,10 @@
-"""Information-theoretic primitives: field algebra and secret sharing."""
+"""Information-theoretic primitives: field algebra and secret sharing.
+
+The object layer re-exported here is a veneer over the raw-integer fast
+paths in :mod:`repro.crypto.kernels`.
+"""
+
+from repro.crypto import kernels
 
 from repro.crypto.bivariate import SymmetricBivariatePolynomial
 from repro.crypto.field import Field, FieldElement, is_probable_prime
@@ -16,6 +22,7 @@ from repro.crypto.shamir import (
 )
 
 __all__ = [
+    "kernels",
     "Field",
     "FieldElement",
     "is_probable_prime",

@@ -13,9 +13,10 @@ from __future__ import annotations
 import random
 from typing import List, Sequence, Tuple
 
+from repro.crypto import kernels
 from repro.crypto.field import Field, FieldElement, IntoField
 from repro.crypto.polynomial import Polynomial
-from repro.errors import InterpolationError
+from repro.errors import FieldError, InterpolationError
 
 
 class SymmetricBivariatePolynomial:
@@ -37,6 +38,9 @@ class SymmetricBivariatePolynomial:
                 if matrix[i][j] != matrix[j][i]:
                     raise InterpolationError("coefficient matrix must be symmetric")
         self.coefficients: List[List[FieldElement]] = matrix
+        #: Raw-int mirror of the coefficient matrix for the kernel fast paths
+        #: (the object is treated as immutable after construction).
+        self._ints: List[List[int]] = [[c.value for c in row] for row in matrix]
 
     # Construction ------------------------------------------------------
     @classmethod
@@ -66,17 +70,10 @@ class SymmetricBivariatePolynomial:
         return len(self.coefficients) - 1
 
     def __call__(self, x: IntoField, y: IntoField) -> FieldElement:
-        """Evaluate ``F(x, y)``."""
-        x = self.field(x)
-        y = self.field(y)
-        acc = self.field.zero()
-        # Horner in x of polynomials in y.
-        for row in reversed(self.coefficients):
-            inner = self.field.zero()
-            for coefficient in reversed(row):
-                inner = inner * y + coefficient
-            acc = acc * x + inner
-        return acc
+        """Evaluate ``F(x, y)`` (Horner in x of Horners in y, on raw ints)."""
+        raw = self.field.raw
+        value = kernels.bivariate_eval(self.field.prime, self._ints, raw(x), raw(y))
+        return FieldElement(value, self.field)
 
     @property
     def secret(self) -> FieldElement:
@@ -85,14 +82,10 @@ class SymmetricBivariatePolynomial:
 
     def row(self, index: IntoField) -> Polynomial:
         """The row polynomial ``f_index(y) = F(index, y)`` handed to a party."""
-        x = self.field(index)
-        coeffs = [self.field.zero()] * (self.degree + 1)
-        x_power = self.field.one()
-        for i in range(self.degree + 1):
-            for j in range(self.degree + 1):
-                coeffs[j] = coeffs[j] + self.coefficients[i][j] * x_power
-            x_power = x_power * x
-        return Polynomial(self.field, coeffs)
+        coeffs = kernels.bivariate_row(
+            self.field.prime, self._ints, self.field.raw(index)
+        )
+        return Polynomial._from_int_coeffs(self.field, coeffs)
 
     def rows(self, n: int) -> List[Polynomial]:
         """Row polynomials for parties ``1..n`` (index 0 of the list is party 1)."""
@@ -119,22 +112,24 @@ class SymmetricBivariatePolynomial:
                 f"need {degree + 1} rows to reconstruct, got {len(rows)}"
             )
         selected = list(rows[: degree + 1])
-        # For each coefficient position j of y, interpolate across x.
-        matrix: List[List[FieldElement]] = [
-            [field.zero() for _ in range(degree + 1)] for _ in range(degree + 1)
+        # For each coefficient position j of y, interpolate across x.  All
+        # columns share the same x tuple, so the memoised Lagrange basis is
+        # computed once and reused degree+1 times.
+        prime = field.prime
+        raw = field.raw
+        xs = tuple(raw(x_value) for x_value, _ in selected)
+        for _, row_poly in selected:
+            if row_poly.field != field:
+                raise FieldError("cannot coerce an element of a different field")
+        row_ints = [row_poly.int_coefficients for _, row_poly in selected]
+        matrix: List[List[int]] = [
+            [0] * (degree + 1) for _ in range(degree + 1)
         ]
         for j in range(degree + 1):
-            points = []
-            for x_value, row_poly in selected:
-                coeffs = row_poly.coefficients
-                coefficient = coeffs[j] if j < len(coeffs) else field.zero()
-                points.append((x_value, coefficient))
-            column_poly = Polynomial.interpolate(field, points)
-            column_coeffs = column_poly.coefficients
+            ys = [coeffs[j] if j < len(coeffs) else 0 for coeffs in row_ints]
+            column_coeffs = kernels.interpolate(prime, xs, ys)
             for i in range(degree + 1):
-                matrix[i][j] = (
-                    column_coeffs[i] if i < len(column_coeffs) else field.zero()
-                )
+                matrix[i][j] = column_coeffs[i] if i < len(column_coeffs) else 0
         # Symmetrise defensively: if the rows came from a genuine symmetric
         # polynomial this is a no-op; otherwise constructing the object would
         # raise, which is the behaviour we want for corrupted inputs.

@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Union
+from functools import lru_cache
+from typing import Dict, Iterable, List, Union
 
 from repro.errors import FieldError
 
 IntoField = Union[int, "FieldElement"]
 
 
+@lru_cache(maxsize=65536)
 def is_probable_prime(value: int, rounds: int = 16) -> bool:
     """Miller-Rabin primality test (deterministic for 64-bit inputs)."""
     if value < 2:
@@ -46,15 +48,40 @@ def is_probable_prime(value: int, rounds: int = 16) -> bool:
     return True
 
 
+#: Interned Field instances keyed by modulus: campaigns construct a Field per
+#: worker/trial, and interning makes repeat construction a dict hit instead of
+#: a Miller-Rabin run plus a fresh allocation.
+_FIELD_INTERN: Dict[int, "Field"] = {}
+
+
 @dataclass(frozen=True)
 class Field:
-    """A prime field GF(p)."""
+    """A prime field GF(p).
+
+    Instances are interned per modulus: ``Field(p) is Field(p)``.  Equality
+    and hashing are by modulus either way, so the interning is purely a
+    performance property (identity-fast comparisons, one primality check per
+    modulus per process).
+    """
 
     prime: int
+
+    def __new__(cls, prime: int) -> "Field":
+        if cls is Field:
+            cached = _FIELD_INTERN.get(prime)
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
 
     def __post_init__(self) -> None:
         if self.prime < 2 or not is_probable_prime(self.prime):
             raise FieldError(f"field modulus must be prime, got {self.prime}")
+        if type(self) is Field:
+            _FIELD_INTERN.setdefault(self.prime, self)
+
+    def __reduce__(self):
+        # Route unpickling through __new__ so workers share the intern table.
+        return (type(self), (self.prime,))
 
     # ------------------------------------------------------------------
     def __call__(self, value: IntoField) -> "FieldElement":
@@ -64,6 +91,19 @@ class Field:
                 raise FieldError("cannot coerce an element of a different field")
             return value
         return FieldElement(int(value) % self.prime, self)
+
+    def raw(self, value: IntoField) -> int:
+        """Coerce to a plain int in ``[0, prime)`` without allocating an element.
+
+        The unwrap used by the raw-integer kernels
+        (:mod:`repro.crypto.kernels`); applies the same foreign-field check as
+        :meth:`__call__`.
+        """
+        if isinstance(value, FieldElement):
+            if value.field is not self and value.field != self:
+                raise FieldError("cannot coerce an element of a different field")
+            return value.value
+        return int(value) % self.prime
 
     def zero(self) -> "FieldElement":
         """The additive identity."""

@@ -1,0 +1,453 @@
+"""Raw-integer fast-path kernels for the crypto layer.
+
+Every protocol statistic in this reproduction is backed by Monte-Carlo
+campaigns whose cost is dominated by field arithmetic.  The object layer
+(:class:`~repro.crypto.field.FieldElement`, wrapper-based
+:class:`~repro.crypto.polynomial.Polynomial`) reads like the algebra in the
+paper but pays one Python object allocation plus coercion checks per
+operation.  The kernels in this module operate on plain ``int`` values (and
+tuples of them) with the modulus passed explicitly, so the inner loops are
+nothing but native big-int arithmetic.
+
+``Polynomial``, ``Shamir``, ``reed_solomon`` and ``bivariate`` delegate here
+and re-wrap only their results; property tests
+(``tests/crypto/test_kernels.py``) assert the two paths agree on random
+inputs.
+
+Conventions:
+
+* polynomial coefficients are low-degree-first sequences of ints in
+  ``[0, prime)``;
+* evaluation points handed to the cached Lagrange helpers must already be
+  reduced modulo ``prime`` (callers reduce once, the cache key stays small);
+* errors are reported with the same exception types and messages as the
+  object layer, so the veneers stay drop-in replacements.
+
+Party evaluation points are fixed for the lifetime of a run (ids ``1..n``),
+so the Lagrange basis / reconstruction weights for a given ``(prime, xs)``
+pair are computed once and memoised; afterwards a Shamir reconstruction is a
+single dot product.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import DecodingError, FieldError, InterpolationError
+
+#: Upper bound on memoised Lagrange bases.  Each entry is O(k^2) ints; runs
+#: use a handful of distinct share subsets, so this is far more than enough
+#: while still bounding memory for adversarial workloads.
+_LAGRANGE_CACHE_SIZE = 4096
+
+
+# ---------------------------------------------------------------------------
+# Modular scalar helpers.
+# ---------------------------------------------------------------------------
+def mod_inv(prime: int, value: int) -> int:
+    """Multiplicative inverse of ``value`` modulo ``prime``.
+
+    Raises:
+        FieldError: when ``value`` is zero modulo ``prime``.
+    """
+    value %= prime
+    if value == 0:
+        raise FieldError("zero has no multiplicative inverse")
+    return pow(value, -1, prime)
+
+
+def batch_inverse(prime: int, values: Sequence[int]) -> List[int]:
+    """Invert many values with one modular exponentiation (Montgomery trick).
+
+    Costs ``3(k-1)`` multiplications plus a single :func:`mod_inv` instead of
+    ``k`` exponentiations.
+
+    Raises:
+        FieldError: when any value is zero modulo ``prime``.
+    """
+    if not values:
+        return []
+    prefix: List[int] = []
+    acc = 1
+    for value in values:
+        value %= prime
+        if value == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        acc = acc * value % prime
+        prefix.append(acc)
+    inverse = mod_inv(prime, acc)
+    out = [0] * len(values)
+    for index in range(len(values) - 1, 0, -1):
+        out[index] = inverse * prefix[index - 1] % prime
+        inverse = inverse * (values[index] % prime) % prime
+    out[0] = inverse
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Dense univariate polynomial arithmetic (low-degree-first int sequences).
+# ---------------------------------------------------------------------------
+def poly_trim(coeffs: Sequence[int]) -> Tuple[int, ...]:
+    """Drop trailing zero coefficients; the zero polynomial stays ``(0,)``."""
+    end = len(coeffs)
+    while end > 1 and coeffs[end - 1] == 0:
+        end -= 1
+    return tuple(coeffs[:end])
+
+
+def poly_add(prime: int, a: Sequence[int], b: Sequence[int]) -> Tuple[int, ...]:
+    """Coefficient-wise sum of two polynomials."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for index, coeff in enumerate(b):
+        out[index] = (out[index] + coeff) % prime
+    return tuple(out)
+
+
+def poly_scale(prime: int, coeffs: Sequence[int], scalar: int) -> Tuple[int, ...]:
+    """Multiply every coefficient by ``scalar``."""
+    scalar %= prime
+    return tuple(c * scalar % prime for c in coeffs)
+
+
+def poly_mul(prime: int, a: Sequence[int], b: Sequence[int]) -> Tuple[int, ...]:
+    """Schoolbook product; fine at secret-sharing degrees (t <= n)."""
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] += ca * cb
+    return tuple(c % prime for c in out)
+
+
+def poly_divmod(
+    prime: int, numerator: Sequence[int], divisor: Sequence[int]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Polynomial long division; returns ``(quotient, remainder)`` untrimmed.
+
+    Mirrors :meth:`Polynomial.divmod`: the remainder keeps the numerator's
+    length and the quotient has ``max(1, len(num) - len(div) + 1)`` slots.
+
+    Raises:
+        InterpolationError: when the divisor is the zero polynomial.
+    """
+    divisor = poly_trim([c % prime for c in divisor])
+    if divisor == (0,):
+        raise InterpolationError("polynomial division by zero")
+    remainder = [c % prime for c in numerator]
+    quotient = [0] * max(1, len(remainder) - len(divisor) + 1)
+    divisor_degree = len(divisor) - 1
+    lead_inv = mod_inv(prime, divisor[-1])
+    for index in range(len(remainder) - 1, divisor_degree - 1, -1):
+        coefficient = remainder[index] * lead_inv % prime
+        if coefficient == 0:
+            continue
+        position = index - divisor_degree
+        quotient[position] = coefficient
+        for offset, dcoeff in enumerate(divisor):
+            remainder[position + offset] = (
+                remainder[position + offset] - coefficient * dcoeff
+            ) % prime
+    return tuple(quotient), tuple(remainder)
+
+
+def horner(prime: int, coeffs: Sequence[int], x: int) -> int:
+    """Evaluate a polynomial at ``x`` by Horner's rule."""
+    acc = 0
+    for coefficient in reversed(coeffs):
+        acc = (acc * x + coefficient) % prime
+    return acc
+
+
+def eval_at_many(prime: int, coeffs: Sequence[int], xs: Sequence[int]) -> List[int]:
+    """Evaluate one polynomial at several points."""
+    rev = tuple(reversed(coeffs))
+    out = []
+    for x in xs:
+        acc = 0
+        for coefficient in rev:
+            acc = (acc * x + coefficient) % prime
+        out.append(acc)
+    return out
+
+
+def shamir_share_values(prime: int, coeffs: Sequence[int], n: int) -> List[int]:
+    """Evaluations at the canonical party points ``1..n`` (Shamir shares).
+
+    Vandermonde-free: incremental Horner per point, ``O(n * t)`` multiplies
+    with no matrix construction.
+    """
+    return eval_at_many(prime, coeffs, range(1, n + 1))
+
+
+# ---------------------------------------------------------------------------
+# Lagrange interpolation with a cached basis per (prime, evaluation points).
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=_LAGRANGE_CACHE_SIZE)
+def lagrange_basis(prime: int, xs: Tuple[int, ...]) -> Tuple[Tuple[int, ...], ...]:
+    """Normalised Lagrange basis polynomials ``L_i`` for the points ``xs``.
+
+    ``L_i(xs[i]) = 1`` and ``L_i(xs[j]) = 0`` for ``j != i``; any
+    interpolation through ``(xs[i], ys[i])`` is then ``sum_i ys[i] * L_i``.
+
+    Built in ``O(k^2)``: one master product ``P(X) = prod (X - x_i)``, one
+    synthetic division per point, one batched inversion of the denominators.
+    Memoised because party ids are fixed per run, so the same ``xs`` tuple
+    recurs for every reconstruction.
+
+    Raises:
+        InterpolationError: on duplicate points (callers pre-reduce mod p).
+    """
+    k = len(xs)
+    if len(set(xs)) != k:
+        raise InterpolationError("interpolation points must have distinct x values")
+    # Master product P(X) = prod_i (X - x_i), low-degree-first, monic degree k.
+    master = [1]
+    for x in xs:
+        nxt = [0] * (len(master) + 1)
+        for index, coeff in enumerate(master):
+            nxt[index] = (nxt[index] - x * coeff) % prime
+            nxt[index + 1] = (nxt[index + 1] + coeff) % prime
+        master = nxt
+    numerators: List[List[int]] = []
+    denominators: List[int] = []
+    for x in xs:
+        # Synthetic division: N_i(X) = P(X) / (X - x_i), exact since x_i is a root.
+        quotient = [0] * k
+        quotient[k - 1] = master[k]
+        for index in range(k - 1, 0, -1):
+            quotient[index - 1] = (master[index] + x * quotient[index]) % prime
+        numerators.append(quotient)
+        denominators.append(horner(prime, quotient, x))
+    try:
+        inverses = batch_inverse(prime, denominators)
+    except FieldError:  # pragma: no cover - impossible for distinct xs
+        raise InterpolationError("interpolation points must have distinct x values")
+    return tuple(
+        poly_scale(prime, numerator, inverse)
+        for numerator, inverse in zip(numerators, inverses)
+    )
+
+
+@lru_cache(maxsize=_LAGRANGE_CACHE_SIZE)
+def lagrange_weights_at_zero(prime: int, xs: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Weights ``w_i`` with ``f(0) = sum_i w_i * f(xs[i])`` (shares the basis cache)."""
+    return tuple(basis[0] for basis in lagrange_basis(prime, xs))
+
+
+def interpolate(prime: int, xs: Tuple[int, ...], ys: Sequence[int]) -> Tuple[int, ...]:
+    """Coefficients of the unique degree-``< k`` polynomial through the points.
+
+    Args:
+        prime: field modulus.
+        xs: evaluation points, already reduced modulo ``prime``.
+        ys: values at those points.
+
+    Raises:
+        InterpolationError: on empty input or duplicate x values.
+    """
+    if not xs:
+        raise InterpolationError("cannot interpolate through zero points")
+    basis = lagrange_basis(prime, xs)
+    out = [0] * len(xs)
+    for y, base in zip(ys, basis):
+        y %= prime
+        if y == 0:
+            continue
+        for index, coeff in enumerate(base):
+            out[index] += y * coeff
+    return tuple(c % prime for c in out)
+
+
+def interpolate_at_zero(prime: int, xs: Tuple[int, ...], ys: Sequence[int]) -> int:
+    """``f(0)`` of the interpolated polynomial -- the Shamir reconstruction map.
+
+    With a warm weight cache this is a ``k``-term dot product.
+
+    Raises:
+        InterpolationError: on empty input or duplicate x values.
+    """
+    if not xs:
+        raise InterpolationError("cannot interpolate through zero points")
+    weights = lagrange_weights_at_zero(prime, xs)
+    total = 0
+    for weight, y in zip(weights, ys):
+        total += weight * y
+    return total % prime
+
+
+def lagrange_cache_info():
+    """Cache statistics for the memoised bases (exposed for tests/benchmarks)."""
+    return lagrange_basis.cache_info()
+
+
+def clear_lagrange_cache() -> None:
+    """Drop memoised bases (used by benchmarks to measure cold paths)."""
+    lagrange_basis.cache_clear()
+    lagrange_weights_at_zero.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# Gaussian elimination and Berlekamp-Welch on raw ints.
+# ---------------------------------------------------------------------------
+def solve_linear_system(
+    prime: int, matrix: Sequence[Sequence[int]], rhs: Sequence[int]
+) -> Optional[List[int]]:
+    """Solve ``matrix @ x = rhs`` over GF(prime) by Gaussian elimination.
+
+    Returns one solution (free variables set to zero) or None when the system
+    is inconsistent.  Same pivoting order as the object-layer original, so the
+    selected solution is identical.
+    """
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    augmented = [[c % prime for c in row] + [rhs[r] % prime] for r, row in enumerate(matrix)]
+    pivot_cols: List[int] = []
+    pivot_row = 0
+    width = cols + 1
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if augmented[row][col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        augmented[pivot_row], augmented[pivot] = augmented[pivot], augmented[pivot_row]
+        inverse = pow(augmented[pivot_row][col], -1, prime)
+        pivot_entries = [entry * inverse % prime for entry in augmented[pivot_row]]
+        augmented[pivot_row] = pivot_entries
+        for row in range(rows):
+            if row != pivot_row and augmented[row][col] != 0:
+                factor = augmented[row][col]
+                target = augmented[row]
+                for index in range(width):
+                    target[index] = (target[index] - factor * pivot_entries[index]) % prime
+        pivot_cols.append(col)
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+    for row in range(pivot_row, rows):
+        if all(entry == 0 for entry in augmented[row][:-1]) and augmented[row][-1] != 0:
+            return None
+    solution = [0] * cols
+    for row_index, col in enumerate(pivot_cols):
+        solution[col] = augmented[row_index][-1]
+    return solution
+
+
+def berlekamp_welch_raw(
+    prime: int,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    degree: int,
+    max_errors: int,
+) -> Tuple[int, ...]:
+    """Berlekamp-Welch decoding on raw ints; returns trimmed coefficients.
+
+    Same contract (and error messages) as
+    :func:`repro.crypto.reed_solomon.berlekamp_welch`, which now delegates
+    here after unwrapping its points.
+
+    Raises:
+        DecodingError: when no degree-``degree`` polynomial explains all but
+            at most ``max_errors`` of the points.
+    """
+    n = len(xs)
+    if max_errors < 0:
+        raise DecodingError("max_errors must be non-negative")
+    if n < degree + 1 + 2 * max_errors:
+        raise DecodingError(
+            f"Berlekamp-Welch needs at least {degree + 1 + 2 * max_errors} points "
+            f"for degree {degree} with {max_errors} errors; got {n}"
+        )
+    xs = [x % prime for x in xs]
+    ys = [y % prime for y in ys]
+    if len(set(xs)) != n:
+        raise DecodingError("decoding points must have distinct x values")
+
+    if max_errors == 0:
+        coeffs = interpolate(prime, tuple(xs[: degree + 1]), ys[: degree + 1])
+        for x, y in zip(xs, ys):
+            if horner(prime, coeffs, x) != y:
+                raise DecodingError("points are not on a single polynomial")
+        return poly_trim(coeffs)
+
+    # Unknowns: the non-leading coefficients of the monic error locator E
+    # (degree max_errors) and all coefficients of Q (degree degree+max_errors),
+    # satisfying Q(x_i) = y_i * E(x_i) at every point.
+    num_e = max_errors
+    num_q = degree + max_errors + 1
+    matrix: List[List[int]] = []
+    rhs: List[int] = []
+    for x, y in zip(xs, ys):
+        row: List[int] = []
+        x_power = 1
+        for _ in range(num_e):
+            row.append(y * x_power % prime)
+            x_power = x_power * x % prime
+        leading = y * x_power % prime  # y * x^max_errors moves to the RHS
+        x_power = 1
+        for _ in range(num_q):
+            row.append(-x_power % prime)
+            x_power = x_power * x % prime
+        matrix.append(row)
+        rhs.append(-leading % prime)
+
+    solution = solve_linear_system(prime, matrix, rhs)
+    if solution is None:
+        raise DecodingError("Berlekamp-Welch system is inconsistent (too many errors)")
+    error_locator = tuple(solution[:num_e]) + (1,)
+    q_coeffs = poly_trim(solution[num_e:])
+    quotient, remainder = poly_divmod(prime, q_coeffs, error_locator)
+    if any(c != 0 for c in remainder):
+        raise DecodingError("error locator does not divide Q; too many errors")
+    quotient = poly_trim(quotient)
+    if len(quotient) - 1 > degree:
+        raise DecodingError("decoded polynomial exceeds the expected degree")
+    disagreements = sum(1 for x, y in zip(xs, ys) if horner(prime, quotient, x) != y)
+    if disagreements > max_errors:
+        raise DecodingError(
+            f"decoded polynomial disagrees with {disagreements} points "
+            f"(> {max_errors} allowed)"
+        )
+    return quotient
+
+
+# ---------------------------------------------------------------------------
+# Symmetric bivariate helpers.
+# ---------------------------------------------------------------------------
+def bivariate_eval(
+    prime: int, matrix: Sequence[Sequence[int]], x: int, y: int
+) -> int:
+    """Evaluate ``F(x, y) = sum c[i][j] x^i y^j`` (Horner in x of Horners in y)."""
+    acc = 0
+    for row in reversed(matrix):
+        inner = 0
+        for coefficient in reversed(row):
+            inner = (inner * y + coefficient) % prime
+        acc = (acc * x + inner) % prime
+    return acc
+
+
+def bivariate_row(
+    prime: int, matrix: Sequence[Sequence[int]], x: int
+) -> Tuple[int, ...]:
+    """Coefficients of the row polynomial ``f_x(y) = F(x, y)``.
+
+    ``O(t^2)`` int multiplies; the object layer previously paid the same
+    asymptotics in FieldElement allocations.
+    """
+    size = len(matrix)
+    out = [0] * size
+    x_power = 1
+    for i in range(size):
+        row = matrix[i]
+        if x_power:
+            for j in range(size):
+                out[j] += row[j] * x_power
+        x_power = x_power * x % prime
+    return tuple(c % prime for c in out)

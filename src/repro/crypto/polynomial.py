@@ -3,6 +3,12 @@
 These are the workhorse of the secret-sharing layer: a degree-``t`` polynomial
 with ``f(0) = secret`` defines a Shamir sharing, and interpolation through
 ``t + 1`` points recovers it.
+
+The class is a thin veneer over the raw-integer kernels in
+:mod:`repro.crypto.kernels`: coefficients are mirrored as a plain int tuple at
+construction time, every arithmetic operation runs on ints, and only the
+results are wrapped back into :class:`FieldElement` objects.  Polynomials are
+treated as immutable -- mutating ``coefficients`` in place is unsupported.
 """
 
 from __future__ import annotations
@@ -10,8 +16,9 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.crypto import kernels
 from repro.crypto.field import Field, FieldElement, IntoField
-from repro.errors import InterpolationError
+from repro.errors import FieldError, InterpolationError
 
 
 class Polynomial:
@@ -21,6 +28,8 @@ class Polynomial:
     two equal polynomials always compare equal.
     """
 
+    __slots__ = ("field", "coefficients", "_ints")
+
     def __init__(self, field: Field, coefficients: Iterable[IntoField]) -> None:
         self.field = field
         coeffs = [field(c) for c in coefficients]
@@ -29,12 +38,28 @@ class Polynomial:
         if not coeffs:
             coeffs = [field.zero()]
         self.coefficients: List[FieldElement] = coeffs
+        self._ints: Tuple[int, ...] = tuple(c.value for c in coeffs)
+
+    @classmethod
+    def _from_int_coeffs(cls, field: Field, ints: Sequence[int]) -> "Polynomial":
+        """Fast internal constructor for already-reduced int coefficients."""
+        self = cls.__new__(cls)
+        self.field = field
+        trimmed = kernels.poly_trim(ints)
+        self._ints = trimmed
+        self.coefficients = [FieldElement(v, field) for v in trimmed]
+        return self
+
+    @property
+    def int_coefficients(self) -> Tuple[int, ...]:
+        """The coefficients as a plain int tuple (the kernel-side mirror)."""
+        return self._ints
 
     # Construction ------------------------------------------------------
     @classmethod
     def zero(cls, field: Field) -> "Polynomial":
         """The zero polynomial."""
-        return cls(field, [0])
+        return cls._from_int_coeffs(field, (0,))
 
     @classmethod
     def constant(cls, field: Field, value: IntoField) -> "Polynomial":
@@ -73,50 +98,46 @@ class Polynomial:
         """Lagrange interpolation through ``points`` (x values must be distinct).
 
         Returns the unique polynomial of degree < len(points) through the
-        points.
+        points.  The Lagrange basis for a given set of x values is memoised in
+        the kernel layer, so repeated reconstructions against the same party
+        points cost one dot product per coefficient.
 
         Raises:
             InterpolationError: on duplicate x coordinates or empty input.
         """
         if not points:
             raise InterpolationError("cannot interpolate through zero points")
-        xs = [field(x) for x, _ in points]
-        ys = [field(y) for _, y in points]
-        if len({x.value for x in xs}) != len(xs):
-            raise InterpolationError("interpolation points must have distinct x values")
-        result = cls.zero(field)
-        for i, (xi, yi) in enumerate(zip(xs, ys)):
-            numerator = cls(field, [1])
-            denominator = field.one()
-            for j, xj in enumerate(xs):
-                if i == j:
-                    continue
-                numerator = numerator * cls(field, [-xj.value, 1])
-                denominator = denominator * (xi - xj)
-            result = result + numerator * (yi / denominator)
-        return result
+        raw = field.raw
+        xs = tuple(raw(x) for x, _ in points)
+        ys = [raw(y) for _, y in points]
+        return cls._from_int_coeffs(field, kernels.interpolate(field.prime, xs, ys))
 
     # Queries ------------------------------------------------------------
     @property
     def degree(self) -> int:
         """Degree of the polynomial (0 for constants, including zero)."""
-        return len(self.coefficients) - 1
+        return len(self._ints) - 1
 
     def __call__(self, x: IntoField) -> FieldElement:
-        """Evaluate via Horner's rule."""
-        x = self.field(x)
-        acc = self.field.zero()
-        for coefficient in reversed(self.coefficients):
-            acc = acc * x + coefficient
-        return acc
+        """Evaluate via Horner's rule (on raw ints)."""
+        value = kernels.horner(self.field.prime, self._ints, self.field.raw(x))
+        return FieldElement(value, self.field)
+
+    def __len__(self) -> int:
+        return len(self._ints)
 
     def evaluate_at(self, xs: Iterable[IntoField]) -> List[FieldElement]:
         """Evaluate at several points."""
-        return [self(x) for x in xs]
+        field = self.field
+        raw = field.raw
+        values = kernels.eval_at_many(field.prime, self._ints, [raw(x) for x in xs])
+        return [FieldElement(v, field) for v in values]
 
     def shares(self, n: int) -> Dict[int, FieldElement]:
         """Evaluate at the canonical party points ``1..n`` (Shamir shares)."""
-        return {i: self(i) for i in range(1, n + 1)}
+        field = self.field
+        values = kernels.shamir_share_values(field.prime, self._ints, n)
+        return {i: FieldElement(v, field) for i, v in zip(range(1, n + 1), values)}
 
     @property
     def constant_term(self) -> FieldElement:
@@ -124,58 +145,59 @@ class Polynomial:
         return self.coefficients[0]
 
     # Arithmetic ----------------------------------------------------------
+    def _check_same_field(self, other: "Polynomial") -> None:
+        if other.field != self.field:
+            raise FieldError("cannot mix elements of different fields")
+
     def __add__(self, other: "Polynomial") -> "Polynomial":
-        size = max(len(self.coefficients), len(other.coefficients))
-        coeffs = []
-        for index in range(size):
-            a = self.coefficients[index] if index < len(self.coefficients) else self.field.zero()
-            b = other.coefficients[index] if index < len(other.coefficients) else self.field.zero()
-            coeffs.append(a + b)
-        return Polynomial(self.field, coeffs)
+        self._check_same_field(other)
+        return Polynomial._from_int_coeffs(
+            self.field, kernels.poly_add(self.field.prime, self._ints, other._ints)
+        )
 
     def __sub__(self, other: "Polynomial") -> "Polynomial":
-        return self + (other * self.field(-1))
+        self._check_same_field(other)
+        negated = kernels.poly_scale(self.field.prime, other._ints, -1)
+        return Polynomial._from_int_coeffs(
+            self.field, kernels.poly_add(self.field.prime, self._ints, negated)
+        )
 
     def __mul__(self, other: "Polynomial | FieldElement | int") -> "Polynomial":
         if isinstance(other, (FieldElement, int)):
-            scalar = self.field(other)
-            return Polynomial(self.field, [c * scalar for c in self.coefficients])
-        coeffs = [self.field.zero()] * (len(self.coefficients) + len(other.coefficients) - 1)
-        for i, a in enumerate(self.coefficients):
-            for j, b in enumerate(other.coefficients):
-                coeffs[i + j] = coeffs[i + j] + a * b
-        return Polynomial(self.field, coeffs)
+            scalar = self.field.raw(other)
+            return Polynomial._from_int_coeffs(
+                self.field, kernels.poly_scale(self.field.prime, self._ints, scalar)
+            )
+        self._check_same_field(other)
+        return Polynomial._from_int_coeffs(
+            self.field, kernels.poly_mul(self.field.prime, self._ints, other._ints)
+        )
 
     __rmul__ = __mul__
 
     def divmod(self, divisor: "Polynomial") -> Tuple["Polynomial", "Polynomial"]:
         """Polynomial long division; returns ``(quotient, remainder)``."""
-        if all(c.value == 0 for c in divisor.coefficients):
-            raise InterpolationError("polynomial division by zero")
-        remainder = list(self.coefficients)
-        quotient = [self.field.zero()] * max(1, len(remainder) - len(divisor.coefficients) + 1)
-        divisor_lead = divisor.coefficients[-1]
-        divisor_degree = divisor.degree
-        for index in range(len(remainder) - 1, divisor_degree - 1, -1):
-            coefficient = remainder[index] / divisor_lead
-            position = index - divisor_degree
-            quotient[position] = coefficient
-            for offset, dcoeff in enumerate(divisor.coefficients):
-                remainder[position + offset] = remainder[position + offset] - coefficient * dcoeff
-        return Polynomial(self.field, quotient), Polynomial(self.field, remainder)
+        self._check_same_field(divisor)
+        quotient, remainder = kernels.poly_divmod(
+            self.field.prime, self._ints, divisor._ints
+        )
+        return (
+            Polynomial._from_int_coeffs(self.field, quotient),
+            Polynomial._from_int_coeffs(self.field, remainder),
+        )
 
     # Comparison ----------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Polynomial):
             return NotImplemented
-        return self.field == other.field and self.coefficients == other.coefficients
+        return self.field == other.field and self._ints == other._ints
 
     def __hash__(self) -> int:
-        return hash((self.field.prime, tuple(c.value for c in self.coefficients)))
+        return hash((self.field.prime, self._ints))
 
     def to_ints(self) -> List[int]:
         """Coefficients as plain integers (wire format)."""
-        return [c.value for c in self.coefficients]
+        return list(self._ints)
 
     @classmethod
     def from_ints(cls, field: Field, values: Sequence[int]) -> "Polynomial":

@@ -5,60 +5,21 @@ robust reconstruction in the presence of up to ``e`` corrupted shares reduces
 to decoding.  With ``n`` shares, Berlekamp-Welch corrects ``e`` errors as long
 as ``n >= t + 1 + 2e`` -- exactly tight at the optimal-resilience point
 ``n = 3t + 1``, ``e = t``.
+
+The object-facing entry point unwraps its points to plain ints and runs the
+whole decode (matrix build, Gaussian elimination, locator division,
+verification) in :mod:`repro.crypto.kernels`; only the final polynomial is
+wrapped back into field elements.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
+from repro.crypto import kernels
 from repro.crypto.field import Field, FieldElement
 from repro.crypto.polynomial import Polynomial
 from repro.errors import DecodingError
-
-
-def _solve_linear_system(
-    field: Field, matrix: List[List[FieldElement]], rhs: List[FieldElement]
-) -> List[FieldElement] | None:
-    """Solve ``matrix @ x = rhs`` by Gaussian elimination.
-
-    Returns one solution (free variables set to zero) or None when the system
-    is inconsistent.
-    """
-    rows = len(matrix)
-    cols = len(matrix[0]) if rows else 0
-    augmented = [list(row) + [rhs[r]] for r, row in enumerate(matrix)]
-    pivot_cols: List[int] = []
-    pivot_row = 0
-    for col in range(cols):
-        pivot = None
-        for row in range(pivot_row, rows):
-            if augmented[row][col].value != 0:
-                pivot = row
-                break
-        if pivot is None:
-            continue
-        augmented[pivot_row], augmented[pivot] = augmented[pivot], augmented[pivot_row]
-        inverse = augmented[pivot_row][col].inverse()
-        augmented[pivot_row] = [entry * inverse for entry in augmented[pivot_row]]
-        for row in range(rows):
-            if row != pivot_row and augmented[row][col].value != 0:
-                factor = augmented[row][col]
-                augmented[row] = [
-                    entry - factor * pivot_entry
-                    for entry, pivot_entry in zip(augmented[row], augmented[pivot_row])
-                ]
-        pivot_cols.append(col)
-        pivot_row += 1
-        if pivot_row == rows:
-            break
-    # Check for inconsistency: a zero row with nonzero rhs.
-    for row in range(pivot_row, rows):
-        if all(entry.value == 0 for entry in augmented[row][:-1]) and augmented[row][-1].value != 0:
-            return None
-    solution = [field.zero()] * cols
-    for row_index, col in enumerate(pivot_cols):
-        solution[col] = augmented[row_index][-1]
-    return solution
 
 
 def berlekamp_welch(
@@ -83,70 +44,13 @@ def berlekamp_welch(
         DecodingError: if no such polynomial exists (too many errors) or the
             parameters are inconsistent.
     """
-    n = len(points)
     if max_errors < 0:
         raise DecodingError("max_errors must be non-negative")
-    if n < degree + 1 + 2 * max_errors:
-        raise DecodingError(
-            f"Berlekamp-Welch needs at least {degree + 1 + 2 * max_errors} points "
-            f"for degree {degree} with {max_errors} errors; got {n}"
-        )
-    xs = [field(x) for x, _ in points]
-    if len({x.value for x in xs}) != len(xs):
-        raise DecodingError("decoding points must have distinct x values")
-
-    if max_errors == 0:
-        polynomial = Polynomial.interpolate(field, list(points[: degree + 1]))
-        for x, y in points:
-            if polynomial(x) != field(y):
-                raise DecodingError("points are not on a single polynomial")
-        return polynomial
-
-    # Unknowns: E(x) = e0 + ... + e_{max_errors-1} x^{max_errors-1} + x^{max_errors}
-    # (monic error locator) and Q(x) of degree degree + max_errors, satisfying
-    # Q(x_i) = y_i * E(x_i) for every point.
-    num_e = max_errors  # non-leading coefficients of E
-    num_q = degree + max_errors + 1
-    matrix: List[List[FieldElement]] = []
-    rhs: List[FieldElement] = []
-    for x_raw, y_raw in points:
-        x = field(x_raw)
-        y = field(y_raw)
-        row: List[FieldElement] = []
-        # Coefficients for E's unknowns: y * x^j for j in 0..max_errors-1.
-        x_power = field.one()
-        for _ in range(num_e):
-            row.append(y * x_power)
-            x_power = x_power * x
-        leading = y * x_power  # y * x^max_errors moves to the RHS
-        # Coefficients for Q's unknowns: -x^j.
-        x_power = field.one()
-        for _ in range(num_q):
-            row.append(-x_power)
-            x_power = x_power * x
-        matrix.append(row)
-        rhs.append(-leading)
-
-    solution = _solve_linear_system(field, matrix, rhs)
-    if solution is None:
-        raise DecodingError("Berlekamp-Welch system is inconsistent (too many errors)")
-    e_coeffs = solution[:num_e] + [field.one()]
-    q_coeffs = solution[num_e:]
-    error_locator = Polynomial(field, e_coeffs)
-    q_polynomial = Polynomial(field, q_coeffs)
-    quotient, remainder = q_polynomial.divmod(error_locator)
-    if any(c.value != 0 for c in remainder.coefficients):
-        raise DecodingError("error locator does not divide Q; too many errors")
-    if quotient.degree > degree:
-        raise DecodingError("decoded polynomial exceeds the expected degree")
-    # Verify the decoding explains all but at most max_errors points.
-    disagreements = sum(1 for x, y in points if quotient(x) != field(y))
-    if disagreements > max_errors:
-        raise DecodingError(
-            f"decoded polynomial disagrees with {disagreements} points "
-            f"(> {max_errors} allowed)"
-        )
-    return quotient
+    raw = field.raw
+    xs = [raw(x) for x, _ in points]
+    ys = [raw(y) for _, y in points]
+    coeffs = kernels.berlekamp_welch_raw(field.prime, xs, ys, degree, max_errors)
+    return Polynomial._from_int_coeffs(field, coeffs)
 
 
 def correctable(n: int, degree: int) -> int:

@@ -13,9 +13,9 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Tuple
 
+from repro.crypto import kernels
 from repro.crypto.field import Field, FieldElement, IntoField
 from repro.crypto.polynomial import Polynomial
-from repro.crypto.reed_solomon import berlekamp_welch
 from repro.errors import DecodingError, InterpolationError
 
 
@@ -40,8 +40,10 @@ def share_secret(
     share of each party ``i`` in ``1..n``, namely ``f(i)``.
     """
     polynomial = Polynomial.random(field, t, rng, constant_term=secret)
+    values = kernels.shamir_share_values(field.prime, polynomial.int_coefficients, n)
     shares = {
-        i: ShamirShare(index=i, value=polynomial(i)) for i in range(1, n + 1)
+        i: ShamirShare(index=i, value=FieldElement(v, field))
+        for i, v in zip(range(1, n + 1), values)
     }
     return polynomial, shares
 
@@ -63,9 +65,14 @@ def reconstruct(
         raise InterpolationError(
             f"need {degree + 1} shares to reconstruct, got {len(share_list)}"
         )
-    points = [(s.index, s.value) for s in share_list[: degree + 1]]
-    polynomial = Polynomial.interpolate(field, points)
-    return polynomial.constant_term
+    # Kernel fast path: with the Lagrange weights for these indices memoised
+    # (party ids are fixed per run), reconstruction is a k-term dot product.
+    selected = share_list[: degree + 1]
+    prime = field.prime
+    raw = field.raw
+    xs = tuple(s.index % prime for s in selected)
+    ys = [raw(s.value) for s in selected]
+    return FieldElement(kernels.interpolate_at_zero(prime, xs, ys), field)
 
 
 def reconstruct_robust(
@@ -89,9 +96,15 @@ def reconstruct_robust(
             f"robust reconstruction of a degree-{degree} polynomial with "
             f"{max_errors} errors needs {needed} shares, got {len(share_list)}"
         )
-    points = [(field(s.index), s.value) for s in share_list]
-    polynomial = berlekamp_welch(field, points, degree, max_errors)
-    return polynomial.constant_term
+    raw = field.raw
+    coeffs = kernels.berlekamp_welch_raw(
+        field.prime,
+        [s.index % field.prime for s in share_list],
+        [raw(s.value) for s in share_list],
+        degree,
+        max_errors,
+    )
+    return FieldElement(coeffs[0], field)
 
 
 def verify_share(polynomial: Polynomial, share: ShamirShare) -> bool:

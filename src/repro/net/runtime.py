@@ -91,6 +91,7 @@ class Simulation:
     scheduler: Optional[Scheduler] = None
     seed: int = 0
     keep_events: bool = False
+    tracing: bool = True
     max_steps: int = DEFAULT_MAX_STEPS
     _corruptions: Dict[int, BehaviorFactory] = field(default_factory=dict)
     network: Optional[Network] = None
@@ -115,6 +116,7 @@ class Simulation:
                 scheduler=self.scheduler,
                 seed=self.seed,
                 keep_events=self.keep_events,
+                tracing=self.tracing,
             )
             for pid, factory in self._corruptions.items():
                 process = self.network.processes[pid]

@@ -25,6 +25,13 @@ from typing import Callable, Iterable, Sequence, Set
 
 from repro.errors import SchedulingError
 from repro.net.message import Message
+from repro.net.queues import (
+    DeliveryQueue,
+    FifoQueue,
+    KeyedQueue,
+    ScanQueue,
+    SendOrderRandomQueue,
+)
 
 
 class Scheduler(ABC):
@@ -39,6 +46,18 @@ class Scheduler(ABC):
             rng: the network's random source (use this, never ``random``).
             step: the network's step counter, for time-dependent strategies.
         """
+
+    def make_queue(self) -> DeliveryQueue:
+        """The delivery-queue strategy backing this scheduler.
+
+        The default is the legacy full scan (:class:`~repro.net.queues.ScanQueue`
+        driving :meth:`choose` once per step), which is correct for any
+        scheduler.  Schedulers whose policy maps onto an indexed structure
+        override this to get O(1)/O(log m) deliveries; every override must
+        reproduce the scan path's delivery order byte-identically
+        (``tests/net/test_queues.py``).
+        """
+        return ScanQueue(self)
 
     def validate(self, choice: int, pending: Sequence[Message]) -> int:
         """Check a choice is in range; raise :class:`SchedulingError` otherwise."""
@@ -60,6 +79,14 @@ class FIFOScheduler(Scheduler):
                 best, best_seq = index, message.seq
         return best
 
+    def make_queue(self) -> DeliveryQueue:
+        if type(self) is not FIFOScheduler:
+            # A subclass may have overridden choose(); only the exact built-in
+            # policy is safe to map onto the indexed queue.
+            return ScanQueue(self)
+        # Sequence numbers are assigned in submit order, so min-seq == oldest.
+        return FifoQueue()
+
 
 class RandomScheduler(Scheduler):
     """Delivers a uniformly random pending message.
@@ -71,6 +98,13 @@ class RandomScheduler(Scheduler):
 
     def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
         return rng.randrange(len(pending))
+
+    def make_queue(self) -> DeliveryQueue:
+        if type(self) is not RandomScheduler:
+            return ScanQueue(self)
+        # Rank-indexed: consumes the same single randrange per step as the
+        # scan path and delivers the same message (see queues module docs).
+        return SendOrderRandomQueue()
 
 
 class DelayScheduler(Scheduler):
@@ -152,10 +186,18 @@ class TargetedScheduler(Scheduler):
     Ties are broken by send order.  Useful for building precise adversarial
     schedules in tests (e.g. "deliver everything to party 0 before party 1
     hears anything").
+
+    By default the policy runs on an indexed heap with the priority computed
+    once per message at submit time; pass ``dynamic=True`` when the priority
+    function is *not* a pure function of the message (e.g. it closes over
+    mutable state) to fall back to re-evaluating it on every step.
     """
 
-    def __init__(self, priority: Callable[[Message], float]) -> None:
+    def __init__(
+        self, priority: Callable[[Message], float], dynamic: bool = False
+    ) -> None:
         self.priority = priority
+        self.dynamic = dynamic
 
     def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
         best = 0
@@ -165,6 +207,34 @@ class TargetedScheduler(Scheduler):
             if key < best_key:
                 best, best_key = index, key
         return best
+
+    def make_queue(self) -> DeliveryQueue:
+        if self.dynamic or type(self) is not TargetedScheduler:
+            return ScanQueue(self)
+        return KeyedQueue(self.priority)
+
+
+class ForceScanScheduler(Scheduler):
+    """Wrapper pinning ``inner`` to the legacy full-scan delivery path.
+
+    The equivalence tests and the perf harness use this to run the exact
+    pre-indexed-queue delivery loop (``inner.choose`` scan + ``list.pop``)
+    regardless of the queue strategy ``inner`` advertises.
+    """
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+
+    def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
+        return self.inner.choose(pending, rng, step)
+
+    def make_queue(self) -> DeliveryQueue:
+        return ScanQueue(self.inner)
+
+
+def force_scan(scheduler: Scheduler) -> Scheduler:
+    """Pin ``scheduler`` to the legacy O(pending) scan-and-pop delivery loop."""
+    return ForceScanScheduler(scheduler)
 
 
 def delay_from_parties(parties: Iterable[int], **kwargs) -> DelayScheduler:

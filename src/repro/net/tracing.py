@@ -34,13 +34,28 @@ class TraceEvent:
     detail: Any
 
 
-class Trace:
-    """Collects events and aggregate metrics for one simulated execution."""
+def _noop(*_args: Any, **_kwargs: Any) -> None:
+    """Shared do-nothing sink for disabled traces."""
 
-    def __init__(self, keep_events: bool = False) -> None:
+
+class Trace:
+    """Collects events and aggregate metrics for one simulated execution.
+
+    With ``enabled=False`` every recording hook (``on_send``, ``on_deliver``,
+    ``on_drop``, ``on_complete``, ``on_shun``, ``on_corrupt``, ``note``,
+    ``record``) is rebound to a shared no-op at construction time, so the
+    network's hot loop pays one trivially-dispatched call and zero
+    message-formatting or counter work per event.  Counters then stay at
+    zero and no completions/shun events are recorded -- use a disabled trace
+    only for throughput campaigns that read protocol outputs, not metrics.
+    """
+
+    def __init__(self, keep_events: bool = False, enabled: bool = True) -> None:
         #: When True the full event list is retained (memory heavy for large
-        #: runs); aggregate counters are always maintained.
+        #: runs); aggregate counters are always maintained while enabled.
         self.keep_events = keep_events
+        #: When False, all recording hooks are no-ops and metrics stay empty.
+        self.enabled = enabled
         self.events: List[TraceEvent] = []
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -50,6 +65,18 @@ class Trace:
         self.completions: Dict[Tuple[int, SessionId], Tuple[int, Any]] = {}
         self.shun_events: List[Tuple[int, int, SessionId]] = []
         self.notes: List[Tuple[int, Any]] = []
+        if not enabled:
+            # Rebinding beats per-call `if self.enabled` checks: the flag test
+            # would tax the enabled path too, and this keeps the disabled path
+            # free of even the Message property accesses below.
+            self.record = _noop  # type: ignore[method-assign]
+            self.on_send = _noop  # type: ignore[method-assign]
+            self.on_deliver = _noop  # type: ignore[method-assign]
+            self.on_drop = _noop  # type: ignore[method-assign]
+            self.on_complete = _noop  # type: ignore[method-assign]
+            self.on_shun = _noop  # type: ignore[method-assign]
+            self.on_corrupt = _noop  # type: ignore[method-assign]
+            self.note = _noop  # type: ignore[method-assign]
 
     def record(self, step: int, kind: str, party: Optional[int], detail: Any) -> None:
         """Append a raw event (only stored when ``keep_events`` is set)."""

@@ -1,0 +1,280 @@
+"""Property tests: the raw-int kernels agree with the object-layer algebra.
+
+The oracles here are written directly against ``FieldElement`` arithmetic
+(naive textbook formulas), *not* against the production ``Polynomial``
+methods -- the production path delegates to the kernels, so an independent
+implementation is what actually pins the semantics.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import kernels
+from repro.crypto.bivariate import SymmetricBivariatePolynomial
+from repro.crypto.field import Field, FieldElement, is_probable_prime
+from repro.crypto.polynomial import Polynomial
+from repro.crypto.reed_solomon import berlekamp_welch
+from repro.crypto.shamir import ShamirShare, reconstruct, reconstruct_robust, share_secret
+from repro.errors import DecodingError, FieldError, InterpolationError
+
+PRIME = 101
+FIELD = Field(PRIME)
+BIG_PRIME = 2_147_483_647
+
+coeff_lists = st.lists(st.integers(0, PRIME - 1), min_size=1, max_size=8)
+
+
+def naive_eval(coeffs, x):
+    """Oracle: sum of c_i * x^i using FieldElement arithmetic."""
+    total = FIELD.zero()
+    for power, coeff in enumerate(coeffs):
+        total = total + FIELD(coeff) * (FIELD(x) ** power)
+    return total.value
+
+
+def naive_lagrange(points):
+    """Oracle: direct Lagrange sum L(x) = sum_i y_i prod_j (x - x_j)/(x_i - x_j)."""
+
+    def basis_at(i, x):
+        acc = FIELD.one()
+        for j, (xj, _) in enumerate(points):
+            if j != i:
+                acc = acc * (FIELD(x) - FIELD(xj)) / (FIELD(points[i][0]) - FIELD(xj))
+        return acc
+
+    def evaluate(x):
+        total = FIELD.zero()
+        for i, (_, yi) in enumerate(points):
+            total = total + FIELD(yi) * basis_at(i, x)
+        return total.value
+
+    return evaluate
+
+
+class TestScalarKernels:
+    @given(value=st.integers(1, PRIME - 1))
+    def test_mod_inv_matches_field(self, value):
+        assert kernels.mod_inv(PRIME, value) == FIELD(value).inverse().value
+
+    def test_mod_inv_zero_raises(self):
+        with pytest.raises(FieldError):
+            kernels.mod_inv(PRIME, 0)
+
+    @given(values=st.lists(st.integers(1, PRIME - 1), max_size=12))
+    def test_batch_inverse_matches_individual(self, values):
+        assert kernels.batch_inverse(PRIME, values) == [
+            kernels.mod_inv(PRIME, v) for v in values
+        ]
+
+    def test_batch_inverse_rejects_zero(self):
+        with pytest.raises(FieldError):
+            kernels.batch_inverse(PRIME, [3, 0, 5])
+
+
+class TestPolynomialKernels:
+    @given(coeffs=coeff_lists, x=st.integers(0, PRIME - 1))
+    def test_horner_matches_naive(self, coeffs, x):
+        assert kernels.horner(PRIME, coeffs, x) == naive_eval(coeffs, x)
+
+    @given(a=coeff_lists, b=coeff_lists, x=st.integers(0, PRIME - 1))
+    def test_mul_is_pointwise_product(self, a, b, x):
+        product = kernels.poly_mul(PRIME, a, b)
+        assert kernels.horner(PRIME, product, x) == (
+            naive_eval(a, x) * naive_eval(b, x)
+        ) % PRIME
+
+    @given(a=coeff_lists, b=coeff_lists)
+    def test_divmod_roundtrip(self, a, b):
+        if all(c == 0 for c in b):
+            with pytest.raises(InterpolationError):
+                kernels.poly_divmod(PRIME, a, b)
+            return
+        quotient, remainder = kernels.poly_divmod(PRIME, a, b)
+        recomposed = kernels.poly_add(
+            PRIME, kernels.poly_mul(PRIME, quotient, b), remainder
+        )
+        assert kernels.poly_trim(recomposed) == kernels.poly_trim(a)
+
+
+class TestInterpolation:
+    @given(data=st.data())
+    def test_interpolate_matches_naive_lagrange(self, data):
+        k = data.draw(st.integers(1, 7))
+        xs = data.draw(
+            st.lists(
+                st.integers(0, PRIME - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        ys = data.draw(st.lists(st.integers(0, PRIME - 1), min_size=k, max_size=k))
+        coeffs = kernels.interpolate(PRIME, tuple(xs), ys)
+        oracle = naive_lagrange(list(zip(xs, ys)))
+        for x in range(0, PRIME, 7):
+            assert kernels.horner(PRIME, coeffs, x) == oracle(x)
+
+    @given(data=st.data())
+    def test_interpolate_at_zero_is_constant_term(self, data):
+        k = data.draw(st.integers(1, 7))
+        xs = tuple(
+            data.draw(
+                st.lists(st.integers(0, PRIME - 1), min_size=k, max_size=k, unique=True)
+            )
+        )
+        ys = data.draw(st.lists(st.integers(0, PRIME - 1), min_size=k, max_size=k))
+        assert kernels.interpolate_at_zero(PRIME, xs, ys) == kernels.interpolate(
+            PRIME, xs, ys
+        )[0]
+
+    def test_duplicate_points_raise(self):
+        with pytest.raises(InterpolationError):
+            kernels.interpolate(PRIME, (1, 1), [2, 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(InterpolationError):
+            kernels.interpolate(PRIME, (), [])
+
+    def test_basis_is_memoised(self):
+        kernels.clear_lagrange_cache()
+        first = kernels.lagrange_basis(PRIME, (1, 2, 3))
+        second = kernels.lagrange_basis(PRIME, (1, 2, 3))
+        assert first is second
+        assert kernels.lagrange_cache_info().hits >= 1
+
+    @given(coeffs=coeff_lists)
+    def test_polynomial_veneer_roundtrip(self, coeffs):
+        """Polynomial.interpolate through sample points recovers the polynomial."""
+        poly = Polynomial(FIELD, coeffs)
+        points = [(x, poly(x)) for x in range(poly.degree + 1)]
+        assert Polynomial.interpolate(FIELD, points) == poly
+
+
+class TestBerlekampWelchKernel:
+    @settings(deadline=None)
+    @given(data=st.data())
+    def test_decodes_corrupted_codewords(self, data):
+        degree = data.draw(st.integers(0, 3))
+        max_errors = data.draw(st.integers(0, 3))
+        n = degree + 1 + 2 * max_errors
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        coeffs = tuple(rng.randrange(PRIME) for _ in range(degree + 1))
+        xs = list(range(1, n + 1))
+        ys = kernels.eval_at_many(PRIME, coeffs, xs)
+        error_positions = data.draw(
+            st.lists(
+                st.integers(0, n - 1), max_size=max_errors, unique=True
+            )
+        )
+        for position in error_positions:
+            ys[position] = (ys[position] + 1 + rng.randrange(PRIME - 1)) % PRIME
+        decoded = kernels.berlekamp_welch_raw(PRIME, xs, ys, degree, max_errors)
+        assert decoded == kernels.poly_trim(coeffs)
+
+    def test_too_many_errors_raise(self):
+        coeffs = (5, 7)
+        xs = list(range(1, 6))
+        ys = kernels.eval_at_many(PRIME, coeffs, xs)
+        ys = [(y + 3) % PRIME for y in ys[:3]] + ys[3:]  # 3 errors, 1 tolerated
+        with pytest.raises(DecodingError):
+            kernels.berlekamp_welch_raw(PRIME, xs, ys, 1, 1)
+
+    def test_object_layer_agrees_with_kernel(self):
+        rng = random.Random(3)
+        field = Field(BIG_PRIME)
+        _, shares = share_secret(field, 424242, 16, 5, rng)
+        corrupted = list(shares.values())
+        for index in range(5):
+            share = corrupted[index]
+            corrupted[index] = ShamirShare(share.index, share.value + 9)
+        points = [(field(s.index), s.value) for s in corrupted]
+        poly = berlekamp_welch(field, points, 5, 5)
+        assert poly.constant_term.value == 424242
+        assert reconstruct_robust(field, corrupted, 5, 5).value == 424242
+
+
+class TestShamirFastPath:
+    @given(secret=st.integers(0, PRIME - 1), seed=st.integers(0, 1000))
+    def test_share_then_reconstruct(self, secret, seed):
+        rng = random.Random(seed)
+        polynomial, shares = share_secret(FIELD, secret, 7, 2, rng)
+        # Shares are evaluations of the sharing polynomial (oracle: naive eval).
+        for index, share in shares.items():
+            assert share.value.value == naive_eval(polynomial.to_ints(), index)
+        subset = [shares[i] for i in (2, 5, 7)]
+        assert reconstruct(FIELD, subset, 2).value == secret
+
+    def test_duplicate_share_indices_raise(self):
+        shares = [
+            ShamirShare(1, FIELD(4)),
+            ShamirShare(1, FIELD(5)),
+            ShamirShare(2, FIELD(6)),
+        ]
+        with pytest.raises(InterpolationError):
+            reconstruct(FIELD, shares, 2)
+
+
+class TestBivariateKernels:
+    @given(seed=st.integers(0, 500), degree=st.integers(0, 3))
+    def test_row_matches_direct_evaluation(self, seed, degree):
+        rng = random.Random(seed)
+        bivariate = SymmetricBivariatePolynomial.random(FIELD, degree, rng, secret=7)
+        for i in range(1, degree + 3):
+            row = bivariate.row(i)
+            for j in range(0, degree + 3):
+                direct = bivariate(i, j)
+                assert row(j) == direct
+                # And against the fully naive double sum:
+                total = FIELD.zero()
+                for a, mrow in enumerate(bivariate.coefficients):
+                    for b, coeff in enumerate(mrow):
+                        total = total + coeff * (FIELD(i) ** a) * (FIELD(j) ** b)
+                assert direct == total
+
+    def test_interpolate_from_rows_rejects_foreign_field_rows(self):
+        other = Field(97)
+        bivariate = SymmetricBivariatePolynomial.random(
+            other, 0, random.Random(0), secret=3
+        )
+        rows = [(1, bivariate.row(1))]
+        with pytest.raises(FieldError):
+            SymmetricBivariatePolynomial.interpolate_from_rows(FIELD, rows, 0)
+
+    @given(seed=st.integers(0, 500))
+    def test_interpolate_from_rows_roundtrip(self, seed):
+        rng = random.Random(seed)
+        degree = 2
+        bivariate = SymmetricBivariatePolynomial.random(FIELD, degree, rng, secret=9)
+        rows = [(i, bivariate.row(i)) for i in range(1, degree + 2)]
+        recovered = SymmetricBivariatePolynomial.interpolate_from_rows(
+            FIELD, rows, degree
+        )
+        assert recovered == bivariate
+
+
+class TestFieldCaching:
+    def test_fields_are_interned(self):
+        assert Field(PRIME) is FIELD
+        assert Field(BIG_PRIME) is Field(BIG_PRIME)
+
+    def test_interned_field_still_validates(self):
+        with pytest.raises(FieldError):
+            Field(100)
+        with pytest.raises(FieldError):
+            Field(1)
+
+    def test_pickle_roundtrips_to_interned_instance(self):
+        assert pickle.loads(pickle.dumps(FIELD)) is FIELD
+        element = FIELD(17)
+        restored = pickle.loads(pickle.dumps(element))
+        assert restored == element and restored.field is FIELD
+
+    def test_primality_cache_hits(self):
+        is_probable_prime.cache_clear()
+        assert is_probable_prime(BIG_PRIME)
+        before = is_probable_prime.cache_info().hits
+        for _ in range(5):
+            Field(BIG_PRIME)
+        assert is_probable_prime.cache_info().hits >= before

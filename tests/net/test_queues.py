@@ -1,0 +1,239 @@
+"""Equivalence tests: indexed delivery queues == legacy scan-and-pop loop.
+
+The contract of the delivery-queue restructure is that every built-in
+scheduler's indexed strategy reproduces the legacy full-scan delivery order
+*byte-identically* for the same seed.  These tests run real protocol
+executions under both paths and diff the complete delivery trace, plus unit-
+and fuzz-level checks of each queue against its reference model.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import ProtocolParams
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.queues import (
+    FifoQueue,
+    KeyedQueue,
+    ScanQueue,
+    SendOrderRandomQueue,
+)
+from repro.net.runtime import Simulation
+from repro.net.scheduler import (
+    DelayScheduler,
+    FIFOScheduler,
+    PartitionScheduler,
+    RandomScheduler,
+    TargetedScheduler,
+    force_scan,
+)
+from repro.protocols.acast import ACast
+from repro.protocols.weak_coin import WeakCommonCoin
+
+
+def _msg(seq, sender=0, receiver=1):
+    return Message(sender, receiver, ("q",), ("K", seq), seq=seq)
+
+
+def _delivery_trace(scheduler, seed, n=7):
+    """Full delivery order (seq numbers) plus outputs of one weak-coin run."""
+    sim = Simulation(
+        params=ProtocolParams.for_parties(n),
+        scheduler=scheduler,
+        seed=seed,
+        keep_events=True,
+    )
+    result = sim.run(("weak_coin",), WeakCommonCoin.factory())
+    order = [
+        event.detail.seq
+        for event in result.network.trace.events
+        if event.kind == "deliver"
+    ]
+    return order, result.outputs
+
+
+SCHEDULER_FACTORIES = {
+    "fifo": FIFOScheduler,
+    "random": RandomScheduler,
+    "targeted": lambda: TargetedScheduler(lambda m: m.receiver),
+    "targeted_dynamic": lambda: TargetedScheduler(lambda m: m.receiver, dynamic=True),
+    "delay": lambda: DelayScheduler(lambda m: m.sender == 0),
+    "partition": lambda: PartitionScheduler([0, 1, 2], [3, 4, 5], duration=40),
+}
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("name", sorted(SCHEDULER_FACTORIES))
+    @pytest.mark.parametrize("seed", [0, 1, 13])
+    def test_delivery_order_is_byte_identical(self, name, seed):
+        factory = SCHEDULER_FACTORIES[name]
+        fast_order, fast_outputs = _delivery_trace(factory(), seed)
+        scan_order, scan_outputs = _delivery_trace(force_scan(factory()), seed)
+        assert fast_order == scan_order
+        assert fast_outputs == scan_outputs
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_acast_equivalence(self, seed):
+        def run(scheduler):
+            sim = Simulation(
+                params=ProtocolParams.for_parties(4),
+                scheduler=scheduler,
+                seed=seed,
+                keep_events=True,
+            )
+            result = sim.run(
+                ("acast",), ACast.factory(0), inputs={0: {"value": "payload"}}
+            )
+            return (
+                [
+                    event.detail.seq
+                    for event in result.network.trace.events
+                    if event.kind == "deliver"
+                ],
+                result.outputs,
+            )
+
+        assert run(RandomScheduler()) == run(force_scan(RandomScheduler()))
+
+    def test_subclass_with_overridden_choose_keeps_scan_path(self):
+        """A subclass's choose() must stay authoritative: indexed strategies
+        are only safe for the exact built-in policies."""
+
+        class AlwaysOldest(RandomScheduler):
+            def choose(self, pending, rng, step):
+                return 0
+
+        assert isinstance(AlwaysOldest().make_queue(), ScanQueue)
+        assert isinstance(type("F", (FIFOScheduler,), {})().make_queue(), ScanQueue)
+        assert isinstance(
+            type("T", (TargetedScheduler,), {})(lambda m: 0).make_queue(), ScanQueue
+        )
+        network = Network(
+            ProtocolParams.for_parties(2), scheduler=AlwaysOldest(), seed=0
+        )
+        for index in range(4):
+            network.submit(0, 1, ("s",), ("K", index))
+        delivered = []
+        while network.step():
+            delivered.append(network.trace.messages_delivered)
+        assert network.step_count == 4  # delivered via the subclass's policy
+
+    def test_queue_strategies_selected(self):
+        assert isinstance(FIFOScheduler().make_queue(), FifoQueue)
+        assert isinstance(RandomScheduler().make_queue(), SendOrderRandomQueue)
+        assert isinstance(
+            TargetedScheduler(lambda m: 0).make_queue(), KeyedQueue
+        )
+        assert isinstance(
+            TargetedScheduler(lambda m: 0, dynamic=True).make_queue(), ScanQueue
+        )
+        assert isinstance(DelayScheduler(lambda m: False).make_queue(), ScanQueue)
+
+
+class TestFifoQueue:
+    def test_pops_in_send_order(self):
+        queue = FifoQueue()
+        messages = [_msg(seq) for seq in range(10)]
+        for message in messages:
+            queue.push(message)
+        rng = random.Random(0)
+        assert [queue.pop(rng, 0).seq for _ in range(10)] == list(range(10))
+        assert len(queue) == 0
+
+
+class TestKeyedQueue:
+    def test_matches_scan_minimum(self):
+        scheduler = TargetedScheduler(lambda m: m.receiver)
+        queue = KeyedQueue(lambda m: m.receiver)
+        pending = []
+        rng = random.Random(0)
+        order_rng = random.Random(7)
+        for seq in range(50):
+            message = _msg(seq, receiver=order_rng.randrange(5))
+            queue.push(message)
+            pending.append(message)
+        while pending:
+            choice = scheduler.choose(pending, rng, 0)
+            expected = pending.pop(choice)
+            assert queue.pop(rng, 0) is expected
+        assert len(queue) == 0
+
+
+class TestSendOrderRandomQueue:
+    def test_fuzz_matches_list_model_across_mode_switches(self, monkeypatch):
+        """Random pushes/pops against the legacy list model, with a tiny
+        Fenwick threshold so the fuzz crosses list->tree->list repeatedly."""
+        monkeypatch.setattr(SendOrderRandomQueue, "_TREE_THRESHOLD", 32)
+        queue = SendOrderRandomQueue()
+        model = []
+        control = random.Random(1)
+        seq = 0
+        for _ in range(20000):
+            if model and control.random() < 0.5:
+                draw = control.randrange(1 << 30)
+                fast = queue.pop(random.Random(draw), 0)
+                expected = model.pop(random.Random(draw).randrange(len(model)))
+                assert fast is expected
+            else:
+                message = _msg(seq)
+                seq += 1
+                queue.push(message)
+                model.append(message)
+            assert len(queue) == len(model)
+        assert queue.snapshot() == model
+
+    def test_snapshot_preserves_send_order(self):
+        queue = SendOrderRandomQueue()
+        for seq in range(100):
+            queue.push(_msg(seq))
+        rng = random.Random(3)
+        for _ in range(60):
+            queue.pop(rng, 0)
+        snapshot = queue.snapshot()
+        assert [m.seq for m in snapshot] == sorted(m.seq for m in snapshot)
+
+
+class TestNetworkPendingView:
+    def test_pending_is_send_order_snapshot(self):
+        network = Network(ProtocolParams.for_parties(4), seed=0)
+        for index in range(5):
+            network.submit(0, 1, ("s",), ("K", index))
+        assert [m.seq for m in network.pending] == [0, 1, 2, 3, 4]
+        network.step()
+        assert len(network.pending) == 4
+
+
+class TestTracingFastPath:
+    def test_disabled_trace_records_nothing(self):
+        network = Network(ProtocolParams.for_parties(4), seed=0, tracing=False)
+        for index in range(10):
+            network.submit(0, 1, ("s",), ("K", index))
+        while network.step():
+            pass
+        trace = network.trace
+        assert not trace.enabled
+        assert trace.messages_sent == 0
+        assert trace.messages_delivered == 0
+        assert trace.events == []
+        assert network.step_count == 10  # delivery itself still happened
+
+    def test_disabled_trace_preserves_protocol_outputs(self):
+        def run(tracing):
+            sim = Simulation(
+                params=ProtocolParams.for_parties(7),
+                seed=3,
+                tracing=tracing,
+            )
+            return sim.run(("weak_coin",), WeakCommonCoin.factory()).outputs
+
+        assert run(True) == run(False)
+
+    def test_enabled_is_default_and_counts(self):
+        network = Network(ProtocolParams.for_parties(4), seed=0)
+        network.submit(0, 1, ("s",), ("K",))
+        assert network.trace.enabled
+        assert network.trace.messages_sent == 1
