@@ -5,15 +5,16 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from benchmarks.perf import bench_crypto, bench_net
+from benchmarks.perf import bench_crypto, bench_net, bench_sim
 from benchmarks.perf.harness import run_and_write
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf",
-        description="Time crypto-kernel and network-delivery workloads and "
-        "write BENCH_crypto.json / BENCH_net.json baselines.",
+        description="Time crypto-kernel, network-delivery and end-to-end "
+        "trial workloads and write BENCH_crypto.json / BENCH_net.json / "
+        "BENCH_sim.json baselines.",
     )
     parser.add_argument(
         "--quick",
@@ -44,6 +45,15 @@ def main(argv=None) -> int:
         "network delivery loop (indexed queues vs full scan)",
         args.out_dir / "BENCH_net.json",
         net_results,
+        args.quick,
+    )
+
+    print(f"sim workloads ({'quick' if args.quick else 'full'} mode):")
+    sim_results = bench_sim.run(args.quick)
+    run_and_write(
+        "end-to-end trials (fast event loop vs frozen seed loop)",
+        args.out_dir / "BENCH_sim.json",
+        sim_results,
         args.quick,
     )
     return 0

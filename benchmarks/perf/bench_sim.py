@@ -1,0 +1,186 @@
+"""End-to-end trial workloads: full protocol executions, seed loop vs fast path.
+
+Each workload runs a complete simulated trial (``repro.core.api`` runner)
+twice per measurement point: once on the production event loop
+(completion-counter stop condition, slotted messages, interned sessions,
+fused run loop) and once through the frozen seed loop kept in
+:mod:`benchmarks.perf.legacy_sim` (per-step O(n) completion scan, full-scan
+delivery queue, frozen-dataclass messages).  Both sides run the *same*
+protocol code over the *same* seed stream, and an untimed pre-check asserts
+their honest outputs and delivered-message counts are identical per seed --
+the speedup is pure event-loop overhead, not a behaviour change.
+
+The headline ``coinflip_trial`` measures the Monte-Carlo campaign
+configuration (``tracing=False``: outputs only, all trace hooks disabled)
+against the seed loop, which always traced; ``coinflip_trial_traced`` and the
+aba/fba/svss trials compare with tracing enabled on both sides.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List
+
+from benchmarks.perf import legacy_sim
+from benchmarks.perf.harness import BenchResult, compare
+from repro.core import api
+from repro.net.runtime import SimulationResult
+from repro.protocols.aba import BinaryAgreement, OracleCoinSource
+from repro.protocols.coinflip import CoinFlip
+from repro.protocols.fba import FairByzantineAgreement
+
+COINFLIP_ROUNDS = 2
+SVSS_SECRET = 424_242
+
+
+# ----------------------------------------------------------------------
+# Legacy-loop runners: same factories and inputs as repro.core.api, driven
+# through the frozen seed network.
+# ----------------------------------------------------------------------
+def legacy_run_coinflip(n: int, seed: int, rounds: int, tracing: bool = True) -> SimulationResult:
+    with legacy_sim.seed_stack():
+        sim = legacy_sim.legacy_simulation(n, seed, tracing=tracing)
+        return sim.run(
+            ("coinflip",),
+            CoinFlip.factory(rounds_override=rounds, coin_source=OracleCoinSource(seed)),
+        )
+
+
+def legacy_run_aba(n: int, seed: int, inputs: Dict[int, int]) -> SimulationResult:
+    # ABA touches no crypto; seed_stack still applies the seed dispatch layer.
+    with legacy_sim.seed_stack():
+        sim = legacy_sim.legacy_simulation(n, seed)
+        return sim.run(
+            ("aba",),
+            BinaryAgreement.factory(OracleCoinSource(seed)),
+            inputs={pid: {"value": value} for pid, value in inputs.items()},
+        )
+
+
+def legacy_run_fba(n: int, seed: int, inputs: Dict[int, int]) -> SimulationResult:
+    with legacy_sim.seed_stack():
+        sim = legacy_sim.legacy_simulation(n, seed)
+        return sim.run(
+            ("fba",),
+            FairByzantineAgreement.factory(
+                coin_source=OracleCoinSource(seed), coinflip_rounds_override=1
+            ),
+            inputs={pid: {"value": value} for pid, value in inputs.items()},
+        )
+
+
+def legacy_run_svss(n: int, seed: int, secret: int) -> SimulationResult:
+    with legacy_sim.seed_stack():
+        sim = legacy_sim.legacy_simulation(n, seed)
+        return sim.run(
+            ("svss_harness",),
+            api.svss_harness_factory(0),
+            inputs={0: {"value": secret}},
+        )
+
+
+def _check_equivalence(
+    name: str,
+    fast: Callable[[int], SimulationResult],
+    legacy: Callable[[int], SimulationResult],
+    seed: int,
+) -> None:
+    """Assert the fast and legacy loops produce identical trials for ``seed``."""
+    fast_result = fast(seed)
+    legacy_result = legacy(seed)
+    if (
+        fast_result.outputs != legacy_result.outputs
+        or fast_result.steps != legacy_result.steps
+    ):
+        raise AssertionError(
+            f"{name}: fast path diverged from the legacy loop at seed {seed}: "
+            f"outputs {fast_result.outputs!r} vs {legacy_result.outputs!r}, "
+            f"steps {fast_result.steps} vs {legacy_result.steps}"
+        )
+
+
+def run(quick: bool) -> List[BenchResult]:
+    sizes = [4, 8] if quick else [4, 8, 16]
+    scale = 1 if quick else 2
+    repeats = 2
+    results: List[BenchResult] = []
+
+    def trial_workload(
+        name: str,
+        fast: Callable[[int], SimulationResult],
+        legacy: Callable[[int], SimulationResult],
+        number: int,
+        **params,
+    ) -> None:
+        _check_equivalence(name, fast, legacy, seed=99)
+        # Separate but identical seed streams: the harness makes the same
+        # number of calls on each side (one warmup + repeats * number).
+        fast_seeds = itertools.count(1000)
+        legacy_seeds = itertools.count(1000)
+        results.append(
+            compare(
+                name,
+                lambda: fast(next(fast_seeds)),
+                lambda: legacy(next(legacy_seeds)),
+                number=number,
+                repeats=repeats,
+                **params,
+            )
+        )
+
+    # -- Headline: the Monte-Carlo campaign trial (tracing off) --------
+    trial_workload(
+        "coinflip_trial",
+        lambda seed: api.run_coinflip(
+            n=4, seed=seed, rounds=COINFLIP_ROUNDS, tracing=False
+        ),
+        lambda seed: legacy_run_coinflip(4, seed, COINFLIP_ROUNDS),
+        number=3 * scale,
+        n=4,
+        rounds=COINFLIP_ROUNDS,
+        tracing="off (campaign config) vs seed loop (always traced)",
+    )
+    trial_workload(
+        "coinflip_trial_traced",
+        lambda seed: api.run_coinflip(n=4, seed=seed, rounds=COINFLIP_ROUNDS),
+        lambda seed: legacy_run_coinflip(4, seed, COINFLIP_ROUNDS),
+        number=3 * scale,
+        n=4,
+        rounds=COINFLIP_ROUNDS,
+        tracing="on (both sides)",
+    )
+
+    # -- Full trials per protocol family across system sizes -----------
+    for n in sizes:
+        bits = {pid: pid % 2 for pid in range(n)}
+        trial_workload(
+            f"aba_trial_n{n}",
+            lambda seed, n=n, bits=bits: api.run_aba(n, bits, seed=seed),
+            lambda seed, n=n, bits=bits: legacy_run_aba(n, seed, bits),
+            number=3 * scale,
+            n=n,
+        )
+    for n in sizes:
+        bits = {pid: pid % 2 for pid in range(n)}
+        # FBA runs a full CoinFlip per agreement attempt: the most expensive
+        # trial in the suite, so it gets the smallest call count.
+        trial_workload(
+            f"fba_trial_n{n}",
+            lambda seed, n=n, bits=bits: api.run_fba(
+                n, bits, seed=seed, coinflip_rounds=1
+            ),
+            lambda seed, n=n, bits=bits: legacy_run_fba(n, seed, bits),
+            number=scale,
+            n=n,
+            coinflip_rounds=1,
+        )
+    for n in sizes:
+        trial_workload(
+            f"svss_trial_n{n}",
+            lambda seed, n=n: api.run_svss(n, SVSS_SECRET, seed=seed),
+            lambda seed, n=n: legacy_run_svss(n, seed, SVSS_SECRET),
+            number=2 * scale,
+            n=n,
+            secret=SVSS_SECRET,
+        )
+    return results

@@ -1,0 +1,124 @@
+"""Compare a fresh perf run against the checked-in baselines.
+
+``python -m benchmarks.perf.check_regression --fresh-dir perf-results``
+
+CI hardware differs from the machine that produced the checked-in
+``BENCH_*.json`` files (and quick mode uses smaller sizes), so absolute
+``after_s`` times are not comparable across runs.  The *speedup* of each
+workload -- legacy implementation over fast path on the same interpreter, in
+the same process -- is the portable signal.  A workload regresses when its
+fresh speedup falls below ``baseline_speedup / tolerance``: the fast path
+lost more than ``tolerance``x of its measured advantage.  Workloads without
+a legacy side (``speedup: null``) and workloads missing from either file are
+reported but never fail the check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: The benchmark families with checked-in baselines at the repository root.
+FAMILIES = ("BENCH_crypto.json", "BENCH_net.json", "BENCH_sim.json")
+
+#: A fresh speedup below baseline/2 fails the build.
+DEFAULT_TOLERANCE = 2.0
+
+
+def _speedups(path: Path) -> Dict[str, Tuple[float, Dict]]:
+    payload = json.loads(path.read_text())
+    return {
+        result["name"]: (result["speedup"], result.get("params", {}))
+        for result in payload["results"]
+        if result.get("speedup") is not None
+    }
+
+
+def check_family(
+    baseline_path: Path, fresh_path: Path, tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """Return (report_lines, failures) for one benchmark family."""
+    lines: List[str] = []
+    failures: List[str] = []
+    baseline = _speedups(baseline_path)
+    fresh = _speedups(fresh_path)
+    for name, (base_speedup, base_params) in sorted(baseline.items()):
+        fresh_speedup, fresh_params = fresh.get(name, (None, None))
+        if fresh_speedup is None:
+            lines.append(f"  {name:<28} baseline {base_speedup:6.2f}x  fresh --      (skipped)")
+            continue
+        if fresh_params != base_params:
+            # Quick mode measures some workloads at smaller sizes (queue
+            # depth, step counts); a speedup at a different operating point
+            # is a different quantity, not a regression signal.
+            lines.append(
+                f"  {name:<28} baseline {base_speedup:6.2f}x  fresh {fresh_speedup:6.2f}x  "
+                f"(params differ, skipped)"
+            )
+            continue
+        floor = base_speedup / tolerance
+        status = "ok" if fresh_speedup >= floor else "REGRESSION"
+        lines.append(
+            f"  {name:<28} baseline {base_speedup:6.2f}x  fresh {fresh_speedup:6.2f}x  "
+            f"floor {floor:5.2f}x  {status}"
+        )
+        if fresh_speedup < floor:
+            failures.append(
+                f"{baseline_path.name}:{name}: speedup {fresh_speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x / tolerance {tolerance:g})"
+            )
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.check_regression",
+        description="Fail when a fresh perf run loses more than the tolerated "
+        "factor of any checked-in workload speedup.",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the checked-in BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        required=True,
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed speedup shrink factor (default {DEFAULT_TOLERANCE:g}x)",
+    )
+    args = parser.parse_args(argv)
+
+    all_failures: List[str] = []
+    for family in FAMILIES:
+        baseline_path = args.baseline_dir / family
+        fresh_path = args.fresh_dir / family
+        if not baseline_path.exists() or not fresh_path.exists():
+            print(f"{family}: missing ({'baseline' if not baseline_path.exists() else 'fresh'}), skipped")
+            continue
+        print(f"{family}:")
+        lines, failures = check_family(baseline_path, fresh_path, args.tolerance)
+        print("\n".join(lines))
+        all_failures.extend(failures)
+
+    if all_failures:
+        print("\nperf regressions detected:", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno perf regressions (within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

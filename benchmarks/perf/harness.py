@@ -11,6 +11,7 @@ steady state that campaigns actually run in.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import sys
@@ -53,6 +54,10 @@ def time_per_call(
     fn()  # warmup: caches, lazy allocations
     best = float("inf")
     for _ in range(repeats):
+        # Start each sample from a clean heap so one workload's deferred
+        # garbage (e.g. a paused-gc trial's cycles) never lands in another
+        # workload's timed window.
+        gc.collect()
         start = time.perf_counter()
         for _ in range(number):
             fn()

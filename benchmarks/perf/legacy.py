@@ -84,17 +84,17 @@ class LegacyPolynomial:
             a = self.coefficients[index] if index < len(self.coefficients) else self.field.zero()
             b = other.coefficients[index] if index < len(other.coefficients) else self.field.zero()
             coeffs.append(a + b)
-        return LegacyPolynomial(self.field, coeffs)
+        return type(self)(self.field, coeffs)
 
     def __mul__(self, other) -> "LegacyPolynomial":
         if isinstance(other, (FieldElement, int)):
             scalar = self.field(other)
-            return LegacyPolynomial(self.field, [c * scalar for c in self.coefficients])
+            return type(self)(self.field, [c * scalar for c in self.coefficients])
         coeffs = [self.field.zero()] * (len(self.coefficients) + len(other.coefficients) - 1)
         for i, a in enumerate(self.coefficients):
             for j, b in enumerate(other.coefficients):
                 coeffs[i + j] = coeffs[i + j] + a * b
-        return LegacyPolynomial(self.field, coeffs)
+        return type(self)(self.field, coeffs)
 
     def divmod(self, divisor: "LegacyPolynomial"):
         if all(c.value == 0 for c in divisor.coefficients):
@@ -109,7 +109,7 @@ class LegacyPolynomial:
             quotient[position] = coefficient
             for offset, dcoeff in enumerate(divisor.coefficients):
                 remainder[position + offset] = remainder[position + offset] - coefficient * dcoeff
-        return LegacyPolynomial(self.field, quotient), LegacyPolynomial(self.field, remainder)
+        return type(self)(self.field, quotient), type(self)(self.field, remainder)
 
 
 def legacy_share_values(field: Field, t: int, secret: int, rng: random.Random, n: int) -> Dict[int, FieldElement]:

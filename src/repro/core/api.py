@@ -19,7 +19,9 @@ from typing import Any, Callable, Dict, Iterable, Mapping, Optional
 
 from repro.core.config import ProtocolParams
 from repro.core.results import TrialAggregate, aggregate
+from repro.net.message import SessionId
 from repro.net.process import Process
+from repro.net.protocol import Protocol
 from repro.net.runtime import Simulation, SimulationResult
 from repro.net.scheduler import Scheduler
 from repro.protocols.aba import BinaryAgreement, CoinSource, OracleCoinSource
@@ -50,9 +52,10 @@ def _simulation(
     scheduler: Optional[Scheduler],
     corruptions: Corruptions,
     max_steps: Optional[int] = None,
+    tracing: bool = True,
 ) -> Simulation:
     params = ProtocolParams.for_parties(n)
-    sim = Simulation(params=params, scheduler=scheduler, seed=seed)
+    sim = Simulation(params=params, scheduler=scheduler, seed=seed, tracing=tracing)
     if max_steps is not None:
         sim.max_steps = max_steps
     for pid, factory in (corruptions or {}).items():
@@ -67,14 +70,47 @@ def run_acast(
     seed: int = 0,
     scheduler: Optional[Scheduler] = None,
     corruptions: Corruptions = None,
+    tracing: bool = True,
 ) -> SimulationResult:
     """Run one reliable broadcast of ``value`` from ``sender``."""
-    sim = _simulation(n, seed, scheduler, corruptions)
+    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
     return sim.run(
         ("acast",),
         ACast.factory(sender),
         inputs={sender: {"value": value}},
     )
+
+
+class _ShareThenReconstruct(Protocol):
+    """SVSS harness protocol: complete SVSS-Share, then reconstruct.
+
+    Module-level (rather than defined inside :func:`run_svss`) so campaign
+    workers can pickle runners that reference it and the perf benchmarks can
+    drive the identical harness through the frozen legacy event loop.
+    """
+
+    def __init__(self, process: Process, session: SessionId, dealer: int) -> None:
+        super().__init__(process, session)
+        self.dealer = dealer
+
+    def on_start(self, value: Optional[int] = None, **_: Any) -> None:
+        kwargs = {"value": value} if self.pid == self.dealer else {}
+        self.spawn(("share",), SVSSShare.factory(self.dealer), **kwargs)
+
+    def on_child_complete(self, child: Protocol) -> None:
+        if isinstance(child, SVSSShare):
+            self.spawn(("rec",), SVSSRec.factory(self.dealer), share=child.output)
+        elif isinstance(child, SVSSRec):
+            self.complete(int(child.output))
+
+
+def svss_harness_factory(dealer: int) -> Callable[[Process, SessionId], Protocol]:
+    """Factory for the share-then-reconstruct harness used by :func:`run_svss`."""
+
+    def factory(process: Process, session: SessionId) -> Protocol:
+        return _ShareThenReconstruct(process, session, dealer)
+
+    return factory
 
 
 def run_svss(
@@ -84,35 +120,17 @@ def run_svss(
     seed: int = 0,
     scheduler: Optional[Scheduler] = None,
     corruptions: Corruptions = None,
+    tracing: bool = True,
 ) -> SimulationResult:
     """Run SVSS-Share followed by SVSS-Rec and return the reconstructed values.
 
     The share and reconstruction phases are driven by a small wrapper protocol
     at every party, mirroring how CoinFlip uses SVSS.
     """
-    from repro.net.message import SessionId
-    from repro.net.protocol import Protocol
-
-    class ShareThenReconstruct(Protocol):
-        """Test harness protocol: complete SVSS-Share, then reconstruct."""
-
-        def on_start(self, value: Optional[int] = None, **_: Any) -> None:
-            kwargs = {"value": value} if self.pid == dealer else {}
-            self.spawn(("share",), SVSSShare.factory(dealer), **kwargs)
-
-        def on_child_complete(self, child: Protocol) -> None:
-            if isinstance(child, SVSSShare):
-                self.spawn(("rec",), SVSSRec.factory(dealer), share=child.output)
-            elif isinstance(child, SVSSRec):
-                self.complete(int(child.output))
-
-    def factory(process: Process, session: SessionId) -> Protocol:
-        return ShareThenReconstruct(process, session)
-
-    sim = _simulation(n, seed, scheduler, corruptions)
+    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
     return sim.run(
         ("svss_harness",),
-        factory,
+        svss_harness_factory(dealer),
         inputs={dealer: {"value": secret}},
     )
 
@@ -124,15 +142,41 @@ def run_aba(
     scheduler: Optional[Scheduler] = None,
     corruptions: Corruptions = None,
     coin_source: Optional[CoinSource] = None,
+    tracing: bool = True,
 ) -> SimulationResult:
     """Run binary Byzantine agreement with the given per-party inputs."""
-    sim = _simulation(n, seed, scheduler, corruptions)
+    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
         ("aba",),
         BinaryAgreement.factory(source),
         inputs={pid: {"value": value} for pid, value in inputs.items()},
     )
+
+
+class _PredicateDriver(Protocol):
+    """CommonSubset harness: set the predicate for ``ready``, report the subset."""
+
+    def __init__(
+        self,
+        process: Process,
+        session: SessionId,
+        ready: Iterable[int],
+        source: CoinSource,
+    ) -> None:
+        super().__init__(process, session)
+        self.ready = sorted(ready)
+        self.source = source
+
+    def on_start(self, **_: Any) -> None:
+        child = self.spawn(
+            ("cs",), CommonSubset.factory(self.source), k=self.params.quorum
+        )
+        for index in self.ready:
+            child.set_predicate(index)
+
+    def on_child_complete(self, child: Protocol) -> None:
+        self.complete(frozenset(child.output))
 
 
 def run_common_subset(
@@ -142,29 +186,16 @@ def run_common_subset(
     scheduler: Optional[Scheduler] = None,
     corruptions: Corruptions = None,
     coin_source: Optional[CoinSource] = None,
+    tracing: bool = True,
 ) -> SimulationResult:
     """Run CommonSubset where the predicate is immediately true for ``ready_parties``."""
     ready = set(ready_parties)
     source = coin_source or OracleCoinSource(seed)
 
-    from repro.net.message import SessionId
-    from repro.net.protocol import Protocol
-
-    class PredicateDriver(Protocol):
-        """Harness: set the predicate for ``ready`` then report the subset."""
-
-        def on_start(self, **_: Any) -> None:
-            child = self.spawn(("cs",), CommonSubset.factory(source), k=self.params.quorum)
-            for index in sorted(ready):
-                child.set_predicate(index)
-
-        def on_child_complete(self, child: Protocol) -> None:
-            self.complete(frozenset(child.output))
-
     def factory(process: Process, session: SessionId) -> Protocol:
-        return PredicateDriver(process, session)
+        return _PredicateDriver(process, session, ready, source)
 
-    sim = _simulation(n, seed, scheduler, corruptions)
+    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
     return sim.run(("common_subset_harness",), factory)
 
 
@@ -173,9 +204,10 @@ def run_weak_coin(
     seed: int = 0,
     scheduler: Optional[Scheduler] = None,
     corruptions: Corruptions = None,
+    tracing: bool = True,
 ) -> SimulationResult:
     """Run one weak common coin flip."""
-    sim = _simulation(n, seed, scheduler, corruptions)
+    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
     return sim.run(("weak_coin",), WeakCommonCoin.factory())
 
 
@@ -188,9 +220,14 @@ def run_coinflip(
     corruptions: Corruptions = None,
     coin_source: Optional[CoinSource] = None,
     max_steps: Optional[int] = None,
+    tracing: bool = True,
 ) -> SimulationResult:
-    """Run the strong common coin (Algorithm 1) once."""
-    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps)
+    """Run the strong common coin (Algorithm 1) once.
+
+    ``tracing=False`` runs the network with all trace hooks disabled -- the
+    Monte-Carlo campaign configuration, where only outputs are read.
+    """
+    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing)
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
         ("coinflip",),
@@ -207,9 +244,10 @@ def run_fair_choice(
     corruptions: Corruptions = None,
     coin_source: Optional[CoinSource] = None,
     max_steps: Optional[int] = None,
+    tracing: bool = True,
 ) -> SimulationResult:
     """Run FairChoice (Algorithm 2) over ``m`` candidates."""
-    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps)
+    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing)
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
         ("fair_choice",),
@@ -229,9 +267,10 @@ def run_fba(
     corruptions: Corruptions = None,
     coin_source: Optional[CoinSource] = None,
     max_steps: Optional[int] = None,
+    tracing: bool = True,
 ) -> SimulationResult:
     """Run fair Byzantine agreement (Algorithm 3) with the given inputs."""
-    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps)
+    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing)
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
         ("fba",),

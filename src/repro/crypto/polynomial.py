@@ -123,6 +123,14 @@ class Polynomial:
         value = kernels.horner(self.field.prime, self._ints, self.field.raw(x))
         return FieldElement(value, self.field)
 
+    def eval_int(self, x: int) -> int:
+        """Evaluate at a plain int, returning the raw int value.
+
+        Same kernel as :meth:`__call__` without the FieldElement round-trip;
+        the per-message consistency checks in SVSS live on this path.
+        """
+        return kernels.horner(self.field.prime, self._ints, x % self.field.prime)
+
     def __len__(self) -> int:
         return len(self._ints)
 

@@ -4,11 +4,19 @@ A :class:`Message` is addressed to a *protocol session* on a receiving party.
 Sessions are hierarchical tuples (for example ``("coinflip", 3, "svss", 2,
 "share")``), which lets an arbitrarily deep stack of sub-protocols multiplex
 over one simulated network without any global registry.
+
+``Message`` is the single most-allocated object in a simulation (one per
+send), so it is a plain ``__slots__`` class rather than a dataclass: slot
+stores in ``__init__`` cost a fraction of the frozen-dataclass
+``object.__setattr__`` path, and the ``kind`` / ``root`` tags the tracing
+layer reads on every send are precomputed attributes instead of properties.
+Messages are immutable *by convention*: they are created only by
+``Network.submit`` and never mutated afterwards; tests and tools must treat
+them as frozen values.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Tuple
 
 #: A session identifier: a tuple of hashable path components.  The empty tuple
@@ -16,7 +24,6 @@ from typing import Any, Tuple
 SessionId = Tuple[Any, ...]
 
 
-@dataclass(frozen=True)
 class Message:
     """A single point-to-point message in flight.
 
@@ -28,27 +35,48 @@ class Message:
             is a short message-type string (``("ECHO", value)``).
         seq: global sequence number assigned by the network at send time.
             Used for deterministic tie-breaking and FIFO scheduling.
+        kind: the message-type tag (first payload element), or None if empty.
+        root: the root component of the session path (top-level protocol
+            name), or None for the empty session.
     """
 
-    sender: int
-    receiver: int
-    session: SessionId
-    payload: Tuple[Any, ...]
-    seq: int = 0
+    __slots__ = ("sender", "receiver", "session", "payload", "seq", "kind", "root")
 
-    @property
-    def kind(self) -> Any:
-        """The message-type tag (first payload element), or None if empty."""
-        if not self.payload:
-            return None
-        return self.payload[0]
+    def __init__(
+        self,
+        sender: int,
+        receiver: int,
+        session: SessionId,
+        payload: Tuple[Any, ...],
+        seq: int = 0,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.session = session
+        self.payload = payload
+        self.seq = seq
+        self.kind = payload[0] if payload else None
+        self.root = session[0] if session else None
 
-    @property
-    def root(self) -> Any:
-        """The root component of the session path (top-level protocol name)."""
-        if not self.session:
-            return None
-        return self.session[0]
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.receiver == other.receiver
+            and self.session == other.session
+            and self.payload == other.payload
+            and self.seq == other.seq
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.receiver, self.session, self.payload, self.seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Message(sender={self.sender!r}, receiver={self.receiver!r}, "
+            f"session={self.session!r}, payload={self.payload!r}, seq={self.seq!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -8,12 +8,33 @@ ordering but every message is eventually delivered.
 
 The network is deterministic given its seed, the scheduler and the protocol
 code, which makes failures reproducible from a single integer.
+
+Hot-path design (the delivery loop is the bottleneck of every Monte-Carlo
+campaign):
+
+* **Completion counters** -- the network maintains a per-session count of
+  honest completions, updated from :meth:`Protocol.complete` via
+  :meth:`record_completion`.  The standard stop condition "every honest party
+  finished session S" is therefore one dict lookup per delivery
+  (:meth:`all_honest_finished`, :meth:`run_until_complete`) instead of the
+  O(n) per-process scan the seed ran between every two deliveries (kept as
+  :meth:`scan_all_honest_finished` for reference and equivalence tests).
+* **Interned sessions** -- :meth:`intern_session` canonicalises session
+  tuples network-wide, so the per-delivery routing dict lookup compares
+  interned keys by identity and child-session tuples are shared across all
+  parties instead of re-allocated per process.
+* **Fused run loops** -- :meth:`run` and :meth:`run_until_complete` inline
+  the per-delivery work of :meth:`step` with queue/trace/process lookups
+  hoisted out of the loop, and a dedicated branch for disabled tracing.
+
+All fast paths reproduce the seed's delivery order, traces and outputs
+byte-identically per seed (``tests/net/test_completion.py``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.config import ProtocolParams
 from repro.errors import SimulationError
@@ -50,6 +71,33 @@ class Network:
         #: In-flight messages, held in the scheduler's delivery-queue strategy
         #: (deque / heap / rank-indexed tree / legacy scan list).
         self._queue = self.scheduler.make_queue()
+        #: Canonical representative for every session tuple seen by this
+        #: network; protocols intern their session ids here so routing-dict
+        #: lookups hit the identity fast path and child sessions are shared.
+        self._sessions: Dict[SessionId, SessionId] = {}
+        #: Party ids currently controlled by the adversary.  Tracked here (not
+        #: read off ``process.behavior``) because behaviours may temporarily
+        #: clear the process hook to route one delivery through the honest
+        #: protocol tree.
+        self._corrupted: Set[int] = set()
+        #: Number of honest (never-corrupted) parties.
+        self._honest_n = params.n
+        #: session -> number of honest parties whose instance completed it.
+        #: ``complete()`` fires at most once per (party, session), so the
+        #: count reaching ``_honest_n`` is exactly the legacy all-honest scan.
+        self._completions: Dict[SessionId, int] = {}
+        #: Session currently watched by :meth:`run_until_complete` (and the
+        #: flag set once its counter reaches the honest count), letting the
+        #: delivery loop test one attribute instead of a dict lookup.
+        self._watch_session: Optional[SessionId] = None
+        self._watch_done = False
+        # Hot-path caches: the queue and trace objects are fixed for the
+        # network's lifetime (a disabled trace binds no-op hooks at
+        # construction), so bound methods can be cached once.
+        self._n = params.n
+        self._queue_push = self._queue.push
+        self._trace_on_send = self.trace.on_send
+        self._tracing = self.trace.enabled
         self.processes: List[Process] = [
             Process(
                 pid,
@@ -61,24 +109,41 @@ class Network:
         ]
 
     # ------------------------------------------------------------------
+    # Session interning.
+    # ------------------------------------------------------------------
+    def intern_session(self, session: SessionId) -> SessionId:
+        """Return the canonical tuple for ``session`` (allocating it once)."""
+        session = tuple(session)
+        return self._sessions.setdefault(session, session)
+
+    # ------------------------------------------------------------------
     # Sending.
     # ------------------------------------------------------------------
     def submit(
         self, sender: int, receiver: int, session: SessionId, payload: tuple
     ) -> None:
-        """Queue a message for asynchronous delivery."""
-        if not self.params.is_valid_party(receiver):
+        """Queue a message for asynchronous delivery.
+
+        ``session`` and ``payload`` must be tuples; the protocol/process send
+        path guarantees this, so no defensive copies are made here.
+        """
+        if not 0 <= receiver < self._n:
             raise SimulationError(f"message addressed to unknown party {receiver}")
-        message = Message(
-            sender=sender,
-            receiver=receiver,
-            session=session,
-            payload=payload,
-            seq=self._next_seq,
-        )
-        self._next_seq += 1
-        self._queue.push(message)
-        self.trace.on_send(self.step_count, message)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        # Message construction inlined (one slotted store per field beats a
+        # constructor call on the single most-allocated object in a run).
+        message = Message.__new__(Message)
+        message.sender = sender
+        message.receiver = receiver
+        message.session = session
+        message.payload = payload
+        message.seq = seq
+        message.kind = payload[0] if payload else None
+        message.root = session[0] if session else None
+        self._queue_push(message)
+        if self._tracing:
+            self._trace_on_send(self.step_count, message)
 
     # ------------------------------------------------------------------
     # Stepping.
@@ -106,6 +171,10 @@ class Network:
     ) -> int:
         """Deliver messages until ``until`` holds or the network goes quiet.
 
+        The per-delivery work of :meth:`step` is inlined with attribute
+        lookups hoisted; the delivery order is identical to calling
+        :meth:`step` in a loop.
+
         Args:
             until: stop condition checked before every delivery; ``None``
                 means "run until no messages are in flight".
@@ -121,27 +190,166 @@ class Network:
                 (deadlock -- typically a protocol bug or an impossible fault
                 pattern).
         """
+        queue = self._queue
+        queue_len = queue.__len__
+        pop = queue.pop
+        rng = self.scheduler_rng
+        processes = self.processes
+        on_deliver = self.trace.on_deliver
+        tracing = self._tracing
         delivered = 0
+        if until is None:
+            while True:
+                if delivered >= max_steps:
+                    raise SimulationError(
+                        f"run() exceeded {max_steps} deliveries without reaching "
+                        f"its stop condition"
+                    )
+                if not queue_len():
+                    return delivered
+                message = pop(rng, self.step_count)
+                self.step_count = step = self.step_count + 1
+                if tracing:
+                    on_deliver(step, message)
+                processes[message.receiver].deliver(message)
+                delivered += 1
         while True:
-            if until is not None and until(self):
+            if until(self):
                 return delivered
             if delivered >= max_steps:
                 raise SimulationError(
                     f"run() exceeded {max_steps} deliveries without reaching "
                     f"its stop condition"
                 )
-            if not self.step():
-                if until is None:
-                    return delivered
+            if not queue_len():
                 raise SimulationError(
                     "network is quiescent but the stop condition is not met "
                     "(protocol deadlock)"
                 )
+            message = pop(rng, self.step_count)
+            self.step_count = step = self.step_count + 1
+            if tracing:
+                on_deliver(step, message)
+            processes[message.receiver].deliver(message)
             delivered += 1
+
+    def run_until_complete(
+        self, session: SessionId, max_steps: int = DEFAULT_MAX_STEPS
+    ) -> int:
+        """Deliver messages until every honest party has completed ``session``.
+
+        Semantically identical to
+        ``run(until=lambda net: net.scan_all_honest_finished(session))`` --
+        same delivery order, same trace, same exceptions -- but the stop
+        condition is a single counter comparison per delivery instead of an
+        O(n) scan over the processes.
+
+        Args:
+            session: the session whose completion ends the run.
+            max_steps: safety cap on deliveries for this call.
+
+        Returns:
+            The number of messages delivered by this call.
+
+        Raises:
+            SimulationError: on exceeding ``max_steps`` or on protocol
+                deadlock, exactly as :meth:`run`.
+        """
+        session = tuple(session)
+        queue = self._queue
+        queue_len = queue.__len__
+        pop = queue.pop
+        rng = self.scheduler_rng
+        deliver_by_pid = [process.deliver for process in self.processes]
+        delivered = 0
+        # Completion-driven stop: record_completion flips _watch_done the
+        # moment the watched session's counter reaches the honest count, so
+        # the loop condition is a single attribute read per delivery.
+        self._watch_session = session
+        self._watch_done = self._completions.get(session, 0) >= self._honest_n
+        try:
+            if self._tracing:
+                on_deliver = self.trace.on_deliver
+                while not self._watch_done:
+                    if delivered >= max_steps:
+                        raise SimulationError(
+                            f"run() exceeded {max_steps} deliveries without reaching "
+                            f"its stop condition"
+                        )
+                    if not queue_len():
+                        raise SimulationError(
+                            "network is quiescent but the stop condition is not met "
+                            "(protocol deadlock)"
+                        )
+                    message = pop(rng, self.step_count)
+                    self.step_count = step = self.step_count + 1
+                    on_deliver(step, message)
+                    deliver_by_pid[message.receiver](message)
+                    delivered += 1
+                return delivered
+            # Dedicated tracing-off branch: no per-delivery trace call at all.
+            while not self._watch_done:
+                if delivered >= max_steps:
+                    raise SimulationError(
+                        f"run() exceeded {max_steps} deliveries without reaching "
+                        f"its stop condition"
+                    )
+                if not queue_len():
+                    raise SimulationError(
+                        "network is quiescent but the stop condition is not met "
+                        "(protocol deadlock)"
+                    )
+                message = pop(rng, self.step_count)
+                self.step_count += 1
+                deliver_by_pid[message.receiver](message)
+                delivered += 1
+            return delivered
+        finally:
+            self._watch_session = None
+            self._watch_done = False
 
     def run_to_quiescence(self, max_steps: int = DEFAULT_MAX_STEPS) -> int:
         """Deliver messages until none remain in flight."""
         return self.run(until=None, max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+    # Completion and corruption bookkeeping (the O(1) stop-condition state).
+    # ------------------------------------------------------------------
+    def record_completion(self, pid: int, session: SessionId) -> None:
+        """Count one protocol completion (called by the process layer).
+
+        Completions of corrupted parties are ignored, matching the legacy
+        per-process scan which skipped them at query time.  ``session`` must
+        be the instance's own (interned) session tuple.
+        """
+        if pid not in self._corrupted:
+            completions = self._completions
+            completions[session] = count = completions.get(session, 0) + 1
+            if session == self._watch_session and count >= self._honest_n:
+                self._watch_done = True
+
+    def register_corruption(self, process: Process) -> None:
+        """Mark ``process`` as adversarial (called by :meth:`Process.corrupt`).
+
+        Any completions the party already contributed are retracted so the
+        counters keep agreeing with the honest-only scan.
+        """
+        pid = process.pid
+        if pid in self._corrupted:
+            return
+        self._corrupted.add(pid)
+        self._honest_n -= 1
+        completions = self._completions
+        for session, instance in process.protocols.items():
+            if instance.finished:
+                completions[session] -= 1
+        # A lowered honest count can make the watched session complete
+        # without any further record_completion call (corrupting the last
+        # straggler mid-run): refresh the stop flag so run_until_complete
+        # stops exactly where the legacy scan would.
+        watched = self._watch_session
+        if watched is not None and completions.get(watched, 0) >= self._honest_n:
+            self._watch_done = True
 
     # ------------------------------------------------------------------
     # Convenience queries.
@@ -166,7 +374,21 @@ class Network:
         return outputs
 
     def all_honest_finished(self, session: SessionId) -> bool:
-        """True when every honest party has completed ``session``."""
+        """True when every honest party has completed ``session``.
+
+        Backed by the completion counters: one dict lookup, no per-process
+        scan.  Agrees with :meth:`scan_all_honest_finished` at every point of
+        every execution (property-tested in ``tests/net/test_completion.py``).
+        """
+        return self._completions.get(tuple(session), 0) >= self._honest_n
+
+    def scan_all_honest_finished(self, session: SessionId) -> bool:
+        """Reference O(n) implementation of :meth:`all_honest_finished`.
+
+        This is the seed's stop condition, kept for equivalence tests and for
+        the frozen legacy benchmark oracle; production code uses the
+        counter-backed version.
+        """
         for process in self.processes:
             if process.is_corrupted:
                 continue

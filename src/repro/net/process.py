@@ -63,6 +63,11 @@ class Process:
 
     def corrupt(self, behavior: "Behavior") -> None:
         """Install ``behavior``; the process stops acting honestly."""
+        # Register with the network first: completion counters must treat any
+        # activity during ``attach`` (behaviours may send immediately) as
+        # adversarial, and any completions this party already contributed
+        # must be retracted.
+        self.network.register_corruption(self)
         self.behavior = behavior
         behavior.attach(self)
         self.network.trace.on_corrupt(self.network.step_count, self.pid)
@@ -81,7 +86,7 @@ class Process:
         *started* (see :meth:`flush_pending`): protocols must never observe
         traffic before their ``on_start`` has initialised their state.
         """
-        session = tuple(session)
+        session = self.network.intern_session(session)
         existing = self.protocols.get(session)
         if existing is not None:
             return existing
@@ -106,29 +111,42 @@ class Process:
     # Sending / receiving.
     # ------------------------------------------------------------------
     def send(self, receiver: int, session: SessionId, payload: tuple) -> None:
-        """Send one message; applies the outgoing mutator when installed."""
+        """Send one message; applies the outgoing mutator when installed.
+
+        ``session`` and ``payload`` must already be tuples (every in-tree
+        caller passes the protocol's interned session and a packed payload
+        tuple), so the hot path makes no defensive copies.  Mutator results
+        are re-normalised since mutators may return arbitrary sequences.
+        """
         if self.outgoing_mutator is not None:
             mutated = self.outgoing_mutator(receiver, tuple(session), payload)
             if mutated is None:
                 return
             receiver, session, payload = mutated
-        self.network.submit(self.pid, receiver, tuple(session), tuple(payload))
+            session = tuple(session)
+            payload = tuple(payload)
+        self.network.submit(self.pid, receiver, session, payload)
 
     def deliver(self, message: Message) -> None:
         """Handle a message delivered by the network to this party."""
-        if self.behavior is not None:
-            self.behavior.on_message(message)
+        behavior = self.behavior
+        if behavior is not None:
+            behavior.on_message(message)
             return
-        session = message.session
-        instance = self.protocols.get(session)
+        instance = self.protocols.get(message.session)
         if instance is None or not instance.started:
-            self._pending.setdefault(session, []).append(
+            self._pending.setdefault(message.session, []).append(
                 (message.sender, message.payload)
             )
             return
-        if self._is_shunned_for(message.sender, instance):
-            self.network.trace.on_drop(self.network.step_count, message, "shunned")
-            return
+        # Shun check inlined (most runs never shun anyone; skip the dict
+        # probe entirely while the shun map is empty).
+        shunned = self._shunned_from
+        if shunned:
+            threshold = shunned.get(message.sender)
+            if threshold is not None and instance.birth_index >= threshold:
+                self.network.trace.on_drop(self.network.step_count, message, "shunned")
+                return
         instance.on_message(message.sender, message.payload)
 
     # ------------------------------------------------------------------
@@ -160,10 +178,14 @@ class Process:
     # Completion bookkeeping.
     # ------------------------------------------------------------------
     def notify_completion(self, instance: Protocol) -> None:
-        """Record a protocol completion in the network trace."""
-        self.network.trace.on_complete(
-            self.network.step_count, self.pid, instance.session, instance.output
-        )
+        """Record a protocol completion (network counters + trace)."""
+        network = self.network
+        network.record_completion(self.pid, instance.session)
+        trace = network.trace
+        if trace.enabled:
+            trace.on_complete(
+                network.step_count, self.pid, instance.session, instance.output
+            )
 
     # ------------------------------------------------------------------
     def root_protocols(self) -> List[Protocol]:

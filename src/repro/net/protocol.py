@@ -39,43 +39,35 @@ class Protocol:
 
     def __init__(self, process: "Process", session: SessionId) -> None:
         self.process = process
-        self.session: SessionId = tuple(session)
+        #: Interned network-wide: all parties (and in-flight messages) share
+        #: one tuple object per session, so routing-dict lookups compare by
+        #: identity and the send path never copies the session.
+        self.session: SessionId = process.network.intern_session(session)
         self.parent: Optional[Protocol] = None
         self.children: Dict[Any, Protocol] = {}
+        #: spawn key -> interned child session, so repeated child-session
+        #: derivations stop allocating tuples.
+        self._child_sessions: Dict[Any, SessionId] = {}
         self.started = False
         self.finished = False
         self.output: Any = None
         #: Monotone creation index assigned by the process; used by the
         #: shunning bookkeeping ("ignore messages in *future* interactions").
         self.birth_index: int = -1
-
-    # ------------------------------------------------------------------
-    # Convenience accessors.
-    # ------------------------------------------------------------------
-    @property
-    def pid(self) -> int:
-        """This party's identifier."""
-        return self.process.pid
-
-    @property
-    def params(self) -> ProtocolParams:
-        """Protocol parameters (n, t, field prime)."""
-        return self.process.params
-
-    @property
-    def n(self) -> int:
-        """Total number of parties."""
-        return self.process.params.n
-
-    @property
-    def t(self) -> int:
-        """Corruption bound."""
-        return self.process.params.t
-
-    @property
-    def rng(self) -> random.Random:
-        """This party's private random source."""
-        return self.process.rng
+        # Convenience accessors, cached as plain attributes: the process, its
+        # parameters and its rng object are fixed for the protocol's lifetime,
+        # and message handlers read n/t/pid on every delivery -- a property
+        # (two attribute hops + a call) per read is pure overhead.
+        #: This party's identifier.
+        self.pid: int = process.pid
+        #: Protocol parameters (n, t, field prime).
+        self.params: ProtocolParams = process.params
+        #: Total number of parties.
+        self.n: int = process.params.n
+        #: Corruption bound.
+        self.t: int = process.params.t
+        #: This party's private random source.
+        self.rng: random.Random = process.rng
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -110,7 +102,13 @@ class Protocol:
     # ------------------------------------------------------------------
     def send(self, receiver: int, *payload: Any) -> None:
         """Send ``payload`` to ``receiver``, addressed to this same session."""
-        self.process.send(receiver, self.session, tuple(payload))
+        # Honest parties (no outgoing mutator installed) submit straight to
+        # the network: one call level instead of three on the hottest path.
+        process = self.process
+        if process.outgoing_mutator is None:
+            process.network.submit(process.pid, receiver, self.session, payload)
+        else:
+            process.send(receiver, self.session, payload)
 
     def broadcast(self, *payload: Any) -> None:
         """Send ``payload`` to every party, including ourselves.
@@ -119,8 +117,18 @@ class Protocol:
         message, so the scheduler may reorder it; protocols must not assume
         they hear themselves first.
         """
-        for receiver in range(self.n):
-            self.send(receiver, *payload)
+        process = self.process
+        session = self.session
+        n = process.params.n
+        if process.outgoing_mutator is None:
+            submit = process.network.submit
+            pid = process.pid
+            for receiver in range(n):
+                submit(pid, receiver, session, payload)
+        else:
+            send = process.send
+            for receiver in range(n):
+                send(receiver, session, payload)
 
     # ------------------------------------------------------------------
     # Sub-protocols.
@@ -141,9 +149,7 @@ class Protocol:
             start: whether to call :meth:`start` immediately.
             start_kwargs: forwarded to the child's :meth:`on_start`.
         """
-        key_components = key if isinstance(key, tuple) else (key,)
-        child_session = session_child(self.session, *key_components)
-        child = self.process.create_protocol(child_session, factory)
+        child = self.process.create_protocol(self.child_session(key), factory)
         child.parent = self
         self.children[key] = child
         if start and not child.started:
@@ -153,6 +159,21 @@ class Protocol:
     def child(self, key: Any) -> Optional["Protocol"]:
         """Return the child spawned under ``key``, or None."""
         return self.children.get(key)
+
+    def child_session(self, key: Any) -> SessionId:
+        """The (interned) session id of the child spawned under ``key``.
+
+        The derived tuple is cached per key and interned network-wide, so
+        deriving the same child session twice never allocates.
+        """
+        cached = self._child_sessions.get(key)
+        if cached is None:
+            components = key if isinstance(key, tuple) else (key,)
+            cached = self.process.network.intern_session(
+                session_child(self.session, *components)
+            )
+            self._child_sessions[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Shunning support (used by SVSS; see Definition 3.2 in the paper).

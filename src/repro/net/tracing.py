@@ -65,6 +65,11 @@ class Trace:
         self.completions: Dict[Tuple[int, SessionId], Tuple[int, Any]] = {}
         self.shun_events: List[Tuple[int, int, SessionId]] = []
         self.notes: List[Tuple[int, Any]] = []
+        if enabled and not keep_events:
+            # The aggregate counters stay live, but per-event record() calls
+            # are no-ops unless the event list is kept -- rebinding removes
+            # their body from every hook on the hot path.
+            self.record = _noop  # type: ignore[method-assign]
         if not enabled:
             # Rebinding beats per-call `if self.enabled` checks: the flag test
             # would tax the enabled path too, and this keeps the disabled path

@@ -121,11 +121,18 @@ class BinaryAgreement(Protocol):
         self._bin_values: Dict[int, Set[int]] = defaultdict(set)
         self._aux_sent: Dict[int, bool] = defaultdict(bool)
         self._auxes: Dict[int, Dict[int, int]] = defaultdict(dict)
+        #: round -> [count of AUX(0) senders, count of AUX(1) senders]; kept
+        #: incrementally so the per-delivery advance check is O(1) instead of
+        #: rebuilding an accepted-sender dict per message.
+        self._aux_counts: Dict[int, list] = defaultdict(lambda: [0, 0])
         self._coins: Dict[int, int] = {}
         self._coin_requested: Set[int] = set()
         self._dones: Dict[int, Set[int]] = {0: set(), 1: set()}
         self._done_sent = False
         self.halted = False
+        # Quorum thresholds, hoisted off the per-message paths.
+        self._t1 = self.t + 1
+        self._quorum = self.n - self.t
 
     @classmethod
     def factory(
@@ -147,18 +154,20 @@ class BinaryAgreement(Protocol):
         self._try_advance(self.round)
 
     def on_message(self, sender: int, payload: tuple) -> None:
+        # Dispatch ordered by message frequency (BVAL > AUX > DONE); the
+        # branches are mutually exclusive on the kind tag, so the order is
+        # behaviourally irrelevant.
         if not payload:
             return
         kind = payload[0]
-        if kind == "DONE" and len(payload) == 2:
+        if kind == "BVAL":
+            if not self.halted and len(payload) == 3:
+                self._on_bval(sender, payload[1], payload[2])
+        elif kind == "AUX":
+            if not self.halted and len(payload) == 3:
+                self._on_aux(sender, payload[1], payload[2])
+        elif kind == "DONE" and len(payload) == 2:
             self._on_done(sender, payload[1])
-            return
-        if self.halted:
-            return
-        if kind == "BVAL" and len(payload) == 3:
-            self._on_bval(sender, payload[1], payload[2])
-        elif kind == "AUX" and len(payload) == 3:
-            self._on_aux(sender, payload[1], payload[2])
 
     def on_child_complete(self, child: Protocol) -> None:
         # Protocol-based coins complete here; the child key is ("coin", round).
@@ -181,10 +190,10 @@ class BinaryAgreement(Protocol):
             return
         supporters = self._bvals[round_index][value]
         supporters.add(sender)
-        if len(supporters) >= self.t + 1 and value not in self._bval_sent[round_index]:
+        if len(supporters) >= self._t1 and value not in self._bval_sent[round_index]:
             # Amplification: at least one honest party proposed this value.
             self._broadcast_bval(round_index, value)
-        if len(supporters) >= self.n - self.t and value not in self._bin_values[round_index]:
+        if len(supporters) >= self._quorum and value not in self._bin_values[round_index]:
             self._bin_values[round_index].add(value)
             self._maybe_send_aux(round_index)
             self._try_advance(round_index)
@@ -192,7 +201,10 @@ class BinaryAgreement(Protocol):
     def _on_aux(self, sender: int, round_index: Any, value: Any) -> None:
         if not self._valid_round_value(round_index, value):
             return
-        self._auxes[round_index].setdefault(sender, value)
+        auxes = self._auxes[round_index]
+        if sender not in auxes:
+            auxes[sender] = value
+            self._aux_counts[round_index][value] += 1
         self._try_advance(round_index)
 
     @staticmethod
@@ -215,12 +227,14 @@ class BinaryAgreement(Protocol):
         self._maybe_send_aux(round_index)
         if not self._aux_sent[round_index]:
             return
-        accepted = {
-            sender: value
-            for sender, value in self._auxes[round_index].items()
-            if value in self._bin_values[round_index]
-        }
-        if len(accepted) < self.n - self.t:
+        # An AUX vote is *accepted* once its value entered bin_values.  The
+        # per-value sender counts are maintained incrementally by _on_bval /
+        # _on_aux, so tallying is O(|bin_values|) <= 2 here, equivalent to the
+        # original rebuild of the accepted {sender: value} dict.
+        bin_values = self._bin_values[round_index]
+        counts = self._aux_counts[round_index]
+        accepted_values = [value for value in (0, 1) if value in bin_values and counts[value]]
+        if sum(counts[value] for value in accepted_values) < self._quorum:
             return
         if round_index not in self._coins:
             if round_index not in self._coin_requested:
@@ -229,9 +243,8 @@ class BinaryAgreement(Protocol):
             if round_index not in self._coins:
                 return
         coin = self._coins[round_index]
-        values = set(accepted.values())
-        if len(values) == 1:
-            value = values.pop()
+        if len(accepted_values) == 1:
+            value = accepted_values[0]
             self.est = value
             if value == coin and self.decided is None:
                 self._decide(value)
@@ -262,10 +275,11 @@ class BinaryAgreement(Protocol):
     def _on_done(self, sender: int, value: Any) -> None:
         if value not in (0, 1):
             return
-        self._dones[value].add(sender)
-        if len(self._dones[value]) >= self.t + 1 and self.decided is None:
+        dones = self._dones[value]
+        dones.add(sender)
+        if len(dones) >= self._t1 and self.decided is None:
             self._decide(value)
-        if len(self._dones[value]) >= self.n - self.t and self.decided == value:
+        if len(dones) >= self._quorum and self.decided == value:
             self.halted = True
 
     def _request_coin(self, round_index: int) -> None:

@@ -148,7 +148,7 @@ class SVSSShare(Protocol):
             for receiver in range(self.n):
                 if receiver == self.pid:
                     continue
-                self.send(receiver, "POINT", self.row(party_point(receiver)).value)
+                self.send(receiver, "POINT", self.row.eval_int(party_point(receiver)))
         self.consistent.add(self.pid)
         # Re-examine points that arrived before the row.
         for sender, value in list(self.points.items()):
@@ -174,7 +174,7 @@ class SVSSShare(Protocol):
 
     def _check_point(self, sender: int, value: Any) -> None:
         assert self.row is not None
-        if self.row(party_point(sender)).value == value:
+        if self.row.eval_int(party_point(sender)) == value:
             self.consistent.add(sender)
         # An inconsistent point is simply not counted: we cannot tell whether
         # the dealer or the peer is at fault during the share phase.
@@ -248,7 +248,7 @@ class SVSSShare(Protocol):
             agreement = sum(
                 1
                 for sender, value in usable.items()
-                if candidate(party_point(sender)).value == value
+                if candidate.eval_int(party_point(sender)) == value
             )
             if agreement > best[0]:
                 best = (agreement, candidate)
@@ -317,8 +317,8 @@ class SVSSRec(Protocol):
     def _validate(self, sender: int, row: Polynomial) -> None:
         if self.share is None or sender == self.pid:
             return
-        expected = self.share.row(party_point(sender)).value
-        if row(party_point(self.pid)).value == expected:
+        expected = self.share.row.eval_int(party_point(sender))
+        if row.eval_int(party_point(self.pid)) == expected:
             self.validated[sender] = row
         else:
             # The sender's claimed row contradicts the cross-point we hold:
@@ -333,7 +333,7 @@ class SVSSRec(Protocol):
             return
         chosen = sorted(self.validated)[: self.t + 1]
         points = [
-            (party_point(pid), self.validated[pid](0).value) for pid in chosen
+            (party_point(pid), self.validated[pid].eval_int(0)) for pid in chosen
         ]
         polynomial = Polynomial.interpolate(self.field, points)
-        self.complete(polynomial(0).value)
+        self.complete(polynomial.eval_int(0))

@@ -1,0 +1,340 @@
+"""Completion-counter equivalence: the O(1) stop condition vs the legacy scan.
+
+The network's counter-backed ``all_honest_finished`` / ``run_until_complete``
+must agree with the seed's per-process scan (kept as
+``scan_all_honest_finished``) at *every point* of *every* execution, and the
+fast fused delivery loop must reproduce the legacy polling loop's traces,
+outputs and delivery order byte-identically per seed -- the campaign runner's
+parallel == sequential guarantee depends on it.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary.behaviors import (
+    CrashBehavior,
+    HonestButMutatingBehavior,
+    SilentAfterBehavior,
+)
+from repro.core import api
+from repro.core.config import ProtocolParams
+from repro.net.network import Network
+from repro.net.runtime import Simulation
+from repro.net.scheduler import FIFOScheduler, RandomScheduler, force_scan
+from repro.protocols.aba import BinaryAgreement, OracleCoinSource
+from repro.protocols.acast import ACast
+from repro.protocols.coinflip import CoinFlip
+
+SLOW = dict(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _root_factories(seed):
+    """(name, session, factory, inputs) for every protocol family under test."""
+    return [
+        ("acast", ("acast",), ACast.factory(0), {0: {"value": "payload"}}),
+        (
+            "aba",
+            ("aba",),
+            BinaryAgreement.factory(OracleCoinSource(seed)),
+            {pid: {"value": pid % 2} for pid in range(4)},
+        ),
+        (
+            "coinflip",
+            ("coinflip",),
+            CoinFlip.factory(rounds_override=1, coin_source=OracleCoinSource(seed)),
+            None,
+        ),
+        (
+            "svss",
+            ("svss_harness",),
+            api.svss_harness_factory(0),
+            {0: {"value": 123456}},
+        ),
+    ]
+
+
+def _behavior_menu():
+    return [
+        ("honest", None),
+        ("crash", CrashBehavior.factory()),
+        ("silent_after", SilentAfterBehavior.factory(25)),
+        (
+            "mutating",
+            HonestButMutatingBehavior.factory(
+                lambda receiver, session, payload: (receiver, session, payload)
+            ),
+        ),
+    ]
+
+
+def _run_pair(session, factory, inputs, seed, corruption=None, scheduler_cls=None):
+    """Run the same execution on the fast loop and the legacy polling loop.
+
+    Legacy = ``force_scan`` delivery + per-delivery ``scan_all_honest_finished``
+    polling through the generic ``run(until=...)`` path: exactly the seed's
+    event-loop semantics on the current substrate.  Full event streams are
+    retained for byte-level comparison.
+    """
+    results = []
+    for legacy in (False, True):
+        base = scheduler_cls() if scheduler_cls else RandomScheduler()
+        sim = Simulation(
+            ProtocolParams.for_parties(4),
+            scheduler=force_scan(base) if legacy else base,
+            seed=seed,
+            keep_events=True,
+        )
+        if corruption is not None:
+            sim.corrupt(3, corruption)
+        until = None
+        if legacy:
+            session_t = tuple(session)
+            until = lambda net: net.scan_all_honest_finished(session_t)  # noqa: E731
+        results.append(sim.run(session, factory, inputs=inputs, until=until))
+    return results
+
+
+def _events(result):
+    """Normalise the trace event stream to comparable plain tuples."""
+    normalised = []
+    for event in result.network.trace.events:
+        detail = event.detail
+        if hasattr(detail, "seq"):  # a message (fast or legacy class)
+            detail = (detail.sender, detail.receiver, detail.session, detail.payload, detail.seq)
+        normalised.append((event.step, event.kind, event.party, repr(detail)))
+    return normalised
+
+
+class TestFastLoopEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_traces_outputs_and_order_identical_per_seed(self, seed):
+        for name, session, factory, inputs in _root_factories(seed):
+            fast, legacy = _run_pair(session, factory, inputs, seed)
+            assert fast.outputs == legacy.outputs, name
+            assert fast.steps == legacy.steps, name
+            assert _events(fast) == _events(legacy), name
+            assert fast.trace.summary() == legacy.trace.summary(), name
+
+    @pytest.mark.parametrize("behavior_name,corruption", _behavior_menu())
+    def test_equivalence_under_adversaries(self, behavior_name, corruption):
+        for name, session, factory, inputs in _root_factories(3):
+            fast, legacy = _run_pair(session, factory, inputs, 3, corruption=corruption)
+            assert fast.outputs == legacy.outputs, (name, behavior_name)
+            assert fast.steps == legacy.steps, (name, behavior_name)
+            assert _events(fast) == _events(legacy), (name, behavior_name)
+
+    def test_equivalence_under_fifo_scheduler(self):
+        for name, session, factory, inputs in _root_factories(5):
+            fast, legacy = _run_pair(
+                session, factory, inputs, 5, scheduler_cls=FIFOScheduler
+            )
+            assert fast.outputs == legacy.outputs, name
+            assert _events(fast) == _events(legacy), name
+
+    @settings(**SLOW)
+    @given(
+        seed=st.integers(0, 10_000),
+        crash=st.one_of(st.none(), st.integers(0, 3)),
+        which=st.integers(0, 3),
+    )
+    def test_equivalence_property(self, seed, crash, which):
+        name, session, factory, inputs = _root_factories(seed)[which]
+        corruption = CrashBehavior.factory() if crash is not None else None
+        fast, legacy = _run_pair(session, factory, inputs, seed, corruption=corruption)
+        assert fast.outputs == legacy.outputs, name
+        assert fast.steps == legacy.steps, name
+        assert _events(fast) == _events(legacy), name
+
+
+class TestCounterAgreesWithScanEverywhere:
+    @pytest.mark.parametrize("seed", [0, 2, 9])
+    def test_counter_equals_scan_before_every_delivery(self, seed):
+        for name, session, factory, inputs in _root_factories(seed):
+            session_t = tuple(session)
+            checked = {"count": 0}
+
+            def invariant(net):
+                scan = net.scan_all_honest_finished(session_t)
+                assert net.all_honest_finished(session_t) == scan, name
+                checked["count"] += 1
+                return scan
+
+            sim = Simulation(ProtocolParams.for_parties(4), seed=seed)
+            sim.run(session, factory, inputs=inputs, until=invariant)
+            assert checked["count"] > 1
+
+    def test_counter_equals_scan_with_corruptions(self):
+        session_t = ("aba",)
+
+        def invariant(net):
+            scan = net.scan_all_honest_finished(session_t)
+            assert net.all_honest_finished(session_t) == scan
+            return scan
+
+        sim = Simulation(ProtocolParams.for_parties(4), seed=4)
+        sim.corrupt(2, SilentAfterBehavior.factory(10))
+        sim.run(
+            session_t,
+            BinaryAgreement.factory(OracleCoinSource(4)),
+            inputs={pid: {"value": 1} for pid in range(4)},
+            until=invariant,
+        )
+
+
+class TestCompletionBookkeeping:
+    def _echo_network(self):
+        from tests.net.test_network_process import echo_factory
+
+        network = Network(ProtocolParams.for_parties(4), seed=0)
+        return network, echo_factory
+
+    def test_completion_before_any_delivery_stops_immediately(self):
+        # Protocols completing inside on_start (zero deliveries needed) must
+        # stop run_until_complete before the first delivery, like the legacy
+        # stop condition checked before every step.
+        from repro.net.protocol import Protocol
+
+        class Instant(Protocol):
+            def on_start(self, **_):
+                self.broadcast("NOP")
+                self.complete(1)
+
+        network = Network(ProtocolParams.for_parties(4), seed=0)
+        for process in network.processes:
+            process.create_protocol(("i",), lambda p, s: Instant(p, s)).start()
+        delivered = network.run_until_complete(("i",))
+        assert delivered == 0
+        assert network.pending  # the NOP broadcasts are still in flight
+
+    def test_corrupted_completions_do_not_count(self):
+        network, echo_factory = self._echo_network()
+        network.processes[3].corrupt(CrashBehavior.factory()(network.processes[3]))
+        for process in network.processes[:3]:
+            process.create_protocol(("echo",), echo_factory()).start(
+                ping_target=(process.pid + 1) % 3
+            )
+        network.run_to_quiescence()
+        assert network.all_honest_finished(("echo",))
+        assert network.scan_all_honest_finished(("echo",))
+
+    def test_corruption_after_completion_retracts_count(self):
+        network, echo_factory = self._echo_network()
+        for process in network.processes:
+            process.create_protocol(("echo",), echo_factory()).start(
+                ping_target=(process.pid + 1) % 4
+            )
+        network.run_to_quiescence()
+        assert network.all_honest_finished(("echo",))
+        # Corrupting a finished party retracts its completion; with 3 honest
+        # parties left, all of them already finished, so both stay True and
+        # keep agreeing.
+        network.processes[0].corrupt(CrashBehavior.factory()(network.processes[0]))
+        assert network.all_honest_finished(("echo",)) == network.scan_all_honest_finished(
+            ("echo",)
+        )
+        # An unfinished session observed by both: a fresh session nobody ran.
+        assert not network.all_honest_finished(("nope",))
+        assert not network.scan_all_honest_finished(("nope",))
+
+    def test_mid_run_corruption_of_last_straggler_stops_the_run(self):
+        # Adaptive corruption: parties 0-2 complete, the only straggler is
+        # corrupted *during* the run.  The lowered honest count makes the
+        # stop condition hold without a new completion; run_until_complete
+        # must notice, exactly like the legacy per-delivery scan.
+        from repro.net.protocol import Protocol
+
+        network, echo_factory = self._echo_network()
+
+        class Corrupter(Protocol):
+            """Completes instantly, then corrupts party 3 on a later message."""
+
+            def on_start(self, **_):
+                self.send(self.pid, "TICK")
+                self.complete("done")
+
+            def on_message(self, sender, payload):
+                target = self.process.network.processes[3]
+                if not target.is_corrupted:
+                    target.corrupt(CrashBehavior.factory()(target))
+
+        for process in network.processes[:3]:
+            process.create_protocol(("p",), lambda p, s: Corrupter(p, s)).start()
+        # Party 3 never even starts the session; once corrupted mid-run the
+        # remaining honest parties (all finished) satisfy the stop condition.
+        delivered = network.run_until_complete(("p",))
+        assert network.all_honest_finished(("p",))
+        assert network.scan_all_honest_finished(("p",))
+        assert delivered >= 1
+
+    def test_deadlock_still_detected(self):
+        from repro.errors import SimulationError
+
+        network, echo_factory = self._echo_network()
+        network.processes[0].create_protocol(("echo",), echo_factory()).start()
+        with pytest.raises(SimulationError):
+            network.run_until_complete(("echo",))
+
+    def test_max_steps_still_enforced(self):
+        from repro.errors import SimulationError
+        from repro.net.protocol import Protocol
+
+        class Chatter(Protocol):
+            def on_start(self, **_):
+                self.send(self.pid, "LOOP")
+
+            def on_message(self, sender, payload):
+                self.send(self.pid, "LOOP")
+
+        network = Network(ProtocolParams.for_parties(4), seed=0)
+        network.processes[0].create_protocol(("chat",), lambda p, s: Chatter(p, s)).start()
+        with pytest.raises(SimulationError):
+            network.run_until_complete(("chat",), max_steps=50)
+
+
+class TestSessionInterning:
+    def test_sessions_are_shared_network_wide(self):
+        result = api.run_svss(4, 777, seed=1)
+        network = result.network
+        a = network.processes[0].protocol(("svss_harness", "share"))
+        b = network.processes[1].protocol(("svss_harness", "share"))
+        assert a is not None and b is not None
+        assert a.session is b.session  # one interned tuple object
+
+    def test_intern_session_returns_canonical_tuple(self):
+        network = Network(ProtocolParams.for_parties(4), seed=0)
+        first = network.intern_session(("s", 1))
+        second = network.intern_session(("s", 1))
+        assert first is second
+        assert network.intern_session(["s", 1]) is first
+
+
+class TestGcPause:
+    def test_gc_state_restored_after_run(self):
+        assert gc.isenabled()
+        api.run_acast(4, "x", seed=0)
+        assert gc.isenabled()
+
+    def test_gc_left_alone_when_disabled_by_caller(self):
+        gc.disable()
+        try:
+            api.run_acast(4, "x", seed=0)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+
+class TestResultDistinctnessCache:
+    def test_agreed_value_and_disagreement_cached(self):
+        result = api.run_acast(4, "v", seed=0)
+        assert result.agreed_value == "v"
+        cached = result._distinct_outputs
+        assert result._distinct_outputs is cached  # computed once
+        assert result.disagreement is False

@@ -19,12 +19,30 @@ class TestMessage:
     def test_root_of_empty_session(self):
         assert Message(0, 1, (), ("X",)).root is None
 
-    def test_frozen(self):
+    def test_slotted_no_instance_dict(self):
+        # Messages are the most-allocated object in a run: the class must
+        # stay __slots__-only (no per-instance __dict__) and reject
+        # attributes outside the declared layout.
         import pytest
 
         message = Message(0, 1, ("acast",), ("ECHO",))
-        with pytest.raises(Exception):
-            message.sender = 5  # type: ignore[misc]
+        assert not hasattr(message, "__dict__")
+        with pytest.raises(AttributeError):
+            message.extra = 1  # type: ignore[attr-defined]
+
+    def test_kind_and_root_are_precomputed_attributes(self):
+        # kind/root are plain attributes (read per send by tracing), not
+        # properties recomputed on every access.
+        assert "kind" in Message.__slots__
+        assert "root" in Message.__slots__
+
+    def test_value_equality_and_hash(self):
+        a = Message(0, 1, ("acast",), ("ECHO", 42), seq=3)
+        b = Message(0, 1, ("acast",), ("ECHO", 42), seq=3)
+        c = Message(0, 1, ("acast",), ("ECHO", 42), seq=4)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not-a-message"
 
 
 class TestSessionHelpers:
