@@ -5,7 +5,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from benchmarks.perf import bench_crypto, bench_net, bench_sim
+from benchmarks.perf import bench_crypto, bench_net, bench_scenarios, bench_sim
 from benchmarks.perf.harness import run_and_write
 
 
@@ -54,6 +54,15 @@ def main(argv=None) -> int:
         "end-to-end trials (fast event loop vs frozen seed loop)",
         args.out_dir / "BENCH_sim.json",
         sim_results,
+        args.quick,
+    )
+
+    print(f"scenario workloads ({'quick' if args.quick else 'full'} mode):")
+    scenario_results = bench_scenarios.run(args.quick)
+    run_and_write(
+        "adversarial scenarios at bench scale (incl. indexed flood delivery)",
+        args.out_dir / "BENCH_scenarios.json",
+        scenario_results,
         args.quick,
     )
     return 0

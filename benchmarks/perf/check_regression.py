@@ -22,7 +22,12 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 #: The benchmark families with checked-in baselines at the repository root.
-FAMILIES = ("BENCH_crypto.json", "BENCH_net.json", "BENCH_sim.json")
+FAMILIES = (
+    "BENCH_crypto.json",
+    "BENCH_net.json",
+    "BENCH_sim.json",
+    "BENCH_scenarios.json",
+)
 
 #: A fresh speedup below baseline/2 fails the build.
 DEFAULT_TOLERANCE = 2.0

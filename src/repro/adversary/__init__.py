@@ -6,6 +6,7 @@ from repro.adversary.attacks import (
     EquivocatingACastSender,
     FBAValueInjector,
     PointCorruptingBehavior,
+    SplitBrainEquivocator,
     WithholdingDealerBehavior,
     corrupt_map,
 )
@@ -20,6 +21,7 @@ from repro.adversary.behaviors import (
     Behavior,
     CrashBehavior,
     EquivocatingBehavior,
+    HardCrashBehavior,
     HonestButMutatingBehavior,
     RandomNoiseBehavior,
     ReplayBehavior,
@@ -31,6 +33,8 @@ __all__ = [
     "Behavior",
     "CrashBehavior",
     "EquivocatingBehavior",
+    "HardCrashBehavior",
+    "SplitBrainEquivocator",
     "HonestButMutatingBehavior",
     "RandomNoiseBehavior",
     "ReplayBehavior",

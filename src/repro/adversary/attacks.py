@@ -116,6 +116,38 @@ class DeterministicValueDealer(HonestButMutatingBehavior):
         self.process.rng.randrange = rigged_randrange  # type: ignore[method-assign]
 
 
+class SplitBrainEquivocator(HonestButMutatingBehavior):
+    """Runs honestly but perturbs integer payload fields sent to half the parties.
+
+    Receivers with ``pid >= n // 2`` see every trailing integer payload field
+    offset by ``offset`` (the message kind tag is preserved); the low half
+    sees honest traffic.  This is the generic "tell the two halves different
+    stories" equivocation used by the scenario engine's ``equivocate`` fault
+    transition: it attacks whatever consistency checks the protocol under
+    test runs (SVSS cross-points, BVAL/AUX vote counting, echo quorums)
+    without protocol-specific knowledge.
+    """
+
+    def __init__(self, offset: int = 1, kinds: Optional[Iterable[str]] = None) -> None:
+        self.offset = offset
+        self.kinds: Optional[Set[str]] = set(kinds) if kinds is not None else None
+        super().__init__(self._mutate)
+
+    def _mutate(
+        self, receiver: int, session: SessionId, payload: tuple
+    ) -> Optional[Tuple[int, SessionId, tuple]]:
+        assert self.process is not None
+        if receiver < self.process.params.n // 2 or not payload:
+            return receiver, session, payload
+        if self.kinds is not None and payload[0] not in self.kinds:
+            return receiver, session, payload
+        mutated = tuple(
+            value + self.offset if isinstance(value, int) and not isinstance(value, bool) else value
+            for value in payload[1:]
+        )
+        return receiver, session, (payload[0],) + mutated
+
+
 class EquivocatingACastSender(Behavior):
     """A faulty A-Cast sender that sends ``value_low`` to low-numbered parties
     and ``value_high`` to the rest, then follows the protocol's echo rules

@@ -87,6 +87,22 @@ class CrashBehavior(Behavior):
     """
 
 
+class HardCrashBehavior(CrashBehavior):
+    """A crash that also severs the party's outgoing channel.
+
+    :class:`CrashBehavior` suffices for corruptions applied before the run
+    (the honest protocol tree never starts, so nothing sends).  A party
+    corrupted *mid-run* -- by an adaptive adversary or a fault timeline -- may
+    still be inside a protocol action whose remaining sends would otherwise
+    leak out; installing a drop-everything outgoing mutator makes the crash
+    immediate and total.
+    """
+
+    def on_attach(self) -> None:
+        assert self.process is not None
+        self.process.outgoing_mutator = lambda receiver, session, payload: None
+
+
 class SilentAfterBehavior(Behavior):
     """Runs honestly for ``active_deliveries`` messages, then crashes.
 

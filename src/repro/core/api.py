@@ -53,9 +53,22 @@ def _simulation(
     corruptions: Corruptions,
     max_steps: Optional[int] = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> Simulation:
-    params = ProtocolParams.for_parties(n)
-    sim = Simulation(params=params, scheduler=scheduler, seed=seed, tracing=tracing)
+    if prime is None:
+        params = ProtocolParams.for_parties(n)
+    else:
+        params = ProtocolParams.for_parties(n, prime=prime)
+    sim = Simulation(
+        params=params,
+        scheduler=scheduler,
+        seed=seed,
+        tracing=tracing,
+        director=director,
+        session_table=session_table,
+    )
     if max_steps is not None:
         sim.max_steps = max_steps
     for pid, factory in (corruptions or {}).items():
@@ -71,9 +84,15 @@ def run_acast(
     scheduler: Optional[Scheduler] = None,
     corruptions: Corruptions = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> SimulationResult:
     """Run one reliable broadcast of ``value`` from ``sender``."""
-    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
+    sim = _simulation(
+        n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
+        director=director, session_table=session_table,
+    )
     return sim.run(
         ("acast",),
         ACast.factory(sender),
@@ -121,13 +140,19 @@ def run_svss(
     scheduler: Optional[Scheduler] = None,
     corruptions: Corruptions = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> SimulationResult:
     """Run SVSS-Share followed by SVSS-Rec and return the reconstructed values.
 
     The share and reconstruction phases are driven by a small wrapper protocol
     at every party, mirroring how CoinFlip uses SVSS.
     """
-    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
+    sim = _simulation(
+        n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
+        director=director, session_table=session_table,
+    )
     return sim.run(
         ("svss_harness",),
         svss_harness_factory(dealer),
@@ -143,9 +168,15 @@ def run_aba(
     corruptions: Corruptions = None,
     coin_source: Optional[CoinSource] = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> SimulationResult:
     """Run binary Byzantine agreement with the given per-party inputs."""
-    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
+    sim = _simulation(
+        n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
+        director=director, session_table=session_table,
+    )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
         ("aba",),
@@ -187,6 +218,9 @@ def run_common_subset(
     corruptions: Corruptions = None,
     coin_source: Optional[CoinSource] = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> SimulationResult:
     """Run CommonSubset where the predicate is immediately true for ``ready_parties``."""
     ready = set(ready_parties)
@@ -195,7 +229,10 @@ def run_common_subset(
     def factory(process: Process, session: SessionId) -> Protocol:
         return _PredicateDriver(process, session, ready, source)
 
-    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
+    sim = _simulation(
+        n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
+        director=director, session_table=session_table,
+    )
     return sim.run(("common_subset_harness",), factory)
 
 
@@ -205,9 +242,15 @@ def run_weak_coin(
     scheduler: Optional[Scheduler] = None,
     corruptions: Corruptions = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> SimulationResult:
     """Run one weak common coin flip."""
-    sim = _simulation(n, seed, scheduler, corruptions, tracing=tracing)
+    sim = _simulation(
+        n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
+        director=director, session_table=session_table,
+    )
     return sim.run(("weak_coin",), WeakCommonCoin.factory())
 
 
@@ -221,13 +264,19 @@ def run_coinflip(
     coin_source: Optional[CoinSource] = None,
     max_steps: Optional[int] = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> SimulationResult:
     """Run the strong common coin (Algorithm 1) once.
 
     ``tracing=False`` runs the network with all trace hooks disabled -- the
     Monte-Carlo campaign configuration, where only outputs are read.
     """
-    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing)
+    sim = _simulation(
+        n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
+        prime=prime, director=director, session_table=session_table,
+    )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
         ("coinflip",),
@@ -245,9 +294,15 @@ def run_fair_choice(
     coin_source: Optional[CoinSource] = None,
     max_steps: Optional[int] = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> SimulationResult:
     """Run FairChoice (Algorithm 2) over ``m`` candidates."""
-    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing)
+    sim = _simulation(
+        n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
+        prime=prime, director=director, session_table=session_table,
+    )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
         ("fair_choice",),
@@ -268,9 +323,15 @@ def run_fba(
     coin_source: Optional[CoinSource] = None,
     max_steps: Optional[int] = None,
     tracing: bool = True,
+    prime: Optional[int] = None,
+    director: Optional[Any] = None,
+    session_table: Optional[Dict[Any, Any]] = None,
 ) -> SimulationResult:
     """Run fair Byzantine agreement (Algorithm 3) with the given inputs."""
-    sim = _simulation(n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing)
+    sim = _simulation(
+        n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
+        prime=prime, director=director, session_table=session_table,
+    )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
         ("fba",),

@@ -117,6 +117,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.scenarios.library import SCENARIOS
+
     campaign = CampaignSpec.load(Path(args.campaign))
     campaign.validate()
     unknown: List[str] = []
@@ -130,6 +132,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             unknown.append(
                 f"cell {cell.name!r}: unknown scheduler {cell.scheduler.scheduler!r}"
             )
+        if cell.scenario is not None and cell.scenario not in SCENARIOS:
+            unknown.append(f"cell {cell.name!r}: unknown scenario {cell.scenario!r}")
     if unknown:
         for line in unknown:
             print(line, file=sys.stderr)
@@ -138,6 +142,62 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         f"campaign {campaign.name!r}: {len(campaign.cells)} cells, "
         f"{campaign.trials} trials, ok"
     )
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """List, validate, inspect or smoke-run the named scenario library."""
+    from repro.scenarios.engine import ScenarioRuntime, run_scenario
+    from repro.scenarios.library import get_scenario, scenario_names
+
+    if args.show:
+        print(get_scenario(args.show).to_json(), end="")
+        return 0
+
+    names = [args.run] if args.run else scenario_names()
+    if args.run or args.smoke:
+        for name in names:
+            spec = get_scenario(name)
+            # The runtime owns n-resolution (explicit --n beats the scale
+            # preset beats the smoke default); report the n it resolved.
+            n = ScenarioRuntime(spec, n=args.n).n
+            result = run_scenario(
+                spec, n=n, seed=args.seed, tracing=not args.no_tracing
+            )
+            status = (
+                "DISAGREED" if result.disagreement else f"agreed={result.agreed_value!r}"
+            )
+            print(
+                f"{name:<26} n={n:<3} seed={args.seed} "
+                f"steps={result.steps:<7} {status}"
+            )
+        return 0
+
+    rows = []
+    for name in names:
+        spec = get_scenario(name)
+        spec.validate()  # registry entries are validated on registration; recheck
+        roundtrip = type(spec).from_json(spec.to_json())
+        if roundtrip.to_dict() != spec.to_dict():
+            print(f"scenario {name!r} does not round-trip through JSON", file=sys.stderr)
+            return 1
+        plan = spec.corruption
+        rows.append(
+            (
+                name,
+                spec.protocol,
+                spec.scale or "-",
+                plan.budget if plan.budget is not None else "t",
+                f"{len(plan.static)}s/{len(plan.adaptive)}a/{len(spec.timeline)}f",
+                spec.scheduler.scheduler if spec.scheduler else "-",
+                spec.description,
+            )
+        )
+    _print_table(
+        ("scenario", "protocol", "scale", "budget", "plan", "scheduler", "description"),
+        rows,
+    )
+    print(f"\n{len(rows)} scenarios, all valid and JSON-round-trippable")
     return 0
 
 
@@ -181,6 +241,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate_parser.add_argument("campaign", help="path to a campaign JSON spec")
     validate_parser.set_defaults(handler=_cmd_validate)
+
+    scenarios_parser = sub.add_parser(
+        "scenarios",
+        help="list, validate, inspect or smoke-run the named attack scenarios",
+    )
+    scenarios_parser.add_argument(
+        "--run", metavar="NAME", help="run one trial of the named scenario"
+    )
+    scenarios_parser.add_argument(
+        "--smoke", action="store_true", help="run one trial of every scenario"
+    )
+    scenarios_parser.add_argument(
+        "--show", metavar="NAME", help="print one scenario's JSON definition"
+    )
+    scenarios_parser.add_argument(
+        "--n", type=int, default=None,
+        help="party-count override (default: the scenario's scale preset, or 4)",
+    )
+    scenarios_parser.add_argument(
+        "--seed", type=int, default=0, help="trial seed (default: 0)"
+    )
+    scenarios_parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable trace hooks (the campaign throughput configuration)",
+    )
+    scenarios_parser.set_defaults(handler=_cmd_scenarios)
 
     return parser
 

@@ -113,6 +113,7 @@ RUNNERS.add("fba", api.run_fba, normalizer=_int_keyed_inputs)
 # the returned factory is the ``process -> Behavior`` callable that
 # :meth:`repro.net.runtime.Simulation.corrupt` expects.
 BEHAVIORS.add("crash", behaviors.CrashBehavior.factory)
+BEHAVIORS.add("hard_crash", behaviors.HardCrashBehavior.factory)
 BEHAVIORS.add("silent_after", behaviors.SilentAfterBehavior.factory)
 BEHAVIORS.add("replay", behaviors.ReplayBehavior.factory)
 BEHAVIORS.add("random_noise", behaviors.RandomNoiseBehavior.factory)
@@ -122,6 +123,7 @@ BEHAVIORS.add("bad_share", attacks.BadShareBehavior.factory)
 BEHAVIORS.add("point_corrupting", attacks.PointCorruptingBehavior.factory)
 BEHAVIORS.add("deterministic_value_dealer", attacks.DeterministicValueDealer.factory)
 BEHAVIORS.add("fba_value_injector", attacks.FBAValueInjector.factory)
+BEHAVIORS.add("split_equivocator", attacks.SplitBrainEquivocator.factory)
 
 
 # ----------------------------------------------------------------------
@@ -151,3 +153,11 @@ def build_scheduler(spec: Optional[SchedulerSpec]) -> Optional[net_scheduler.Sch
     builder = SCHEDULERS.get(spec.scheduler)
     params = SCHEDULERS.normalize(spec.scheduler, spec.params)
     return builder(**params)
+
+
+# ----------------------------------------------------------------------
+# The hostile scheduler family registers itself on import; pulling it in here
+# (at the end, once the registries and builders above exist) means campaigns
+# can name targeted_delay / session_starvation / partition_heal / rushing
+# whether or not repro.scenarios was imported first.
+import repro.scenarios.schedulers  # noqa: E402,F401  (self-registration)

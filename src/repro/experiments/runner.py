@@ -15,11 +15,13 @@ byte-for-byte the same artifact as a sequential one.  This is asserted by
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.results import TrialAggregate
+from repro.errors import ExperimentError
 from repro.experiments.registry import RUNNERS, build_behavior_factory, build_scheduler
 from repro.experiments.spec import CampaignSpec, ExperimentSpec
 from repro.experiments.store import ResultStore
@@ -56,20 +58,117 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 # ----------------------------------------------------------------------
 # Trial execution (shared by the inline and pooled paths)
+class CellExecutor:
+    """One cell's trials with all per-trial setup amortised across a chunk.
+
+    ``run_trial`` used to resolve registry names, build behaviour factories
+    and (for scenarios) re-validate the whole spec *per seed*; for the short
+    trials the campaign layer exists to mass-produce, that setup rivals the
+    simulation itself.  An executor does it once per chunk:
+
+    * runner lookup, parameter normalisation and behaviour factories are
+      resolved in ``__init__`` and reused for every seed;
+    * when the cell names a :mod:`scenario <repro.scenarios>`, its
+      :class:`~repro.scenarios.engine.ScenarioRuntime` (selector resolution,
+      scale preset, static corruption factories) is built once -- only the
+      per-trial :class:`~repro.scenarios.engine.ScenarioDirector` is fresh
+      per seed;
+    * one shared session-intern table is passed to every trial's network, so
+      the session tuples of identically-shaped trials are allocated once per
+      chunk instead of once per trial.
+
+    Schedulers and directors hold per-run state, so those are still built
+    fresh for every seed; everything an executor shares between trials is
+    read-only during a run, which is what keeps chunk results byte-identical
+    to the one-executor-per-trial path (and therefore parallel campaigns
+    byte-identical to sequential ones).
+    """
+
+    def __init__(self, cell: ExperimentSpec) -> None:
+        cell.validate()
+        self.cell = cell
+        self.runner = RUNNERS.get(cell.protocol)
+        #: Shared across this executor's trials (same topology => same tuples).
+        self.session_table: Dict[Any, Any] = {}
+        self.scenario_runtime = None
+        if cell.scenario is not None:
+            # Imported lazily: repro.scenarios builds on the experiments
+            # registry, so a module-level import would be circular.
+            from repro.scenarios.engine import ScenarioRuntime
+            from repro.scenarios.library import get_scenario
+
+            self.scenario_runtime = ScenarioRuntime(
+                get_scenario(cell.scenario), n=cell.n
+            )
+            kwargs = RUNNERS.normalize(
+                cell.protocol, self.scenario_runtime.runner_kwargs(cell.params)
+            )
+            if self.scenario_runtime.prime is not None and "prime" not in kwargs:
+                kwargs["prime"] = self.scenario_runtime.prime
+            corruptions = self.scenario_runtime.static_corruptions()
+        else:
+            kwargs = RUNNERS.normalize(cell.protocol, cell.params)
+            corruptions = {}
+        for pid, spec in sorted(cell.adversary.items()):
+            corruptions[pid] = build_behavior_factory(spec)
+        self.kwargs = kwargs
+        self.corruptions = corruptions
+        self._extras = self._supported_extras()
+
+    def _supported_extras(self) -> frozenset:
+        """Which optional runner kwargs (director/session table) to forward.
+
+        Registered runners are only required to take ``n`` / ``seed`` /
+        ``scheduler`` / ``corruptions``; the in-tree :mod:`repro.core.api`
+        runners all take the scenario/batching extras, but a downstream
+        registry entry may not, and must keep working without them.
+        """
+        try:
+            parameters = inspect.signature(self.runner).parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            return frozenset()
+        if any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
+            return frozenset({"director", "session_table"})
+        supported = frozenset(
+            name for name in ("director", "session_table") if name in parameters
+        )
+        if self.cell.scenario is not None and "director" not in supported:
+            raise ExperimentError(
+                f"cell {self.cell.name!r}: runner {self.cell.protocol!r} does not "
+                f"accept a scenario director; scenarios need a director-aware runner"
+            )
+        return supported
+
+    def _build_scheduler(self):
+        if self.cell.scheduler is not None:
+            return build_scheduler(self.cell.scheduler)
+        if self.scenario_runtime is not None:
+            return self.scenario_runtime.build_scheduler()
+        return None
+
+    def run(self, seed: int) -> SimulationResult:
+        """Run the trial for one seed (schedulers/directors built fresh)."""
+        call: Dict[str, Any] = dict(self.kwargs)
+        if "session_table" in self._extras:
+            call["session_table"] = self.session_table
+        if self.scenario_runtime is not None:
+            call["director"] = self.scenario_runtime.build_director()
+        return self.runner(
+            n=self.cell.n,
+            seed=seed,
+            scheduler=self._build_scheduler(),
+            corruptions=self.corruptions or None,
+            **call,
+        )
+
+
 def run_trial(cell: ExperimentSpec, seed: int) -> SimulationResult:
-    """Run one trial of ``cell``: resolve registry names, build, simulate."""
-    runner = RUNNERS.get(cell.protocol)
-    kwargs = RUNNERS.normalize(cell.protocol, cell.params)
-    corruptions = {
-        pid: build_behavior_factory(spec) for pid, spec in sorted(cell.adversary.items())
-    }
-    return runner(
-        n=cell.n,
-        seed=seed,
-        scheduler=build_scheduler(cell.scheduler),
-        corruptions=corruptions or None,
-        **kwargs,
-    )
+    """Run one trial of ``cell``: resolve registry names, build, simulate.
+
+    One-shot convenience wrapper; loops should build a :class:`CellExecutor`
+    once and call :meth:`CellExecutor.run` per seed.
+    """
+    return CellExecutor(cell).run(seed)
 
 
 def _run_cell_chunk(task: Tuple[int, Dict[str, Any], List[int]]) -> Tuple[int, Dict[str, Any]]:
@@ -81,10 +180,10 @@ def _run_cell_chunk(task: Tuple[int, Dict[str, Any], List[int]]) -> Tuple[int, D
     parallel and sequential campaigns bit-identical by construction.
     """
     index, cell_dict, seeds = task
-    cell = ExperimentSpec.from_dict(cell_dict)
+    executor = CellExecutor(ExperimentSpec.from_dict(cell_dict))
     aggregate = TrialAggregate()
     for seed in seeds:
-        aggregate.add(run_trial(cell, seed))
+        aggregate.add(executor.run(seed))
     return index, aggregate.to_dict()
 
 
@@ -123,10 +222,11 @@ def run_campaign(
         chunk_trials: seeds per dispatched chunk.
     """
     campaign.validate()
-    for cell in campaign.cells:  # fail fast on unknown registry names
-        RUNNERS.get(cell.protocol)
-        for spec in cell.adversary.values():
-            build_behavior_factory(spec)
+    for cell in campaign.cells:
+        # Fail fast on unknown registry/scenario names and unresolvable
+        # selectors: building the executor performs every static resolution
+        # a worker would, before any trial runs.
+        CellExecutor(cell)
         build_scheduler(cell.scheduler)
     if store is not None:
         store.bind_campaign(campaign.name)

@@ -91,6 +91,13 @@ class ExperimentSpec:
             ``epsilon``, ``inputs``).
         adversary: corrupted party id -> behaviour spec.
         scheduler: optional message-scheduler spec (``None`` = runner default).
+        scenario: optional named adversarial scenario
+            (:mod:`repro.scenarios.library`).  The scenario contributes its
+            corruption plan, fault timeline, hostile scheduler, matched field
+            prime and default params, resolved against this cell's ``n``; the
+            cell's own ``params`` override the scenario's, its ``adversary``
+            entries are applied on top of the scenario's static corruptions,
+            and an explicit cell ``scheduler`` beats the scenario's.
     """
 
     #: Runner arguments the spec supplies through dedicated fields; cells may
@@ -104,6 +111,7 @@ class ExperimentSpec:
     params: Dict[str, Any] = field(default_factory=dict)
     adversary: Dict[int, BehaviorSpec] = field(default_factory=dict)
     scheduler: Optional[SchedulerSpec] = None
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.seeds = [int(seed) for seed in self.seeds]
@@ -168,6 +176,8 @@ class ExperimentSpec:
             }
         if self.scheduler is not None:
             data["scheduler"] = self.scheduler.to_dict()
+        if self.scenario is not None:
+            data["scenario"] = self.scenario
         return data
 
     @classmethod
@@ -188,6 +198,7 @@ class ExperimentSpec:
                     if data.get("scheduler") is not None
                     else None
                 ),
+                scenario=data.get("scenario"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExperimentError(f"malformed experiment cell: {exc}") from exc
@@ -271,6 +282,7 @@ class CampaignSpec:
         params: Optional[Mapping[str, Any]] = None,
         adversary: Optional[Mapping[int, BehaviorSpec]] = None,
         scheduler: Optional[SchedulerSpec] = None,
+        scenario: Optional[str] = None,
     ) -> "CampaignSpec":
         """Build a campaign as the cartesian product of parameter axes.
 
@@ -302,6 +314,7 @@ class CampaignSpec:
                         params=cell_params,
                         adversary=dict(adversary or {}),
                         scheduler=scheduler,
+                        scenario=scenario,
                     )
                 )
         campaign = cls(name=name, cells=cells)

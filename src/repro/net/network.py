@@ -59,6 +59,7 @@ class Network:
         seed: int = 0,
         keep_events: bool = False,
         tracing: bool = True,
+        session_table: Optional[Dict[SessionId, SessionId]] = None,
     ) -> None:
         self.params = params
         self.scheduler = scheduler or RandomScheduler()
@@ -74,7 +75,15 @@ class Network:
         #: Canonical representative for every session tuple seen by this
         #: network; protocols intern their session ids here so routing-dict
         #: lookups hit the identity fast path and child sessions are shared.
-        self._sessions: Dict[SessionId, SessionId] = {}
+        #: A caller may pass a shared table so identically-shaped trials (a
+        #: campaign chunk) reuse one set of interned tuples across networks.
+        self._sessions: Dict[SessionId, SessionId] = (
+            session_table if session_table is not None else {}
+        )
+        #: Optional scenario director observing protocol lifecycle events and
+        #: (for directors that want them) per-delivery callbacks.  ``None``
+        #: keeps every hot path on its unobserved branch.
+        self.director: Optional[object] = None
         #: Party ids currently controlled by the adversary.  Tracked here (not
         #: read off ``process.behavior``) because behaviours may temporarily
         #: clear the process hook to route one delivery through the honest
@@ -115,6 +124,23 @@ class Network:
         """Return the canonical tuple for ``session`` (allocating it once)."""
         session = tuple(session)
         return self._sessions.setdefault(session, session)
+
+    # ------------------------------------------------------------------
+    # Scenario observation.
+    # ------------------------------------------------------------------
+    def install_director(self, director: object) -> None:
+        """Attach a scenario director observing this network's execution.
+
+        The director receives ``on_session_open(pid, session)`` when a party
+        creates a protocol instance, ``on_complete(pid, session)`` for every
+        completion, and -- only when its ``wants_deliveries`` flag is set --
+        ``on_deliver(step, message)`` after each delivery.  Directors that do
+        not need per-delivery callbacks leave the fused fast loops untouched.
+        """
+        self.director = director
+        attach = getattr(director, "attach", None)
+        if attach is not None:
+            attach(self)
 
     # ------------------------------------------------------------------
     # Sending.
@@ -190,6 +216,9 @@ class Network:
                 (deadlock -- typically a protocol bug or an impossible fault
                 pattern).
         """
+        director = self.director
+        if director is not None and getattr(director, "wants_deliveries", False):
+            return self._run_observed(until=until, watch=None, max_steps=max_steps)
         queue = self._queue
         queue_len = queue.__len__
         pop = queue.pop
@@ -256,6 +285,9 @@ class Network:
                 deadlock, exactly as :meth:`run`.
         """
         session = tuple(session)
+        director = self.director
+        if director is not None and getattr(director, "wants_deliveries", False):
+            return self._run_observed(until=None, watch=session, max_steps=max_steps)
         queue = self._queue
         queue_len = queue.__len__
         pop = queue.pop
@@ -312,6 +344,63 @@ class Network:
         """Deliver messages until none remain in flight."""
         return self.run(until=None, max_steps=max_steps)
 
+    def _run_observed(
+        self,
+        until: Optional[Callable[["Network"], bool]],
+        watch: Optional[SessionId],
+        max_steps: int,
+    ) -> int:
+        """Delivery loop with a per-delivery director callback.
+
+        Used only when the installed director wants delivery events (fault
+        timelines and adaptive rules with step triggers); delivery order, stop
+        conditions and error behaviour are identical to :meth:`run` /
+        :meth:`run_until_complete`, with ``director.on_deliver(step, message)``
+        invoked after each delivery.
+        """
+        queue = self._queue
+        queue_len = queue.__len__
+        pop = queue.pop
+        rng = self.scheduler_rng
+        processes = self.processes
+        trace_on_deliver = self.trace.on_deliver
+        tracing = self._tracing
+        on_deliver = self.director.on_deliver  # type: ignore[union-attr]
+        delivered = 0
+        if watch is not None:
+            self._watch_session = watch
+            self._watch_done = self._completions.get(watch, 0) >= self._honest_n
+        try:
+            while True:
+                if watch is not None:
+                    if self._watch_done:
+                        return delivered
+                elif until is not None and until(self):
+                    return delivered
+                if delivered >= max_steps:
+                    raise SimulationError(
+                        f"run() exceeded {max_steps} deliveries without reaching "
+                        f"its stop condition"
+                    )
+                if not queue_len():
+                    if watch is None and until is None:
+                        return delivered
+                    raise SimulationError(
+                        "network is quiescent but the stop condition is not met "
+                        "(protocol deadlock)"
+                    )
+                message = pop(rng, self.step_count)
+                self.step_count = step = self.step_count + 1
+                if tracing:
+                    trace_on_deliver(step, message)
+                processes[message.receiver].deliver(message)
+                delivered += 1
+                on_deliver(step, message)
+        finally:
+            if watch is not None:
+                self._watch_session = None
+                self._watch_done = False
+
     # ------------------------------------------------------------------
     # Completion and corruption bookkeeping (the O(1) stop-condition state).
     # ------------------------------------------------------------------
@@ -327,6 +416,9 @@ class Network:
             completions[session] = count = completions.get(session, 0) + 1
             if session == self._watch_session and count >= self._honest_n:
                 self._watch_done = True
+        director = self.director
+        if director is not None:
+            director.on_complete(pid, session)
 
     def register_corruption(self, process: Process) -> None:
         """Mark ``process`` as adversarial (called by :meth:`Process.corrupt`).

@@ -94,6 +94,11 @@ class Process:
         instance.birth_index = self._creation_counter
         self._creation_counter += 1
         self.protocols[session] = instance
+        director = self.network.director
+        if director is not None:
+            # Scenario hook: adaptive adversaries may corrupt this party (or
+            # others) the moment a session opens, before the instance starts.
+            director.on_session_open(self.pid, session)
         return instance
 
     def flush_pending(self, instance: Protocol) -> None:

@@ -266,3 +266,152 @@ class SendOrderRandomQueue(DeliveryQueue):
         if self._tree is None:
             return list(self._list)
         return [m for m in self._slots if m is not None]
+
+
+class TwoClassRandomQueue(DeliveryQueue):
+    """Rank-indexed delivery for delay/partition policies over a random base.
+
+    The scan implementation of :class:`~repro.net.scheduler.DelayScheduler`
+    (and ``PartitionScheduler``) rebuilds the *preferred* sub-list -- the
+    pending messages the predicate does not delay -- on every step, an O(m)
+    pass that dominates exactly the adversarial-flood runs the policy is for.
+    This queue keeps every in-flight message in a send-order slot array with
+    **two** Fenwick trees over it: one counting all live slots, one counting
+    live *preferred* slots.  The predicate is evaluated once per message at
+    submit time (it must be a pure function of the message; every in-tree
+    policy is), after which a pop is:
+
+    * while the policy is active and preferred messages exist -- draw
+      ``rank = randbelow(#preferred)`` and Fenwick-search the preferred tree;
+    * otherwise (nothing preferred, or past ``expires_at``) -- draw a rank
+      over *all* in-flight messages and search the full tree.
+
+    Both branches consume exactly one ``randrange``-equivalent draw over
+    exactly the population the legacy scan drew from, and slots are kept in
+    send order, so delivery is byte-identical to the scan path per seed
+    (``tests/net/test_queues.py`` diffs full traces).  Pops are O(log m)
+    where the scan was O(m) -- past the flood crossover this is the
+    difference between seconds and minutes per trial.
+
+    Tombstones are compacted once they outnumber live messages, keeping
+    memory O(in-flight).
+    """
+
+    def __init__(
+        self, prefer: Callable[[Message], bool], expires_at: Optional[int] = None
+    ) -> None:
+        self.prefer = prefer
+        self.expires_at = expires_at
+        self._count = 0
+        self._preferred_count = 0
+        self._slots: List[Optional[Message]] = []
+        #: Parallel flags: whether the (live) message in a slot is preferred.
+        self._flags: List[bool] = []
+        self._tree_all: List[int] = [0] * 17
+        self._tree_pref: List[int] = [0] * 17
+        self._capacity = 16
+        self._randbelow: Optional[Callable[[int], int]] = None
+        self._randbelow_rng: Optional[random.Random] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- Fenwick plumbing -------------------------------------------------
+    def _rebuild(self, slots: List[Optional[Message]], flags: List[bool]) -> None:
+        capacity = 16
+        while capacity <= len(slots):
+            capacity *= 2
+        tree_all = [0] * (capacity + 1)
+        tree_pref = [0] * (capacity + 1)
+        for index, message in enumerate(slots):
+            if message is None:
+                continue
+            preferred = flags[index]
+            position = index + 1
+            while position <= capacity:
+                tree_all[position] += 1
+                if preferred:
+                    tree_pref[position] += 1
+                position += position & -position
+        self._slots = slots
+        self._flags = flags
+        self._tree_all = tree_all
+        self._tree_pref = tree_pref
+        self._capacity = capacity
+
+    def _compact(self) -> None:
+        alive: List[Optional[Message]] = []
+        alive_flags: List[bool] = []
+        for index, message in enumerate(self._slots):
+            if message is not None:
+                alive.append(message)
+                alive_flags.append(self._flags[index])
+        self._rebuild(alive, alive_flags)
+
+    def _search(self, tree: List[int], rank: int) -> int:
+        """Smallest slot index whose prefix count in ``tree`` is ``rank + 1``."""
+        position = 0
+        remaining = rank + 1
+        bit = 1 << (self._capacity.bit_length() - 1)
+        while bit:
+            candidate = position + bit
+            if candidate <= self._capacity and tree[candidate] < remaining:
+                position = candidate
+                remaining -= tree[candidate]
+            bit >>= 1
+        return position
+
+    # -- queue protocol ---------------------------------------------------
+    def push(self, message: Message) -> None:
+        index = len(self._slots)
+        if index >= self._capacity:
+            self._rebuild(self._slots, self._flags)
+        preferred = self.prefer(message)
+        self._slots.append(message)
+        self._flags.append(preferred)
+        self._count += 1
+        if preferred:
+            self._preferred_count += 1
+        tree_all = self._tree_all
+        tree_pref = self._tree_pref
+        capacity = self._capacity
+        position = index + 1
+        while position <= capacity:
+            tree_all[position] += 1
+            if preferred:
+                tree_pref[position] += 1
+            position += position & -position
+
+    def pop(self, rng: random.Random, step: int) -> Message:
+        if rng is not self._randbelow_rng:
+            self._randbelow_rng = rng
+            self._randbelow = getattr(rng, "_randbelow", rng.randrange)
+        active = self.expires_at is None or step < self.expires_at
+        if active and self._preferred_count:
+            rank = self._randbelow(self._preferred_count)
+            position = self._search(self._tree_pref, rank)
+        else:
+            rank = self._randbelow(self._count)
+            position = self._search(self._tree_all, rank)
+        message = self._slots[position]
+        assert message is not None
+        preferred = self._flags[position]
+        self._slots[position] = None
+        self._count -= 1
+        if preferred:
+            self._preferred_count -= 1
+        tree_all = self._tree_all
+        tree_pref = self._tree_pref
+        capacity = self._capacity
+        position += 1
+        while position <= capacity:
+            tree_all[position] -= 1
+            if preferred:
+                tree_pref[position] -= 1
+            position += position & -position
+        if len(self._slots) > 2 * self._count:
+            self._compact()
+        return message
+
+    def snapshot(self) -> List[Message]:
+        return [m for m in self._slots if m is not None]

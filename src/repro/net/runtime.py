@@ -115,6 +115,14 @@ class Simulation:
     #: returns.  Disable when running inside a latency-sensitive host that
     #: must not see collector pauses toggled.
     pause_gc: bool = True
+    #: Optional scenario director (see :mod:`repro.scenarios.engine`): an
+    #: observer installed on the network that may corrupt parties or drive
+    #: fault-timeline transitions mid-run.
+    director: Optional[Any] = None
+    #: Optional shared session-intern table.  Campaign chunks pass one table
+    #: across same-topology trials so interned session tuples are allocated
+    #: once per chunk instead of once per trial.
+    session_table: Optional[Dict[SessionId, SessionId]] = None
     _corruptions: Dict[int, BehaviorFactory] = field(default_factory=dict)
     network: Optional[Network] = None
 
@@ -139,10 +147,13 @@ class Simulation:
                 seed=self.seed,
                 keep_events=self.keep_events,
                 tracing=self.tracing,
+                session_table=self.session_table,
             )
             for pid, factory in self._corruptions.items():
                 process = self.network.processes[pid]
                 process.corrupt(factory(process))
+            if self.director is not None:
+                self.network.install_director(self.director)
         return self.network
 
     def run(

@@ -31,6 +31,7 @@ from repro.net.queues import (
     KeyedQueue,
     ScanQueue,
     SendOrderRandomQueue,
+    TwoClassRandomQueue,
 )
 
 
@@ -113,6 +114,15 @@ class DelayScheduler(Scheduler):
     The matched messages are still delivered eventually (when they are the
     only ones left, or after ``max_delay_steps``), so the run remains a valid
     asynchronous execution.
+
+    ``should_delay`` must be a **pure function of the message**: with the
+    default random base policy the class runs on an indexed two-class queue
+    (:class:`~repro.net.queues.TwoClassRandomQueue`) that evaluates the
+    predicate once, at submit time.  A predicate closing over mutable state
+    would be consulted at different times than the legacy per-step scan and
+    silently change delivery order; wrap such a scheduler in
+    :func:`force_scan` (or pass a non-default ``base``) to pin the
+    re-evaluating scan path instead.
     """
 
     def __init__(
@@ -141,12 +151,31 @@ class DelayScheduler(Scheduler):
                 return preferred[self.base.validate(inner, sub)]
         return self.base.validate(self.base.choose(pending, rng, step), pending)
 
+    def make_queue(self) -> DeliveryQueue:
+        if type(self) is not DelayScheduler or type(self.base) is not RandomScheduler:
+            # A subclass (or a non-random base policy) may not match the
+            # two-class rank semantics; keep the reference scan path.
+            return ScanQueue(self)
+        # ``should_delay`` is required to be a pure function of the message
+        # (see class docstring); the indexed queue evaluates it at submit
+        # time and reproduces the scan path's delivery order byte-identically.
+        should_delay = self.should_delay
+        return TwoClassRandomQueue(
+            lambda message: not should_delay(message),
+            expires_at=self.max_delay_steps,
+        )
+
 
 class PartitionScheduler(Scheduler):
     """Delays all traffic between two party groups for ``duration`` steps.
 
     After ``duration`` network steps the partition heals and the base
     scheduler takes over completely.
+
+    The groups must not be mutated after construction: with the default
+    random base policy the partition check runs once per message at submit
+    time on the indexed two-class queue (see :class:`DelayScheduler` -- the
+    same purity requirement and :func:`force_scan` escape hatch apply).
     """
 
     def __init__(
@@ -178,6 +207,16 @@ class PartitionScheduler(Scheduler):
                 inner = self.base.choose(sub, rng, step)
                 return preferred[self.base.validate(inner, sub)]
         return self.base.validate(self.base.choose(pending, rng, step), pending)
+
+    def make_queue(self) -> DeliveryQueue:
+        if type(self) is not PartitionScheduler or type(self.base) is not RandomScheduler:
+            return ScanQueue(self)
+        # ``_crosses`` is a pure function of the message's sender/receiver, so
+        # the partition maps onto the indexed two-class queue (expiring at the
+        # heal step) with scan-identical delivery order.
+        return TwoClassRandomQueue(
+            lambda message: not self._crosses(message), expires_at=self.duration
+        )
 
 
 class TargetedScheduler(Scheduler):

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import hashlib
 from abc import ABC, abstractmethod
-from collections import defaultdict
 from typing import Any, Callable, Dict, Optional, Set
 
 from repro.net.message import SessionId
@@ -94,6 +93,48 @@ class ProtocolCoinSource(CoinSource):
         return self.coin_factory()
 
 
+class _RoundVotes:
+    """Flat per-round vote bookkeeping for one :class:`BinaryAgreement` round.
+
+    The seed kept six ``defaultdict`` forests keyed by round number (about ten
+    container allocations per BinaryAgreement instance before the first
+    message); one slotted record per round replaces them, so a delivery does a
+    single round lookup and then touches plain attributes.  The incremental
+    AUX counters are carried over unchanged.
+    """
+
+    __slots__ = (
+        "bval_sent0",
+        "bval_sent1",
+        "bvals0",
+        "bvals1",
+        "bin0",
+        "bin1",
+        "aux_sent",
+        "aux_from",
+        "aux_count0",
+        "aux_count1",
+    )
+
+    def __init__(self) -> None:
+        #: Whether this party already broadcast BVAL(value) for the round.
+        self.bval_sent0 = False
+        self.bval_sent1 = False
+        #: Senders supporting each BVAL value.
+        self.bvals0: Set[int] = set()
+        self.bvals1: Set[int] = set()
+        #: Whether each value entered bin_values (an n - t BVAL quorum).
+        self.bin0 = False
+        self.bin1 = False
+        #: Whether this party already broadcast its AUX vote.
+        self.aux_sent = False
+        #: Senders whose AUX vote was recorded (first vote wins).
+        self.aux_from: Set[int] = set()
+        #: Incremental per-value AUX sender counts.
+        self.aux_count0 = 0
+        self.aux_count1 = 0
+
+
 class BinaryAgreement(Protocol):
     """Binary asynchronous Byzantine agreement (Definition 3.3).
 
@@ -114,17 +155,8 @@ class BinaryAgreement(Protocol):
         self.est: Optional[int] = None
         self.round = 0
         self.decided: Optional[int] = None
-        self._bval_sent: Dict[int, Set[int]] = defaultdict(set)
-        self._bvals: Dict[int, Dict[int, Set[int]]] = defaultdict(
-            lambda: {0: set(), 1: set()}
-        )
-        self._bin_values: Dict[int, Set[int]] = defaultdict(set)
-        self._aux_sent: Dict[int, bool] = defaultdict(bool)
-        self._auxes: Dict[int, Dict[int, int]] = defaultdict(dict)
-        #: round -> [count of AUX(0) senders, count of AUX(1) senders]; kept
-        #: incrementally so the per-delivery advance check is O(1) instead of
-        #: rebuilding an accepted-sender dict per message.
-        self._aux_counts: Dict[int, list] = defaultdict(lambda: [0, 0])
+        #: round -> flat vote record (see :class:`_RoundVotes`).
+        self._rounds: Dict[int, _RoundVotes] = {}
         self._coins: Dict[int, int] = {}
         self._coin_requested: Set[int] = set()
         self._dones: Dict[int, Set[int]] = {0: set(), 1: set()}
@@ -133,6 +165,12 @@ class BinaryAgreement(Protocol):
         # Quorum thresholds, hoisted off the per-message paths.
         self._t1 = self.t + 1
         self._quorum = self.n - self.t
+
+    def _round(self, round_index: int) -> _RoundVotes:
+        votes = self._rounds.get(round_index)
+        if votes is None:
+            votes = self._rounds[round_index] = _RoundVotes()
+        return votes
 
     @classmethod
     def factory(
@@ -180,31 +218,50 @@ class BinaryAgreement(Protocol):
 
     # ------------------------------------------------------------------
     def _broadcast_bval(self, round_index: int, value: int) -> None:
-        if value in self._bval_sent[round_index]:
-            return
-        self._bval_sent[round_index].add(value)
+        votes = self._round(round_index)
+        if value == 0:
+            if votes.bval_sent0:
+                return
+            votes.bval_sent0 = True
+        else:
+            if votes.bval_sent1:
+                return
+            votes.bval_sent1 = True
         self.broadcast("BVAL", round_index, value)
 
     def _on_bval(self, sender: int, round_index: Any, value: Any) -> None:
         if not self._valid_round_value(round_index, value):
             return
-        supporters = self._bvals[round_index][value]
+        votes = self._round(round_index)
+        if value == 0:
+            supporters = votes.bvals0
+        else:
+            supporters = votes.bvals1
         supporters.add(sender)
-        if len(supporters) >= self._t1 and value not in self._bval_sent[round_index]:
+        count = len(supporters)
+        if count >= self._t1 and not (
+            votes.bval_sent0 if value == 0 else votes.bval_sent1
+        ):
             # Amplification: at least one honest party proposed this value.
             self._broadcast_bval(round_index, value)
-        if len(supporters) >= self._quorum and value not in self._bin_values[round_index]:
-            self._bin_values[round_index].add(value)
+        if count >= self._quorum and not (votes.bin0 if value == 0 else votes.bin1):
+            if value == 0:
+                votes.bin0 = True
+            else:
+                votes.bin1 = True
             self._maybe_send_aux(round_index)
             self._try_advance(round_index)
 
     def _on_aux(self, sender: int, round_index: Any, value: Any) -> None:
         if not self._valid_round_value(round_index, value):
             return
-        auxes = self._auxes[round_index]
-        if sender not in auxes:
-            auxes[sender] = value
-            self._aux_counts[round_index][value] += 1
+        votes = self._round(round_index)
+        if sender not in votes.aux_from:
+            votes.aux_from.add(sender)
+            if value == 0:
+                votes.aux_count0 += 1
+            else:
+                votes.aux_count1 += 1
         self._try_advance(round_index)
 
     @staticmethod
@@ -212,12 +269,15 @@ class BinaryAgreement(Protocol):
         return isinstance(round_index, int) and round_index >= 0 and value in (0, 1)
 
     def _maybe_send_aux(self, round_index: int) -> None:
-        if round_index != self.round or self._aux_sent[round_index]:
+        if round_index != self.round:
             return
-        if not self._bin_values[round_index] or not self.started:
+        votes = self._round(round_index)
+        if votes.aux_sent:
             return
-        self._aux_sent[round_index] = True
-        value = min(self._bin_values[round_index])
+        if not (votes.bin0 or votes.bin1) or not self.started:
+            return
+        votes.aux_sent = True
+        value = 0 if votes.bin0 else 1
         self.broadcast("AUX", round_index, value)
 
     # ------------------------------------------------------------------
@@ -225,16 +285,19 @@ class BinaryAgreement(Protocol):
         if self.est is None or round_index != self.round:
             return
         self._maybe_send_aux(round_index)
-        if not self._aux_sent[round_index]:
+        votes = self._round(round_index)
+        if not votes.aux_sent:
             return
         # An AUX vote is *accepted* once its value entered bin_values.  The
         # per-value sender counts are maintained incrementally by _on_bval /
-        # _on_aux, so tallying is O(|bin_values|) <= 2 here, equivalent to the
+        # _on_aux, so the tally below reads two counters -- equivalent to the
         # original rebuild of the accepted {sender: value} dict.
-        bin_values = self._bin_values[round_index]
-        counts = self._aux_counts[round_index]
-        accepted_values = [value for value in (0, 1) if value in bin_values and counts[value]]
-        if sum(counts[value] for value in accepted_values) < self._quorum:
+        accepted0 = votes.bin0 and votes.aux_count0 > 0
+        accepted1 = votes.bin1 and votes.aux_count1 > 0
+        total = (votes.aux_count0 if accepted0 else 0) + (
+            votes.aux_count1 if accepted1 else 0
+        )
+        if total < self._quorum:
             return
         if round_index not in self._coins:
             if round_index not in self._coin_requested:
@@ -243,12 +306,13 @@ class BinaryAgreement(Protocol):
             if round_index not in self._coins:
                 return
         coin = self._coins[round_index]
-        if len(accepted_values) == 1:
-            value = accepted_values[0]
+        if accepted0 != accepted1:
+            value = 0 if accepted0 else 1
             self.est = value
             if value == coin and self.decided is None:
                 self._decide(value)
         else:
+            # Both values accepted (total >= quorum rules out neither).
             self.est = coin
         if self.halted:
             return

@@ -28,17 +28,36 @@ inconsistency may cause an honest party to be shunned.  This preserves every
 property the CoinFlip analysis uses (binding-or-shun, fewer than ``n^2`` shun
 events, validity and hiding for honest dealers) and is documented in
 DESIGN.md as a substitution.
+
+Hot-path design (SVSS messages dominate every coin/agreement trial):
+
+* **Raw-int rows** -- ROW/RECROW payloads are validated, compared and
+  evaluated as plain reduced int tuples; a :class:`Polynomial` object is only
+  built lazily, once, when a completed :class:`ShareState` needs it.
+* **Cached party-point evaluations** -- each known row is evaluated at all
+  ``n`` party points once (:func:`repro.crypto.kernels.eval_at_many`), so the
+  per-message POINT consistency checks and cross-point validations are plain
+  list lookups instead of repeated Horner evaluations.
+* **Decode-based row recovery** -- recovering a withheld row used to try
+  every ``(t+1)``-subset of vouched points (``C(k, t+1)`` interpolations --
+  minutes of work at ``n = 32``).  The fast path interpolates once and
+  verifies, then falls back to Berlekamp-Welch decoding, and only reaches the
+  exhaustive search in the genuinely ambiguous adversarial corner where no
+  uniquely-best candidate exists.  All three paths return byte-identical
+  results (``tests/test_golden_trials.py``, ``tests/protocols/test_svss.py``).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.crypto import kernels
 from repro.crypto.field import Field
 from repro.crypto.polynomial import Polynomial
 from repro.crypto.bivariate import SymmetricBivariatePolynomial
+from repro.errors import DecodingError
 from repro.net.message import SessionId
 from repro.net.process import Process
 from repro.net.protocol import Protocol
@@ -47,6 +66,27 @@ from repro.net.protocol import Protocol
 def party_point(pid: int) -> int:
     """Field evaluation point of party ``pid`` (1-based to keep 0 for the secret)."""
     return pid + 1
+
+
+def _validate_row_ints(prime: int, t: int, coefficients: Any) -> Optional[Tuple[int, ...]]:
+    """Validate a wire-format row without building a :class:`Polynomial`.
+
+    Returns the reduced, trimmed coefficient tuple -- exactly the ints
+    ``Polynomial.from_ints`` would store -- or ``None`` when the payload is
+    malformed (non-int coefficients) or the degree exceeds ``t``; both cases
+    shun the sender, matching the legacy object-path checks bit for bit.
+    """
+    if not isinstance(coefficients, (tuple, list)) or not all(
+        isinstance(c, int) for c in coefficients
+    ):
+        return None
+    # poly_trim(()) is (); the legacy Polynomial constructor normalised an
+    # empty payload to the zero polynomial, and downstream code indexes
+    # row[0], so the () form must never escape.
+    trimmed = kernels.poly_trim(tuple(c % prime for c in coefficients)) or (0,)
+    if len(trimmed) - 1 > t:
+        return None
+    return trimmed
 
 
 @dataclass
@@ -58,11 +98,23 @@ class ShareState:
         row: this party's row polynomial ``f_i``.
         recovered: True when the row was recovered from peers' points rather
             than received from the dealer.
+        row_ints: the row's reduced coefficient tuple (the wire/kernel form;
+            ``row`` is derived from it lazily).
     """
 
     dealer: int
-    row: Polynomial
+    row_ints: Tuple[int, ...] = ()
     recovered: bool = False
+    _field: Optional[Field] = field(default=None, repr=False)
+    _row: Optional[Polynomial] = field(default=None, repr=False)
+
+    @property
+    def row(self) -> Polynomial:
+        """The row as a :class:`Polynomial`, built on first access."""
+        if self._row is None:
+            assert self._field is not None
+            self._row = Polynomial._from_int_coeffs(self._field, self.row_ints)
+        return self._row
 
 
 class SVSSShare(Protocol):
@@ -78,7 +130,10 @@ class SVSSShare(Protocol):
         super().__init__(process, session)
         self.dealer = dealer
         self.field = Field(self.params.prime)
-        self.row: Optional[Polynomial] = None
+        #: This party's row as a reduced int tuple (None until known).
+        self.row_ints: Optional[Tuple[int, ...]] = None
+        #: Row evaluated at every party point, indexed by pid (filled with the row).
+        self._row_evals: List[int] = []
         self.row_recovered = False
         self.secret_polynomial: Optional[SymmetricBivariatePolynomial] = None
         self.points: Dict[int, int] = {}
@@ -123,32 +178,32 @@ class SVSSShare(Protocol):
     def _on_row(self, sender: int, coefficients: Any) -> None:
         if sender != self.dealer:
             return
-        if not isinstance(coefficients, (tuple, list)) or not all(
-            isinstance(c, int) for c in coefficients
-        ):
+        row = _validate_row_ints(self.params.prime, self.t, coefficients)
+        if row is None:
+            # Malformed payload or degree > t: provably faulty dealer.
             self.shun(sender)
             return
-        row = Polynomial.from_ints(self.field, list(coefficients))
-        if row.degree > self.t:
-            # Malformed sharing: provably faulty dealer.
-            self.shun(sender)
-            return
-        if self.row is not None:
-            if row != self.row and not self.row_recovered:
+        if self.row_ints is not None:
+            if row != self.row_ints and not self.row_recovered:
                 # Equivocating dealer.
                 self.shun(sender)
             return
-        self.row = row
+        self.row_ints = row
         self._after_row_known()
 
     def _after_row_known(self) -> None:
-        assert self.row is not None
+        assert self.row_ints is not None
+        # One batched evaluation at all party points backs both the POINT
+        # sends and every subsequent consistency check.
+        self._row_evals = kernels.eval_at_many(
+            self.params.prime, self.row_ints, range(1, self.n + 1)
+        )
         if not self._points_sent:
             self._points_sent = True
             for receiver in range(self.n):
                 if receiver == self.pid:
                     continue
-                self.send(receiver, "POINT", self.row.eval_int(party_point(receiver)))
+                self.send(receiver, "POINT", self._row_evals[receiver])
         self.consistent.add(self.pid)
         # Re-examine points that arrived before the row.
         for sender, value in list(self.points.items()):
@@ -166,39 +221,43 @@ class SVSSShare(Protocol):
                 self.shun(sender)
             return
         self.points[sender] = value
-        if self.row is not None:
+        if self.row_ints is not None:
             self._check_point(sender, value)
             self._maybe_ready()
         else:
             self._maybe_recover_row()
 
-    def _check_point(self, sender: int, value: Any) -> None:
-        assert self.row is not None
-        if self.row.eval_int(party_point(sender)) == value:
+    def _check_point(self, sender: int, value: int) -> None:
+        if self._row_evals[sender] == value:
             self.consistent.add(sender)
         # An inconsistent point is simply not counted: we cannot tell whether
         # the dealer or the peer is at fault during the share phase.
 
     def _on_ready(self, sender: int) -> None:
         self.ready_senders.add(sender)
-        if self.row is None:
+        if self.row_ints is None:
             self._maybe_recover_row()
         self._maybe_complete()
 
     # ------------------------------------------------------------------
     def _maybe_ready(self) -> None:
-        if self._ready_sent or self.row is None:
+        if self._ready_sent or self.row_ints is None:
             return
         if len(self.consistent) >= self.n - self.t:
             self._ready_sent = True
             self.broadcast("READY")
 
     def _maybe_complete(self) -> None:
-        if self.finished or self.row is None:
+        if self.finished or self.row_ints is None:
             return
         if len(self.ready_senders) >= self.n - self.t:
             self.complete(
-                ShareState(dealer=self.dealer, row=self.row, recovered=self.row_recovered)
+                ShareState(
+                    dealer=self.dealer,
+                    row_ints=self.row_ints,
+                    recovered=self.row_recovered,
+                    _field=self.field,
+                )
             )
 
     # ------------------------------------------------------------------
@@ -209,7 +268,7 @@ class SVSSShare(Protocol):
     # the candidate to agree with at least t+1 of them.
     # ------------------------------------------------------------------
     def _maybe_recover_row(self) -> None:
-        if self.row is not None:
+        if self.row_ints is not None:
             return
         # Normally we wait for an n - t READY quorum before trusting peer
         # points.  A party that shuns the dealer, however, drops the dealer's
@@ -233,29 +292,85 @@ class SVSSShare(Protocol):
         candidate = self._recover_from_points(usable)
         if candidate is None:
             return
-        self.row = candidate
+        self.row_ints = candidate
         self.row_recovered = True
         self._after_row_known()
 
-    def _recover_from_points(self, usable: Dict[int, int]) -> Optional[Polynomial]:
+    def _recover_from_points(self, usable: Dict[int, int]) -> Optional[Tuple[int, ...]]:
+        """The degree-<=t polynomial with maximal agreement among ``usable``.
+
+        Semantics (inherited from the seed's exhaustive search): among all
+        candidates interpolated through some ``t+1``-subset of the points,
+        return the one agreeing with the most points, requiring agreement of
+        at least ``t + 1``; ties resolve to the candidate first produced by
+        subset enumeration over senders in sorted order.
+
+        Three implementations of those semantics, fastest first:
+
+        1. interpolate the first ``t+1`` points and verify against all -- the
+           honest case, where every vouched point lies on the true row;
+        2. Berlekamp-Welch with ``e = (k - t - 1) // 2`` tolerated errors --
+           when it decodes, the result agrees with ``>= k - e`` points, which
+           makes it the *strictly unique* maximal candidate (any other
+           degree-<=t polynomial matches at most ``e + t < k - e`` points),
+           so it is exactly what the exhaustive search would return;
+        3. the exhaustive subset search, kept verbatim for the ambiguous
+           corner (more than ``e`` corrupted vouched points), with an early
+           exit once a candidate's agreement ``a`` satisfies ``2a > k + t``
+           (the same uniqueness bound: no later subset can beat it).
+        """
+        prime = self.params.prime
+        t = self.t
         senders = sorted(usable)
-        best: Tuple[int, Optional[Polynomial]] = (0, None)
-        for subset in itertools.combinations(senders, self.t + 1):
-            points = [(party_point(s), usable[s]) for s in subset]
-            candidate = Polynomial.interpolate(self.field, points)
-            if candidate.degree > self.t:
-                continue
-            agreement = sum(
+        xs = tuple(party_point(s) for s in senders)
+        # Agreement always compares against the *raw* received value (a value
+        # outside [0, prime) can never agree with any candidate -- the seed's
+        # semantics); interpolation and decoding work on the reduced mirror.
+        ys_raw = [usable[s] for s in senders]
+        ys = [y % prime for y in ys_raw]
+        k = len(senders)
+
+        def raw_agreement(cand: Tuple[int, ...]) -> int:
+            return sum(
                 1
-                for sender, value in usable.items()
-                if candidate.eval_int(party_point(sender)) == value
+                for x, y in zip(xs, ys_raw)
+                if kernels.horner(prime, cand, x) == y
             )
-            if agreement > best[0]:
-                best = (agreement, candidate)
-        agreement, candidate = best
-        if candidate is None or agreement < self.t + 1:
+
+        # Fast path 1: all vouched points on one degree-<=t polynomial.
+        candidate = kernels.poly_trim(kernels.interpolate(prime, xs[: t + 1], ys[: t + 1]))
+        if raw_agreement(candidate) == k:
+            return candidate
+
+        # Fast path 2: unique decoding with up to (k - t - 1) // 2 errors.
+        max_errors = (k - t - 1) // 2
+        if max_errors >= 1:
+            try:
+                candidate = kernels.berlekamp_welch_raw(prime, xs, ys, t, max_errors)
+            except DecodingError:
+                candidate = None
+            if candidate is not None and 2 * raw_agreement(candidate) > k + t:
+                return candidate
+
+        # Ambiguous corner: exhaustive search, as the seed implementation.
+        best_agreement = 0
+        best: Optional[Tuple[int, ...]] = None
+        for subset in itertools.combinations(range(k), t + 1):
+            sub_xs = tuple(xs[i] for i in subset)
+            cand = kernels.poly_trim(
+                kernels.interpolate(prime, sub_xs, [ys[i] for i in subset])
+            )
+            if len(cand) - 1 > t:
+                continue
+            agreement = raw_agreement(cand)
+            if agreement > best_agreement:
+                best_agreement, best = agreement, cand
+                if 2 * agreement > k + t:
+                    # Strictly unique maximum: no later subset can beat it.
+                    break
+        if best is None or best_agreement < t + 1:
             return None
-        return candidate
+        return best
 
 
 class SVSSRec(Protocol):
@@ -272,8 +387,10 @@ class SVSSRec(Protocol):
         self.dealer = dealer
         self.field = Field(self.params.prime)
         self.share: Optional[ShareState] = None
-        self.received_rows: Dict[int, Polynomial] = {}
-        self.validated: Dict[int, Polynomial] = {}
+        #: Own row evaluated at every party point, indexed by pid.
+        self._own_evals: List[int] = []
+        self.received_rows: Dict[int, Tuple[int, ...]] = {}
+        self.validated: Dict[int, Tuple[int, ...]] = {}
 
     @classmethod
     def factory(cls, dealer: int) -> Callable[[Process, SessionId], "SVSSRec"]:
@@ -288,21 +405,19 @@ class SVSSRec(Protocol):
         if share is None:
             raise ValueError("SVSS-Rec requires the ShareState from SVSS-Share")
         self.share = share
-        self.validated[self.pid] = share.row
-        self.broadcast("RECROW", tuple(share.row.to_ints()))
+        row_ints = tuple(share.row_ints)
+        self._own_evals = kernels.eval_at_many(
+            self.params.prime, row_ints, range(1, self.n + 1)
+        )
+        self.validated[self.pid] = row_ints
+        self.broadcast("RECROW", row_ints)
         self._maybe_reconstruct()
 
     def on_message(self, sender: int, payload: tuple) -> None:
         if not payload or payload[0] != "RECROW" or len(payload) != 2:
             return
-        coefficients = payload[1]
-        if not isinstance(coefficients, (tuple, list)) or not all(
-            isinstance(c, int) for c in coefficients
-        ):
-            self.shun(sender)
-            return
-        row = Polynomial.from_ints(self.field, list(coefficients))
-        if row.degree > self.t:
+        row = _validate_row_ints(self.params.prime, self.t, payload[1])
+        if row is None:
             self.shun(sender)
             return
         if sender in self.received_rows:
@@ -314,11 +429,11 @@ class SVSSRec(Protocol):
         self._maybe_reconstruct()
 
     # ------------------------------------------------------------------
-    def _validate(self, sender: int, row: Polynomial) -> None:
+    def _validate(self, sender: int, row: Tuple[int, ...]) -> None:
         if self.share is None or sender == self.pid:
             return
-        expected = self.share.row.eval_int(party_point(sender))
-        if row.eval_int(party_point(self.pid)) == expected:
+        expected = self._own_evals[sender]
+        if kernels.horner(self.params.prime, row, party_point(self.pid)) == expected:
             self.validated[sender] = row
         else:
             # The sender's claimed row contradicts the cross-point we hold:
@@ -332,8 +447,7 @@ class SVSSRec(Protocol):
         if len(self.validated) < self.t + 1:
             return
         chosen = sorted(self.validated)[: self.t + 1]
-        points = [
-            (party_point(pid), self.validated[pid].eval_int(0)) for pid in chosen
-        ]
-        polynomial = Polynomial.interpolate(self.field, points)
-        self.complete(polynomial.eval_int(0))
+        xs = tuple(party_point(pid) for pid in chosen)
+        # A validated row's value at 0 is its (reduced) constant term.
+        ys = [self.validated[pid][0] for pid in chosen]
+        self.complete(kernels.interpolate_at_zero(self.params.prime, xs, ys))

@@ -1,0 +1,62 @@
+"""Adversarial scenario engine: declarative attacks on the protocol stack.
+
+A scenario composes, as one JSON-serialisable artifact, everything the
+asynchronous adversary of the paper controls: *which parties are corrupted*
+(statically, or adaptively in response to observed protocol events, under an
+explicit budget ``t``), *how faults evolve* (crash / silence / equivocate /
+recover timelines) and *how messages are ordered* (the hostile scheduler
+family).  See :mod:`repro.scenarios.spec` for the data model,
+:mod:`repro.scenarios.engine` for execution, and
+:mod:`repro.scenarios.library` for the named catalogue::
+
+    from repro.scenarios import run_scenario
+
+    result = run_scenario("dealer-ambush", n=16, seed=7)
+
+Importing this package also registers the hostile scheduler family in
+:data:`repro.experiments.registry.SCHEDULERS`.
+"""
+
+from repro.scenarios import schedulers as _schedulers  # noqa: F401  (registers SCHEDULERS)
+from repro.scenarios.engine import ScenarioDirector, ScenarioRuntime, run_scenario
+from repro.scenarios.library import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.predicates import (
+    compile_message_predicate,
+    match_session,
+    resolve_parties,
+)
+from repro.scenarios.presets import PRESETS, ScalePreset, get_preset, preset_names
+from repro.scenarios.spec import (
+    AdaptiveRule,
+    CorruptionPlan,
+    FaultEvent,
+    ScenarioSpec,
+    StaticCorruption,
+)
+
+__all__ = [
+    "AdaptiveRule",
+    "CorruptionPlan",
+    "FaultEvent",
+    "PRESETS",
+    "SCENARIOS",
+    "ScalePreset",
+    "ScenarioDirector",
+    "ScenarioRuntime",
+    "ScenarioSpec",
+    "StaticCorruption",
+    "compile_message_predicate",
+    "get_preset",
+    "get_scenario",
+    "match_session",
+    "preset_names",
+    "register_scenario",
+    "resolve_parties",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,383 @@
+"""Scenario execution engine: adaptive corruption and fault timelines, live.
+
+Two classes turn a declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+into a running attack:
+
+* :class:`ScenarioRuntime` resolves a spec against a concrete party count --
+  party selectors become pid sets, the scale preset yields the matched field
+  prime, static corruptions become behaviour factories, the scheduler spec
+  becomes a :class:`~repro.net.scheduler.Scheduler` -- and builds one fresh
+  :class:`ScenarioDirector` per trial.
+* :class:`ScenarioDirector` is the live adversary installed on the network
+  (:meth:`repro.net.network.Network.install_director`).  It observes protocol
+  lifecycle events (session opens, completions) and -- when the scenario has
+  step triggers -- every delivery, and reacts by corrupting parties mid-run
+  or driving fault-timeline transitions.  Every action is appended to the
+  director's ``actions`` audit log, and the **corruption budget is a hard
+  invariant**: the director never corrupts beyond
+  ``min(spec budget, resilience bound t)``, whatever the rules ask for.
+
+Determinism: the director's decisions are pure functions of the (seeded,
+deterministic) event stream, so a scenario trial is byte-identical across
+reruns of the same seed -- asserted by ``tests/scenarios/test_engine.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.config import max_faults
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    RUNNERS,
+    SCHEDULERS,
+    build_behavior_factory,
+)
+from repro.experiments.spec import BehaviorSpec
+from repro.net.message import Message, SessionId
+from repro.net.network import Network
+from repro.net.runtime import SimulationResult
+from repro.net.scheduler import Scheduler
+from repro.scenarios.predicates import match_session, resolve_parties
+from repro.scenarios.presets import ScalePreset, preset_for
+from repro.scenarios.schedulers import resolve_scheduler_params
+from repro.scenarios.spec import (
+    CORRUPTING_TRANSITIONS,
+    AdaptiveRule,
+    FaultEvent,
+    ScenarioSpec,
+)
+
+#: ``inputs`` shorthands expanded per ``n`` at run time.
+_INPUT_PATTERNS: Dict[str, Callable[[int], Dict[int, int]]] = {
+    "alternating": lambda n: {pid: pid % 2 for pid in range(n)},
+    "half": lambda n: {pid: 0 if pid < n // 2 else 1 for pid in range(n)},
+    "zeros": lambda n: {pid: 0 for pid in range(n)},
+    "ones": lambda n: {pid: 1 for pid in range(n)},
+}
+
+
+def expand_inputs(value: Any, n: int) -> Any:
+    """Expand an ``inputs`` shorthand (``"alternating"``...) to a per-pid map."""
+    if isinstance(value, str):
+        try:
+            return _INPUT_PATTERNS[value](n)
+        except KeyError:
+            raise ExperimentError(
+                f"unknown inputs pattern {value!r}; known: "
+                f"{', '.join(sorted(_INPUT_PATTERNS))}"
+            ) from None
+    return value
+
+
+class ScenarioDirector:
+    """The live adversary for one trial: observes events, applies the attack.
+
+    Install on a network via :meth:`Network.install_director` (done by the
+    runners when a ``director`` is passed).  The director carries all mutable
+    attack state -- budget spent, rules fired, silenced parties -- so one
+    instance must drive exactly one trial.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        budget: Optional[int],
+        rules: List[AdaptiveRule],
+        timeline: List[FaultEvent],
+    ) -> None:
+        self.n = n
+        t = max_faults(n)
+        #: Hard cap on parties this scenario may corrupt (never above ``t``).
+        self.budget = t if budget is None else min(int(budget), t)
+        self.rules = rules
+        self._rule_firings = [0] * len(rules)
+        #: Step-triggered rules evaluate once, when their threshold is first
+        #: crossed (phase rules instead re-evaluate per matching event).
+        self._step_rule_done = [False] * len(rules)
+        self.timeline = timeline
+        self._timeline_fired = [False] * len(timeline)
+        #: pid -> outgoing mutator saved when the party was silenced.
+        self._silenced: Dict[int, Any] = {}
+        #: Parties corrupted *by this director or the static plan* (budget).
+        self.corrupted: set = set()
+        #: pids whose corruption was refused on budget, already logged.
+        self._budget_blocked: set = set()
+        #: Audit log of ``(step, action, pid, detail)`` tuples.
+        self.actions: List[Tuple[int, str, int, str]] = []
+        self.network: Optional[Network] = None
+        #: Whether the network must route deliveries through the observed
+        #: loop (only needed for step triggers).
+        self.wants_deliveries = any(rule.on == "step" for rule in rules) or any(
+            event.at_step is not None for event in timeline
+        )
+        self._behavior_factories: Dict[Any, Callable[..., Any]] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, network: Network) -> None:
+        """Bind to the network; pre-applied static corruptions join the budget."""
+        self.network = network
+        for pid in network.corrupted_pids():
+            self.corrupted.add(pid)
+        if len(self.corrupted) > self.budget:
+            raise ExperimentError(
+                f"scenario statically corrupts {len(self.corrupted)} parties, "
+                f"over its budget of {self.budget}"
+            )
+
+    # ------------------------------------------------------------------
+    # Network observation hooks.
+    # ------------------------------------------------------------------
+    def on_session_open(self, pid: int, session: SessionId) -> None:
+        self._handle_phase_event("session_open", pid, session)
+
+    def on_complete(self, pid: int, session: SessionId) -> None:
+        self._handle_phase_event("complete", pid, session)
+
+    def on_deliver(self, step: int, message: Message) -> None:
+        for index, event in enumerate(self.timeline):
+            if (
+                not self._timeline_fired[index]
+                and event.at_step is not None
+                and step >= event.at_step
+            ):
+                self._timeline_fired[index] = True
+                self._apply_transition(event)
+        for index, rule in enumerate(self.rules):
+            if (
+                rule.on == "step"
+                and not self._step_rule_done[index]
+                and step >= rule.at_step
+            ):
+                self._step_rule_done[index] = True
+                self._maybe_fire_rule(index, rule, subject=None, captured=None)
+
+    # ------------------------------------------------------------------
+    # Rule and timeline dispatch.
+    # ------------------------------------------------------------------
+    def _handle_phase_event(self, event: str, pid: int, session: SessionId) -> None:
+        for index, entry in enumerate(self.timeline):
+            if self._timeline_fired[index] or entry.on is None:
+                continue
+            if entry.on["event"] != event:
+                continue
+            if match_session(entry.on["pattern"], session) is None:
+                continue
+            self._timeline_fired[index] = True
+            self._apply_transition(entry)
+        for index, rule in enumerate(self.rules):
+            if rule.on != event:
+                continue
+            captures = match_session(rule.pattern, session)
+            if captures is None:
+                continue
+            self._maybe_fire_rule(index, rule, subject=pid, captured=captures.get("pid"))
+
+    def _maybe_fire_rule(
+        self,
+        index: int,
+        rule: AdaptiveRule,
+        subject: Optional[int],
+        captured: Optional[int],
+    ) -> None:
+        if rule.max_firings is not None and self._rule_firings[index] >= rule.max_firings:
+            return
+        if rule.target == "captured":
+            targets = [captured] if captured is not None else []
+        elif rule.target == "subject":
+            targets = [subject] if subject is not None else []
+        else:
+            targets = resolve_parties(rule.target, self.n)
+        fired = False
+        for pid in targets:
+            if self._corrupt(pid, rule.behavior, f"rule[{index}]:{rule.on}"):
+                fired = True
+        if fired:
+            self._rule_firings[index] += 1
+
+    def _apply_transition(self, event: FaultEvent) -> None:
+        assert self.network is not None
+        targets = resolve_parties(event.select, self.n)
+        if event.transition in CORRUPTING_TRANSITIONS:
+            # Corrupting transitions are irreversible and spend budget.
+            if event.transition == "crash":
+                spec = BehaviorSpec("hard_crash")
+            else:  # equivocate
+                spec = BehaviorSpec("split_equivocator", {"offset": event.offset})
+            for pid in targets:
+                self._corrupt(pid, spec, f"timeline:{event.transition}")
+        elif event.transition == "silence":
+            for pid in targets:
+                self._silence(pid)
+        elif event.transition == "recover":
+            for pid in targets:
+                self._recover(pid)
+
+    # ------------------------------------------------------------------
+    # Actions.
+    # ------------------------------------------------------------------
+    def _corrupt(self, pid: int, behavior: BehaviorSpec, reason: str) -> bool:
+        """Corrupt ``pid`` if the budget allows; returns whether it happened."""
+        assert self.network is not None
+        process = self.network.processes[pid]
+        if process.is_corrupted:
+            return False
+        if len(self.corrupted) >= self.budget:
+            # Log each blocked pid once; phase rules can re-attempt the same
+            # corruption on every matching event, and the audit log must stay
+            # bounded by n, not by the event count.
+            if pid not in self._budget_blocked:
+                self._budget_blocked.add(pid)
+                self._log("budget-exhausted", pid, reason)
+            return False
+        factory = self._behavior_factory(behavior)
+        process.corrupt(factory(process))
+        self.corrupted.add(pid)
+        self._log("corrupt", pid, f"{reason} behavior={behavior.behavior}")
+        return True
+
+    def _behavior_factory(self, behavior: BehaviorSpec) -> Callable[..., Any]:
+        key = (behavior.behavior, repr(sorted(behavior.params.items())))
+        factory = self._behavior_factories.get(key)
+        if factory is None:
+            factory = self._behavior_factories[key] = build_behavior_factory(behavior)
+        return factory
+
+    def _silence(self, pid: int) -> None:
+        assert self.network is not None
+        process = self.network.processes[pid]
+        if process.is_corrupted or pid in self._silenced:
+            return
+        self._silenced[pid] = process.outgoing_mutator
+        process.outgoing_mutator = lambda receiver, session, payload: None
+        self._log("silence", pid, "outgoing channel severed")
+
+    def _recover(self, pid: int) -> None:
+        assert self.network is not None
+        if pid not in self._silenced:
+            return
+        self.network.processes[pid].outgoing_mutator = self._silenced.pop(pid)
+        self._log("recover", pid, "outgoing channel restored")
+
+    def _log(self, action: str, pid: int, detail: str) -> None:
+        step = self.network.step_count if self.network is not None else 0
+        self.actions.append((step, action, pid, detail))
+
+
+class ScenarioRuntime:
+    """A :class:`ScenarioSpec` resolved against a concrete party count.
+
+    The runtime is reusable across trials of the same scenario and size (a
+    campaign chunk builds one and calls :meth:`build_director` per seed).
+
+    Attributes:
+        spec: the scenario definition.
+        n: resolved party count (explicit ``n`` beats the scale preset).
+        preset: the scale preset, when the spec names one.
+        prime: matched field prime (``None`` = library default).
+    """
+
+    def __init__(self, spec: ScenarioSpec, n: Optional[int] = None) -> None:
+        spec.validate()
+        self.spec = spec
+        self.preset: Optional[ScalePreset] = preset_for(spec.scale)
+        resolved_n = n if n is not None else (self.preset.n if self.preset else 4)
+        if resolved_n < 1:
+            raise ExperimentError(f"scenario needs a positive n, got {resolved_n}")
+        self.n = resolved_n
+        self.t = max_faults(resolved_n)
+        self.prime: Optional[int] = None
+        if self.preset is not None and self.preset.prime > resolved_n:
+            self.prime = self.preset.prime
+        self._static = self._resolve_static()
+
+    # ------------------------------------------------------------------
+    def _resolve_static(self) -> Dict[int, Callable[..., Any]]:
+        corruptions: Dict[int, Callable[..., Any]] = {}
+        budget = self.spec.corruption.budget
+        cap = self.t if budget is None else min(int(budget), self.t)
+        for entry in self.spec.corruption.static:
+            factory = build_behavior_factory(entry.behavior)
+            for pid in resolve_parties(entry.select, self.n):
+                corruptions[pid] = factory
+        if len(corruptions) > cap:
+            raise ExperimentError(
+                f"scenario {self.spec.name!r} statically corrupts "
+                f"{len(corruptions)} parties at n={self.n}, over its budget of {cap}"
+            )
+        return corruptions
+
+    # ------------------------------------------------------------------
+    def static_corruptions(self) -> Dict[int, Callable[..., Any]]:
+        """The resolved ``pid -> behaviour factory`` map (shared, reusable)."""
+        return dict(self._static)
+
+    def build_scheduler(self) -> Optional[Scheduler]:
+        """Instantiate the scenario's hostile scheduler (fresh per trial)."""
+        spec = self.spec.scheduler
+        if spec is None:
+            return None
+        builder = SCHEDULERS.get(spec.scheduler)
+        params = SCHEDULERS.normalize(
+            spec.scheduler, resolve_scheduler_params(spec.params, self.n)
+        )
+        return builder(**params)
+
+    def build_director(self) -> ScenarioDirector:
+        """A fresh director for one trial (directors hold per-trial state)."""
+        return ScenarioDirector(
+            n=self.n,
+            budget=self.spec.corruption.budget,
+            rules=self.spec.corruption.adaptive,
+            timeline=self.spec.timeline,
+        )
+
+    def runner_kwargs(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Protocol-runner kwargs: spec params, input shorthands expanded."""
+        kwargs = dict(self.spec.params)
+        if overrides:
+            kwargs.update(overrides)
+        if "inputs" in kwargs:
+            kwargs["inputs"] = expand_inputs(kwargs["inputs"], self.n)
+        return kwargs
+
+
+def run_scenario(
+    scenario: Any,
+    n: Optional[int] = None,
+    seed: int = 0,
+    protocol: Optional[str] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    tracing: bool = True,
+) -> SimulationResult:
+    """Run one trial of a scenario and return its :class:`SimulationResult`.
+
+    Args:
+        scenario: a :class:`ScenarioSpec`, or a name resolved through the
+            scenario registry (:mod:`repro.scenarios.library`).
+        n: party count override (default: the scenario's scale preset, or 4).
+        seed: trial seed.
+        protocol: runner-name override (default: the scenario's protocol).
+        params: runner keyword overrides merged over the scenario's params.
+        tracing: forwarded to the runner (disable for throughput sweeps).
+    """
+    if isinstance(scenario, str):
+        from repro.scenarios.library import get_scenario
+
+        scenario = get_scenario(scenario)
+    runtime = ScenarioRuntime(scenario, n=n)
+    runner_name = protocol or scenario.protocol
+    runner = RUNNERS.get(runner_name)
+    kwargs = RUNNERS.normalize(runner_name, runtime.runner_kwargs(params))
+    call: Dict[str, Any] = dict(kwargs)
+    if runtime.prime is not None and "prime" not in call:
+        call["prime"] = runtime.prime
+    corruptions = runtime.static_corruptions()
+    return runner(
+        n=runtime.n,
+        seed=seed,
+        scheduler=runtime.build_scheduler(),
+        corruptions=corruptions or None,
+        director=runtime.build_director(),
+        **call,
+    )

@@ -1,0 +1,202 @@
+"""The named scenario library and its registry.
+
+Each entry is a complete :class:`~repro.scenarios.spec.ScenarioSpec` built
+from the predicate vocabulary, so every attack scales from the CI smoke size
+(``n = 4``) to the stress presets (``n = 32 / 64``) without edits: targets
+are selectors (``{"last_faulty": true}``), never pid lists.  All scenarios
+respect the optimal-resilience corruption budget ``t < n/3`` by construction
+-- the engine enforces it regardless, but the library is the reference for
+what a *maximal legal* adversary looks like against each protocol layer.
+
+Look scenarios up with :func:`get_scenario` (which returns a private copy)
+and run them with :func:`repro.scenarios.engine.run_scenario`; campaigns name
+them through ``ExperimentSpec.scenario``.  Downstream code can extend the
+registry with :func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments.spec import BehaviorSpec, SchedulerSpec
+from repro.scenarios.spec import (
+    AdaptiveRule,
+    CorruptionPlan,
+    FaultEvent,
+    ScenarioSpec,
+    StaticCorruption,
+)
+
+#: The global scenario registry: name -> spec (treated as immutable; use
+#: :func:`get_scenario` to obtain a mutable copy).
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Validate ``spec`` and add it to the registry.
+
+    Args:
+        spec: the scenario to register.
+        replace: allow overwriting an existing name (default: refuse).
+    """
+    spec.validate()
+    if not replace and spec.name in SCENARIOS:
+        raise ExperimentError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a scenario up by name; returns a private copy safe to mutate."""
+    try:
+        spec = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS)) or "<none>"
+        raise ExperimentError(f"unknown scenario {name!r}; known: {known}") from None
+    return ScenarioSpec.from_dict(spec.to_dict())
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# The built-in catalogue.
+# ----------------------------------------------------------------------
+#: The canonical maximal corruptible coalition: the last ``t`` parties.
+_FAULTY = {"last_faulty": True}
+
+register_scenario(ScenarioSpec(
+    name="dealer-ambush",
+    description="crash each dealer the moment reconstruction of its sharing opens",
+    protocol="weak_coin",
+    corruption=CorruptionPlan(adaptive=[
+        # The {"pid": true} component captures the dealer embedded in the
+        # SVSS-Rec session id; the ambush corrupts exactly that party, at the
+        # worst possible time, until the budget t runs out.
+        AdaptiveRule(
+            on="session_open",
+            pattern=["...", "rec", {"pid": True}],
+            behavior=BehaviorSpec("hard_crash"),
+            target="captured",
+        ),
+    ]),
+))
+
+register_scenario(ScenarioSpec(
+    name="coin-split-brain",
+    description="equivocating coalition plus a network split across the two halves",
+    protocol="weak_coin",
+    corruption=CorruptionPlan(static=[
+        StaticCorruption(select=_FAULTY, behavior=BehaviorSpec("split_equivocator")),
+    ]),
+    scheduler=SchedulerSpec("partition_heal", {
+        "group_a": {"half": "low"},
+        "group_b": {"half": "high"},
+        "duration": 200,
+    }),
+))
+
+register_scenario(ScenarioSpec(
+    name="partition-heal",
+    description="partition the two halves during agreement, then heal",
+    protocol="aba",
+    params={"inputs": "alternating"},
+    scheduler=SchedulerSpec("partition_heal", {
+        "group_a": {"half": "low"},
+        "group_b": {"half": "high"},
+        "duration": 120,
+    }),
+))
+
+register_scenario(ScenarioSpec(
+    name="flood-fenwick",
+    description="starve all reconstruction traffic so the in-flight queue "
+    "floods past the Fenwick crossover",
+    protocol="weak_coin",
+    scale="n32",
+    scheduler=SchedulerSpec("session_starvation", {
+        "pattern": ["...", "rec", "*"],
+        "max_delay_steps": 4000,
+    }),
+))
+
+register_scenario(ScenarioSpec(
+    name="adaptive-budget-burn",
+    description="greedy adaptive adversary that tries to crash every dealer; "
+    "the budget clamp stops it at t",
+    protocol="weak_coin",
+    corruption=CorruptionPlan(adaptive=[
+        AdaptiveRule(
+            on="session_open",
+            pattern=["...", "share", {"pid": True}],
+            behavior=BehaviorSpec("hard_crash"),
+            target="captured",
+        ),
+    ]),
+))
+
+register_scenario(ScenarioSpec(
+    name="silence-heal",
+    description="the faulty coalition goes silent mid-run, then recovers",
+    protocol="weak_coin",
+    timeline=[
+        FaultEvent(transition="silence", select=_FAULTY, at_step=40),
+        FaultEvent(transition="recover", select=_FAULTY, at_step=400),
+    ],
+))
+
+register_scenario(ScenarioSpec(
+    name="rushing-coalition",
+    description="bad-share dealers whose intra-coalition traffic is always "
+    "delivered first",
+    protocol="weak_coin",
+    corruption=CorruptionPlan(static=[
+        StaticCorruption(select=_FAULTY, behavior=BehaviorSpec("bad_share")),
+    ]),
+    scheduler=SchedulerSpec("rushing", {"coalition": _FAULTY}),
+))
+
+register_scenario(ScenarioSpec(
+    name="late-crash-quorum",
+    description="crash the maximal coalition mid-agreement, after votes are in flight",
+    protocol="aba",
+    params={"inputs": "alternating"},
+    timeline=[
+        FaultEvent(transition="crash", select=_FAULTY, at_step=60),
+    ],
+))
+
+register_scenario(ScenarioSpec(
+    name="equivocate-on-share",
+    description="the coalition turns equivocator the moment the first sharing "
+    "completes anywhere",
+    protocol="weak_coin",
+    timeline=[
+        FaultEvent(
+            transition="equivocate",
+            select=_FAULTY,
+            on={"event": "complete", "pattern": ["...", "share", {"pid": True}]},
+            offset=3,
+        ),
+    ],
+))
+
+register_scenario(ScenarioSpec(
+    name="starved-dealer-withholds",
+    description="a withholding dealer whose victims are also starved by the scheduler",
+    protocol="svss",
+    params={"secret": 424_242, "dealer": 0},
+    corruption=CorruptionPlan(static=[
+        StaticCorruption(
+            select=0,
+            behavior=BehaviorSpec("withholding_dealer", {"victims": [1]}),
+        ),
+    ]),
+    scheduler=SchedulerSpec("targeted_delay", {
+        "victims": {"pids": [1]},
+        "max_delay_steps": 120,
+    }),
+))

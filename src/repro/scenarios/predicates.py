@@ -1,0 +1,207 @@
+"""The scenario predicate language: who/what an attack targets, by description.
+
+Scenarios never hard-code party id lists -- they *describe* their targets, and
+the engine resolves the description against the concrete system size when a
+scenario is instantiated.  Three small vocabularies cover everything the
+attack library needs:
+
+* **party selectors** (:func:`resolve_parties`) -- JSON forms naming a set of
+  parties relative to ``n``: explicit pids, the first/last ``k``, a half of
+  the network, a stride, or "the maximal faulty set" (the last ``t`` parties);
+* **session patterns** (:func:`match_session`) -- structural matches against
+  hierarchical session ids, with a ``{"pid": true}`` component that captures
+  the party id embedded in the session (e.g. the dealer of an SVSS instance);
+* **message predicates** (:func:`compile_message_predicate`) -- conjunctive
+  filters over in-flight messages (sender/receiver selectors, root protocol,
+  payload kind, session pattern) used by the hostile scheduler family.
+
+The style follows attribute-based communication (arXiv:1602.05635): attacks
+address *predicates over attributes*, not enumerated processes, which is what
+lets one scenario definition scale from ``n = 4`` to ``n = 64`` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.config import max_faults
+from repro.errors import ExperimentError
+from repro.net.message import Message, SessionId
+
+#: A party selector: an int, an explicit pid list, or a keyword mapping.
+PartySelector = Any
+#: A session pattern: a list of component patterns (see :func:`match_session`).
+SessionPattern = Sequence[Any]
+
+#: Pattern component capturing an embedded party id.
+_PID_CAPTURE = {"pid": True}
+#: Pattern component matching any single session component.
+_WILDCARD = "*"
+#: Leading pattern component matching any session prefix.
+_ELLIPSIS = "..."
+
+
+def resolve_parties(selector: PartySelector, n: int) -> List[int]:
+    """Resolve a party selector against a system of ``n`` parties.
+
+    Supported forms:
+
+    * ``3`` / ``[0, 2, 5]`` -- explicit pid(s);
+    * ``{"pids": [...]}`` -- explicit pids, spelled out;
+    * ``{"first": k}`` / ``{"last": k}`` -- the lowest / highest ``k`` pids;
+    * ``{"half": "low" | "high"}`` -- one half of the network (the high half
+      gets the extra party when ``n`` is odd);
+    * ``{"every": s, "offset": o}`` -- pids congruent to ``o`` modulo ``s``;
+    * ``{"last_faulty": true}`` -- the last ``t = (n - 1) // 3`` parties, the
+      canonical maximal corruptible coalition.
+
+    Returns a sorted, de-duplicated pid list; raises
+    :class:`~repro.errors.ExperimentError` on unknown forms or out-of-range
+    pids.
+    """
+    if isinstance(selector, bool):
+        raise ExperimentError(f"invalid party selector {selector!r}")
+    if isinstance(selector, int):
+        pids = [selector]
+    elif isinstance(selector, (list, tuple)):
+        pids = [int(pid) for pid in selector]
+    elif isinstance(selector, Mapping):
+        pids = _resolve_mapping(selector, n)
+    else:
+        raise ExperimentError(f"invalid party selector {selector!r}")
+    out = sorted(set(pids))
+    for pid in out:
+        if not 0 <= pid < n:
+            raise ExperimentError(
+                f"party selector {selector!r} resolves outside 0..{n - 1}: {pid}"
+            )
+    return out
+
+
+def _resolve_mapping(selector: Mapping[str, Any], n: int) -> List[int]:
+    if "pids" in selector:
+        return [int(pid) for pid in selector["pids"]]
+    if "first" in selector:
+        return list(range(min(int(selector["first"]), n)))
+    if "last" in selector:
+        count = min(int(selector["last"]), n)
+        return list(range(n - count, n))
+    if "half" in selector:
+        side = selector["half"]
+        if side == "low":
+            return list(range(n // 2))
+        if side == "high":
+            return list(range(n // 2, n))
+        raise ExperimentError(f"half selector must be 'low' or 'high', got {side!r}")
+    if "every" in selector:
+        stride = int(selector["every"])
+        offset = int(selector.get("offset", 0))
+        if stride < 1:
+            raise ExperimentError(f"every-selector stride must be >= 1, got {stride}")
+        return [pid for pid in range(n) if pid % stride == offset % stride]
+    if "last_faulty" in selector and selector["last_faulty"]:
+        t = max_faults(n)
+        return list(range(n - t, n))
+    raise ExperimentError(f"unknown party selector form {selector!r}")
+
+
+def validate_party_selector(selector: PartySelector) -> None:
+    """Shape-check a selector without a concrete ``n`` (spec validation)."""
+    resolve_parties(selector, 1 << 20)
+
+
+# ----------------------------------------------------------------------
+# Session patterns.
+# ----------------------------------------------------------------------
+def match_session(pattern: SessionPattern, session: SessionId) -> Optional[Dict[str, Any]]:
+    """Match ``session`` against ``pattern``; return captures or ``None``.
+
+    Each pattern component matches one session component: ``"*"`` matches
+    anything, ``{"pid": true}`` matches an ``int`` and captures it under
+    ``"pid"``, anything else must compare equal.  A leading ``"..."`` lets the
+    rest of the pattern match any *suffix* of the session, which is how
+    scenarios address protocol layers without knowing the full stack above
+    them (``["...", "share", {"pid": true}]`` matches an SVSS share session
+    wherever it is spawned).
+    """
+    pattern = list(pattern)
+    if pattern and pattern[0] == _ELLIPSIS:
+        tail = pattern[1:]
+        if len(tail) > len(session):
+            return None
+        return _match_exact(tail, tuple(session)[len(session) - len(tail):])
+    return _match_exact(pattern, tuple(session))
+
+
+def _match_exact(pattern: List[Any], session: SessionId) -> Optional[Dict[str, Any]]:
+    if len(pattern) != len(session):
+        return None
+    captures: Dict[str, Any] = {}
+    for component, actual in zip(pattern, session):
+        if component == _WILDCARD:
+            continue
+        if component == _PID_CAPTURE:
+            if isinstance(actual, bool) or not isinstance(actual, int):
+                return None
+            captures["pid"] = actual
+            continue
+        if component != actual:
+            return None
+    return captures
+
+
+def validate_session_pattern(pattern: Any) -> None:
+    """Shape-check a session pattern; raise :class:`ExperimentError`."""
+    if not isinstance(pattern, (list, tuple)) or not pattern:
+        raise ExperimentError(f"session pattern must be a non-empty list, got {pattern!r}")
+    body = pattern[1:] if pattern[0] == _ELLIPSIS else pattern
+    for component in body:
+        if component == _ELLIPSIS:
+            raise ExperimentError('"..." is only valid as the first pattern component')
+        if isinstance(component, Mapping) and component != _PID_CAPTURE:
+            raise ExperimentError(f"unknown pattern component {component!r}")
+
+
+# ----------------------------------------------------------------------
+# Message predicates (the hostile schedulers' targeting language).
+# ----------------------------------------------------------------------
+def compile_message_predicate(
+    spec: Mapping[str, Any], n: int
+) -> Callable[[Message], bool]:
+    """Compile a JSON message-predicate spec into a fast ``Message -> bool``.
+
+    Recognised (conjunctive) keys: ``senders`` / ``receivers`` (party
+    selectors), ``roots`` (top-level protocol names), ``kinds`` (payload kind
+    tags), ``session`` (a session pattern).  An empty spec matches everything.
+    """
+    unknown = set(spec) - {"senders", "receivers", "roots", "kinds", "session"}
+    if unknown:
+        raise ExperimentError(
+            f"unknown message predicate keys: {', '.join(sorted(unknown))}"
+        )
+    senders = (
+        frozenset(resolve_parties(spec["senders"], n)) if "senders" in spec else None
+    )
+    receivers = (
+        frozenset(resolve_parties(spec["receivers"], n)) if "receivers" in spec else None
+    )
+    roots = frozenset(spec["roots"]) if "roots" in spec else None
+    kinds = frozenset(spec["kinds"]) if "kinds" in spec else None
+    session_pattern = list(spec["session"]) if "session" in spec else None
+    if session_pattern is not None:
+        validate_session_pattern(session_pattern)
+
+    def predicate(message: Message) -> bool:
+        if senders is not None and message.sender not in senders:
+            return False
+        if receivers is not None and message.receiver not in receivers:
+            return False
+        if roots is not None and message.root not in roots:
+            return False
+        if kinds is not None and message.kind not in kinds:
+            return False
+        if session_pattern is not None:
+            return match_session(session_pattern, message.session) is not None
+        return True
+
+    return predicate

@@ -1,0 +1,143 @@
+"""The hostile scheduler family: predicate-targeted delivery-order attacks.
+
+The asynchronous adversary's second lever (besides corrupting parties) is
+message ordering.  These builders compose the primitives of
+:mod:`repro.net.scheduler` -- delay-until-starved, partition-then-heal,
+priority rushing -- with the scenario predicate language, so a scenario
+starves "all reconstruction traffic" or partitions "the two halves" without
+naming pids.  All of them ride the existing ``Scheduler`` / ``make_queue``
+machinery, so runs remain deterministic per seed and (where the policy maps
+onto an indexed queue) keep their O(log m) delivery fast path.
+
+Every builder takes plain JSON-shaped parameters; party-selector parameters
+are resolved against a concrete ``n`` by
+:func:`repro.scenarios.engine.ScenarioRuntime` before the build, but explicit
+pid lists also work directly from campaign cells.  The builders register
+themselves in :data:`repro.experiments.registry.SCHEDULERS`, so campaigns can
+name them with or without a scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.registry import SCHEDULERS
+from repro.net.message import Message
+from repro.net.scheduler import (
+    DelayScheduler,
+    PartitionScheduler,
+    Scheduler,
+    TargetedScheduler,
+)
+from repro.scenarios.predicates import (
+    compile_message_predicate,
+    match_session,
+    resolve_parties,
+    validate_session_pattern,
+)
+
+#: Scheduler-parameter keys holding party selectors, resolved against ``n``
+#: by the scenario runtime before the builder runs.
+SELECTOR_PARAMS = ("victims", "group_a", "group_b", "coalition")
+
+
+def resolve_scheduler_params(params: Mapping[str, Any], n: int) -> Dict[str, Any]:
+    """Resolve any party-selector parameters to explicit pid lists."""
+    resolved = dict(params)
+    for key in SELECTOR_PARAMS:
+        if key in resolved:
+            resolved[key] = resolve_parties(resolved[key], n)
+    return resolved
+
+
+def targeted_delay(
+    victims: Optional[Sequence[int]] = None,
+    roots: Optional[Sequence[str]] = None,
+    kinds: Optional[Sequence[str]] = None,
+    max_delay_steps: Optional[int] = None,
+) -> Scheduler:
+    """Starve messages touching ``victims`` (or matching ``roots``/``kinds``).
+
+    A message is delayed while anything else is pending when its sender *or*
+    receiver is a victim, its root protocol is listed, or its payload kind is
+    listed (any listed criterion suffices).  ``max_delay_steps`` bounds the
+    starvation so the run remains a valid asynchronous execution even when
+    the targeted traffic is all that keeps the protocol alive.
+    """
+    victim_set = frozenset(victims or ())
+    root_set = frozenset(roots or ())
+    kind_set = frozenset(kinds or ())
+
+    def should_delay(message: Message) -> bool:
+        return (
+            message.sender in victim_set
+            or message.receiver in victim_set
+            or message.root in root_set
+            or message.kind in kind_set
+        )
+
+    return DelayScheduler(should_delay, max_delay_steps=max_delay_steps)
+
+
+def session_starvation(
+    pattern: Sequence[Any], max_delay_steps: Optional[int] = None
+) -> Scheduler:
+    """Starve every message addressed to a session matching ``pattern``.
+
+    The classic anti-progress attack against layered protocols: hold back one
+    whole sub-protocol layer (e.g. ``["...", "rec", "*"]`` -- all SVSS
+    reconstruction sessions) until everything else has drained or the delay
+    budget expires.
+    """
+    pattern = list(pattern)
+    validate_session_pattern(pattern)
+
+    def should_delay(message: Message) -> bool:
+        return match_session(pattern, message.session) is not None
+
+    return DelayScheduler(should_delay, max_delay_steps=max_delay_steps)
+
+
+def partition_heal(
+    group_a: Sequence[int], group_b: Sequence[int], duration: int
+) -> Scheduler:
+    """Partition two party groups for ``duration`` deliveries, then heal."""
+    return PartitionScheduler(group_a, group_b, duration)
+
+
+def rushing(coalition: Sequence[int]) -> Scheduler:
+    """Deliver intra-``coalition`` traffic first (the rushing adversary).
+
+    The coalition hears every protocol phase before anyone else, maximising
+    the information advantage a Byzantine coalition can extract -- the
+    scheduling half of a rushing attack.
+    """
+    coalition_set = frozenset(coalition)
+
+    def priority(message: Message) -> float:
+        inside = message.sender in coalition_set and message.receiver in coalition_set
+        return 0.0 if inside else 1.0
+
+    return TargetedScheduler(priority)
+
+
+def message_filter_delay(
+    predicate: Mapping[str, Any],
+    n: int,
+    max_delay_steps: Optional[int] = None,
+) -> Scheduler:
+    """Starve messages matching a full message-predicate spec.
+
+    The most general member of the family: ``predicate`` is a JSON message
+    predicate (senders / receivers / roots / kinds / session), compiled
+    against ``n`` (which must therefore be supplied explicitly in the params).
+    """
+    compiled = compile_message_predicate(predicate, n)
+    return DelayScheduler(compiled, max_delay_steps=max_delay_steps)
+
+
+SCHEDULERS.add("targeted_delay", targeted_delay)
+SCHEDULERS.add("session_starvation", session_starvation)
+SCHEDULERS.add("partition_heal", partition_heal)
+SCHEDULERS.add("rushing", rushing)
+SCHEDULERS.add("message_filter_delay", message_filter_delay)

@@ -1,0 +1,380 @@
+"""Declarative adversarial scenario specifications.
+
+A :class:`ScenarioSpec` is to an attack what a
+:class:`~repro.experiments.spec.CampaignSpec` is to an experiment: a plain
+JSON-serialisable description, with every executable piece named through a
+registry string and every target described by a predicate
+(:mod:`repro.scenarios.predicates`).  A scenario composes four orthogonal
+ingredients:
+
+* a **corruption plan** -- static corruptions applied before the run plus
+  *adaptive* rules that corrupt parties mid-run when trigger events fire,
+  all under an explicit corruption budget;
+* a **fault timeline** -- crash / silence / equivocate / recover transitions
+  triggered at delivery counts or protocol phase events;
+* a **hostile scheduler** -- one of the adversarial scheduler family
+  (:mod:`repro.scenarios.schedulers`) or any registered scheduler;
+* a **scale preset** -- a named ``(n, prime)`` operating point
+  (:mod:`repro.scenarios.presets`).
+
+Specs deliberately contain no live objects, so scenarios serialise losslessly
+to JSON, ship to campaign workers, and diff cleanly in review::
+
+    spec = get_scenario("dealer-ambush")
+    same = ScenarioSpec.from_dict(spec.to_dict())
+    assert same == spec
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.spec import BehaviorSpec, SchedulerSpec
+from repro.scenarios.predicates import (
+    validate_party_selector,
+    validate_session_pattern,
+)
+from repro.scenarios.presets import preset_for
+
+#: Valid adaptive-rule trigger events.
+RULE_EVENTS = ("session_open", "complete", "step")
+#: Valid fault-timeline transitions.
+TRANSITIONS = ("crash", "silence", "equivocate", "recover")
+#: Timeline transitions that corrupt the target (and therefore spend budget).
+CORRUPTING_TRANSITIONS = ("crash", "equivocate")
+
+
+@dataclass
+class StaticCorruption:
+    """A corruption applied before the run starts.
+
+    Attributes:
+        select: party selector naming the corrupted parties.
+        behavior: the behaviour (a :class:`BehaviorSpec`) they run.
+    """
+
+    select: Any
+    behavior: BehaviorSpec
+
+    def __post_init__(self) -> None:
+        if isinstance(self.behavior, Mapping):
+            self.behavior = BehaviorSpec.from_dict(self.behavior)
+
+    def validate(self) -> None:
+        validate_party_selector(self.select)
+        if not self.behavior.behavior:
+            raise ExperimentError("static corruption needs a behavior name")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"select": self.select, "behavior": self.behavior.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StaticCorruption":
+        return cls(select=data["select"], behavior=BehaviorSpec.from_dict(data["behavior"]))
+
+
+@dataclass
+class AdaptiveRule:
+    """One trigger -> corruption rule of an adaptive adversary.
+
+    Attributes:
+        on: trigger event -- ``"session_open"`` / ``"complete"`` (protocol
+            phase events carrying a session) or ``"step"`` (delivery count).
+        behavior: behaviour installed on the corrupted target(s).
+        pattern: session pattern the event's session must match (session
+            events only); a ``{"pid": true}`` component captures the party id
+            embedded in the session.
+        at_step: delivery count threshold (``"step"`` trigger only).
+        target: who gets corrupted -- ``"captured"`` (the pid captured by the
+            pattern), ``"subject"`` (the party the event happened at), or a
+            party selector.
+        max_firings: cap on successful firings (``None`` = only the budget
+            limits the rule).
+    """
+
+    on: str
+    behavior: BehaviorSpec
+    pattern: Optional[List[Any]] = None
+    at_step: Optional[int] = None
+    target: Any = "captured"
+    max_firings: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.behavior, Mapping):
+            self.behavior = BehaviorSpec.from_dict(self.behavior)
+
+    def validate(self) -> None:
+        if self.on not in RULE_EVENTS:
+            raise ExperimentError(
+                f"adaptive rule event must be one of {RULE_EVENTS}, got {self.on!r}"
+            )
+        if self.on == "step":
+            if self.at_step is None or int(self.at_step) < 0:
+                raise ExperimentError("step-triggered rules need a non-negative at_step")
+            if self.target in ("captured", "subject"):
+                raise ExperimentError(
+                    "step-triggered rules have no event party; target must be a selector"
+                )
+        else:
+            if self.pattern is None:
+                raise ExperimentError(f"{self.on!r}-triggered rules need a session pattern")
+            validate_session_pattern(self.pattern)
+            if self.target == "captured" and {"pid": True} not in self.pattern:
+                raise ExperimentError(
+                    'target "captured" needs a {"pid": true} component in the pattern'
+                )
+        if self.target not in ("captured", "subject"):
+            validate_party_selector(self.target)
+        if self.max_firings is not None and int(self.max_firings) < 1:
+            raise ExperimentError("max_firings must be >= 1 when given")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"on": self.on, "behavior": self.behavior.to_dict()}
+        if self.pattern is not None:
+            data["pattern"] = list(self.pattern)
+        if self.at_step is not None:
+            data["at_step"] = self.at_step
+        if self.target != "captured":
+            data["target"] = self.target
+        if self.max_firings is not None:
+            data["max_firings"] = self.max_firings
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdaptiveRule":
+        return cls(
+            on=str(data["on"]),
+            behavior=BehaviorSpec.from_dict(data["behavior"]),
+            pattern=list(data["pattern"]) if data.get("pattern") is not None else None,
+            at_step=data.get("at_step"),
+            target=data.get("target", "captured"),
+            max_firings=data.get("max_firings"),
+        )
+
+
+@dataclass
+class CorruptionPlan:
+    """The scenario's corruption strategy: static set + adaptive rules + budget.
+
+    Attributes:
+        budget: maximum number of parties this scenario may ever corrupt
+            (static + adaptive + corrupting timeline transitions); ``None``
+            means "the resilience bound ``t`` of the concrete run".  The
+            effective budget is always clamped to ``t``.
+        static: corruptions applied before the run.
+        adaptive: mid-run corruption rules (see :class:`AdaptiveRule`).
+    """
+
+    budget: Optional[int] = None
+    static: List[StaticCorruption] = field(default_factory=list)
+    adaptive: List[AdaptiveRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.static = [
+            entry if isinstance(entry, StaticCorruption) else StaticCorruption.from_dict(entry)
+            for entry in self.static
+        ]
+        self.adaptive = [
+            rule if isinstance(rule, AdaptiveRule) else AdaptiveRule.from_dict(rule)
+            for rule in self.adaptive
+        ]
+
+    def validate(self) -> None:
+        if self.budget is not None and int(self.budget) < 0:
+            raise ExperimentError(f"corruption budget must be >= 0, got {self.budget}")
+        for entry in self.static:
+            entry.validate()
+        for rule in self.adaptive:
+            rule.validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        if self.budget is not None:
+            data["budget"] = self.budget
+        if self.static:
+            data["static"] = [entry.to_dict() for entry in self.static]
+        if self.adaptive:
+            data["adaptive"] = [rule.to_dict() for rule in self.adaptive]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CorruptionPlan":
+        return cls(
+            budget=data.get("budget"),
+            static=[StaticCorruption.from_dict(entry) for entry in data.get("static", [])],
+            adaptive=[AdaptiveRule.from_dict(rule) for rule in data.get("adaptive", [])],
+        )
+
+
+@dataclass
+class FaultEvent:
+    """One fault-timeline transition.
+
+    Attributes:
+        transition: ``"crash"``, ``"silence"``, ``"equivocate"`` or
+            ``"recover"``.  Crash and equivocate corrupt the target (spending
+            budget, irreversible); silence only severs the target's outgoing
+            channel and is undone by a later recover.
+        select: party selector naming the affected parties.
+        at_step: fire after this many deliveries, or
+        on: fire on a phase event: ``{"event": "session_open" | "complete",
+            "pattern": [...]}``.
+        offset: perturbation offset for ``equivocate`` (forwarded to the
+            equivocating behaviour).
+    """
+
+    transition: str
+    select: Any
+    at_step: Optional[int] = None
+    on: Optional[Dict[str, Any]] = None
+    offset: int = 1
+
+    def validate(self) -> None:
+        if self.transition not in TRANSITIONS:
+            raise ExperimentError(
+                f"timeline transition must be one of {TRANSITIONS}, got {self.transition!r}"
+            )
+        validate_party_selector(self.select)
+        if (self.at_step is None) == (self.on is None):
+            raise ExperimentError(
+                "timeline event needs exactly one trigger: at_step or on"
+            )
+        if self.at_step is not None and int(self.at_step) < 0:
+            raise ExperimentError("timeline at_step must be non-negative")
+        if self.on is not None:
+            event = self.on.get("event")
+            if event not in ("session_open", "complete"):
+                raise ExperimentError(
+                    f'timeline "on" event must be session_open or complete, got {event!r}'
+                )
+            validate_session_pattern(self.on.get("pattern"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"transition": self.transition, "select": self.select}
+        if self.at_step is not None:
+            data["at_step"] = self.at_step
+        if self.on is not None:
+            data["on"] = dict(self.on)
+        if self.offset != 1:
+            data["offset"] = self.offset
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            transition=str(data["transition"]),
+            select=data["select"],
+            at_step=data.get("at_step"),
+            on=dict(data["on"]) if data.get("on") is not None else None,
+            offset=int(data.get("offset", 1)),
+        )
+
+
+@dataclass
+class ScenarioSpec:
+    """A complete, named adversarial scenario.
+
+    Attributes:
+        name: registry name (kebab-case by convention).
+        description: one-line human description shown by the CLI.
+        protocol: default runner name (``repro.experiments.registry.RUNNERS``).
+        params: default runner keyword arguments.  The special value
+            ``"alternating"`` / ``"half"`` for an ``inputs`` param expands to
+            per-party binary inputs at run time (scenarios cannot know ``n``).
+        scale: optional scale preset name (:mod:`repro.scenarios.presets`)
+            providing the default ``n`` and the matched field prime.
+        corruption: the corruption plan.
+        timeline: the fault timeline.
+        scheduler: optional hostile scheduler spec.
+    """
+
+    name: str
+    description: str = ""
+    protocol: str = "weak_coin"
+    params: Dict[str, Any] = field(default_factory=dict)
+    scale: Optional[str] = None
+    corruption: CorruptionPlan = field(default_factory=CorruptionPlan)
+    timeline: List[FaultEvent] = field(default_factory=list)
+    scheduler: Optional[SchedulerSpec] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.corruption, Mapping):
+            self.corruption = CorruptionPlan.from_dict(self.corruption)
+        self.timeline = [
+            event if isinstance(event, FaultEvent) else FaultEvent.from_dict(event)
+            for event in self.timeline
+        ]
+        if isinstance(self.scheduler, Mapping):
+            self.scheduler = SchedulerSpec.from_dict(self.scheduler)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`ExperimentError`."""
+        if not self.name:
+            raise ExperimentError("scenario needs a non-empty name")
+        if not self.protocol:
+            raise ExperimentError(f"scenario {self.name!r}: missing protocol name")
+        preset_for(self.scale)  # raises on unknown preset names
+        self.corruption.validate()
+        for event in self.timeline:
+            event.validate()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name, "protocol": self.protocol}
+        if self.description:
+            data["description"] = self.description
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.scale is not None:
+            data["scale"] = self.scale
+        corruption = self.corruption.to_dict()
+        if corruption:
+            data["corruption"] = corruption
+        if self.timeline:
+            data["timeline"] = [event.to_dict() for event in self.timeline]
+        if self.scheduler is not None:
+            data["scheduler"] = self.scheduler.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        try:
+            return cls(
+                name=str(data["name"]),
+                description=str(data.get("description", "")),
+                protocol=str(data.get("protocol", "weak_coin")),
+                params=dict(data.get("params", {})),
+                scale=data.get("scale"),
+                corruption=CorruptionPlan.from_dict(data.get("corruption", {})),
+                timeline=[FaultEvent.from_dict(event) for event in data.get("timeline", [])],
+                scheduler=(
+                    SchedulerSpec.from_dict(data["scheduler"])
+                    if data.get("scheduler") is not None
+                    else None
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(f"malformed scenario: {exc}") from exc
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"scenario is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ScenarioSpec":
+        return cls.from_json(Path(path).read_text())

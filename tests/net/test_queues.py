@@ -21,6 +21,7 @@ from repro.net.queues import (
     KeyedQueue,
     ScanQueue,
     SendOrderRandomQueue,
+    TwoClassRandomQueue,
 )
 from repro.net.runtime import Simulation
 from repro.net.scheduler import (
@@ -62,6 +63,13 @@ SCHEDULER_FACTORIES = {
     "targeted": lambda: TargetedScheduler(lambda m: m.receiver),
     "targeted_dynamic": lambda: TargetedScheduler(lambda m: m.receiver, dynamic=True),
     "delay": lambda: DelayScheduler(lambda m: m.sender == 0),
+    # max_delay_steps exercises the TwoClassRandomQueue expiry branch: pops
+    # switch from the preferred tree to the full tree mid-run.
+    "delay_expiring": lambda: DelayScheduler(lambda m: m.sender == 0, max_delay_steps=30),
+    "delay_flood": lambda: DelayScheduler(
+        lambda m: m.session[-2] == "rec" if len(m.session) >= 2 else False,
+        max_delay_steps=200,
+    ),
     "partition": lambda: PartitionScheduler([0, 1, 2], [3, 4, 5], duration=40),
 }
 
@@ -131,7 +139,17 @@ class TestSchedulerEquivalence:
         assert isinstance(
             TargetedScheduler(lambda m: 0, dynamic=True).make_queue(), ScanQueue
         )
-        assert isinstance(DelayScheduler(lambda m: False).make_queue(), ScanQueue)
+        assert isinstance(
+            DelayScheduler(lambda m: False).make_queue(), TwoClassRandomQueue
+        )
+        assert isinstance(
+            PartitionScheduler([0], [1], 10).make_queue(), TwoClassRandomQueue
+        )
+        # A non-random base policy falls back to the reference scan path.
+        assert isinstance(
+            DelayScheduler(lambda m: False, base=FIFOScheduler()).make_queue(),
+            ScanQueue,
+        )
 
 
 class TestFifoQueue:

@@ -148,6 +148,31 @@ class TestByzantineReconstruction:
         if result.disagreement:
             assert result.trace.total_shun_events() >= 1
 
+    @pytest.mark.parametrize("kind", ["ROW", "RECROW"])
+    def test_empty_row_payload_is_the_zero_polynomial(self, kind):
+        """A dealer sending an empty coefficient tuple must not crash anyone.
+
+        The legacy ``Polynomial`` constructor normalised ``()`` to the zero
+        polynomial; the raw-int validation path must do the same or honest
+        parties index ``row[0]`` off the end mid-reconstruction.
+        """
+        from repro.adversary import HonestButMutatingBehavior
+
+        def empty_rows(receiver, session, payload):
+            if payload and payload[0] == kind:
+                return receiver, session, (kind, ())
+            return receiver, session, payload
+
+        result = api.run_svss(
+            4,
+            12345,
+            dealer=0,
+            seed=1,
+            corruptions={0: lambda process: HonestButMutatingBehavior(empty_rows)},
+        )
+        # Honest parties survive and reconstruct *something* consistently.
+        assert set(result.outputs) == {1, 2, 3}
+
     def test_point_corruption_does_not_block_share(self):
         result = api.run_svss(
             4,

@@ -1,0 +1,233 @@
+"""Tests for the scenario engine: directors, budgets, timelines, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import max_faults
+from repro.errors import ExperimentError
+from repro.experiments.spec import BehaviorSpec, SchedulerSpec
+from repro.net.scheduler import DelayScheduler, PartitionScheduler, TargetedScheduler
+from repro.scenarios.engine import ScenarioRuntime, expand_inputs, run_scenario
+from repro.scenarios.library import get_scenario, scenario_names
+from repro.scenarios.spec import (
+    AdaptiveRule,
+    CorruptionPlan,
+    FaultEvent,
+    ScenarioSpec,
+    StaticCorruption,
+)
+
+
+def _fingerprint(result):
+    return (result.steps, tuple(sorted(result.outputs.items())), result.trace.messages_sent)
+
+
+class TestScenarioRuntime:
+    def test_scale_preset_supplies_n_and_prime(self):
+        runtime = ScenarioRuntime(ScenarioSpec(name="x", scale="n32"))
+        assert runtime.n == 32
+        assert runtime.prime == 1_000_003
+        assert runtime.t == max_faults(32)
+
+    def test_explicit_n_beats_preset(self):
+        runtime = ScenarioRuntime(ScenarioSpec(name="x", scale="n32"), n=7)
+        assert runtime.n == 7
+        # The n32 prime is still valid for n=7 and stays attached.
+        assert runtime.prime == 1_000_003
+
+    def test_default_n_is_smoke_scale(self):
+        assert ScenarioRuntime(ScenarioSpec(name="x")).n == 4
+
+    def test_static_overbudget_rejected_at_resolution(self):
+        spec = ScenarioSpec(
+            name="x",
+            corruption=CorruptionPlan(static=[
+                StaticCorruption(select={"first": 2}, behavior=BehaviorSpec("crash")),
+            ]),
+        )
+        with pytest.raises(ExperimentError):
+            ScenarioRuntime(spec, n=4)  # t = 1 at n = 4
+
+    def test_budget_above_t_is_clamped(self):
+        spec = ScenarioSpec(name="x", corruption=CorruptionPlan(budget=99))
+        director = ScenarioRuntime(spec, n=7).build_director()
+        assert director.budget == max_faults(7)
+
+    def test_scheduler_selectors_resolved_against_n(self):
+        spec = ScenarioSpec(
+            name="x",
+            scheduler=SchedulerSpec("partition_heal", {
+                "group_a": {"half": "low"},
+                "group_b": {"half": "high"},
+                "duration": 10,
+            }),
+        )
+        scheduler = ScenarioRuntime(spec, n=6).build_scheduler()
+        assert isinstance(scheduler, PartitionScheduler)
+        assert scheduler.group_a == {0, 1, 2}
+        assert scheduler.group_b == {3, 4, 5}
+
+    def test_expand_inputs(self):
+        assert expand_inputs("alternating", 4) == {0: 0, 1: 1, 2: 0, 3: 1}
+        assert expand_inputs("half", 4) == {0: 0, 1: 0, 2: 1, 3: 1}
+        assert expand_inputs({0: 1}, 4) == {0: 1}
+        with pytest.raises(ExperimentError):
+            expand_inputs("fibonacci", 4)
+
+
+class TestAdaptiveCorruption:
+    @pytest.mark.parametrize("n", [4, 7, 16])
+    def test_budget_never_exceeded(self, n):
+        spec = get_scenario("adaptive-budget-burn")
+        runtime = ScenarioRuntime(spec, n=n)
+        director = runtime.build_director()
+        from repro.experiments.registry import RUNNERS
+
+        runner = RUNNERS.get(spec.protocol)
+        result = runner(n=n, seed=11, director=director)
+        t = max_faults(n)
+        # The greedy rule wanted to corrupt every dealer; the clamp held at t.
+        assert len(director.corrupted) == t
+        corrupt_actions = [a for a in director.actions if a[1] == "corrupt"]
+        assert len(corrupt_actions) == t
+        assert any(action == "budget-exhausted" for _, action, _, _ in director.actions)
+        # The run still terminated, with outputs from every still-honest party.
+        assert len(result.outputs) == n - t
+
+    def test_explicit_budget_tighter_than_t(self):
+        spec = ScenarioSpec(
+            name="tight",
+            protocol="weak_coin",
+            corruption=CorruptionPlan(budget=1, adaptive=[
+                AdaptiveRule(
+                    on="session_open",
+                    pattern=["...", "share", {"pid": True}],
+                    behavior=BehaviorSpec("hard_crash"),
+                ),
+            ]),
+        )
+        runtime = ScenarioRuntime(spec, n=16)
+        director = runtime.build_director()
+        from repro.experiments.registry import RUNNERS
+
+        RUNNERS.get("weak_coin")(n=16, seed=3, director=director)
+        assert len(director.corrupted) == 1
+
+    def test_dealer_ambush_corrupts_the_embedded_dealer(self):
+        spec = get_scenario("dealer-ambush")
+        runtime = ScenarioRuntime(spec, n=7)
+        director = runtime.build_director()
+        from repro.experiments.registry import RUNNERS
+
+        RUNNERS.get("weak_coin")(n=7, seed=5, director=director)
+        corrupt_actions = [a for a in director.actions if a[1] == "corrupt"]
+        assert corrupt_actions, "the ambush never fired"
+        for step, _, pid, detail in corrupt_actions:
+            assert "rule[0]:session_open" in detail
+            assert 0 <= pid < 7
+
+    def test_max_firings_caps_a_rule(self):
+        spec = ScenarioSpec(
+            name="once",
+            protocol="weak_coin",
+            corruption=CorruptionPlan(adaptive=[
+                AdaptiveRule(
+                    on="session_open",
+                    pattern=["...", "share", {"pid": True}],
+                    behavior=BehaviorSpec("hard_crash"),
+                    max_firings=1,
+                ),
+            ]),
+        )
+        runtime = ScenarioRuntime(spec, n=16)
+        director = runtime.build_director()
+        from repro.experiments.registry import RUNNERS
+
+        RUNNERS.get("weak_coin")(n=16, seed=3, director=director)
+        assert len(director.corrupted) == 1
+
+
+class TestFaultTimeline:
+    def test_step_triggered_crash_spends_budget(self):
+        spec = ScenarioSpec(
+            name="late-crash",
+            protocol="weak_coin",
+            timeline=[
+                FaultEvent(transition="crash", select={"last_faulty": True}, at_step=30),
+            ],
+        )
+        runtime = ScenarioRuntime(spec, n=7)
+        director = runtime.build_director()
+        from repro.experiments.registry import RUNNERS
+
+        result = RUNNERS.get("weak_coin")(n=7, seed=9, director=director)
+        assert director.corrupted == {5, 6}
+        # Corruption happened mid-run, not at setup.
+        crash_steps = [step for step, action, _, _ in director.actions if action == "corrupt"]
+        assert crash_steps and all(step >= 30 for step in crash_steps)
+        assert len(result.outputs) == 5
+
+    def test_silence_and_recover_round_trip(self):
+        spec = ScenarioSpec(
+            name="mute",
+            protocol="weak_coin",
+            timeline=[
+                FaultEvent(transition="silence", select=1, at_step=20),
+                FaultEvent(transition="recover", select=1, at_step=60),
+            ],
+        )
+        runtime = ScenarioRuntime(spec, n=4)
+        director = runtime.build_director()
+        from repro.experiments.registry import RUNNERS
+
+        result = RUNNERS.get("weak_coin")(n=4, seed=2, director=director)
+        actions = [action for _, action, pid, _ in director.actions if pid == 1]
+        assert actions == ["silence", "recover"]
+        # Silence is not a corruption: no budget spent, all four still honest.
+        assert director.corrupted == set()
+        assert len(result.outputs) == 4
+
+    def test_phase_triggered_equivocation(self):
+        spec = get_scenario("equivocate-on-share")
+        runtime = ScenarioRuntime(spec, n=4)
+        director = runtime.build_director()
+        from repro.experiments.registry import RUNNERS
+
+        RUNNERS.get("weak_coin")(n=4, seed=1, director=director)
+        assert director.corrupted == {3}
+        assert any("timeline:equivocate" in detail for _, _, _, detail in director.actions)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(scenario_names()))
+    def test_same_seed_same_trial(self, name):
+        first = run_scenario(name, n=4, seed=7)
+        second = run_scenario(name, n=4, seed=7)
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_different_seeds_differ_somewhere(self):
+        fingerprints = {
+            _fingerprint(run_scenario("dealer-ambush", n=7, seed=seed))
+            for seed in range(4)
+        }
+        assert len(fingerprints) > 1
+
+
+class TestRunScenario:
+    def test_accepts_spec_and_name(self):
+        by_name = run_scenario("silence-heal", n=4, seed=3)
+        by_spec = run_scenario(get_scenario("silence-heal"), n=4, seed=3)
+        assert _fingerprint(by_name) == _fingerprint(by_spec)
+
+    def test_param_overrides_merge_over_scenario_params(self):
+        result = run_scenario(
+            "starved-dealer-withholds", n=4, seed=0, params={"secret": 777}
+        )
+        assert 777 in result.outputs.values()
+
+    def test_protocol_override(self):
+        result = run_scenario(
+            "silence-heal", n=4, seed=0, protocol="coinflip", params={"rounds": 1}
+        )
+        assert len(result.outputs) == 4

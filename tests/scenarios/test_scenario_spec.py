@@ -1,0 +1,163 @@
+"""Tests for ScenarioSpec serialization, validation and the named library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.spec import BehaviorSpec, SchedulerSpec
+from repro.scenarios.library import SCENARIOS, get_scenario, register_scenario, scenario_names
+from repro.scenarios.presets import PRESETS, get_preset
+from repro.scenarios.spec import (
+    AdaptiveRule,
+    CorruptionPlan,
+    FaultEvent,
+    ScenarioSpec,
+    StaticCorruption,
+)
+
+
+def _full_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="kitchen-sink",
+        description="every field populated",
+        protocol="weak_coin",
+        params={"inputs": "alternating"},
+        scale="n16",
+        corruption=CorruptionPlan(
+            budget=2,
+            static=[
+                StaticCorruption(select={"last": 1}, behavior=BehaviorSpec("crash")),
+            ],
+            adaptive=[
+                AdaptiveRule(
+                    on="session_open",
+                    pattern=["...", "share", {"pid": True}],
+                    behavior=BehaviorSpec("hard_crash"),
+                    max_firings=1,
+                ),
+                AdaptiveRule(
+                    on="step",
+                    at_step=40,
+                    target={"first": 1},
+                    behavior=BehaviorSpec("split_equivocator", {"offset": 2}),
+                ),
+            ],
+        ),
+        timeline=[
+            FaultEvent(transition="silence", select={"half": "high"}, at_step=10),
+            FaultEvent(
+                transition="recover",
+                select={"half": "high"},
+                on={"event": "complete", "pattern": ["...", "share", {"pid": True}]},
+            ),
+        ],
+        scheduler=SchedulerSpec("rushing", {"coalition": {"last_faulty": True}}),
+    )
+
+
+class TestScenarioSpec:
+    def test_round_trip_is_lossless(self):
+        spec = _full_spec()
+        spec.validate()
+        same = ScenarioSpec.from_json(spec.to_json())
+        assert same.to_dict() == spec.to_dict()
+        assert same == spec
+
+    def test_from_dict_coerces_nested_mappings(self):
+        spec = ScenarioSpec.from_dict(_full_spec().to_dict())
+        assert isinstance(spec.corruption, CorruptionPlan)
+        assert isinstance(spec.corruption.static[0].behavior, BehaviorSpec)
+        assert isinstance(spec.timeline[0], FaultEvent)
+        assert isinstance(spec.scheduler, SchedulerSpec)
+
+    def test_unknown_scale_rejected(self):
+        spec = _full_spec()
+        spec.scale = "n1024"
+        with pytest.raises(ExperimentError):
+            spec.validate()
+
+    def test_adaptive_rule_validation(self):
+        # Phase rules need a pattern.
+        with pytest.raises(ExperimentError):
+            AdaptiveRule(on="session_open", behavior=BehaviorSpec("crash")).validate()
+        # "captured" target needs a pid capture in the pattern.
+        with pytest.raises(ExperimentError):
+            AdaptiveRule(
+                on="complete", pattern=["...", "share"], behavior=BehaviorSpec("crash")
+            ).validate()
+        # Step rules need at_step and a concrete selector target.
+        with pytest.raises(ExperimentError):
+            AdaptiveRule(on="step", behavior=BehaviorSpec("crash")).validate()
+        with pytest.raises(ExperimentError):
+            AdaptiveRule(
+                on="step", at_step=5, target="captured", behavior=BehaviorSpec("crash")
+            ).validate()
+        with pytest.raises(ExperimentError):
+            AdaptiveRule(
+                on="sunrise", pattern=["*"], behavior=BehaviorSpec("crash")
+            ).validate()
+
+    def test_fault_event_validation(self):
+        with pytest.raises(ExperimentError):
+            FaultEvent(transition="explode", select=0, at_step=1).validate()
+        # Exactly one trigger.
+        with pytest.raises(ExperimentError):
+            FaultEvent(transition="crash", select=0).validate()
+        with pytest.raises(ExperimentError):
+            FaultEvent(
+                transition="crash",
+                select=0,
+                at_step=1,
+                on={"event": "complete", "pattern": ["*"]},
+            ).validate()
+
+
+class TestPresets:
+    def test_presets_cover_the_advertised_scales(self):
+        assert sorted(PRESETS) == ["n16", "n32", "n4", "n64"]
+        for preset in PRESETS.values():
+            assert preset.prime > preset.n
+            assert preset.t == (preset.n - 1) // 3
+
+    def test_unknown_preset(self):
+        with pytest.raises(ExperimentError):
+            get_preset("n9000")
+
+
+class TestLibrary:
+    def test_library_has_at_least_eight_scenarios(self):
+        assert len(scenario_names()) >= 8
+
+    def test_every_entry_validates_and_round_trips(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            spec.validate()
+            assert ScenarioSpec.from_json(spec.to_json()).to_dict() == spec.to_dict()
+            assert spec.description, f"{name} needs a description"
+
+    def test_get_scenario_returns_a_private_copy(self):
+        spec = get_scenario("dealer-ambush")
+        spec.protocol = "coinflip"
+        assert SCENARIOS["dealer-ambush"].protocol == "weak_coin"
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError):
+            get_scenario("no-such-attack")
+
+    def test_register_rejects_duplicates_and_invalid_specs(self):
+        with pytest.raises(ExperimentError):
+            register_scenario(get_scenario("dealer-ambush"))
+        bad = ScenarioSpec(name="", protocol="weak_coin")
+        with pytest.raises(ExperimentError):
+            register_scenario(bad)
+
+    def test_register_replace(self):
+        original = SCENARIOS["dealer-ambush"]
+        try:
+            replacement = get_scenario("dealer-ambush")
+            replacement.description = "patched"
+            register_scenario(replacement, replace=True)
+            assert SCENARIOS["dealer-ambush"].description == "patched"
+        finally:
+            SCENARIOS["dealer-ambush"] = original

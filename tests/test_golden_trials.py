@@ -1,0 +1,126 @@
+"""Byte-identical regression fingerprints for whole protocol trials.
+
+``golden_trials.json`` records ``[steps, sorted honest outputs, messages
+sent, shun events]`` per (protocol, adversary, scheduler, seed) combination,
+captured before the SVSS/ABA hot-path refactors.  Those refactors promise
+*byte-identical* executions per seed -- same delivery counts, same outputs,
+same shun events -- so any drift in these fingerprints is a behaviour change,
+not an optimisation, and must fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.adversary import attacks, behaviors
+from repro.core import api
+from repro.net.scheduler import delay_to_parties
+
+GOLDEN = json.loads((Path(__file__).parent / "golden_trials.json").read_text())
+
+
+def _fingerprint(result, with_shuns: bool = True):
+    entry = [
+        result.steps,
+        [[pid, value] for pid, value in sorted(result.outputs.items())],
+        result.trace.messages_sent,
+    ]
+    if with_shuns:
+        entry.append(len(result.trace.shun_events))
+    return entry
+
+
+def _check(key, result, with_shuns: bool = True):
+    assert _fingerprint(result, with_shuns) == GOLDEN[key], key
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_svss_honest(seed):
+    _check(f"svss_n7_s{seed}", api.run_svss(7, 12345, seed=seed))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_svss_withholding_dealer(seed):
+    result = api.run_svss(
+        7,
+        999,
+        seed=seed,
+        corruptions={0: attacks.WithholdingDealerBehavior.factory(victims=[3, 4])},
+    )
+    _check(f"svss_withhold_n7_s{seed}", result)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_svss_bad_share(seed):
+    result = api.run_svss(
+        7, 31337, seed=seed, corruptions={2: attacks.BadShareBehavior.factory()}
+    )
+    _check(f"svss_badshare_n7_s{seed}", result)
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_svss_mixed_corruption(seed):
+    result = api.run_svss(
+        10,
+        777,
+        seed=seed,
+        corruptions={
+            1: attacks.PointCorruptingBehavior.factory(),
+            5: attacks.BadShareBehavior.factory(),
+        },
+    )
+    _check(f"svss_mixed_n10_s{seed}", result)
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_svss_withhold_under_starvation(seed):
+    result = api.run_svss(
+        7,
+        4242,
+        seed=seed,
+        scheduler=delay_to_parties([3], max_delay_steps=120),
+        corruptions={0: attacks.WithholdingDealerBehavior.factory(victims=[3])},
+    )
+    _check(f"svss_starve_n7_s{seed}", result)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_aba(seed):
+    bits = {pid: pid % 2 for pid in range(7)}
+    _check(f"aba_n7_s{seed}", api.run_aba(7, bits, seed=seed), with_shuns=False)
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_aba_with_crash(seed):
+    bits = {pid: (pid // 2) % 2 for pid in range(10)}
+    result = api.run_aba(
+        10, bits, seed=seed, corruptions={9: behaviors.CrashBehavior.factory()}
+    )
+    _check(f"aba_crash_n10_s{seed}", result, with_shuns=False)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_weak_coin(seed):
+    _check(f"weakcoin_n7_s{seed}", api.run_weak_coin(7, seed=seed))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_coinflip(seed):
+    _check(f"coinflip_n4_s{seed}", api.run_coinflip(4, seed=seed, rounds=2))
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_coinflip_with_crash(seed):
+    result = api.run_coinflip(
+        7, seed=seed, rounds=1, corruptions={6: behaviors.CrashBehavior.factory()}
+    )
+    _check(f"coinflip_crash_n7_s{seed}", result)
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_fba(seed):
+    result = api.run_fba(4, {0: "a", 1: "b", 2: "a", 3: "b"}, seed=seed)
+    _check(f"fba_n4_s{seed}", result, with_shuns=False)
