@@ -1,20 +1,87 @@
-"""CLI entry point: ``python -m benchmarks.perf [--quick] [--out-dir DIR]``."""
+"""CLI entry point: ``python -m benchmarks.perf [--quick] [--out-dir DIR]``.
+
+``--profile NAME`` runs exactly one benchmark family under :mod:`cProfile`
+and prints the top cumulative hotspots instead of writing baselines -- the
+supported way to diagnose where trial time goes without ad-hoc scripts.
+"""
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 from pathlib import Path
 
-from benchmarks.perf import bench_crypto, bench_net, bench_scenarios, bench_sim
+from benchmarks.perf import (
+    bench_coin_scale,
+    bench_crypto,
+    bench_net,
+    bench_scenarios,
+    bench_sim,
+)
 from benchmarks.perf.harness import run_and_write
+from repro.crypto import kernels
+
+#: family name -> (runner module, output file, title, extra-metadata hook).
+FAMILIES = {
+    "crypto": (
+        bench_crypto,
+        "BENCH_crypto.json",
+        "crypto kernels (share / reconstruct / decode / coinflip)",
+        None,
+    ),
+    "net": (
+        bench_net,
+        "BENCH_net.json",
+        "network delivery loop (indexed queues vs full scan)",
+        None,
+    ),
+    "sim": (
+        bench_sim,
+        "BENCH_sim.json",
+        "end-to-end trials (fast event loop vs frozen seed loop)",
+        None,
+    ),
+    "scenarios": (
+        bench_scenarios,
+        "BENCH_scenarios.json",
+        "adversarial scenarios at bench scale (incl. indexed flood delivery)",
+        None,
+    ),
+    "coin_scale": (
+        bench_coin_scale,
+        "BENCH_coin_scale.json",
+        "coin trials at n=16/32/64 (batched crypto plane vs frozen pre-batching stack)",
+        lambda: {"lagrange_cache": kernels.lagrange_cache_info().to_dict()},
+    ),
+}
+
+#: Number of cumulative-time entries printed by ``--profile``.
+PROFILE_TOP = 20
+
+
+def _profile_family(name: str, quick: bool) -> int:
+    try:
+        module, _, title, _ = FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        print(f"unknown bench family {name!r}; known: {known}")
+        return 2
+    print(f"profiling {name} ({title}) under cProfile ...")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    module.run(quick)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP)
+    return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.perf",
-        description="Time crypto-kernel, network-delivery and end-to-end "
-        "trial workloads and write BENCH_crypto.json / BENCH_net.json / "
-        "BENCH_sim.json baselines.",
+        description="Time crypto-kernel, network-delivery, end-to-end trial "
+        "and coin-at-scale workloads and write the BENCH_*.json baselines.",
     )
     parser.add_argument(
         "--quick",
@@ -27,44 +94,30 @@ def main(argv=None) -> int:
         default=Path("."),
         help="directory for the BENCH_*.json files (default: current directory)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="NAME",
+        help="run one bench family under cProfile and print the top "
+        f"{PROFILE_TOP} cumulative hotspots (families: "
+        f"{', '.join(sorted(FAMILIES))}); writes no baselines",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return _profile_family(args.profile, args.quick)
+
     args.out_dir.mkdir(parents=True, exist_ok=True)
-
-    print(f"crypto workloads ({'quick' if args.quick else 'full'} mode):")
-    crypto_results = bench_crypto.run(args.quick)
-    run_and_write(
-        "crypto kernels (share / reconstruct / decode / coinflip)",
-        args.out_dir / "BENCH_crypto.json",
-        crypto_results,
-        args.quick,
-    )
-
-    print(f"net workloads ({'quick' if args.quick else 'full'} mode):")
-    net_results = bench_net.run(args.quick)
-    run_and_write(
-        "network delivery loop (indexed queues vs full scan)",
-        args.out_dir / "BENCH_net.json",
-        net_results,
-        args.quick,
-    )
-
-    print(f"sim workloads ({'quick' if args.quick else 'full'} mode):")
-    sim_results = bench_sim.run(args.quick)
-    run_and_write(
-        "end-to-end trials (fast event loop vs frozen seed loop)",
-        args.out_dir / "BENCH_sim.json",
-        sim_results,
-        args.quick,
-    )
-
-    print(f"scenario workloads ({'quick' if args.quick else 'full'} mode):")
-    scenario_results = bench_scenarios.run(args.quick)
-    run_and_write(
-        "adversarial scenarios at bench scale (incl. indexed flood delivery)",
-        args.out_dir / "BENCH_scenarios.json",
-        scenario_results,
-        args.quick,
-    )
+    for name in ("crypto", "net", "sim", "scenarios", "coin_scale"):
+        module, filename, title, extra_meta = FAMILIES[name]
+        print(f"{name} workloads ({'quick' if args.quick else 'full'} mode):")
+        results = module.run(args.quick)
+        run_and_write(
+            title,
+            args.out_dir / filename,
+            results,
+            args.quick,
+            extra_meta=None if extra_meta is None else extra_meta(),
+        )
     return 0
 
 

@@ -1,0 +1,194 @@
+"""Coin-at-scale workloads: whole coin trials at n=16/32/64, batched vs frozen.
+
+Each trial workload runs the same protocol over the same seed stream twice:
+once on the current stack (batched crypto plane, group-mode fan-out queue,
+unmaterialised delivery loop) and once on the frozen pre-batching stack of
+:mod:`benchmarks.perf.legacy_coin` (flat-Fenwick queue, per-receiver row
+validation and Horner cross-checks, basis-backed reconstruction weights, the
+PR-4 delivery loop).  An untimed pre-check asserts the two sides produce
+identical honest outputs and delivery counts per seed, so the recorded
+speedups are pure implementation wins, never behaviour changes.
+
+Primes match the scenario scale presets: n=16 keeps the library default
+``2^31 - 1`` (below the plane's vectorisation cutoff, so it exercises the
+scalar-fallback mode plus the shared caches), n=32/64 use the million-scale
+preset primes (single int64 matmul mode).  The 16-bit split mode (default
+prime at n >= 24) is covered end-to-end by the frozen-stack equivalence
+trial in ``tests/test_golden_trials.py`` and at unit level in
+``tests/crypto/test_eval_plan.py``.
+
+``svss_validation`` isolates the tentpole's core amortisation: validating a
+full round of RECROW rows and cross-checking each at every receiver's point,
+per-receiver scalar (validate + Horner per (row, receiver) pair -- the
+pre-batching cost) vs the shared plane (one cached validation + one batched
+evaluation sweep per distinct row, a dict probe and a list index for every
+other receiver).
+
+Quick mode (the CI perf-smoke configuration) stays at n <= 32.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, List
+
+from benchmarks.perf import legacy_coin
+from benchmarks.perf.harness import BenchResult, compare
+from repro.core import api
+from repro.crypto import kernels
+from repro.net.runtime import SimulationResult
+
+#: Scale-preset primes (None = library default 2^31 - 1).
+PRIMES = {16: None, 32: 1_000_003, 64: 999_983}
+STRONG_ROUNDS = 1
+
+
+def _check_equivalence(
+    name: str,
+    fast: Callable[[int], SimulationResult],
+    legacy: Callable[[int], SimulationResult],
+    seed: int,
+) -> None:
+    """Assert the batched and frozen stacks produce identical trials."""
+    fast_result = fast(seed)
+    legacy_result = legacy(seed)
+    if (
+        fast_result.outputs != legacy_result.outputs
+        or fast_result.steps != legacy_result.steps
+    ):
+        raise AssertionError(
+            f"{name}: batched plane diverged from the frozen stack at seed {seed}: "
+            f"outputs {fast_result.outputs!r} vs {legacy_result.outputs!r}, "
+            f"steps {fast_result.steps} vs {legacy_result.steps}"
+        )
+
+
+def _svss_validation_workload(n: int, prime: int, rows_per_round: int):
+    """Batched vs scalar validation of one RECROW round at every receiver."""
+    t = (n - 1) // 3
+    rng = random.Random(42)
+    payloads = [
+        tuple(rng.randrange(prime) for _ in range(t + 1))
+        for _ in range(rows_per_round)
+    ]
+
+    def scalar() -> int:
+        # Pre-batching shape: every receiver re-validates every row and
+        # evaluates it at its own point with Horner.
+        total = 0
+        for pid in range(n):
+            point = pid + 1
+            for payload in payloads:
+                row = legacy_coin._legacy_validate_row_ints(prime, t, payload)
+                total ^= kernels.horner(prime, row, point)
+        return total
+
+    def batched() -> int:
+        # One fresh plane per call (cold caches): the first receiver pays for
+        # validation + the batched evaluation sweep, all others hit the
+        # shared record -- the cross-dealer amortisation of a real trial.
+        plane = kernels.CryptoPlane(prime, n, t)
+        cache = plane.row_cache
+        total = 0
+        for pid in range(n):
+            for payload in payloads:
+                record = cache.get(payload)
+                if record is None:
+                    record = plane.validate_row_record(payload)
+                total ^= record[1][pid]
+        return total
+
+    assert scalar() == batched(), "svss_validation: batched != scalar"
+    return batched, scalar
+
+
+def run(quick: bool) -> List[BenchResult]:
+    sizes = [16, 32] if quick else [16, 32, 64]
+    repeats = 2
+    results: List[BenchResult] = []
+
+    def trial_workload(
+        name: str,
+        fast: Callable[[int], SimulationResult],
+        legacy: Callable[[int], SimulationResult],
+        number: int,
+        trial_repeats: int = repeats,
+        **params,
+    ) -> None:
+        _check_equivalence(name, fast, legacy, seed=99)
+        # Separate but identical seed streams: the harness makes the same
+        # number of calls on each side (one warmup + repeats * number).
+        fast_seeds = itertools.count(1000)
+        legacy_seeds = itertools.count(1000)
+        results.append(
+            compare(
+                name,
+                lambda: fast(next(fast_seeds)),
+                lambda: legacy(next(legacy_seeds)),
+                number=number,
+                repeats=trial_repeats,
+                **params,
+            )
+        )
+
+    for n in sizes:
+        prime = PRIMES[n]
+        trial_workload(
+            f"weak_coin_trial_n{n}",
+            lambda seed, n=n, prime=prime: api.run_weak_coin(
+                n, seed=seed, prime=prime, tracing=False
+            ),
+            lambda seed, n=n, prime=prime: legacy_coin.legacy_run_weak_coin(
+                n, seed, prime=prime
+            ),
+            number=2 if n <= 32 else 1,
+            trial_repeats=repeats if n <= 32 else 1,
+            n=n,
+            prime=prime or 2_147_483_647,
+            tracing="off (campaign config, both sides)",
+        )
+    for n in sizes:
+        prime = PRIMES[n]
+        # A strong coin at n=64 runs 64 parallel ABA instances inside the
+        # common subset and legitimately needs more than the default 2M
+        # delivery safety cap.
+        max_steps = 20_000_000 if n == 64 else None
+        trial_workload(
+            f"strong_coin_trial_n{n}",
+            lambda seed, n=n, prime=prime, max_steps=max_steps: api.run_coinflip(
+                n,
+                seed=seed,
+                rounds=STRONG_ROUNDS,
+                prime=prime,
+                tracing=False,
+                max_steps=max_steps,
+            ),
+            lambda seed, n=n, prime=prime, max_steps=max_steps: legacy_coin.legacy_run_coinflip(
+                n, seed, STRONG_ROUNDS, prime=prime, max_steps=max_steps
+            ),
+            number=1,
+            trial_repeats=repeats if n <= 32 else 1,
+            n=n,
+            rounds=STRONG_ROUNDS,
+            prime=prime or 2_147_483_647,
+            tracing="off (campaign config, both sides)",
+        )
+
+    n = 32 if quick else 64
+    prime = PRIMES[n] or 2_147_483_647
+    batched, scalar = _svss_validation_workload(n, prime, rows_per_round=n)
+    results.append(
+        compare(
+            "svss_validation",
+            batched,
+            scalar,
+            number=4,
+            repeats=3,
+            n=n,
+            prime=prime,
+            rows=n,
+            receivers=n,
+        )
+    )
+    return results

@@ -27,6 +27,7 @@ FAMILIES = (
     "BENCH_net.json",
     "BENCH_sim.json",
     "BENCH_scenarios.json",
+    "BENCH_coin_scale.json",
 )
 
 #: A fresh speedup below baseline/2 fails the build.

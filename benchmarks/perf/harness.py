@@ -93,6 +93,7 @@ def run_and_write(
     out_path: Path,
     results: List[BenchResult],
     quick: bool,
+    extra_meta: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Serialise one benchmark family to its ``BENCH_*.json`` baseline file."""
     payload = {
@@ -109,6 +110,7 @@ def run_and_write(
                 "after = current fast path; null before_s marks trend-only "
                 "workloads with no legacy equivalent"
             ),
+            **(extra_meta or {}),
         },
         "results": [result.to_dict() for result in results],
     }

@@ -1,0 +1,831 @@
+"""Frozen pre-batching coin stack: the ``before`` side of bench_coin_scale.
+
+The batched crypto plane rebuilt the SVSS hot path (shared evaluation
+tables, cross-dealer row-validation/eval caches, plan-backed Lagrange
+weights) and replaced the flat-Fenwick random delivery queue with a
+block-indexed one.  To keep the end-to-end speedup measurable after the
+live code moves on, this module freezes byte-for-byte copies of the
+pre-batching implementations:
+
+* ``LegacySendOrderRandomQueue`` -- the flat Fenwick tree over send slots
+  (one tree node per message) with its list-mode crossover;
+* ``LegacySVSSShare`` / ``LegacySVSSRec`` -- per-delivery scalar row
+  validation (`_legacy_validate_row_ints`), per-instance ``eval_at_many``
+  sweeps and Horner cross-checks;
+* ``_legacy_interpolate_at_zero`` -- reconstruction weights derived from
+  the full memoised Lagrange basis (its own cache, so bench runs never
+  warm one side with the other side's entries);
+* ``LegacyWeakCommonCoin`` / ``LegacyCoinFlip`` -- the coin protocols
+  wired to the frozen SVSS classes.
+
+Everything here reproduces the live path's outputs and delivery order
+byte-identically per seed (asserted by an untimed pre-check in
+``bench_coin_scale``); the scalar kernels in :mod:`repro.crypto.kernels`
+are shared because they *are* the oracle the batched plane is
+equivalence-tested against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import ProtocolParams
+from repro.crypto import kernels
+from repro.crypto.field import Field
+from repro.crypto.polynomial import Polynomial
+from repro.crypto.bivariate import SymmetricBivariatePolynomial
+from repro.errors import DecodingError
+from repro.net.message import Message, SessionId
+from repro.net.process import Process
+from repro.net.protocol import Protocol
+from repro.net.queues import DeliveryQueue
+from repro.net.runtime import Simulation, SimulationResult
+from repro.net.scheduler import RandomScheduler
+from repro.protocols.aba import BinaryAgreement, CoinSource, OracleCoinSource
+from repro.protocols.common_subset import CommonSubset
+from repro.protocols.svss import party_point
+
+
+# ----------------------------------------------------------------------
+# Frozen flat-Fenwick random queue (pre-PR SendOrderRandomQueue).
+# ----------------------------------------------------------------------
+class LegacySendOrderRandomQueue(DeliveryQueue):
+    """The pre-batching rank-indexed queue: one Fenwick node per send slot."""
+
+    _TREE_THRESHOLD = 32768
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._list: List[Message] = []
+        self._tree: Optional[List[int]] = None
+        self._slots: List[Optional[Message]] = []
+        self._capacity = 0
+        self._randbelow: Optional[Callable[[int], int]] = None
+        self._randbelow_rng: Optional[random.Random] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _rebuild_tree(self, slots: List[Optional[Message]]) -> None:
+        capacity = 16
+        while capacity <= len(slots):
+            capacity *= 2
+        tree = [0] * (capacity + 1)
+        for index, message in enumerate(slots):
+            if message is not None:
+                position = index + 1
+                while position <= capacity:
+                    tree[position] += 1
+                    position += position & -position
+        self._slots = slots
+        self._tree = tree
+        self._capacity = capacity
+
+    def _enter_tree_mode(self) -> None:
+        self._rebuild_tree(list(self._list))
+        self._list = []
+
+    def _compact(self) -> None:
+        alive: List[Optional[Message]] = [m for m in self._slots if m is not None]
+        if len(alive) <= self._TREE_THRESHOLD // 2:
+            self._list = alive  # type: ignore[assignment]
+            self._tree = None
+            self._slots = []
+            self._capacity = 0
+        else:
+            self._rebuild_tree(alive)
+
+    def push(self, message: Message) -> None:
+        self._count += 1
+        if self._tree is None:
+            self._list.append(message)
+            if self._count > self._TREE_THRESHOLD:
+                self._enter_tree_mode()
+            return
+        index = len(self._slots)
+        if index >= self._capacity:
+            self._rebuild_tree(self._slots)
+        self._slots.append(message)
+        position = index + 1
+        tree = self._tree
+        capacity = self._capacity
+        while position <= capacity:
+            tree[position] += 1
+            position += position & -position
+
+    def pop(self, rng: random.Random, step: int) -> Message:
+        if rng is not self._randbelow_rng:
+            self._randbelow_rng = rng
+            self._randbelow = getattr(rng, "_randbelow", rng.randrange)
+        rank = self._randbelow(self._count)
+        self._count -= 1
+        if self._tree is None:
+            return self._list.pop(rank)
+        tree = self._tree
+        position = 0
+        remaining = rank + 1
+        bit = 1 << (self._capacity.bit_length() - 1)
+        while bit:
+            candidate = position + bit
+            if candidate <= self._capacity and tree[candidate] < remaining:
+                position = candidate
+                remaining -= tree[candidate]
+            bit >>= 1
+        message = self._slots[position]
+        assert message is not None
+        self._slots[position] = None
+        position += 1
+        while position <= self._capacity:
+            tree[position] -= 1
+            position += position & -position
+        if len(self._slots) > 2 * self._count:
+            self._compact()
+        return message
+
+    def snapshot(self) -> List[Message]:
+        if self._tree is None:
+            return list(self._list)
+        return [m for m in self._slots if m is not None]
+
+
+class LegacyRandomScheduler(RandomScheduler):
+    """Uniform random delivery backed by the frozen flat-Fenwick queue."""
+
+    def make_queue(self) -> DeliveryQueue:
+        return LegacySendOrderRandomQueue()
+
+
+# ----------------------------------------------------------------------
+# Frozen scalar reconstruction path (basis-backed weights, own cache).
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=4096)
+def _legacy_lagrange_basis(prime: int, xs: Tuple[int, ...]) -> Tuple[Tuple[int, ...], ...]:
+    k = len(xs)
+    master = [1]
+    for x in xs:
+        nxt = [0] * (len(master) + 1)
+        for index, coeff in enumerate(master):
+            nxt[index] = (nxt[index] - x * coeff) % prime
+            nxt[index + 1] = (nxt[index + 1] + coeff) % prime
+        master = nxt
+    numerators: List[List[int]] = []
+    denominators: List[int] = []
+    for x in xs:
+        quotient = [0] * k
+        quotient[k - 1] = master[k]
+        for index in range(k - 1, 0, -1):
+            quotient[index - 1] = (master[index] + x * quotient[index]) % prime
+        numerators.append(quotient)
+        denominators.append(kernels.horner(prime, quotient, x))
+    inverses = kernels.batch_inverse(prime, denominators)
+    return tuple(
+        kernels.poly_scale(prime, numerator, inverse)
+        for numerator, inverse in zip(numerators, inverses)
+    )
+
+
+@lru_cache(maxsize=4096)
+def _legacy_weights_at_zero(prime: int, xs: Tuple[int, ...]) -> Tuple[int, ...]:
+    return tuple(basis[0] for basis in _legacy_lagrange_basis(prime, xs))
+
+
+def _legacy_interpolate_at_zero(prime: int, xs: Tuple[int, ...], ys: List[int]) -> int:
+    weights = _legacy_weights_at_zero(prime, xs)
+    total = 0
+    for weight, y in zip(weights, ys):
+        total += weight * y
+    return total % prime
+
+
+def _legacy_validate_row_ints(prime: int, t: int, coefficients: Any) -> Optional[Tuple[int, ...]]:
+    if not isinstance(coefficients, (tuple, list)) or not all(
+        isinstance(c, int) for c in coefficients
+    ):
+        return None
+    trimmed = kernels.poly_trim(tuple(c % prime for c in coefficients)) or (0,)
+    if len(trimmed) - 1 > t:
+        return None
+    return trimmed
+
+
+# ----------------------------------------------------------------------
+# Frozen SVSS protocol pair (per-delivery scalar validation/evaluation).
+# ----------------------------------------------------------------------
+class _LegacySendPath:
+    """The pre-batching broadcast loop: one ``Network.submit`` per receiver."""
+
+    def broadcast(self, *payload: Any) -> None:  # type: ignore[override]
+        process = self.process
+        session = self.session
+        n = process.params.n
+        if process.outgoing_mutator is None:
+            submit = process.network.submit
+            pid = process.pid
+            for receiver in range(n):
+                submit(pid, receiver, session, payload)
+        else:
+            send = process.send
+            for receiver in range(n):
+                send(receiver, session, payload)
+
+
+@dataclass
+class LegacyShareState:
+    dealer: int
+    row_ints: Tuple[int, ...] = ()
+    recovered: bool = False
+    _field: Optional[Field] = field(default=None, repr=False)
+
+
+class LegacySVSSShare(_LegacySendPath, Protocol):
+    """Pre-batching SVSS-Share: scalar per-delivery validation and evals."""
+
+    def __init__(self, process: Process, session: SessionId, dealer: int) -> None:
+        super().__init__(process, session)
+        self.dealer = dealer
+        self.field = Field(self.params.prime)
+        self.row_ints: Optional[Tuple[int, ...]] = None
+        self._row_evals: List[int] = []
+        self.row_recovered = False
+        self.secret_polynomial: Optional[SymmetricBivariatePolynomial] = None
+        self.points: Dict[int, int] = {}
+        self.consistent: Set[int] = set()
+        self.ready_senders: Set[int] = set()
+        self._points_sent = False
+        self._ready_sent = False
+
+    @classmethod
+    def factory(cls, dealer: int) -> Callable[[Process, SessionId], "LegacySVSSShare"]:
+        def build(process: Process, session: SessionId) -> "LegacySVSSShare":
+            return cls(process, session, dealer)
+
+        return build
+
+    def on_start(self, value: Optional[Any] = None, **_: Any) -> None:
+        if self.pid != self.dealer:
+            return
+        if value is None:
+            raise ValueError("the SVSS dealer must provide a value")
+        self.secret_polynomial = SymmetricBivariatePolynomial.random(
+            self.field, self.t, self.rng, secret=int(self.field(value))
+        )
+        for receiver in range(self.n):
+            row = self.secret_polynomial.row(party_point(receiver))
+            self.send(receiver, "ROW", tuple(row.to_ints()))
+
+    def on_message(self, sender: int, payload: tuple) -> None:
+        if not payload:
+            return
+        kind = payload[0]
+        if kind == "ROW" and len(payload) == 2:
+            self._on_row(sender, payload[1])
+        elif kind == "POINT" and len(payload) == 2:
+            self._on_point(sender, payload[1])
+        elif kind == "READY" and len(payload) == 1:
+            self._on_ready(sender)
+
+    def _on_row(self, sender: int, coefficients: Any) -> None:
+        if sender != self.dealer:
+            return
+        row = _legacy_validate_row_ints(self.params.prime, self.t, coefficients)
+        if row is None:
+            self.shun(sender)
+            return
+        if self.row_ints is not None:
+            if row != self.row_ints and not self.row_recovered:
+                self.shun(sender)
+            return
+        self.row_ints = row
+        self._after_row_known()
+
+    def _after_row_known(self) -> None:
+        assert self.row_ints is not None
+        self._row_evals = kernels.eval_at_many(
+            self.params.prime, self.row_ints, range(1, self.n + 1)
+        )
+        if not self._points_sent:
+            self._points_sent = True
+            for receiver in range(self.n):
+                if receiver == self.pid:
+                    continue
+                self.send(receiver, "POINT", self._row_evals[receiver])
+        self.consistent.add(self.pid)
+        for sender, value in list(self.points.items()):
+            self._check_point(sender, value)
+        self._maybe_ready()
+        self._maybe_complete()
+
+    def _on_point(self, sender: int, value: Any) -> None:
+        if not isinstance(value, int):
+            self.shun(sender)
+            return
+        if sender in self.points:
+            if self.points[sender] != value:
+                self.shun(sender)
+            return
+        self.points[sender] = value
+        if self.row_ints is not None:
+            self._check_point(sender, value)
+            self._maybe_ready()
+        else:
+            self._maybe_recover_row()
+
+    def _check_point(self, sender: int, value: int) -> None:
+        if self._row_evals[sender] == value:
+            self.consistent.add(sender)
+
+    def _on_ready(self, sender: int) -> None:
+        self.ready_senders.add(sender)
+        if self.row_ints is None:
+            self._maybe_recover_row()
+        self._maybe_complete()
+
+    def _maybe_ready(self) -> None:
+        if self._ready_sent or self.row_ints is None:
+            return
+        if len(self.consistent) >= self.n - self.t:
+            self._ready_sent = True
+            self.broadcast("READY")
+
+    def _maybe_complete(self) -> None:
+        if self.finished or self.row_ints is None:
+            return
+        if len(self.ready_senders) >= self.n - self.t:
+            self.complete(
+                LegacyShareState(
+                    dealer=self.dealer,
+                    row_ints=self.row_ints,
+                    recovered=self.row_recovered,
+                    _field=self.field,
+                )
+            )
+
+    def _maybe_recover_row(self) -> None:
+        if self.row_ints is not None:
+            return
+        threshold = (
+            self.t + 1
+            if self.process.is_shunning(self.dealer)
+            else self.n - self.t
+        )
+        if len(self.ready_senders) < threshold:
+            return
+        usable = {
+            sender: value
+            for sender, value in self.points.items()
+            if sender in self.ready_senders
+        }
+        if len(usable) < self.t + 1:
+            return
+        candidate = self._recover_from_points(usable)
+        if candidate is None:
+            return
+        self.row_ints = candidate
+        self.row_recovered = True
+        self._after_row_known()
+
+    def _recover_from_points(self, usable: Dict[int, int]) -> Optional[Tuple[int, ...]]:
+        prime = self.params.prime
+        t = self.t
+        senders = sorted(usable)
+        xs = tuple(party_point(s) for s in senders)
+        ys_raw = [usable[s] for s in senders]
+        ys = [y % prime for y in ys_raw]
+        k = len(senders)
+
+        def raw_agreement(cand: Tuple[int, ...]) -> int:
+            return sum(
+                1
+                for x, y in zip(xs, ys_raw)
+                if kernels.horner(prime, cand, x) == y
+            )
+
+        candidate = kernels.poly_trim(kernels.interpolate(prime, xs[: t + 1], ys[: t + 1]))
+        if raw_agreement(candidate) == k:
+            return candidate
+
+        max_errors = (k - t - 1) // 2
+        if max_errors >= 1:
+            try:
+                candidate = kernels.berlekamp_welch_raw(prime, xs, ys, t, max_errors)
+            except DecodingError:
+                candidate = None
+            if candidate is not None and 2 * raw_agreement(candidate) > k + t:
+                return candidate
+
+        best_agreement = 0
+        best: Optional[Tuple[int, ...]] = None
+        for subset in itertools.combinations(range(k), t + 1):
+            sub_xs = tuple(xs[i] for i in subset)
+            cand = kernels.poly_trim(
+                kernels.interpolate(prime, sub_xs, [ys[i] for i in subset])
+            )
+            if len(cand) - 1 > t:
+                continue
+            agreement = raw_agreement(cand)
+            if agreement > best_agreement:
+                best_agreement, best = agreement, cand
+                if 2 * agreement > k + t:
+                    break
+        if best is None or best_agreement < t + 1:
+            return None
+        return best
+
+
+class LegacySVSSRec(_LegacySendPath, Protocol):
+    """Pre-batching SVSS-Rec: Horner cross-checks, basis-backed weights."""
+
+    def __init__(self, process: Process, session: SessionId, dealer: int) -> None:
+        super().__init__(process, session)
+        self.dealer = dealer
+        self.field = Field(self.params.prime)
+        self.share: Optional[LegacyShareState] = None
+        self._own_evals: List[int] = []
+        self.received_rows: Dict[int, Tuple[int, ...]] = {}
+        self.validated: Dict[int, Tuple[int, ...]] = {}
+
+    @classmethod
+    def factory(cls, dealer: int) -> Callable[[Process, SessionId], "LegacySVSSRec"]:
+        def build(process: Process, session: SessionId) -> "LegacySVSSRec":
+            return cls(process, session, dealer)
+
+        return build
+
+    def on_start(self, share: Optional[LegacyShareState] = None, **_: Any) -> None:
+        if share is None:
+            raise ValueError("SVSS-Rec requires the ShareState from SVSS-Share")
+        self.share = share
+        row_ints = tuple(share.row_ints)
+        self._own_evals = kernels.eval_at_many(
+            self.params.prime, row_ints, range(1, self.n + 1)
+        )
+        self.validated[self.pid] = row_ints
+        self.broadcast("RECROW", row_ints)
+        self._maybe_reconstruct()
+
+    def on_message(self, sender: int, payload: tuple) -> None:
+        if not payload or payload[0] != "RECROW" or len(payload) != 2:
+            return
+        row = _legacy_validate_row_ints(self.params.prime, self.t, payload[1])
+        if row is None:
+            self.shun(sender)
+            return
+        if sender in self.received_rows:
+            if self.received_rows[sender] != row:
+                self.shun(sender)
+            return
+        self.received_rows[sender] = row
+        self._validate(sender, row)
+        self._maybe_reconstruct()
+
+    def _validate(self, sender: int, row: Tuple[int, ...]) -> None:
+        if self.share is None or sender == self.pid:
+            return
+        expected = self._own_evals[sender]
+        if kernels.horner(self.params.prime, row, party_point(self.pid)) == expected:
+            self.validated[sender] = row
+        else:
+            self.shun(sender)
+
+    def _maybe_reconstruct(self) -> None:
+        if self.finished or self.share is None:
+            return
+        if len(self.validated) < self.t + 1:
+            return
+        chosen = sorted(self.validated)[: self.t + 1]
+        xs = tuple(party_point(pid) for pid in chosen)
+        ys = [self.validated[pid][0] for pid in chosen]
+        self.complete(_legacy_interpolate_at_zero(self.params.prime, xs, ys))
+
+
+# ----------------------------------------------------------------------
+# Frozen coin protocols wired to the frozen SVSS classes.
+# ----------------------------------------------------------------------
+class LegacyWeakCommonCoin(Protocol):
+    """Pre-batching weak coin: n parallel SVSS sharings, first n-t attached."""
+
+    def __init__(self, process: Process, session: SessionId) -> None:
+        super().__init__(process, session)
+        self.attached: Optional[List[int]] = None
+        self.share_states: Dict[int, LegacyShareState] = {}
+        self.reconstructed: Dict[int, int] = {}
+        self._rec_spawned: Set[int] = set()
+
+    @classmethod
+    def factory(cls) -> Callable[[Process, SessionId], "LegacyWeakCommonCoin"]:
+        def build(process: Process, session: SessionId) -> "LegacyWeakCommonCoin":
+            return cls(process, session)
+
+        return build
+
+    def on_start(self, **_: Any) -> None:
+        my_bit = self.rng.randrange(2)
+        for dealer in range(self.n):
+            kwargs = {"value": my_bit} if dealer == self.pid else {}
+            self.spawn(("share", dealer), LegacySVSSShare.factory(dealer), **kwargs)
+
+    def on_child_complete(self, child: Protocol) -> None:
+        if isinstance(child, LegacySVSSShare):
+            self._on_share_complete(child)
+        elif isinstance(child, LegacySVSSRec):
+            self._on_rec_complete(child)
+
+    def _on_share_complete(self, child: LegacySVSSShare) -> None:
+        dealer = child.dealer
+        self.share_states[dealer] = child.output
+        if self.attached is None and len(self.share_states) >= self.n - self.t:
+            self.attached = sorted(self.share_states)[: self.n - self.t]
+        self._spawn_rec(dealer)
+        self._maybe_finish()
+
+    def _spawn_rec(self, dealer: int) -> None:
+        if dealer in self._rec_spawned:
+            return
+        self._rec_spawned.add(dealer)
+        self.spawn(
+            ("rec", dealer),
+            LegacySVSSRec.factory(dealer),
+            share=self.share_states[dealer],
+        )
+
+    def _on_rec_complete(self, child: LegacySVSSRec) -> None:
+        self.reconstructed[child.dealer] = int(child.output)
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.finished or self.attached is None:
+            return
+        if not all(dealer in self.reconstructed for dealer in self.attached):
+            return
+        coin = 0
+        for dealer in self.attached:
+            coin ^= self.reconstructed[dealer] & 1
+        self.complete(coin)
+
+
+class _LegacyIteration:
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.share_states: Dict[int, LegacyShareState] = {}
+        self.subset: Optional[Any] = None
+        self.rec_spawned: set = set()
+        self.rec_values: Dict[int, int] = {}
+        self.coin: Optional[int] = None
+
+
+class LegacyCoinFlip(Protocol):
+    """Pre-batching strong coin (Algorithm 1) over the frozen SVSS pair."""
+
+    def __init__(
+        self,
+        process: Process,
+        session: SessionId,
+        rounds: int,
+        coin_source: Optional[CoinSource] = None,
+    ) -> None:
+        super().__init__(process, session)
+        self.coin_source = coin_source or OracleCoinSource()
+        self.rounds = rounds
+        self.iterations: Dict[int, _LegacyIteration] = {}
+        self.current_iteration = 0
+        self._ba_started = False
+
+    @classmethod
+    def factory(
+        cls, rounds: int, coin_source: Optional[CoinSource] = None
+    ) -> Callable[[Process, SessionId], "LegacyCoinFlip"]:
+        def build(process: Process, session: SessionId) -> "LegacyCoinFlip":
+            return cls(process, session, rounds, coin_source=coin_source)
+
+        return build
+
+    def on_start(self, **_: Any) -> None:
+        self._begin_iteration(0)
+
+    def on_message(self, sender: int, payload: tuple) -> None:
+        return
+
+    def _begin_iteration(self, index: int) -> None:
+        self.current_iteration = index
+        iteration = self.iterations.setdefault(index, _LegacyIteration(index))
+        my_bit = self.rng.randrange(2)
+        for dealer in range(self.n):
+            kwargs = {"value": my_bit} if dealer == self.pid else {}
+            self.spawn(("share", index, dealer), LegacySVSSShare.factory(dealer), **kwargs)
+        self.spawn(
+            ("cs", index),
+            CommonSubset.factory(self.coin_source),
+            k=self.params.quorum,
+        )
+        self._sync_predicate(iteration)
+
+    def _sync_predicate(self, iteration: _LegacyIteration) -> None:
+        subset_child = self.child(("cs", iteration.index))
+        if subset_child is None:
+            return
+        for dealer in iteration.share_states:
+            subset_child.set_predicate(dealer)
+
+    def on_child_complete(self, child: Protocol) -> None:
+        key = self._key_of(child)
+        if key is None:
+            return
+        if key[0] == "share":
+            self._on_share_complete(key[1], key[2], child)
+        elif key[0] == "cs":
+            self._on_subset_complete(key[1], child)
+        elif key[0] == "rec":
+            self._on_rec_complete(key[1], key[2], child)
+        elif key[0] == "final_ba":
+            self.complete(int(child.output))
+
+    def _key_of(self, child: Protocol) -> Optional[tuple]:
+        for key, instance in self.children.items():
+            if instance is child:
+                return key if isinstance(key, tuple) else (key,)
+        return None
+
+    def _on_share_complete(self, index: int, dealer: int, child: Protocol) -> None:
+        iteration = self.iterations.setdefault(index, _LegacyIteration(index))
+        iteration.share_states[dealer] = child.output
+        subset_child = self.child(("cs", index))
+        if subset_child is not None:
+            subset_child.set_predicate(dealer)
+        self._maybe_reconstruct(iteration)
+
+    def _on_subset_complete(self, index: int, child: Protocol) -> None:
+        iteration = self.iterations.setdefault(index, _LegacyIteration(index))
+        iteration.subset = frozenset(child.output)
+        self._maybe_reconstruct(iteration)
+
+    def _maybe_reconstruct(self, iteration: _LegacyIteration) -> None:
+        if iteration.subset is None:
+            return
+        for dealer in sorted(iteration.subset):
+            if dealer in iteration.rec_spawned:
+                continue
+            share_state = iteration.share_states.get(dealer)
+            if share_state is None:
+                continue
+            iteration.rec_spawned.add(dealer)
+            self.spawn(
+                ("rec", iteration.index, dealer),
+                LegacySVSSRec.factory(dealer),
+                share=share_state,
+            )
+        self._maybe_finish_iteration(iteration)
+
+    def _on_rec_complete(self, index: int, dealer: int, child: Protocol) -> None:
+        iteration = self.iterations.setdefault(index, _LegacyIteration(index))
+        iteration.rec_values[dealer] = int(child.output)
+        self._maybe_finish_iteration(iteration)
+
+    def _maybe_finish_iteration(self, iteration: _LegacyIteration) -> None:
+        if iteration.coin is not None or iteration.subset is None:
+            return
+        if any(dealer not in iteration.rec_values for dealer in iteration.subset):
+            return
+        coin = 0
+        for dealer in iteration.subset:
+            coin ^= iteration.rec_values[dealer] & 1
+        iteration.coin = coin
+        if iteration.index != self.current_iteration:
+            return
+        if iteration.index + 1 < self.rounds:
+            self._begin_iteration(iteration.index + 1)
+        else:
+            self._start_final_agreement()
+
+    def _start_final_agreement(self) -> None:
+        if self._ba_started:
+            return
+        self._ba_started = True
+        ones = sum(
+            1 for iteration in self.iterations.values() if iteration.coin == 1
+        )
+        majority = 1 if 2 * ones > self.rounds else 0
+        self.spawn(
+            ("final_ba",),
+            BinaryAgreement.factory(self.coin_source),
+            value=majority,
+        )
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-batching delivery loop (the PR-4 ``run_until_complete``).
+# ----------------------------------------------------------------------
+def _legacy_run_until_complete(network, session, max_steps: int) -> int:
+    """The pre-batching tracing-off delivery loop, frozen verbatim.
+
+    Per delivery: an explicit queue-emptiness call, an attribute update of
+    ``step_count`` and a materialised-message pop -- the loop shape the
+    batched plane replaced with the unmaterialised fast path.
+    """
+    from repro.errors import SimulationError
+
+    session = tuple(session)
+    queue = network._queue
+    queue_len = queue.__len__
+    pop = queue.pop
+    rng = network.scheduler_rng
+    deliver_by_pid = [process.deliver for process in network.processes]
+    delivered = 0
+    network._watch_session = session
+    network._watch_done = network._completions.get(session, 0) >= network._honest_n
+    try:
+        while not network._watch_done:
+            if delivered >= max_steps:
+                raise SimulationError(
+                    f"run() exceeded {max_steps} deliveries without reaching "
+                    f"its stop condition"
+                )
+            if not queue_len():
+                raise SimulationError(
+                    "network is quiescent but the stop condition is not met "
+                    "(protocol deadlock)"
+                )
+            message = pop(rng, network.step_count)
+            network.step_count += 1
+            deliver_by_pid[message.receiver](message)
+            delivered += 1
+        return delivered
+    finally:
+        network._watch_session = None
+        network._watch_done = False
+
+
+# ----------------------------------------------------------------------
+# One-call legacy runners (mirror repro.core.api signatures).
+# ----------------------------------------------------------------------
+def _legacy_simulation(
+    n: int, seed: int, prime: Optional[int], max_steps: Optional[int] = None
+) -> Simulation:
+    if prime is None:
+        params = ProtocolParams.for_parties(n)
+    else:
+        params = ProtocolParams.for_parties(n, prime=prime)
+    sim = Simulation(
+        params=params,
+        scheduler=LegacyRandomScheduler(),
+        seed=seed,
+        tracing=False,
+    )
+    if max_steps is not None:
+        sim.max_steps = max_steps
+    return sim
+
+
+def _legacy_run(sim: Simulation, session, factory) -> SimulationResult:
+    """``Simulation.run`` driven through the frozen pre-batching loop."""
+    import gc
+
+    session = tuple(session)
+    network = sim.build_network()
+    for process in network.processes:
+        if process.is_corrupted:
+            continue
+        instance = process.create_protocol(session, factory)
+        if not instance.started:
+            instance.start()
+    pause = sim.pause_gc and gc.isenabled()
+    if pause:
+        gc.disable()
+    try:
+        _legacy_run_until_complete(network, session, max_steps=sim.max_steps)
+    finally:
+        if pause:
+            gc.enable()
+    return SimulationResult(
+        session=session,
+        outputs=network.honest_outputs(session),
+        steps=network.step_count,
+        network=network,
+    )
+
+
+def legacy_run_weak_coin(
+    n: int, seed: int, prime: Optional[int] = None
+) -> SimulationResult:
+    """One weak-coin trial on the frozen pre-batching stack."""
+    sim = _legacy_simulation(n, seed, prime)
+    return _legacy_run(sim, ("weak_coin",), LegacyWeakCommonCoin.factory())
+
+
+def legacy_run_coinflip(
+    n: int,
+    seed: int,
+    rounds: int,
+    prime: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> SimulationResult:
+    """One strong-coin trial on the frozen pre-batching stack."""
+    sim = _legacy_simulation(n, seed, prime, max_steps=max_steps)
+    return _legacy_run(
+        sim,
+        ("coinflip",),
+        LegacyCoinFlip.factory(rounds, coin_source=OracleCoinSource(seed)),
+    )

@@ -37,7 +37,14 @@ def _jsonable(value: Any) -> Any:
 
 @dataclass
 class TrialAggregate:
-    """Statistics over a batch of simulated executions of one protocol."""
+    """Statistics over a batch of simulated executions of one protocol.
+
+    All fields except ``total_elapsed_s`` are deterministic functions of the
+    trials (parallel and sequential campaign runs produce byte-identical
+    aggregates); ``total_elapsed_s`` accumulates wall-clock time and backs
+    the advisory deliveries/sec throughput column, so it is excluded from
+    :meth:`to_dict` and carried separately by the result store.
+    """
 
     trials: int = 0
     disagreements: int = 0
@@ -46,6 +53,7 @@ class TrialAggregate:
     total_steps: int = 0
     total_shun_events: int = 0
     outputs: List[Any] = field(default_factory=list)
+    total_elapsed_s: float = 0.0
 
     def add(self, result: SimulationResult) -> None:
         """Fold one execution into the aggregate."""
@@ -53,6 +61,7 @@ class TrialAggregate:
         self.total_messages += result.trace.messages_sent
         self.total_steps += result.steps
         self.total_shun_events += result.trace.total_shun_events()
+        self.total_elapsed_s += getattr(result, "elapsed_s", 0.0)
         if result.disagreement:
             self.disagreements += 1
             self.outputs.append(dict(result.outputs))
@@ -79,6 +88,7 @@ class TrialAggregate:
             total_steps=self.total_steps + other.total_steps,
             total_shun_events=self.total_shun_events + other.total_shun_events,
             outputs=self.outputs + other.outputs,
+            total_elapsed_s=self.total_elapsed_s + other.total_elapsed_s,
         )
         return combined
 
@@ -118,6 +128,25 @@ class TrialAggregate:
             outputs=list(data["outputs"]),
         )
 
+    def to_transport_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` plus the advisory wall-clock total.
+
+        Used when an aggregate crosses a process boundary and comes straight
+        back (campaign chunk results): the deterministic artifact contract of
+        :meth:`to_dict` is for *persisted* statistics, but dropping timing in
+        transit would zero the throughput column of parallel runs.
+        """
+        payload = self.to_dict()
+        payload["total_elapsed_s"] = self.total_elapsed_s
+        return payload
+
+    @classmethod
+    def from_transport_dict(cls, data: Dict[str, Any]) -> "TrialAggregate":
+        """Inverse of :meth:`to_transport_dict` (timing key optional)."""
+        aggregate = cls.from_dict(data)
+        aggregate.total_elapsed_s = float(data.get("total_elapsed_s", 0.0))
+        return aggregate
+
     # ------------------------------------------------------------------
     def frequency(self, value: Any) -> float:
         """Fraction of agreeing trials whose common output was ``value``."""
@@ -145,6 +174,17 @@ class TrialAggregate:
         """Average number of shunning events per trial."""
         return self.total_shun_events / self.trials if self.trials else 0.0
 
+    @property
+    def deliveries_per_s(self) -> Optional[float]:
+        """Throughput (delivered messages / wall-clock second), or None.
+
+        None when no timing was recorded -- e.g. aggregates reloaded from
+        stores written before throughput tracking existed.
+        """
+        if self.total_elapsed_s <= 0.0:
+            return None
+        return self.total_steps / self.total_elapsed_s
+
     def hit_rate(self, predicate) -> float:
         """Fraction of agreeing trials whose output satisfies ``predicate``."""
         if self.trials == 0:
@@ -158,6 +198,7 @@ class TrialAggregate:
 
     def summary(self) -> Dict[str, Any]:
         """Headline metrics as a plain dictionary (for benchmark reporting)."""
+        throughput = self.deliveries_per_s
         return {
             "trials": self.trials,
             "disagreement_rate": self.disagreement_rate,
@@ -165,6 +206,7 @@ class TrialAggregate:
             "mean_messages": round(self.mean_messages, 1),
             "mean_steps": round(self.mean_steps, 1),
             "mean_shun_events": round(self.mean_shun_events, 3),
+            "deliveries_per_s": None if throughput is None else round(throughput),
         }
 
 

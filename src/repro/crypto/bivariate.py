@@ -69,6 +69,15 @@ class SymmetricBivariatePolynomial:
         """Degree bound in each variable."""
         return len(self.coefficients) - 1
 
+    @property
+    def int_matrix(self) -> List[List[int]]:
+        """The raw-int coefficient matrix (kernel-side mirror, do not mutate).
+
+        This is what the batched plane's grid evaluation consumes when the
+        SVSS dealer generates all ``n`` wire rows in one product.
+        """
+        return self._ints
+
     def __call__(self, x: IntoField, y: IntoField) -> FieldElement:
         """Evaluate ``F(x, y)`` (Horner in x of Horners in y, on raw ints)."""
         raw = self.field.raw

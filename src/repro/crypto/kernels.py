@@ -32,9 +32,14 @@ single dot product.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DecodingError, FieldError, InterpolationError
+
+try:  # Optional accelerator: exact int64 matmuls for the batched plane.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    _np = None
 
 #: Upper bound on memoised Lagrange bases.  Each entry is O(k^2) ints; runs
 #: use a handful of distinct share subsets, so this is far more than enough
@@ -234,8 +239,46 @@ def lagrange_basis(prime: int, xs: Tuple[int, ...]) -> Tuple[Tuple[int, ...], ..
 
 @lru_cache(maxsize=_LAGRANGE_CACHE_SIZE)
 def lagrange_weights_at_zero(prime: int, xs: Tuple[int, ...]) -> Tuple[int, ...]:
-    """Weights ``w_i`` with ``f(0) = sum_i w_i * f(xs[i])`` (shares the basis cache)."""
-    return tuple(basis[0] for basis in lagrange_basis(prime, xs))
+    """Weights ``w_i`` with ``f(0) = sum_i w_i * f(xs[i])``.
+
+    Computed directly as ``w_i = prod_{j != i} x_j / (x_j - x_i)`` -- the same
+    residues as ``lagrange_basis(prime, xs)[i][0]`` (property-tested) at a
+    fraction of the cost: prefix/suffix products for the numerators, one
+    O(k^2) sweep of difference products and a single :func:`batch_inverse`
+    for the denominators, with no polynomial construction at all.  Each cache
+    entry is O(k) ints where a basis entry is O(k^2); reconstruction-heavy
+    sweeps (one fixed-set signature per completed SVSS-Rec) therefore hit a
+    bounded cache of small entries.
+
+    Raises:
+        InterpolationError: on duplicate points (callers pre-reduce mod p).
+    """
+    k = len(xs)
+    if len(set(xs)) != k:
+        raise InterpolationError("interpolation points must have distinct x values")
+    # Numerators: prod_{j != i} x_j via prefix/suffix products.
+    prefix = [1] * (k + 1)
+    for index, x in enumerate(xs):
+        prefix[index + 1] = prefix[index] * x % prime
+    suffix = 1
+    numerators = [0] * k
+    for index in range(k - 1, -1, -1):
+        numerators[index] = prefix[index] * suffix % prime
+        suffix = suffix * xs[index] % prime
+    # Denominators: prod_{j != i} (x_j - x_i), inverted in one batch sweep.
+    denominators = [1] * k
+    for i in range(k):
+        x_i = xs[i]
+        acc = 1
+        for j in range(k):
+            if j != i:
+                acc = acc * (xs[j] - x_i) % prime
+        denominators[i] = acc
+    try:
+        inverses = batch_inverse(prime, denominators)
+    except FieldError:  # pragma: no cover - impossible for distinct xs
+        raise InterpolationError("interpolation points must have distinct x values")
+    return tuple(n * inv % prime for n, inv in zip(numerators, inverses))
 
 
 def interpolate(prime: int, xs: Tuple[int, ...], ys: Sequence[int]) -> Tuple[int, ...]:
@@ -279,13 +322,52 @@ def interpolate_at_zero(prime: int, xs: Tuple[int, ...], ys: Sequence[int]) -> i
     return total % prime
 
 
-def lagrange_cache_info():
-    """Cache statistics for the memoised bases (exposed for tests/benchmarks)."""
-    return lagrange_basis.cache_info()
+class LagrangeCacheInfo:
+    """Combined statistics of the bounded Lagrange caches.
+
+    Attribute-compatible with ``functools.CacheInfo`` (``hits``, ``misses``,
+    ``maxsize``, ``currsize`` summed over the basis and weight caches) and
+    JSON-able via :meth:`to_dict`, which also breaks the numbers out per
+    cache -- the form the perf benchmarks persist in their metadata.
+    """
+
+    __slots__ = ("hits", "misses", "maxsize", "currsize", "per_cache")
+
+    def __init__(self) -> None:
+        basis = lagrange_basis.cache_info()
+        weights = lagrange_weights_at_zero.cache_info()
+        self.hits = basis.hits + weights.hits
+        self.misses = basis.misses + weights.misses
+        self.maxsize = (basis.maxsize or 0) + (weights.maxsize or 0)
+        self.currsize = basis.currsize + weights.currsize
+        self.per_cache = {
+            "basis": basis._asdict(),
+            "weights_at_zero": weights._asdict(),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "maxsize": self.maxsize,
+            "currsize": self.currsize,
+            **self.per_cache,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LagrangeCacheInfo(hits={self.hits}, misses={self.misses}, "
+            f"maxsize={self.maxsize}, currsize={self.currsize})"
+        )
+
+
+def lagrange_cache_info() -> LagrangeCacheInfo:
+    """Hit/size statistics for the bounded Lagrange caches (tests/benchmarks)."""
+    return LagrangeCacheInfo()
 
 
 def clear_lagrange_cache() -> None:
-    """Drop memoised bases (used by benchmarks to measure cold paths)."""
+    """Drop memoised bases and weights (benchmarks measure cold paths with this)."""
     lagrange_basis.cache_clear()
     lagrange_weights_at_zero.cache_clear()
 
@@ -451,3 +533,357 @@ def bivariate_row(
                 out[j] += row[j] * x_power
         x_power = x_power * x % prime
     return tuple(c % prime for c in out)
+
+
+# ---------------------------------------------------------------------------
+# Batched evaluation plane.
+#
+# Every coin flip runs O(n^2) concurrent SVSS instances over the *same* field
+# and the *same* canonical party points 1..n.  The scalar kernels above
+# re-derive the evaluation machinery (point powers, Lagrange denominators)
+# per call; the plane below precomputes it once per (prime, n) and batches
+# whole-row work into exact int64 matrix products when numpy is available.
+# The scalar kernels remain the oracle: every plane result is byte-identical
+# to the corresponding scalar computation (property-tested in
+# ``tests/crypto/test_eval_plan.py``).
+# ---------------------------------------------------------------------------
+
+#: Entry bound for the per-trial row/eval caches of a CryptoPlane.  A weak
+#: coin at n=64 produces ~n^2 distinct rows; adversarial floods of distinct
+#: junk rows are bounded by the network's max_steps, but the cap keeps even
+#: those from growing a plane without limit (the cache is cleared, not LRU --
+#: hits immediately repopulate the working set).
+_PLANE_ROW_CACHE_LIMIT = 65536
+#: Entry bound for the per-trial fixed-set reconstruction-weight cache.
+_PLANE_WEIGHTS_CACHE_LIMIT = 8192
+
+#: Planes smaller than this gain nothing from numpy dispatch overhead; the
+#: scalar kernels win below roughly 24 parties (row lengths t+1 <= 8 make a
+#: vectorised sweep overhead-bound), and the shared-cache amortisation works
+#: the same either way.
+_NUMPY_MIN_N = 24
+
+_MISSING = object()
+
+
+class EvalPlan:
+    """Immutable per-``(prime, n)`` evaluation tables, shared process-wide.
+
+    Holds the party-point power table ``x^j`` for every ``x in 1..n`` and
+    ``j in 0..n-1`` (so row validation and share generation become dot
+    products against precomputed columns) and the inverses of every pairwise
+    point difference.  Party points are the consecutive ints ``1..n``, so all
+    differences ``x_j - x_i`` lie in ``[-n, n]`` and a **single**
+    :func:`batch_inverse` sweep at plan-construction time covers every
+    Lagrange-weight denominator any reconstruction will ever need.
+
+    Three evaluation modes, chosen once per plan:
+
+    * ``"matmul"`` -- one exact int64 matrix product: every intermediate is
+      bounded by ``n * (prime-1)^2 < 2^63``;
+    * ``"split"`` -- coefficients are split into 16-bit halves and combined
+      after two products, exact for any ``prime <= 2^31`` (the library
+      default ``2^31 - 1`` included);
+    * ``"scalar"`` -- the plain-int kernels, used when numpy is unavailable
+      or the system is too small for vectorisation to pay.
+    """
+
+    __slots__ = ("prime", "n", "points", "mode", "inv_signed", "_pow", "_pow_t")
+
+    def __init__(self, prime: int, n: int) -> None:
+        self.prime = prime
+        self.n = n
+        self.points: Tuple[int, ...] = tuple(range(1, n + 1))
+        if _np is None or n < _NUMPY_MIN_N:
+            self.mode = "scalar"
+        elif (prime - 1) * (prime - 1) * n < 2**63:
+            self.mode = "matmul"
+        elif prime <= 2**31:
+            self.mode = "split"
+        else:
+            self.mode = "scalar"
+        if self.mode != "scalar":
+            self._pow = _np.array(
+                [[pow(x, j, prime) for j in range(n)] for x in self.points],
+                dtype=_np.int64,
+            )
+            self._pow_t = self._pow.T.copy()
+        else:
+            self._pow = None
+            self._pow_t = None
+        # inv_signed[d + n] = (d mod prime)^-1 for d in [-n, n], d != 0: the
+        # single batch_inverse sweep backing every subset-weight denominator.
+        diffs = [d for d in range(-n, n + 1) if d != 0]
+        inverses = batch_inverse(prime, diffs)
+        table = [0] * (2 * n + 1)
+        for d, inv in zip(diffs, inverses):
+            table[d + n] = inv
+        self.inv_signed: List[int] = table
+
+    # -- batched evaluations -------------------------------------------
+    def eval_all_points(self, coeffs: Sequence[int]) -> List[int]:
+        """``[f(1), ..., f(n)]`` for one reduced-coefficient polynomial."""
+        mode = self.mode
+        if mode == "scalar":
+            return eval_at_many(self.prime, coeffs, self.points)
+        width = len(coeffs)
+        table = self._pow[:, :width]
+        if mode == "matmul":
+            return (table @ _np.array(coeffs, dtype=_np.int64) % self.prime).tolist()
+        arr = _np.array(coeffs, dtype=_np.int64)
+        return (
+            ((table @ (arr >> 16)) % self.prime * 65536 + table @ (arr & 0xFFFF))
+            % self.prime
+        ).tolist()
+
+    def eval_rows_at_point(
+        self, rows: Sequence[Sequence[int]], point: int
+    ) -> List[int]:
+        """``[f(point) for f in rows]`` in one batched product.
+
+        ``rows`` are reduced-coefficient sequences (ragged lengths allowed);
+        ``point`` must be reduced modulo ``prime``.
+        """
+        prime = self.prime
+        if self.mode == "scalar" or not rows:
+            return [horner(prime, row, point) for row in rows]
+        width = max(len(row) for row in rows)
+        if 1 <= point <= self.n and width <= self.n:
+            powers = self._pow[point - 1, :width]
+        else:
+            values = [1] * width
+            for j in range(1, width):
+                values[j] = values[j - 1] * point % prime
+            powers = _np.array(values, dtype=_np.int64)
+        matrix = _np.zeros((len(rows), width), dtype=_np.int64)
+        for index, row in enumerate(rows):
+            matrix[index, : len(row)] = row
+        if self.mode == "matmul":
+            return (matrix @ powers % prime).tolist()
+        return (
+            (((matrix >> 16) @ powers) % prime * 65536 + (matrix & 0xFFFF) @ powers)
+            % prime
+        ).tolist()
+
+    def bivariate_rows(self, matrix: Sequence[Sequence[int]]) -> List[Tuple[int, ...]]:
+        """All ``n`` wire-format rows of a symmetric bivariate coefficient matrix.
+
+        ``result[i]`` equals ``poly_trim(bivariate_row(prime, matrix, i + 1))``
+        -- exactly the tuple the dealer previously built row by row -- but the
+        whole grid is one matrix product.
+        """
+        prime = self.prime
+        if self.mode == "scalar":
+            return [
+                poly_trim(bivariate_row(prime, matrix, x)) for x in self.points
+            ]
+        width = len(matrix)
+        table = self._pow[:, :width]
+        coeffs = _np.array(matrix, dtype=_np.int64)
+        if self.mode == "matmul":
+            grid = table @ coeffs % prime
+        else:
+            grid = (
+                (table @ (coeffs >> 16)) % prime * 65536 + table @ (coeffs & 0xFFFF)
+            ) % prime
+        return [poly_trim(row) for row in grid.tolist()]
+
+    def shares_many(self, coeffs_list: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Shamir shares at ``1..n`` for many polynomials (one batched product)."""
+        prime = self.prime
+        if self.mode == "scalar" or not coeffs_list:
+            return [
+                eval_at_many(prime, coeffs, self.points) for coeffs in coeffs_list
+            ]
+        width = max(len(coeffs) for coeffs in coeffs_list)
+        matrix = _np.zeros((len(coeffs_list), width), dtype=_np.int64)
+        for index, coeffs in enumerate(coeffs_list):
+            matrix[index, : len(coeffs)] = coeffs
+        table = self._pow_t[:width]
+        if self.mode == "matmul":
+            return (matrix @ table % prime).tolist()
+        return (
+            (((matrix >> 16) @ table) % prime * 65536 + (matrix & 0xFFFF) @ table)
+            % prime
+        ).tolist()
+
+    # -- reconstruction weights ----------------------------------------
+    def subset_weights(self, pids: Sequence[int]) -> Tuple[int, ...]:
+        """Lagrange weights at zero for the party subset ``pids`` (0-based).
+
+        Byte-identical to ``lagrange_weights_at_zero(prime, xs)`` for
+        ``xs = tuple(pid + 1 for pid in pids)``, but every denominator factor
+        is a lookup into the plan's precomputed difference inverses, so a
+        fixed-set signature costs ``O(k^2)`` multiplications and **zero**
+        modular inversions.
+        """
+        prime = self.prime
+        n = self.n
+        inv_signed = self.inv_signed
+        xs = [pid + 1 for pid in pids]
+        k = len(xs)
+        # Numerators prod_{j != i} x_j via prefix/suffix products.
+        prefix = [1] * (k + 1)
+        for index, x in enumerate(xs):
+            prefix[index + 1] = prefix[index] * x % prime
+        suffix = 1
+        weights = [0] * k
+        for index in range(k - 1, -1, -1):
+            weights[index] = prefix[index] * suffix % prime
+            suffix = suffix * xs[index] % prime
+        # Denominators as products of precomputed difference inverses (two
+        # ranges instead of a skip-self branch per factor).
+        for i in range(k):
+            offset = n - xs[i]
+            acc = weights[i]
+            for j in range(i):
+                acc = acc * inv_signed[xs[j] + offset] % prime
+            for j in range(i + 1, k):
+                acc = acc * inv_signed[xs[j] + offset] % prime
+            weights[i] = acc
+        return tuple(weights)
+
+
+@lru_cache(maxsize=64)
+def get_eval_plan(prime: int, n: int) -> EvalPlan:
+    """The process-wide shared :class:`EvalPlan` for ``(prime, n)``."""
+    return EvalPlan(prime, n)
+
+
+class CryptoPlane:
+    """Per-network batched-crypto state: a shared plan plus bounded caches.
+
+    One plane serves every party of a simulated network (it is interned on
+    the :class:`~repro.net.network.Network` beside the session table), which
+    is what amortises work *across dealers*: a RECROW broadcast by one party
+    reaches ``n`` receivers, and with the plane each of them resolves the row
+    through one dict hit instead of re-validating and re-evaluating it.
+
+    Caches (all value-keyed, so sharing across parties is semantically
+    invisible):
+
+    * ``validate_row`` -- wire payload -> reduced trimmed row (or None for a
+      malformed/over-degree payload), replacing the per-receiver coefficient
+      scan of ``_validate_row_ints``;
+    * ``row_evals`` -- trimmed row -> its evaluations at every party point,
+      computed once per distinct row network-wide (one batched product) and
+      turning every POINT/RECROW consistency check into a list index;
+    * ``weights_for`` -- fixed reconstruction set -> Lagrange weights at
+      zero, shared by the n parallel SVSS-Rec sessions of a coin flip.
+    """
+
+    __slots__ = ("plan", "prime", "n", "t", "row_cache", "eval_cache", "weight_cache")
+
+    def __init__(self, prime: int, n: int, t: int) -> None:
+        self.plan = get_eval_plan(prime, n)
+        self.prime = prime
+        self.n = n
+        self.t = t
+        #: Wire payload -> ``(trimmed row, evals at all party points)`` (or
+        #: None for an invalid payload); public so the hottest handlers can
+        #: resolve validation AND cross-point evaluation with one dict get.
+        self.row_cache: Dict[Any, Optional[Tuple[Tuple[int, ...], List[int]]]] = {}
+        #: Trimmed row -> its evaluations at every party point.
+        self.eval_cache: Dict[Tuple[int, ...], List[int]] = {}
+        #: Fixed reconstruction set -> Lagrange weights at zero.
+        self.weight_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def _validate_uncached(self, coefficients: Any) -> Optional[Tuple[int, ...]]:
+        if not isinstance(coefficients, (tuple, list)) or not all(
+            isinstance(c, int) for c in coefficients
+        ):
+            return None
+        prime = self.prime
+        trimmed = poly_trim(tuple(c % prime for c in coefficients)) or (0,)
+        if len(trimmed) - 1 > self.t:
+            return None
+        return trimmed
+
+    def validate_row_record(
+        self, coefficients: Any
+    ) -> Optional[Tuple[Tuple[int, ...], List[int]]]:
+        """Validate one wire row and return ``(trimmed, evals)`` (or None).
+
+        The record bundles the validated coefficients with their evaluations
+        at every party point -- every consumer of a valid row needs both, so
+        the hot handlers resolve the whole thing through one cache probe.
+        Same validity contract as the scalar ``_validate_row_ints`` check.
+        """
+        rows = self.row_cache
+        try:
+            cached = rows.get(coefficients, _MISSING)
+        except TypeError:
+            # Unhashable payload (e.g. a nested list): validate directly.
+            trimmed = self._validate_uncached(coefficients)
+            if trimmed is None:
+                return None
+            return trimmed, self.row_evals(trimmed)
+        if cached is not _MISSING:
+            return cached
+        trimmed = self._validate_uncached(coefficients)
+        record = None if trimmed is None else (trimmed, self.row_evals(trimmed))
+        if len(rows) >= _PLANE_ROW_CACHE_LIMIT:
+            rows.clear()
+        rows[coefficients] = record
+        return record
+
+    def validate_row(self, coefficients: Any) -> Optional[Tuple[int, ...]]:
+        """Validate one wire-format row (same contract as the scalar check)."""
+        record = self.validate_row_record(coefficients)
+        return None if record is None else record[0]
+
+    def row_evals(self, row: Tuple[int, ...]) -> List[int]:
+        """``row`` evaluated at every party point (cached per distinct row)."""
+        evals = self.eval_cache
+        values = evals.get(row)
+        if values is None:
+            values = self.plan.eval_all_points(row)
+            if len(evals) >= _PLANE_ROW_CACHE_LIMIT:
+                evals.clear()
+            evals[row] = values
+        return values
+
+    def weights_for(self, pids: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Reconstruction weights for a fixed set of party ids (cached)."""
+        weights = self.weight_cache
+        values = weights.get(pids)
+        if values is None:
+            values = self.plan.subset_weights(pids)
+            if len(weights) >= _PLANE_WEIGHTS_CACHE_LIMIT:
+                weights.clear()
+            weights[pids] = values
+        return values
+
+    def reconstruct_at_zero(self, pids: Tuple[int, ...], ys: Sequence[int]) -> int:
+        """``f(0)`` from the shares of ``pids`` -- the SVSS-Rec completion map."""
+        total = 0
+        for weight, y in zip(self.weights_for(pids), ys):
+            total += weight * y
+        return total % self.prime
+
+
+# ---------------------------------------------------------------------------
+# Module-level batch entry points (thin veneers over the plan/plane).
+# ---------------------------------------------------------------------------
+def validate_rows(plane: CryptoPlane, rows: Sequence[Any]) -> List[bool]:
+    """Validity mask for many wire-format rows (one cached check per row)."""
+    validate = plane.validate_row
+    return [validate(row) is not None for row in rows]
+
+
+def eval_grid(plane: CryptoPlane, coeffs_list: Sequence[Sequence[int]], point: int) -> List[int]:
+    """Evaluate many reduced-coefficient polynomials at one point, batched."""
+    return plane.plan.eval_rows_at_point(coeffs_list, point % plane.prime)
+
+
+def shamir_share_values_many(
+    prime: int, coeffs_list: Sequence[Sequence[int]], n: int
+) -> List[List[int]]:
+    """Shamir shares at ``1..n`` for many polynomials with one batched product.
+
+    Row ``i`` equals ``shamir_share_values(prime, coeffs_list[i], n)``; the
+    dealer-side cost drops from ``k`` Horner sweeps to one matrix product on
+    plans with a vectorised mode.
+    """
+    return get_eval_plan(prime, n).shares_many(coeffs_list)

@@ -49,6 +49,7 @@ def _summary_rows(summaries: Dict[str, Dict[str, Any]]) -> List[Sequence[Any]]:
         counts = ", ".join(
             f"{value}: {count}" for value, count in sorted(summary["value_counts"].items())
         )
+        throughput = summary.get("deliveries_per_s")
         rows.append(
             (
                 name,
@@ -56,13 +57,22 @@ def _summary_rows(summaries: Dict[str, Dict[str, Any]]) -> List[Sequence[Any]]:
                 f"{summary['disagreement_rate']:.3f}",
                 summary["mean_messages"],
                 summary["mean_steps"],
+                "-" if not throughput else f"{throughput:,.0f}".replace(",", "_"),
                 counts or "-",
             )
         )
     return rows
 
 
-SUMMARY_HEADER = ("cell", "trials", "disagree", "msgs/trial", "steps/trial", "value counts")
+SUMMARY_HEADER = (
+    "cell",
+    "trials",
+    "disagree",
+    "msgs/trial",
+    "steps/trial",
+    "deliveries/s",
+    "value counts",
+)
 
 
 # ----------------------------------------------------------------------

@@ -184,7 +184,7 @@ def _run_cell_chunk(task: Tuple[int, Dict[str, Any], List[int]]) -> Tuple[int, D
     aggregate = TrialAggregate()
     for seed in seeds:
         aggregate.add(executor.run(seed))
-    return index, aggregate.to_dict()
+    return index, aggregate.to_transport_dict()
 
 
 def run_cell(cell: ExperimentSpec, chunk_trials: int = DEFAULT_CHUNK_TRIALS) -> TrialAggregate:
@@ -194,7 +194,7 @@ def run_cell(cell: ExperimentSpec, chunk_trials: int = DEFAULT_CHUNK_TRIALS) -> 
     cell_dict = cell.to_dict()
     for index, chunk in enumerate(_chunks(cell.seeds, chunk_trials)):
         _, chunk_dict = _run_cell_chunk((index, cell_dict, chunk))
-        merged = merged.merge(TrialAggregate.from_dict(chunk_dict))
+        merged = merged.merge(TrialAggregate.from_transport_dict(chunk_dict))
     return merged
 
 
@@ -276,7 +276,7 @@ def run_campaign(
         if all(part is not None for part in chunks.values()):
             merged = TrialAggregate.empty()
             for task_index in sorted(chunks):
-                merged = merged.merge(TrialAggregate.from_dict(chunks[task_index]))
+                merged = merged.merge(TrialAggregate.from_transport_dict(chunks[task_index]))
             results[cell.name] = merged
             if store is not None:
                 store.put(cell.name, cell.spec_hash(), merged)

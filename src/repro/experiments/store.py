@@ -4,8 +4,10 @@ A :class:`ResultStore` is a single JSON file mapping cell names to their
 persisted :class:`~repro.core.results.TrialAggregate` plus the spec hash the
 result was computed under.  The file is deliberately deterministic -- sorted
 keys, no timestamps -- so the same campaign always produces byte-identical
-artifacts regardless of worker count, which makes results diffable and
-cacheable.
+statistics regardless of worker count, which makes results diffable and
+cacheable.  The one advisory exception is each cell's ``elapsed_s``
+wall-clock total (kept *beside* the aggregate, never inside it), which backs
+the ``deliveries/s`` throughput column of ``repro-experiments report``.
 
 Resume protocol (used by :func:`repro.experiments.runner.run_campaign`):
 
@@ -104,12 +106,18 @@ class ResultStore:
             entry = self._data["cells"][name]
         except KeyError:
             raise ExperimentError(f"store {self.path} has no cell {name!r}") from None
-        return TrialAggregate.from_dict(entry["aggregate"])
+        aggregate = TrialAggregate.from_dict(entry["aggregate"])
+        # Wall-clock timing travels beside the aggregate: the statistics stay
+        # byte-identical across worker counts, the throughput column survives
+        # a reload.  Stores written before timing existed load as 0.0.
+        aggregate.total_elapsed_s = float(entry.get("elapsed_s", 0.0))
+        return aggregate
 
     def put(self, name: str, spec_hash: str, aggregate: TrialAggregate) -> None:
         self._data["cells"][name] = {
             "spec_hash": spec_hash,
             "aggregate": aggregate.to_dict(),
+            "elapsed_s": round(aggregate.total_elapsed_s, 6),
         }
 
     def delete(self, name: str) -> bool:

@@ -7,6 +7,7 @@ from repro.net.protocol import Protocol
 from repro.net.runtime import Simulation, SimulationResult
 from repro.net.queues import (
     DeliveryQueue,
+    FanoutEntry,
     FifoQueue,
     KeyedQueue,
     ScanQueue,
@@ -48,6 +49,7 @@ __all__ = [
     "delay_from_parties",
     "delay_to_parties",
     "DeliveryQueue",
+    "FanoutEntry",
     "ScanQueue",
     "FifoQueue",
     "KeyedQueue",

@@ -40,6 +40,7 @@ from repro.core.config import ProtocolParams
 from repro.errors import SimulationError
 from repro.net.message import Message, SessionId
 from repro.net.process import Process
+from repro.net.queues import FanoutEntry
 from repro.net.scheduler import RandomScheduler, Scheduler
 from repro.net.tracing import Trace
 
@@ -80,6 +81,8 @@ class Network:
         self._sessions: Dict[SessionId, SessionId] = (
             session_table if session_table is not None else {}
         )
+        #: Lazily-built batched crypto plane (see :meth:`crypto_plane`).
+        self._crypto_plane = None
         #: Optional scenario director observing protocol lifecycle events and
         #: (for directors that want them) per-delivery callbacks.  ``None``
         #: keeps every hot path on its unobserved branch.
@@ -107,6 +110,13 @@ class Network:
         self._queue_push = self._queue.push
         self._trace_on_send = self.trace.on_send
         self._tracing = self.trace.enabled
+        #: Queue fan-outs as single unmaterialised group entries.  Requires a
+        #: queue that understands groups and tracing off (trace hooks need
+        #: real Message objects at send time); fixed for the network's life.
+        self._group_mode = not self._tracing and getattr(
+            self._queue, "supports_groups", False
+        )
+        self._full_fanout_mask = (1 << params.n) - 1
         self.processes: List[Process] = [
             Process(
                 pid,
@@ -124,6 +134,26 @@ class Network:
         """Return the canonical tuple for ``session`` (allocating it once)."""
         session = tuple(session)
         return self._sessions.setdefault(session, session)
+
+    # ------------------------------------------------------------------
+    # Batched crypto plane (interned beside the session table).
+    # ------------------------------------------------------------------
+    def crypto_plane(self):
+        """The network-wide :class:`~repro.crypto.kernels.CryptoPlane`.
+
+        Built lazily on first use (pure-message protocols never pay for the
+        evaluation tables) and shared by every party of this network, which
+        is what lets one dealer's row validation/evaluation serve all ``n``
+        receivers.  The expensive immutable tables inside it are additionally
+        shared process-wide per ``(prime, n)``.
+        """
+        plane = self._crypto_plane
+        if plane is None:
+            from repro.crypto.kernels import CryptoPlane
+
+            params = self.params
+            plane = self._crypto_plane = CryptoPlane(params.prime, params.n, params.t)
+        return plane
 
     # ------------------------------------------------------------------
     # Scenario observation.
@@ -170,6 +200,106 @@ class Network:
         self._queue_push(message)
         if self._tracing:
             self._trace_on_send(self.step_count, message)
+
+    def submit_broadcast(self, sender: int, session: SessionId, payload: tuple) -> None:
+        """Queue one copy of ``payload`` for every party, in pid order.
+
+        Byte-identical to calling :meth:`submit` for receivers ``0..n-1``
+        (same sequence numbers, same queue order, same trace records) with
+        the per-message overhead hoisted.  In group mode (tracing off, queue
+        with fan-out support) the whole broadcast becomes ONE unmaterialised
+        :class:`~repro.net.queues.FanoutEntry`; delivered copies are built at
+        pop time and undelivered copies are never allocated.  Broadcasts
+        dominate the send side of the SVSS-heavy protocols, which makes this
+        the hot path of :meth:`Protocol.broadcast`.
+        """
+        n = self._n
+        seq = self._next_seq
+        self._next_seq = seq + n
+        kind = payload[0] if payload else None
+        root = session[0] if session else None
+        if self._group_mode:
+            self._queue.push_group(
+                FanoutEntry(sender, session, kind, payload, None, seq, None, root),
+                self._full_fanout_mask,
+                n,
+            )
+            return
+        new = Message.__new__
+        messages = []
+        append = messages.append
+        for receiver in range(n):
+            message = new(Message)
+            message.sender = sender
+            message.receiver = receiver
+            message.session = session
+            message.payload = payload
+            message.seq = seq
+            message.kind = kind
+            message.root = root
+            seq += 1
+            append(message)
+        self._queue.push_many(messages)
+        if self._tracing:
+            on_send = self._trace_on_send
+            step = self.step_count
+            for message in messages:
+                on_send(step, message)
+
+    def submit_fanout(
+        self,
+        sender: int,
+        session: SessionId,
+        kind: str,
+        values: List,
+        skip: Optional[int] = None,
+    ) -> None:
+        """Queue ``(kind, values[r])`` for every receiver ``r`` (pid order).
+
+        ``skip`` omits one receiver (a party never sends its own POINT to
+        itself).  Byte-identical to the per-receiver :meth:`submit` loop the
+        SVSS dealer/point fan-outs used to run, with the per-message call
+        overhead hoisted exactly like :meth:`submit_broadcast` (including the
+        one-entry group form when group mode is on).  ``values`` must not be
+        mutated after submission.
+        """
+        n = self._n
+        seq = self._next_seq
+        size = n if skip is None else n - 1
+        self._next_seq = seq + size
+        root = session[0] if session else None
+        if self._group_mode:
+            mask = self._full_fanout_mask
+            if skip is not None:
+                mask ^= 1 << skip
+            self._queue.push_group(
+                FanoutEntry(sender, session, kind, None, values, seq, skip, root),
+                mask,
+                size,
+            )
+            return
+        new = Message.__new__
+        messages = []
+        append = messages.append
+        for receiver in range(n):
+            if receiver == skip:
+                continue
+            message = new(Message)
+            message.sender = sender
+            message.receiver = receiver
+            message.session = session
+            message.payload = (kind, values[receiver])
+            message.seq = seq
+            message.kind = kind
+            message.root = root
+            seq += 1
+            append(message)
+        self._queue.push_many(messages)
+        if self._tracing:
+            on_send = self._trace_on_send
+            step = self.step_count
+            for message in messages:
+                on_send(step, message)
 
     # ------------------------------------------------------------------
     # Stepping.
@@ -320,6 +450,76 @@ class Network:
                     delivered += 1
                 return delivered
             # Dedicated tracing-off branch: no per-delivery trace call at all.
+            # With no director attached, nothing can observe ``step_count``
+            # mid-delivery (trace hooks are no-ops and queues receive the
+            # step as an argument), so the counter lives in a local and is
+            # written back when the loop exits.  An empty queue surfaces as
+            # the pop's rank draw raising ValueError (``getrandbits(0)``) or
+            # the tail raising IndexError -- both before any state changes --
+            # which turns the per-delivery emptiness check into a zero-cost
+            # (until raised) try/except.
+            if self.director is None:
+                step = self.step_count
+                pop_entry = getattr(queue, "pop_entry", None)
+                if pop_entry is not None:
+                    # Unmaterialised fast path: fan-out copies are delivered
+                    # from their group entry; a Message object is only built
+                    # for behaviours and trace arguments inside deliver_parts.
+                    parts_by_pid = [
+                        process.deliver_parts for process in self.processes
+                    ]
+                    try:
+                        while not self._watch_done:
+                            if delivered >= max_steps:
+                                raise SimulationError(
+                                    f"run() exceeded {max_steps} deliveries "
+                                    f"without reaching its stop condition"
+                                )
+                            try:
+                                entry, bitpos = pop_entry(rng)
+                            except (ValueError, IndexError):
+                                raise SimulationError(
+                                    "network is quiescent but the stop condition "
+                                    "is not met (protocol deadlock)"
+                                ) from None
+                            step += 1
+                            if bitpos < 0:
+                                deliver_by_pid[entry.receiver](entry)
+                            else:
+                                values = entry.values
+                                parts_by_pid[bitpos](
+                                    entry.sender,
+                                    entry.session,
+                                    entry.payload
+                                    if values is None
+                                    else (entry.kind, values[bitpos]),
+                                    entry,
+                                    bitpos,
+                                )
+                            delivered += 1
+                        return delivered
+                    finally:
+                        self.step_count = step
+                try:
+                    while not self._watch_done:
+                        if delivered >= max_steps:
+                            raise SimulationError(
+                                f"run() exceeded {max_steps} deliveries without "
+                                f"reaching its stop condition"
+                            )
+                        try:
+                            message = pop(rng, step)
+                        except (ValueError, IndexError):
+                            raise SimulationError(
+                                "network is quiescent but the stop condition is "
+                                "not met (protocol deadlock)"
+                            ) from None
+                        step += 1
+                        deliver_by_pid[message.receiver](message)
+                        delivered += 1
+                    return delivered
+                finally:
+                    self.step_count = step
             while not self._watch_done:
                 if delivered >= max_steps:
                     raise SimulationError(

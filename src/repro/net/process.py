@@ -28,6 +28,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 class Process:
     """One party of the distributed system."""
 
+    __slots__ = (
+        "pid",
+        "params",
+        "network",
+        "rng",
+        "protocols",
+        "_protocols_get",
+        "_pending",
+        "_shunned_from",
+        "_creation_counter",
+        "behavior",
+        "outgoing_mutator",
+    )
+
     def __init__(
         self,
         pid: int,
@@ -40,6 +54,8 @@ class Process:
         self.network = network
         self.rng = rng
         self.protocols: Dict[SessionId, Protocol] = {}
+        #: Bound ``protocols.get``, cached for the per-delivery routing lookup.
+        self._protocols_get = self.protocols.get
         self._pending: Dict[SessionId, List[Tuple[int, tuple]]] = {}
         #: party id -> creation index after which its messages are ignored.
         self._shunned_from: Dict[int, int] = {}
@@ -138,7 +154,7 @@ class Process:
         if behavior is not None:
             behavior.on_message(message)
             return
-        instance = self.protocols.get(message.session)
+        instance = self._protocols_get(message.session)
         if instance is None or not instance.started:
             self._pending.setdefault(message.session, []).append(
                 (message.sender, message.payload)
@@ -153,6 +169,38 @@ class Process:
                 self.network.trace.on_drop(self.network.step_count, message, "shunned")
                 return
         instance.on_message(message.sender, message.payload)
+
+    def deliver_parts(self, sender: int, session, payload: tuple, entry, bitpos: int) -> None:
+        """Deliver one unmaterialised fan-out copy (the group-mode fast path).
+
+        Semantically identical to building ``entry.materialize(bitpos)`` and
+        calling :meth:`deliver`; the Message object is only created for the
+        consumers that genuinely need one (an installed behaviour, or the
+        trace argument of a shun drop).
+        """
+        behavior = self.behavior
+        if behavior is not None:
+            behavior.on_message(entry.materialize(bitpos))
+            return
+        instance = self._protocols_get(session)
+        if instance is None or not instance.started:
+            self._pending.setdefault(session, []).append((sender, payload))
+            return
+        shunned = self._shunned_from
+        if shunned:
+            threshold = shunned.get(sender)
+            if threshold is not None and instance.birth_index >= threshold:
+                # Materialise the dropped copy only if a trace will record it
+                # (this path normally runs with tracing off, where on_drop is
+                # a no-op and the Message would be built just to be thrown
+                # away; step_count may also lag the fast loop's local here).
+                trace = self.network.trace
+                if trace.enabled:
+                    trace.on_drop(
+                        self.network.step_count, entry.materialize(bitpos), "shunned"
+                    )
+                return
+        instance.on_message(sender, payload)
 
     # ------------------------------------------------------------------
     # Shunning (Definition 3.2): once party i shuns party j, it accepts j's

@@ -35,7 +35,31 @@ class Protocol:
 
     Subclasses override :meth:`on_start`, :meth:`on_message` and (when they
     spawn children) :meth:`on_child_complete`.
+
+    The base class is ``__slots__``-only: message handlers read these
+    attributes on every delivery, and slot access skips the per-instance
+    dict.  Subclasses that declare their own ``__slots__`` stay dict-free
+    (the hot SVSS/coin protocols do); subclasses that don't automatically
+    get a ``__dict__`` and may set ad-hoc attributes as before.
     """
+
+    __slots__ = (
+        "process",
+        "session",
+        "parent",
+        "children",
+        "_child_sessions",
+        "spawn_key",
+        "started",
+        "finished",
+        "output",
+        "birth_index",
+        "pid",
+        "params",
+        "n",
+        "t",
+        "rng",
+    )
 
     def __init__(self, process: "Process", session: SessionId) -> None:
         self.process = process
@@ -45,6 +69,10 @@ class Protocol:
         self.session: SessionId = process.network.intern_session(session)
         self.parent: Optional[Protocol] = None
         self.children: Dict[Any, Protocol] = {}
+        #: The key this protocol was spawned under (None for roots); lets a
+        #: parent with many children map a completion back to its key in O(1)
+        #: instead of scanning its children dict.
+        self.spawn_key: Any = None
         #: spawn key -> interned child session, so repeated child-session
         #: derivations stop allocating tuples.
         self._child_sessions: Dict[Any, SessionId] = {}
@@ -118,16 +146,14 @@ class Protocol:
         they hear themselves first.
         """
         process = self.process
-        session = self.session
-        n = process.params.n
         if process.outgoing_mutator is None:
-            submit = process.network.submit
-            pid = process.pid
-            for receiver in range(n):
-                submit(pid, receiver, session, payload)
+            # Honest fast path: one batched submit for all n copies (same
+            # sequence numbers and queue order as n individual submits).
+            process.network.submit_broadcast(process.pid, self.session, payload)
         else:
             send = process.send
-            for receiver in range(n):
+            session = self.session
+            for receiver in range(process.params.n):
                 send(receiver, session, payload)
 
     # ------------------------------------------------------------------
@@ -151,6 +177,7 @@ class Protocol:
         """
         child = self.process.create_protocol(self.child_session(key), factory)
         child.parent = self
+        child.spawn_key = key if isinstance(key, tuple) else (key,)
         self.children[key] = child
         if start and not child.started:
             child.start(**start_kwargs)

@@ -12,6 +12,7 @@ benchmarks build on.
 from __future__ import annotations
 
 import gc
+import time
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Callable, Dict, List, Optional
@@ -39,12 +40,17 @@ class SimulationResult:
         outputs: mapping of honest party id to its protocol output.
         steps: number of messages delivered during the run.
         network: the network object, for inspection of the trace.
+        elapsed_s: wall-clock seconds of the delivery loop (advisory; the
+            only non-deterministic field -- aggregation keeps it out of the
+            byte-identical statistics and reports it separately as
+            deliveries/sec throughput).
     """
 
     session: SessionId
     outputs: Dict[int, Any]
     steps: int
     network: Network
+    elapsed_s: float = 0.0
 
     @property
     def values(self) -> List[Any]:
@@ -196,6 +202,7 @@ class Simulation:
         pause = self.pause_gc and gc.isenabled()
         if pause:
             gc.disable()
+        started_at = time.perf_counter()
         try:
             if until is None:
                 # Completion-driven fast path: O(1) counter check per delivery
@@ -207,6 +214,7 @@ class Simulation:
             if run_to_quiescence:
                 steps += network.run_to_quiescence(max_steps=self.max_steps)
         finally:
+            elapsed = time.perf_counter() - started_at
             if pause:
                 gc.enable()
         return SimulationResult(
@@ -214,4 +222,5 @@ class Simulation:
             outputs=network.honest_outputs(session),
             steps=network.step_count,
             network=network,
+            elapsed_s=elapsed,
         )

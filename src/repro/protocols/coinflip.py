@@ -138,9 +138,15 @@ class CoinFlip(Protocol):
             self.complete(int(child.output))
 
     def _key_of(self, child: Protocol) -> Optional[tuple]:
-        for key, instance in self.children.items():
+        # Children record their spawn key, so mapping a completion back to
+        # (kind, iteration, dealer) is O(1); a CoinFlip at n=64 owns hundreds
+        # of children per iteration, which made the old scan quadratic in n.
+        key = child.spawn_key
+        if key is not None and child.parent is self:
+            return key
+        for candidate, instance in self.children.items():
             if instance is child:
-                return key if isinstance(key, tuple) else (key,)
+                return candidate if isinstance(candidate, tuple) else (candidate,)
         return None
 
     # ------------------------------------------------------------------

@@ -34,10 +34,17 @@ Hot-path design (SVSS messages dominate every coin/agreement trial):
 * **Raw-int rows** -- ROW/RECROW payloads are validated, compared and
   evaluated as plain reduced int tuples; a :class:`Polynomial` object is only
   built lazily, once, when a completed :class:`ShareState` needs it.
-* **Cached party-point evaluations** -- each known row is evaluated at all
-  ``n`` party points once (:func:`repro.crypto.kernels.eval_at_many`), so the
-  per-message POINT consistency checks and cross-point validations are plain
-  list lookups instead of repeated Horner evaluations.
+* **Network-wide batched crypto plane** -- all instances of a trial share the
+  :class:`~repro.crypto.kernels.CryptoPlane` interned on the network.  A row
+  broadcast by one party is validated once and evaluated at *all* party
+  points once (one exact int64 product on vectorised plans), no matter how
+  many of the n receivers, sessions or dealers touch it; every POINT/RECROW
+  consistency check is then a list index.  The dealer generates all ``n``
+  rows of its bivariate sharing through one grid product, and reconstruction
+  reuses one memoised set of Lagrange weights per fixed-set signature across
+  the ``n`` parallel :class:`SVSSRec` sessions of a coin flip.  The scalar
+  kernels remain the oracle: every plane result is byte-identical
+  (``tests/crypto/test_eval_plan.py``, ``tests/test_golden_trials.py``).
 * **Decode-based row recovery** -- recovering a withheld row used to try
   every ``(t+1)``-subset of vouched points (``C(k, t+1)`` interpolations --
   minutes of work at ``n = 32``).  The fast path interpolates once and
@@ -51,7 +58,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.crypto import kernels
 from repro.crypto.field import Field
@@ -61,6 +68,9 @@ from repro.errors import DecodingError
 from repro.net.message import SessionId
 from repro.net.process import Process
 from repro.net.protocol import Protocol
+
+
+_MISS = object()
 
 
 def party_point(pid: int) -> int:
@@ -75,6 +85,11 @@ def _validate_row_ints(prime: int, t: int, coefficients: Any) -> Optional[Tuple[
     ``Polynomial.from_ints`` would store -- or ``None`` when the payload is
     malformed (non-int coefficients) or the degree exceeds ``t``; both cases
     shun the sender, matching the legacy object-path checks bit for bit.
+
+    This is the scalar oracle; the protocol classes route through the
+    network's :class:`~repro.crypto.kernels.CryptoPlane`, whose cached
+    ``validate_row`` agrees with this function on every input
+    (``tests/crypto/test_eval_plan.py``).
     """
     if not isinstance(coefficients, (tuple, list)) or not all(
         isinstance(c, int) for c in coefficients
@@ -126,19 +141,43 @@ class SVSSShare(Protocol):
     Output: a :class:`ShareState` for use by :class:`SVSSRec`.
     """
 
+    __slots__ = (
+        "dealer",
+        "field",
+        "_plane",
+        "row_ints",
+        "_row_evals",
+        "row_recovered",
+        "secret_polynomial",
+        "points",
+        "_consistent_count",
+        "_ready_flags",
+        "_ready_count",
+        "_quorum",
+        "_points_sent",
+        "_ready_sent",
+    )
+
     def __init__(self, process: Process, session: SessionId, dealer: int) -> None:
         super().__init__(process, session)
         self.dealer = dealer
         self.field = Field(self.params.prime)
+        #: Network-wide batched crypto plane (shared row/eval/weight caches).
+        self._plane = process.network.crypto_plane()
         #: This party's row as a reduced int tuple (None until known).
         self.row_ints: Optional[Tuple[int, ...]] = None
         #: Row evaluated at every party point, indexed by pid (filled with the row).
         self._row_evals: List[int] = []
         self.row_recovered = False
         self.secret_polynomial: Optional[SymmetricBivariatePolynomial] = None
-        self.points: Dict[int, int] = {}
-        self.consistent: Set[int] = set()
-        self.ready_senders: Set[int] = set()
+        #: Received cross-points, indexed by sender pid (None until received).
+        self.points: List[Optional[int]] = [None] * self.n
+        #: Number of senders (self included) whose point matches our row.
+        self._consistent_count = 0
+        #: READY flags and count, indexed by sender pid.
+        self._ready_flags: List[bool] = [False] * self.n
+        self._ready_count = 0
+        self._quorum = self.n - self.t
         self._points_sent = False
         self._ready_sent = False
 
@@ -159,98 +198,131 @@ class SVSSShare(Protocol):
         self.secret_polynomial = SymmetricBivariatePolynomial.random(
             self.field, self.t, self.rng, secret=int(self.field(value))
         )
-        for receiver in range(self.n):
-            row = self.secret_polynomial.row(party_point(receiver))
-            self.send(receiver, "ROW", tuple(row.to_ints()))
+        # All n wire rows through one grid product (the same trimmed tuples
+        # the per-receiver ``row().to_ints()`` loop used to build).  Seed-era
+        # substitute polynomials (the frozen bench oracles) lack the raw-int
+        # mirror and keep the row-by-row path.
+        matrix = getattr(self.secret_polynomial, "int_matrix", None)
+        if matrix is not None:
+            rows = self._plane.plan.bivariate_rows(matrix)
+        else:
+            rows = [
+                tuple(self.secret_polynomial.row(party_point(receiver)).to_ints())
+                for receiver in range(self.n)
+            ]
+        process = self.process
+        if process.outgoing_mutator is None:
+            process.network.submit_fanout(self.pid, self.session, "ROW", rows)
+        else:
+            for receiver in range(self.n):
+                self.send(receiver, "ROW", rows[receiver])
 
     # ------------------------------------------------------------------
     def on_message(self, sender: int, payload: tuple) -> None:
         if not payload:
             return
         kind = payload[0]
-        if kind == "ROW" and len(payload) == 2:
-            self._on_row(sender, payload[1])
-        elif kind == "POINT" and len(payload) == 2:
-            self._on_point(sender, payload[1])
+        # Dispatch in delivery-frequency order, with the POINT and READY
+        # bodies inlined: together they are ~n of every n+1 deliveries of a
+        # share instance, and a call frame each is measurable at n=64.
+        if kind == "POINT" and len(payload) == 2:
+            value = payload[1]
+            if not isinstance(value, int):
+                self.shun(sender)
+                return
+            points = self.points
+            known = points[sender]
+            if known is not None:
+                if known != value:
+                    # Equivocation on a point: provably faulty.
+                    self.shun(sender)
+                return
+            points[sender] = value
+            if self.row_ints is not None:
+                if self._ready_sent:
+                    # READY is out: the consistency tally has served its only
+                    # purpose and no further bookkeeping can be observed.
+                    return
+                if self._row_evals[sender] == value:
+                    self._consistent_count += 1
+                    self._maybe_ready()
+            else:
+                self._maybe_recover_row()
         elif kind == "READY" and len(payload) == 1:
-            self._on_ready(sender)
+            if self.finished:
+                # Completion required the row, so neither recovery nor the
+                # READY tally can have any further observable effect.
+                return
+            flags = self._ready_flags
+            if not flags[sender]:
+                flags[sender] = True
+                self._ready_count += 1
+            if self.row_ints is None:
+                self._maybe_recover_row()
+            elif self._ready_count >= self._quorum:
+                self._maybe_complete()
+        elif kind == "ROW" and len(payload) == 2:
+            self._on_row(sender, payload[1])
 
     def _on_row(self, sender: int, coefficients: Any) -> None:
         if sender != self.dealer:
             return
-        row = _validate_row_ints(self.params.prime, self.t, coefficients)
-        if row is None:
+        record = self._plane.validate_row_record(coefficients)
+        if record is None:
             # Malformed payload or degree > t: provably faulty dealer.
             self.shun(sender)
             return
+        row, evals = record
         if self.row_ints is not None:
             if row != self.row_ints and not self.row_recovered:
                 # Equivocating dealer.
                 self.shun(sender)
             return
         self.row_ints = row
-        self._after_row_known()
+        self._after_row_known(evals)
 
-    def _after_row_known(self) -> None:
+    def _after_row_known(self, evals: Optional[List[int]] = None) -> None:
         assert self.row_ints is not None
-        # One batched evaluation at all party points backs both the POINT
-        # sends and every subsequent consistency check.
-        self._row_evals = kernels.eval_at_many(
-            self.params.prime, self.row_ints, range(1, self.n + 1)
-        )
+        # One batched evaluation at all party points (cached network-wide)
+        # backs both the POINT sends and every subsequent consistency check.
+        if evals is None:
+            evals = self._plane.row_evals(self.row_ints)
+        self._row_evals = evals
         if not self._points_sent:
             self._points_sent = True
-            for receiver in range(self.n):
-                if receiver == self.pid:
-                    continue
-                self.send(receiver, "POINT", self._row_evals[receiver])
-        self.consistent.add(self.pid)
-        # Re-examine points that arrived before the row.
-        for sender, value in list(self.points.items()):
-            self._check_point(sender, value)
+            process = self.process
+            if process.outgoing_mutator is None:
+                process.network.submit_fanout(
+                    self.pid, self.session, "POINT", evals, skip=self.pid
+                )
+            else:
+                for receiver in range(self.n):
+                    if receiver == self.pid:
+                        continue
+                    self.send(receiver, "POINT", evals[receiver])
+        # Batch-examine the points buffered before the row arrived (an
+        # inconsistent point is simply not counted: we cannot tell whether
+        # the dealer or the peer is at fault during the share phase).
+        count = 1  # our own point is consistent by construction
+        for sender, value in enumerate(self.points):
+            if value is not None and evals[sender] == value:
+                count += 1
+        self._consistent_count = count
         self._maybe_ready()
-        self._maybe_complete()
-
-    def _on_point(self, sender: int, value: Any) -> None:
-        if not isinstance(value, int):
-            self.shun(sender)
-            return
-        if sender in self.points:
-            if self.points[sender] != value:
-                # Equivocation on a point: provably faulty.
-                self.shun(sender)
-            return
-        self.points[sender] = value
-        if self.row_ints is not None:
-            self._check_point(sender, value)
-            self._maybe_ready()
-        else:
-            self._maybe_recover_row()
-
-    def _check_point(self, sender: int, value: int) -> None:
-        if self._row_evals[sender] == value:
-            self.consistent.add(sender)
-        # An inconsistent point is simply not counted: we cannot tell whether
-        # the dealer or the peer is at fault during the share phase.
-
-    def _on_ready(self, sender: int) -> None:
-        self.ready_senders.add(sender)
-        if self.row_ints is None:
-            self._maybe_recover_row()
         self._maybe_complete()
 
     # ------------------------------------------------------------------
     def _maybe_ready(self) -> None:
         if self._ready_sent or self.row_ints is None:
             return
-        if len(self.consistent) >= self.n - self.t:
+        if self._consistent_count >= self._quorum:
             self._ready_sent = True
             self.broadcast("READY")
 
     def _maybe_complete(self) -> None:
         if self.finished or self.row_ints is None:
             return
-        if len(self.ready_senders) >= self.n - self.t:
+        if self._ready_count >= self._quorum:
             self.complete(
                 ShareState(
                     dealer=self.dealer,
@@ -275,17 +347,23 @@ class SVSSShare(Protocol):
         # ROW and READY messages, so it can never observe that quorum; since a
         # shunning event already licenses treating this instance as "binding
         # or shun", it may recover as soon as t + 1 READY senders vouch.
+        ready_count = self._ready_count
+        if ready_count < self.t + 1:
+            # Below even the shunning threshold: nothing to try yet (this is
+            # the common early-exit while the dealer's ROW is simply slow).
+            return
         threshold = (
             self.t + 1
             if self.process.is_shunning(self.dealer)
-            else self.n - self.t
+            else self._quorum
         )
-        if len(self.ready_senders) < threshold:
+        if ready_count < threshold:
             return
+        flags = self._ready_flags
         usable = {
             sender: value
-            for sender, value in self.points.items()
-            if sender in self.ready_senders
+            for sender, value in enumerate(self.points)
+            if value is not None and flags[sender]
         }
         if len(usable) < self.t + 1:
             return
@@ -321,6 +399,7 @@ class SVSSShare(Protocol):
         """
         prime = self.params.prime
         t = self.t
+        plane = self._plane
         senders = sorted(usable)
         xs = tuple(party_point(s) for s in senders)
         # Agreement always compares against the *raw* received value (a value
@@ -331,11 +410,10 @@ class SVSSShare(Protocol):
         k = len(senders)
 
         def raw_agreement(cand: Tuple[int, ...]) -> int:
-            return sum(
-                1
-                for x, y in zip(xs, ys_raw)
-                if kernels.horner(prime, cand, x) == y
-            )
+            # One batched (and cached) sweep over all party points replaces a
+            # Horner evaluation per vouched point; evals[s] == cand(s + 1).
+            evals = plane.row_evals(cand)
+            return sum(1 for s, y in zip(senders, ys_raw) if evals[s] == y)
 
         # Fast path 1: all vouched points on one degree-<=t polynomial.
         candidate = kernels.poly_trim(kernels.interpolate(prime, xs[: t + 1], ys[: t + 1]))
@@ -382,14 +460,36 @@ class SVSSRec(Protocol):
     Output: the reconstructed secret as a plain integer.
     """
 
+    __slots__ = (
+        "dealer",
+        "field",
+        "_plane",
+        "_row_cache",
+        "_eval_cache",
+        "_t1",
+        "share",
+        "_own_evals",
+        "received_rows",
+        "validated",
+    )
+
     def __init__(self, process: Process, session: SessionId, dealer: int) -> None:
         super().__init__(process, session)
         self.dealer = dealer
         self.field = Field(self.params.prime)
+        #: Network-wide batched crypto plane (shared row/eval/weight caches).
+        self._plane = plane = process.network.crypto_plane()
+        # Direct references to the plane's shared caches: the RECROW handler
+        # is the single hottest protocol path of a coin trial, and the hit
+        # case must be one dict probe, not a method-call chain.
+        self._row_cache = plane.row_cache
+        self._eval_cache = plane.eval_cache
+        self._t1 = self.t + 1
         self.share: Optional[ShareState] = None
         #: Own row evaluated at every party point, indexed by pid.
         self._own_evals: List[int] = []
-        self.received_rows: Dict[int, Tuple[int, ...]] = {}
+        #: Accepted first row per sender pid (None until received).
+        self.received_rows: List[Optional[Tuple[int, ...]]] = [None] * self.n
         self.validated: Dict[int, Tuple[int, ...]] = {}
 
     @classmethod
@@ -406,9 +506,7 @@ class SVSSRec(Protocol):
             raise ValueError("SVSS-Rec requires the ShareState from SVSS-Share")
         self.share = share
         row_ints = tuple(share.row_ints)
-        self._own_evals = kernels.eval_at_many(
-            self.params.prime, row_ints, range(1, self.n + 1)
-        )
+        self._own_evals = self._plane.row_evals(row_ints)
         self.validated[self.pid] = row_ints
         self.broadcast("RECROW", row_ints)
         self._maybe_reconstruct()
@@ -416,38 +514,53 @@ class SVSSRec(Protocol):
     def on_message(self, sender: int, payload: tuple) -> None:
         if not payload or payload[0] != "RECROW" or len(payload) != 2:
             return
-        row = _validate_row_ints(self.params.prime, self.t, payload[1])
-        if row is None:
+        raw = payload[1]
+        # Inlined plane.validate_row_record hit path: ONE shared-cache probe
+        # resolves both validation and the row's cross-point evaluations.
+        try:
+            record = self._row_cache.get(raw, _MISS)
+        except TypeError:
+            record = _MISS
+        if record is _MISS:
+            record = self._plane.validate_row_record(raw)
+        if record is None:
             self.shun(sender)
             return
-        if sender in self.received_rows:
-            if self.received_rows[sender] != row:
+        row, evals = record
+        received = self.received_rows
+        known = received[sender]
+        if known is not None:
+            if known is not row and known != row:
                 self.shun(sender)
             return
-        self.received_rows[sender] = row
-        self._validate(sender, row)
-        self._maybe_reconstruct()
-
-    # ------------------------------------------------------------------
-    def _validate(self, sender: int, row: Tuple[int, ...]) -> None:
-        if self.share is None or sender == self.pid:
+        received[sender] = row
+        if sender == self.pid:
             return
-        expected = self._own_evals[sender]
-        if kernels.horner(self.params.prime, row, party_point(self.pid)) == expected:
-            self.validated[sender] = row
+        # Inlined _validate: the sender's row evaluated at our point, from
+        # the plane's shared table (the same list every receiver of this
+        # broadcast resolves); equal to ``horner(prime, row, point(pid))``.
+        if evals[self.pid] == self._own_evals[sender]:
+            validated = self.validated
+            validated[sender] = row
+            # Only an accepted row can cross the reconstruction threshold.
+            if len(validated) >= self._t1 and not self.finished:
+                self._maybe_reconstruct()
         else:
             # The sender's claimed row contradicts the cross-point we hold:
             # either the sender or the dealer is faulty.  Shunning the sender
             # realises the "binding or shun" disjunction of Definition 3.2.
             self.shun(sender)
 
+    # ------------------------------------------------------------------
     def _maybe_reconstruct(self) -> None:
         if self.finished or self.share is None:
             return
-        if len(self.validated) < self.t + 1:
+        validated = self.validated
+        if len(validated) < self._t1:
             return
-        chosen = sorted(self.validated)[: self.t + 1]
-        xs = tuple(party_point(pid) for pid in chosen)
-        # A validated row's value at 0 is its (reduced) constant term.
-        ys = [self.validated[pid][0] for pid in chosen]
-        self.complete(kernels.interpolate_at_zero(self.params.prime, xs, ys))
+        chosen = sorted(validated)[: self._t1]
+        # A validated row's value at 0 is its (reduced) constant term; the
+        # fixed-set Lagrange weights are memoised on the plane, shared by all
+        # n parallel SVSS-Rec sessions that settle on the same signature.
+        ys = [validated[pid][0] for pid in chosen]
+        self.complete(self._plane.reconstruct_at_zero(tuple(chosen), ys))

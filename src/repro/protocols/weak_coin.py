@@ -32,12 +32,18 @@ class WeakCommonCoin(Protocol):
     probability; see the module docstring.
     """
 
+    __slots__ = ("attached", "share_states", "reconstructed", "_rec_spawned", "_awaiting")
+
     def __init__(self, process: Process, session: SessionId) -> None:
         super().__init__(process, session)
         self.attached: Optional[List[int]] = None
         self.share_states: Dict[int, ShareState] = {}
         self.reconstructed: Dict[int, int] = {}
         self._rec_spawned: Set[int] = set()
+        #: Attached dealers whose reconstruction is still outstanding (None
+        #: until the attached set is fixed); an O(1) completion check instead
+        #: of rescanning the attached list per child completion.
+        self._awaiting: Optional[Set[int]] = None
 
     @classmethod
     def factory(cls) -> Callable[[Process, SessionId], "WeakCommonCoin"]:
@@ -67,6 +73,7 @@ class WeakCommonCoin(Protocol):
         if self.attached is None and len(self.share_states) >= self.n - self.t:
             # Fix the set of sharings this party will combine into its coin.
             self.attached = sorted(self.share_states)[: self.n - self.t]
+            self._awaiting = set(self.attached) - self.reconstructed.keys()
         # Reconstruct every sharing we complete, not only the attached ones:
         # other parties may have attached a different set and need our help
         # to reconstruct it (termination of SVSS-Rec requires t+1 honest
@@ -85,13 +92,15 @@ class WeakCommonCoin(Protocol):
         )
 
     def _on_rec_complete(self, child: SVSSRec) -> None:
-        self.reconstructed[child.dealer] = int(child.output)
+        dealer = child.dealer
+        self.reconstructed[dealer] = int(child.output)
+        awaiting = self._awaiting
+        if awaiting is not None:
+            awaiting.discard(dealer)
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:
-        if self.finished or self.attached is None:
-            return
-        if not all(dealer in self.reconstructed for dealer in self.attached):
+        if self.finished or self.attached is None or self._awaiting:
             return
         coin = 0
         for dealer in self.attached:

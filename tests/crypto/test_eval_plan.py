@@ -1,0 +1,229 @@
+"""Batched evaluation plane == scalar kernels, byte for byte.
+
+The batched crypto plane (``EvalPlan`` / ``CryptoPlane``) promises exact
+agreement with the scalar kernels it amortises: same validation verdicts,
+same evaluations, same reconstruction weights, for every prime and every
+degenerate input.  The scalar kernels are the oracle -- these tests pin the
+equivalence on random inputs across all three plan modes (int64 matmul,
+16-bit split, scalar fallback).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import kernels
+from repro.protocols.svss import _validate_row_ints
+
+#: One prime per plan mode: million-scale (single matmul), the library
+#: default 2^31 - 1 (hi/lo split), and a tiny field (scalar at small n).
+MATMUL_PRIME = 1_000_003
+SPLIT_PRIME = 2_147_483_647
+SMALL_PRIME = 97
+
+
+def plans():
+    return [
+        kernels.get_eval_plan(MATMUL_PRIME, 64),
+        kernels.get_eval_plan(SPLIT_PRIME, 32),
+        kernels.get_eval_plan(SMALL_PRIME, 7),
+    ]
+
+
+class TestPlanModes:
+    def test_mode_selection(self):
+        if kernels._np is None:
+            pytest.skip("numpy unavailable; every plan is scalar")
+        assert kernels.get_eval_plan(MATMUL_PRIME, 64).mode == "matmul"
+        assert kernels.get_eval_plan(SPLIT_PRIME, 32).mode == "split"
+        # Below the vectorisation cutoff the scalar kernels win.
+        assert kernels.get_eval_plan(SMALL_PRIME, 7).mode == "scalar"
+
+    def test_plan_is_shared_per_prime_n(self):
+        assert kernels.get_eval_plan(MATMUL_PRIME, 64) is kernels.get_eval_plan(
+            MATMUL_PRIME, 64
+        )
+
+
+class TestEvalAllPoints:
+    @pytest.mark.parametrize("plan", plans(), ids=lambda p: f"n{p.n}")
+    def test_matches_eval_at_many(self, plan):
+        rng = random.Random(1)
+        t = (plan.n - 1) // 3
+        for _ in range(25):
+            length = rng.randrange(1, t + 2)
+            coeffs = tuple(rng.randrange(plan.prime) for _ in range(length))
+            assert plan.eval_all_points(coeffs) == kernels.eval_at_many(
+                plan.prime, coeffs, range(1, plan.n + 1)
+            )
+
+    @pytest.mark.parametrize("plan", plans(), ids=lambda p: f"n{p.n}")
+    def test_extreme_coefficients(self, plan):
+        # Max-value coefficients stress the int64 overflow analysis.
+        coeffs = tuple([plan.prime - 1] * ((plan.n - 1) // 3 + 1))
+        assert plan.eval_all_points(coeffs) == kernels.eval_at_many(
+            plan.prime, coeffs, range(1, plan.n + 1)
+        )
+        assert plan.eval_all_points((0,)) == [0] * plan.n
+
+
+class TestEvalGridAndShares:
+    @pytest.mark.parametrize("plan", plans(), ids=lambda p: f"n{p.n}")
+    def test_eval_rows_at_point_matches_horner(self, plan):
+        rng = random.Random(2)
+        rows = [
+            tuple(rng.randrange(plan.prime) for _ in range(rng.randrange(1, plan.n)))
+            for _ in range(17)
+        ]
+        for point in (1, plan.n, plan.prime - 1):
+            expected = [kernels.horner(plan.prime, row, point % plan.prime) for row in rows]
+            assert plan.eval_rows_at_point(rows, point % plan.prime) == expected
+
+    @pytest.mark.parametrize("plan", plans(), ids=lambda p: f"n{p.n}")
+    def test_eval_grid_veneer(self, plan):
+        plane = kernels.CryptoPlane(plan.prime, plan.n, (plan.n - 1) // 3)
+        rng = random.Random(3)
+        rows = [tuple(rng.randrange(plan.prime) for _ in range(4)) for _ in range(5)]
+        assert kernels.eval_grid(plane, rows, 3) == [
+            kernels.horner(plan.prime, row, 3) for row in rows
+        ]
+
+    @pytest.mark.parametrize("plan", plans(), ids=lambda p: f"n{p.n}")
+    def test_bivariate_rows_match_scalar(self, plan):
+        rng = random.Random(4)
+        t = (plan.n - 1) // 3
+        # Random symmetric matrix, as the SVSS dealer builds.
+        size = t + 1
+        matrix = [[0] * size for _ in range(size)]
+        for i in range(size):
+            for j in range(i, size):
+                matrix[i][j] = matrix[j][i] = rng.randrange(plan.prime)
+        expected = [
+            kernels.poly_trim(kernels.bivariate_row(plan.prime, matrix, x))
+            for x in range(1, plan.n + 1)
+        ]
+        assert plan.bivariate_rows(matrix) == expected
+
+    @pytest.mark.parametrize("plan", plans(), ids=lambda p: f"n{p.n}")
+    def test_shamir_share_values_many(self, plan):
+        rng = random.Random(5)
+        polys = [
+            [rng.randrange(plan.prime) for _ in range(rng.randrange(1, 6))]
+            for _ in range(9)
+        ]
+        batched = kernels.shamir_share_values_many(plan.prime, polys, plan.n)
+        for coeffs, shares in zip(polys, batched):
+            assert shares == kernels.shamir_share_values(plan.prime, coeffs, plan.n)
+        assert kernels.shamir_share_values_many(plan.prime, [], plan.n) == []
+
+
+class TestValidateRows:
+    @pytest.mark.parametrize("prime,n", [(MATMUL_PRIME, 64), (SPLIT_PRIME, 32), (SMALL_PRIME, 7)])
+    def test_agrees_with_scalar_validator(self, prime, n):
+        t = (n - 1) // 3
+        plane = kernels.CryptoPlane(prime, n, t)
+        rng = random.Random(6)
+        payloads = [
+            # Valid random rows, twice (the second pass must hit the cache).
+            *[tuple(rng.randrange(prime) for _ in range(t + 1)) for _ in range(8)],
+            # Degenerate: empty payload normalises to the zero polynomial.
+            (),
+            [],
+            # Trailing zeros trim away; all-zero rows collapse to (0,).
+            (0,) * (t + 1),
+            (5,) + (0,) * t,
+            # Unreduced and negative coefficients reduce mod p.
+            (prime, prime + 3, -1),
+            # Degree above t is rejected...
+            tuple(range(1, t + 3)),
+            # ...unless the excess coefficients are zeros that trim away.
+            tuple(range(1, t + 2)) + (0, 0),
+            # Malformed payloads: wrong container or non-int coefficients.
+            "not-a-row",
+            123,
+            None,
+            (1, "x", 3),
+            (1, 2.5),
+            # bools are ints in Python; the scalar path accepted them.
+            (True, False),
+            # Lists are valid wire containers (and unhashable-safe).
+            [1, 2, 3],
+            # Unhashable nested payload must fall back gracefully.
+            (1, [2], 3),
+        ]
+        for payload in payloads + payloads:
+            expected = _validate_row_ints(prime, t, payload)
+            assert plane.validate_row(payload) == expected, payload
+            record = plane.validate_row_record(payload)
+            if expected is None:
+                assert record is None
+            else:
+                row, evals = record
+                assert row == expected
+                assert evals == kernels.eval_at_many(prime, row, range(1, n + 1))
+        mask = kernels.validate_rows(plane, payloads)
+        assert mask == [_validate_row_ints(prime, t, p) is not None for p in payloads]
+
+    def test_row_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_PLANE_ROW_CACHE_LIMIT", 8)
+        plane = kernels.CryptoPlane(SMALL_PRIME, 7, 2)
+        for value in range(40):
+            plane.validate_row((value % SMALL_PRIME,))
+        assert len(plane.row_cache) <= 8
+
+    def test_weight_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_PLANE_WEIGHTS_CACHE_LIMIT", 4)
+        plane = kernels.CryptoPlane(MATMUL_PRIME, 64, 21)
+        rng = random.Random(7)
+        for _ in range(30):
+            pids = tuple(sorted(rng.sample(range(64), 22)))
+            plane.weights_for(pids)
+        assert len(plane.weight_cache) <= 4
+
+
+class TestReconstructionWeights:
+    @pytest.mark.parametrize("prime,n", [(MATMUL_PRIME, 64), (SPLIT_PRIME, 32)])
+    def test_subset_weights_match_lagrange(self, prime, n):
+        plan = kernels.get_eval_plan(prime, n)
+        rng = random.Random(8)
+        for _ in range(20):
+            k = rng.randrange(1, n // 3 + 2)
+            pids = tuple(sorted(rng.sample(range(n), k)))
+            xs = tuple(pid + 1 for pid in pids)
+            assert plan.subset_weights(pids) == kernels.lagrange_weights_at_zero(prime, xs)
+
+    def test_reconstruct_at_zero_matches_interpolate(self):
+        plane = kernels.CryptoPlane(MATMUL_PRIME, 64, 21)
+        rng = random.Random(9)
+        for _ in range(10):
+            pids = tuple(sorted(rng.sample(range(64), 22)))
+            ys = [rng.randrange(MATMUL_PRIME) for _ in pids]
+            xs = tuple(pid + 1 for pid in pids)
+            assert plane.reconstruct_at_zero(pids, ys) == kernels.interpolate_at_zero(
+                MATMUL_PRIME, xs, ys
+            )
+
+    def test_direct_weights_match_basis_column(self):
+        # The rewritten lagrange_weights_at_zero must equal basis[i][0].
+        rng = random.Random(10)
+        for _ in range(10):
+            xs = tuple(sorted(rng.sample(range(1, 200), rng.randrange(1, 12))))
+            kernels.clear_lagrange_cache()
+            basis = kernels.lagrange_basis(SPLIT_PRIME, xs)
+            assert kernels.lagrange_weights_at_zero(SPLIT_PRIME, xs) == tuple(
+                b[0] for b in basis
+            )
+
+
+class TestLagrangeCacheInfo:
+    def test_info_shape(self):
+        kernels.clear_lagrange_cache()
+        kernels.lagrange_weights_at_zero(SMALL_PRIME, (1, 2, 3))
+        kernels.lagrange_weights_at_zero(SMALL_PRIME, (1, 2, 3))
+        info = kernels.lagrange_cache_info()
+        assert info.hits >= 1
+        payload = info.to_dict()
+        assert set(payload) >= {"hits", "misses", "currsize", "basis", "weights_at_zero"}
+        assert payload["weights_at_zero"]["hits"] >= 1

@@ -80,11 +80,27 @@ class TestParallelEquality:
             assert sequential[name].to_dict() == parallel[name].to_dict()
 
     def test_parallel_store_bytes_identical(self, tmp_path):
+        """Stores are byte-identical across worker counts, except the single
+        advisory wall-clock field backing the deliveries/s report column."""
+        import json
+
         campaign = _campaign()
         seq_path, par_path = tmp_path / "seq.json", tmp_path / "par.json"
         run_campaign(campaign, workers=1, store=ResultStore.open(seq_path), chunk_trials=2)
         run_campaign(campaign, workers=3, store=ResultStore.open(par_path), chunk_trials=2)
-        assert seq_path.read_bytes() == par_path.read_bytes()
+
+        def canonical(path):
+            data = json.loads(path.read_text())
+            timings = []
+            for cell in data["cells"].values():
+                timings.append(cell.pop("elapsed_s"))
+            return json.dumps(data, sort_keys=True), timings
+
+        seq_data, seq_timings = canonical(seq_path)
+        par_data, par_timings = canonical(par_path)
+        assert seq_data == par_data
+        # Timing is present (non-zero) on both sides, merely not identical.
+        assert all(t > 0 for t in seq_timings + par_timings)
 
     def test_chunk_size_does_not_change_statistics(self):
         campaign = CampaignSpec(name="chunks", cells=[_acast_cell(seeds=range(7))])
@@ -111,10 +127,19 @@ class TestResume:
         assert (tmp_path / "results.json").read_bytes() == first_bytes
 
     def test_resume_recomputes_only_deleted_cell(self, tmp_path):
+        import json
+
         campaign = _campaign()
         path = tmp_path / "results.json"
         run_campaign(campaign, store=ResultStore.open(path), chunk_trials=2)
-        first_bytes = path.read_bytes()
+
+        def canonical(raw):
+            data = json.loads(raw)
+            for cell in data["cells"].values():
+                cell.pop("elapsed_s", None)
+            return json.dumps(data, sort_keys=True)
+
+        first = canonical(path.read_bytes())
 
         store = ResultStore.open(path)
         assert store.delete("crash")
@@ -124,7 +149,9 @@ class TestResume:
         run_campaign(campaign, store=ResultStore.open(path), progress=events.append, chunk_trials=2)
         ran = {event.cell for event in events if not event.resumed}
         assert ran == {"crash"}
-        assert path.read_bytes() == first_bytes
+        # The recomputed statistics are identical; only the advisory
+        # wall-clock field of the recomputed cell may differ.
+        assert canonical(path.read_bytes()) == first
 
     def test_changed_spec_invalidates_stored_cell(self, tmp_path):
         path = tmp_path / "results.json"

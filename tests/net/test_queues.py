@@ -182,10 +182,12 @@ class TestKeyedQueue:
 
 
 class TestSendOrderRandomQueue:
-    def test_fuzz_matches_list_model_across_mode_switches(self, monkeypatch):
-        """Random pushes/pops against the legacy list model, with a tiny
-        Fenwick threshold so the fuzz crosses list->tree->list repeatedly."""
-        monkeypatch.setattr(SendOrderRandomQueue, "_TREE_THRESHOLD", 32)
+    def test_fuzz_matches_list_model(self, monkeypatch):
+        """Random pushes/pops against the legacy list model: every pop must
+        deliver exactly the message ``pending.pop(randrange(len(pending)))``
+        would have, across word boundaries, partially dead words and
+        list<->tree mode crossings (tiny threshold forces many)."""
+        monkeypatch.setattr(SendOrderRandomQueue, "_LIST_THRESHOLD", 32)
         queue = SendOrderRandomQueue()
         model = []
         control = random.Random(1)
@@ -203,6 +205,90 @@ class TestSendOrderRandomQueue:
                 model.append(message)
             assert len(queue) == len(model)
         assert queue.snapshot() == model
+
+    def test_fuzz_group_pushes_match_eager_pushes(self, monkeypatch):
+        """Fan-out group entries deliver byte-identical messages (fields and
+        order) to eagerly materialised per-receiver pushes, across mode
+        crossings on the grouped side."""
+        from repro.net.queues import FanoutEntry
+
+        monkeypatch.setattr(SendOrderRandomQueue, "_LIST_THRESHOLD", 48)
+        grouped = SendOrderRandomQueue()
+        eager = SendOrderRandomQueue()
+        control = random.Random(7)
+        n = 8
+        seq = 0
+        live = 0
+        for round_index in range(4000):
+            if live and control.random() < 0.55:
+                draw = control.randrange(1 << 30)
+                fast = grouped.pop(random.Random(draw), 0)
+                reference = eager.pop(random.Random(draw), 0)
+                assert (
+                    fast.sender,
+                    fast.receiver,
+                    fast.session,
+                    fast.payload,
+                    fast.seq,
+                    fast.kind,
+                    fast.root,
+                ) == (
+                    reference.sender,
+                    reference.receiver,
+                    reference.session,
+                    reference.payload,
+                    reference.seq,
+                    reference.kind,
+                    reference.root,
+                )
+                live -= 1
+                continue
+            sender = control.randrange(n)
+            session = ("s", round_index % 3)
+            if control.random() < 0.5:
+                # Broadcast: one shared payload for every receiver.
+                payload = ("B", round_index)
+                grouped.push_group(
+                    FanoutEntry(sender, session, "B", payload, None, seq, None, "s"),
+                    (1 << n) - 1,
+                    n,
+                )
+                receivers = range(n)
+                skip = None
+                values = None
+            else:
+                # Fan-out with per-receiver values, skipping the sender.
+                values = [control.randrange(1000) for _ in range(n)]
+                payload = None
+                skip = sender
+                grouped.push_group(
+                    FanoutEntry(sender, session, "P", None, values, seq, skip, "s"),
+                    ((1 << n) - 1) ^ (1 << skip),
+                    n - 1,
+                )
+                receivers = [r for r in range(n) if r != skip]
+            for receiver in receivers:
+                message = _msg(seq, receiver=receiver)
+                message.sender = sender
+                message.session = session
+                message.payload = payload if values is None else ("P", values[receiver])
+                message.kind = payload[0] if values is None else "P"
+                message.root = "s"
+                eager.push(message)
+                seq += 1
+                live += 1
+            assert len(grouped) == len(eager)
+
+    @pytest.mark.parametrize("n", [7, 16])
+    def test_group_mode_trial_matches_eager_trial(self, n):
+        """A tracing-off run (group mode: lazy fan-out entries) reproduces a
+        traced run (eager per-message submits) delivery-for-delivery."""
+        from repro.core import api
+
+        eager = api.run_weak_coin(n, seed=11)
+        lazy = api.run_weak_coin(n, seed=11, tracing=False)
+        assert eager.outputs == lazy.outputs
+        assert eager.steps == lazy.steps
 
     def test_snapshot_preserves_send_order(self):
         queue = SendOrderRandomQueue()

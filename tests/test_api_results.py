@@ -32,6 +32,49 @@ class TestRunners:
             api.run_coinflip(4, seed=0, rounds=2, max_steps=10)
 
 
+class TestThroughput:
+    def test_trials_record_elapsed_and_throughput(self):
+        results = [api.run_acast(4, "x", sender=0, seed=seed) for seed in range(3)]
+        assert all(result.elapsed_s > 0 for result in results)
+        stats = aggregate(results)
+        assert stats.total_elapsed_s == pytest.approx(
+            sum(result.elapsed_s for result in results)
+        )
+        assert stats.deliveries_per_s == pytest.approx(
+            stats.total_steps / stats.total_elapsed_s
+        )
+        assert stats.summary()["deliveries_per_s"] == round(stats.deliveries_per_s)
+
+    def test_timing_stays_out_of_deterministic_dict(self):
+        stats = aggregate(api.run_acast(4, "x", sender=0, seed=s) for s in range(2))
+        payload = stats.to_dict()
+        assert "total_elapsed_s" not in payload
+        reloaded = TrialAggregate.from_dict(payload)
+        assert reloaded.deliveries_per_s is None
+        assert reloaded.summary()["deliveries_per_s"] is None
+
+    def test_merge_sums_elapsed(self):
+        a = aggregate([api.run_acast(4, "x", sender=0, seed=0)])
+        b = aggregate([api.run_acast(4, "x", sender=0, seed=1)])
+        merged = a.merge(b)
+        assert merged.total_elapsed_s == pytest.approx(
+            a.total_elapsed_s + b.total_elapsed_s
+        )
+
+    def test_store_round_trips_elapsed(self, tmp_path):
+        from repro.experiments.store import ResultStore
+
+        stats = aggregate([api.run_acast(4, "x", sender=0, seed=0)])
+        store = ResultStore.open(tmp_path / "out.json")
+        store.put("cell", "hash", stats)
+        store.save()
+        reloaded = ResultStore.open(tmp_path / "out.json").get("cell")
+        assert reloaded.total_elapsed_s == pytest.approx(
+            stats.total_elapsed_s, abs=1e-3
+        )
+        assert reloaded.deliveries_per_s is not None
+
+
 class TestAggregate:
     def test_mean_metrics(self):
         results = [api.run_acast(4, "x", sender=0, seed=seed) for seed in range(3)]

@@ -107,6 +107,40 @@ def test_weak_coin(seed):
     _check(f"weakcoin_n7_s{seed}", api.run_weak_coin(7, seed=seed))
 
 
+@pytest.mark.parametrize("seed", range(2))
+def test_weak_coin_n16(seed):
+    _check(f"weakcoin_n16_s{seed}", api.run_weak_coin(16, seed=seed))
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_weak_coin_n32(seed):
+    # The n32 preset prime (million-scale): the batched single-matmul path.
+    _check(f"weakcoin_n32_s{seed}", api.run_weak_coin(32, seed=seed, prime=1_000_003))
+
+
+def test_weak_coin_n32_default_prime_matches_frozen_stack():
+    """End-to-end coverage of the plane's 16-bit split mode (default prime at
+    n >= 24): the live batched stack must reproduce the frozen pre-batching
+    stack (``benchmarks.perf.legacy_coin``, the PR-4 implementation kept
+    verbatim) delivery-for-delivery.  A runtime-computed golden: the frozen
+    side *is* the pre-change behaviour."""
+    from benchmarks.perf.legacy_coin import legacy_run_weak_coin
+
+    fast = api.run_weak_coin(32, seed=5, tracing=False)
+    frozen = legacy_run_weak_coin(32, 5)
+    assert fast.outputs == frozen.outputs
+    assert fast.steps == frozen.steps
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_coinflip_n16(seed):
+    _check(f"coinflip_n16_s{seed}", api.run_coinflip(16, seed=seed, rounds=1))
+
+
+def test_coinflip_n32():
+    _check("coinflip_n32_s0", api.run_coinflip(32, seed=0, rounds=1, prime=1_000_003))
+
+
 @pytest.mark.parametrize("seed", range(3))
 def test_coinflip(seed):
     _check(f"coinflip_n4_s{seed}", api.run_coinflip(4, seed=seed, rounds=2))
