@@ -134,10 +134,14 @@ def run(quick: bool) -> List[BenchResult]:
 
     for n in sizes:
         prime = PRIMES[n]
+        # metering=False keeps the legacy-oracle comparison apples-to-apples:
+        # the frozen stack predates the group meter, so the speedup rows
+        # measure the batching work alone.  The metering overhead itself is
+        # measured by the weak_coin_metered_n32 row below.
         trial_workload(
             f"weak_coin_trial_n{n}",
             lambda seed, n=n, prime=prime: api.run_weak_coin(
-                n, seed=seed, prime=prime, tracing=False
+                n, seed=seed, prime=prime, tracing=False, metering=False
             ),
             lambda seed, n=n, prime=prime: legacy_coin.legacy_run_weak_coin(
                 n, seed, prime=prime
@@ -148,6 +152,32 @@ def run(quick: bool) -> List[BenchResult]:
             prime=prime or 2_147_483_647,
             tracing="off (campaign config, both sides)",
         )
+
+    # Group-meter overhead: the campaign configuration (tracing off) with the
+    # meter on -- the new default -- against the same run with metering
+    # disabled.  "speedup" below 1.0 is the metering cost; the observability
+    # plane promises it stays under 10% (speedup >= 0.90).
+    n = 32
+    prime = PRIMES[n]
+    metered_seeds = itertools.count(2000)
+    unmetered_seeds = itertools.count(2000)
+    results.append(
+        compare(
+            "weak_coin_metered_n32",
+            lambda: api.run_weak_coin(
+                n, seed=next(metered_seeds), prime=prime, tracing=False
+            ),
+            lambda: api.run_weak_coin(
+                n, seed=next(unmetered_seeds), prime=prime, tracing=False,
+                metering=False,
+            ),
+            number=2,
+            repeats=repeats,
+            n=n,
+            prime=prime,
+            tracing="off; before = metering off, after = group meter on",
+        )
+    )
     for n in sizes:
         prime = PRIMES[n]
         # A strong coin at n=64 runs 64 parallel ABA instances inside the
@@ -162,6 +192,7 @@ def run(quick: bool) -> List[BenchResult]:
                 rounds=STRONG_ROUNDS,
                 prime=prime,
                 tracing=False,
+                metering=False,
                 max_steps=max_steps,
             ),
             lambda seed, n=n, prime=prime, max_steps=max_steps: legacy_coin.legacy_run_coinflip(

@@ -56,6 +56,9 @@ def _simulation(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> Simulation:
     if prime is None:
         params = ProtocolParams.for_parties(n)
@@ -68,6 +71,9 @@ def _simulation(
         tracing=tracing,
         director=director,
         session_table=session_table,
+        metering=metering,
+        metrics=metrics,
+        sinks=list(sinks) if sinks else None,
     )
     if max_steps is not None:
         sim.max_steps = max_steps
@@ -87,11 +93,15 @@ def run_acast(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> SimulationResult:
     """Run one reliable broadcast of ``value`` from ``sender``."""
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
+        metering=metering, metrics=metrics, sinks=sinks,
     )
     return sim.run(
         ("acast",),
@@ -143,6 +153,9 @@ def run_svss(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> SimulationResult:
     """Run SVSS-Share followed by SVSS-Rec and return the reconstructed values.
 
@@ -152,6 +165,7 @@ def run_svss(
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
+        metering=metering, metrics=metrics, sinks=sinks,
     )
     return sim.run(
         ("svss_harness",),
@@ -171,11 +185,15 @@ def run_aba(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> SimulationResult:
     """Run binary Byzantine agreement with the given per-party inputs."""
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
+        metering=metering, metrics=metrics, sinks=sinks,
     )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
@@ -221,6 +239,9 @@ def run_common_subset(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> SimulationResult:
     """Run CommonSubset where the predicate is immediately true for ``ready_parties``."""
     ready = set(ready_parties)
@@ -232,6 +253,7 @@ def run_common_subset(
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
+        metering=metering, metrics=metrics, sinks=sinks,
     )
     return sim.run(("common_subset_harness",), factory)
 
@@ -245,11 +267,15 @@ def run_weak_coin(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> SimulationResult:
     """Run one weak common coin flip."""
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
+        metering=metering, metrics=metrics, sinks=sinks,
     )
     return sim.run(("weak_coin",), WeakCommonCoin.factory())
 
@@ -267,6 +293,9 @@ def run_coinflip(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> SimulationResult:
     """Run the strong common coin (Algorithm 1) once.
 
@@ -276,6 +305,7 @@ def run_coinflip(
     sim = _simulation(
         n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
         prime=prime, director=director, session_table=session_table,
+        metering=metering, metrics=metrics, sinks=sinks,
     )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
@@ -297,11 +327,15 @@ def run_fair_choice(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> SimulationResult:
     """Run FairChoice (Algorithm 2) over ``m`` candidates."""
     sim = _simulation(
         n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
         prime=prime, director=director, session_table=session_table,
+        metering=metering, metrics=metrics, sinks=sinks,
     )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
@@ -326,11 +360,15 @@ def run_fba(
     prime: Optional[int] = None,
     director: Optional[Any] = None,
     session_table: Optional[Dict[Any, Any]] = None,
+    metering: Optional[bool] = None,
+    metrics: Optional[Any] = None,
+    sinks: Optional[Any] = None,
 ) -> SimulationResult:
     """Run fair Byzantine agreement (Algorithm 3) with the given inputs."""
     sim = _simulation(
         n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
         prime=prime, director=director, session_table=session_table,
+        metering=metering, metrics=metrics, sinks=sinks,
     )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(

@@ -52,16 +52,37 @@ class TrialAggregate:
     total_messages: int = 0
     total_steps: int = 0
     total_shun_events: int = 0
+    total_dropped: int = 0
+    #: Scenario-director action counts (corrupt/silence/recover/...), summed
+    #: over the trials that ran under a director.
+    director_actions: Counter = field(default_factory=Counter)
+    #: Structured-metrics counter totals from trials run with a registry.
+    metric_counters: Counter = field(default_factory=Counter)
     outputs: List[Any] = field(default_factory=list)
     total_elapsed_s: float = 0.0
 
     def add(self, result: SimulationResult) -> None:
-        """Fold one execution into the aggregate."""
+        """Fold one execution into the aggregate.
+
+        Message totals come from whichever observability tier collected them
+        (:meth:`SimulationResult.message_stats`): the trace when tracing was
+        on, the group meter when it was off -- so campaigns on the group-mode
+        fast path report real message counts instead of zeros.
+        """
         self.trials += 1
-        self.total_messages += result.trace.messages_sent
+        stats = result.message_stats
+        if stats is not None:
+            self.total_messages += stats["messages_sent"]
+            self.total_shun_events += stats["shun_events"]
+            self.total_dropped += stats["messages_dropped"]
         self.total_steps += result.steps
-        self.total_shun_events += result.trace.total_shun_events()
         self.total_elapsed_s += getattr(result, "elapsed_s", 0.0)
+        director = result.network.director
+        if director is not None:
+            for _step, action, _pid, _detail in getattr(director, "actions", ()):
+                self.director_actions[action] += 1
+        if result.metrics is not None:
+            self.metric_counters.update(result.metrics.get("counters", {}))
         if result.disagreement:
             self.disagreements += 1
             self.outputs.append(dict(result.outputs))
@@ -87,6 +108,9 @@ class TrialAggregate:
             total_messages=self.total_messages + other.total_messages,
             total_steps=self.total_steps + other.total_steps,
             total_shun_events=self.total_shun_events + other.total_shun_events,
+            total_dropped=self.total_dropped + other.total_dropped,
+            director_actions=self.director_actions + other.director_actions,
+            metric_counters=self.metric_counters + other.metric_counters,
             outputs=self.outputs + other.outputs,
             total_elapsed_s=self.total_elapsed_s + other.total_elapsed_s,
         )
@@ -112,12 +136,19 @@ class TrialAggregate:
             "total_messages": self.total_messages,
             "total_steps": self.total_steps,
             "total_shun_events": self.total_shun_events,
+            "total_dropped": self.total_dropped,
+            "director_actions": dict(self.director_actions),
+            "metric_counters": dict(self.metric_counters),
             "outputs": [_jsonable(output) for output in self.outputs],
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TrialAggregate":
-        """Rebuild an aggregate from :meth:`to_dict` output."""
+        """Rebuild an aggregate from :meth:`to_dict` output.
+
+        The observability fields default when absent so stores written
+        before they existed keep loading.
+        """
         return cls(
             trials=int(data["trials"]),
             disagreements=int(data["disagreements"]),
@@ -125,6 +156,9 @@ class TrialAggregate:
             total_messages=int(data["total_messages"]),
             total_steps=int(data["total_steps"]),
             total_shun_events=int(data["total_shun_events"]),
+            total_dropped=int(data.get("total_dropped", 0)),
+            director_actions=Counter(data.get("director_actions", {})),
+            metric_counters=Counter(data.get("metric_counters", {})),
             outputs=list(data["outputs"]),
         )
 
@@ -175,6 +209,11 @@ class TrialAggregate:
         return self.total_shun_events / self.trials if self.trials else 0.0
 
     @property
+    def mean_dropped(self) -> float:
+        """Average number of dropped (shunned) deliveries per trial."""
+        return self.total_dropped / self.trials if self.trials else 0.0
+
+    @property
     def deliveries_per_s(self) -> Optional[float]:
         """Throughput (delivered messages / wall-clock second), or None.
 
@@ -206,6 +245,8 @@ class TrialAggregate:
             "mean_messages": round(self.mean_messages, 1),
             "mean_steps": round(self.mean_steps, 1),
             "mean_shun_events": round(self.mean_shun_events, 3),
+            "mean_dropped": round(self.mean_dropped, 3),
+            "director_actions": dict(self.director_actions),
             "deliveries_per_s": None if throughput is None else round(throughput),
         }
 

@@ -588,12 +588,16 @@ class EvalPlan:
       or the system is too small for vectorisation to pay.
     """
 
-    __slots__ = ("prime", "n", "points", "mode", "inv_signed", "_pow", "_pow_t")
+    __slots__ = ("prime", "n", "points", "mode", "inv_signed", "_pow", "_pow_t", "stats")
 
     def __init__(self, prime: int, n: int) -> None:
         self.prime = prime
         self.n = n
         self.points: Tuple[int, ...] = tuple(range(1, n + 1))
+        #: Batched-call dispatch counters (vectorised vs scalar fallback),
+        #: read by the metrics registry.  Plans are shared process-wide, so
+        #: per-run numbers are deltas against a captured baseline.
+        self.stats: Dict[str, int] = {"vector_calls": 0, "scalar_calls": 0}
         if _np is None or n < _NUMPY_MIN_N:
             self.mode = "scalar"
         elif (prime - 1) * (prime - 1) * n < 2**63:
@@ -625,7 +629,9 @@ class EvalPlan:
         """``[f(1), ..., f(n)]`` for one reduced-coefficient polynomial."""
         mode = self.mode
         if mode == "scalar":
+            self.stats["scalar_calls"] += 1
             return eval_at_many(self.prime, coeffs, self.points)
+        self.stats["vector_calls"] += 1
         width = len(coeffs)
         table = self._pow[:, :width]
         if mode == "matmul":
@@ -646,7 +652,9 @@ class EvalPlan:
         """
         prime = self.prime
         if self.mode == "scalar" or not rows:
+            self.stats["scalar_calls"] += 1
             return [horner(prime, row, point) for row in rows]
+        self.stats["vector_calls"] += 1
         width = max(len(row) for row in rows)
         if 1 <= point <= self.n and width <= self.n:
             powers = self._pow[point - 1, :width]
@@ -674,9 +682,11 @@ class EvalPlan:
         """
         prime = self.prime
         if self.mode == "scalar":
+            self.stats["scalar_calls"] += 1
             return [
                 poly_trim(bivariate_row(prime, matrix, x)) for x in self.points
             ]
+        self.stats["vector_calls"] += 1
         width = len(matrix)
         table = self._pow[:, :width]
         coeffs = _np.array(matrix, dtype=_np.int64)
@@ -692,9 +702,11 @@ class EvalPlan:
         """Shamir shares at ``1..n`` for many polynomials (one batched product)."""
         prime = self.prime
         if self.mode == "scalar" or not coeffs_list:
+            self.stats["scalar_calls"] += 1
             return [
                 eval_at_many(prime, coeffs, self.points) for coeffs in coeffs_list
             ]
+        self.stats["vector_calls"] += 1
         width = max(len(coeffs) for coeffs in coeffs_list)
         matrix = _np.zeros((len(coeffs_list), width), dtype=_np.int64)
         for index, coeffs in enumerate(coeffs_list):
@@ -772,13 +784,34 @@ class CryptoPlane:
       zero, shared by the n parallel SVSS-Rec sessions of a coin flip.
     """
 
-    __slots__ = ("plan", "prime", "n", "t", "row_cache", "eval_cache", "weight_cache")
+    __slots__ = (
+        "plan",
+        "prime",
+        "n",
+        "t",
+        "row_cache",
+        "eval_cache",
+        "weight_cache",
+        "stats",
+    )
 
     def __init__(self, prime: int, n: int, t: int) -> None:
         self.plan = get_eval_plan(prime, n)
         self.prime = prime
         self.n = n
         self.t = t
+        #: Cache hit/miss counters per cache, read by the metrics registry.
+        #: Undercounts row hits slightly: the hottest handler (SVSSRec's
+        #: RECROW path) probes ``row_cache`` directly, bypassing
+        #: :meth:`validate_row_record` on a warm hit by design.
+        self.stats: Dict[str, int] = {
+            "row_hits": 0,
+            "row_misses": 0,
+            "eval_hits": 0,
+            "eval_misses": 0,
+            "weight_hits": 0,
+            "weight_misses": 0,
+        }
         #: Wire payload -> ``(trimmed row, evals at all party points)`` (or
         #: None for an invalid payload); public so the hottest handlers can
         #: resolve validation AND cross-point evaluation with one dict get.
@@ -815,12 +848,15 @@ class CryptoPlane:
             cached = rows.get(coefficients, _MISSING)
         except TypeError:
             # Unhashable payload (e.g. a nested list): validate directly.
+            self.stats["row_misses"] += 1
             trimmed = self._validate_uncached(coefficients)
             if trimmed is None:
                 return None
             return trimmed, self.row_evals(trimmed)
         if cached is not _MISSING:
+            self.stats["row_hits"] += 1
             return cached
+        self.stats["row_misses"] += 1
         trimmed = self._validate_uncached(coefficients)
         record = None if trimmed is None else (trimmed, self.row_evals(trimmed))
         if len(rows) >= _PLANE_ROW_CACHE_LIMIT:
@@ -838,10 +874,13 @@ class CryptoPlane:
         evals = self.eval_cache
         values = evals.get(row)
         if values is None:
+            self.stats["eval_misses"] += 1
             values = self.plan.eval_all_points(row)
             if len(evals) >= _PLANE_ROW_CACHE_LIMIT:
                 evals.clear()
             evals[row] = values
+        else:
+            self.stats["eval_hits"] += 1
         return values
 
     def weights_for(self, pids: Tuple[int, ...]) -> Tuple[int, ...]:
@@ -849,10 +888,13 @@ class CryptoPlane:
         weights = self.weight_cache
         values = weights.get(pids)
         if values is None:
+            self.stats["weight_misses"] += 1
             values = self.plan.subset_weights(pids)
             if len(weights) >= _PLANE_WEIGHTS_CACHE_LIMIT:
                 weights.clear()
             weights[pids] = values
+        else:
+            self.stats["weight_hits"] += 1
         return values
 
     def reconstruct_at_zero(self, pids: Tuple[int, ...], ys: Sequence[int]) -> int:

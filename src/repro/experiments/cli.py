@@ -50,6 +50,13 @@ def _summary_rows(summaries: Dict[str, Dict[str, Any]]) -> List[Sequence[Any]]:
             f"{value}: {count}" for value, count in sorted(summary["value_counts"].items())
         )
         throughput = summary.get("deliveries_per_s")
+        # Observability columns (.get: results files written before these
+        # fields existed keep reporting).
+        dropped = summary.get("mean_dropped")
+        director = summary.get("director_actions") or {}
+        director_cell = ", ".join(
+            f"{action}: {count}" for action, count in sorted(director.items())
+        )
         rows.append(
             (
                 name,
@@ -57,7 +64,9 @@ def _summary_rows(summaries: Dict[str, Dict[str, Any]]) -> List[Sequence[Any]]:
                 f"{summary['disagreement_rate']:.3f}",
                 summary["mean_messages"],
                 summary["mean_steps"],
+                "-" if dropped is None else dropped,
                 "-" if not throughput else f"{throughput:,.0f}".replace(",", "_"),
+                director_cell or "-",
                 counts or "-",
             )
         )
@@ -70,7 +79,9 @@ SUMMARY_HEADER = (
     "disagree",
     "msgs/trial",
     "steps/trial",
+    "drops/trial",
     "deliveries/s",
+    "director actions",
     "value counts",
 )
 
@@ -164,6 +175,16 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         print(get_scenario(args.show).to_json(), end="")
         return 0
 
+    wants_sinks = bool(args.trace_jsonl or args.timeline)
+    if wants_sinks and not (args.run or args.smoke):
+        print("error: --trace-jsonl/--timeline require --run or --smoke",
+              file=sys.stderr)
+        return 2
+    if wants_sinks and args.no_tracing:
+        print("error: --trace-jsonl/--timeline need tracing; drop --no-tracing",
+              file=sys.stderr)
+        return 2
+
     names = [args.run] if args.run else scenario_names()
     if args.run or args.smoke:
         for name in names:
@@ -171,8 +192,29 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             # The runtime owns n-resolution (explicit --n beats the scale
             # preset beats the smoke default); report the n it resolved.
             n = ScenarioRuntime(spec, n=args.n).n
+            sinks: List[Any] = []
+            jsonl_sink = None
+            timeline = None
+            if args.trace_jsonl:
+                from repro.obs.sinks import JsonlSink
+
+                # One file per scenario when smoking the whole library.
+                path = Path(args.trace_jsonl)
+                if len(names) > 1:
+                    path = path.with_name(f"{path.stem}.{name}{path.suffix}")
+                jsonl_sink = JsonlSink(path)
+                sinks.append(jsonl_sink)
+            if args.timeline:
+                from repro.obs.timeline import TimelineBuilder
+
+                timeline = TimelineBuilder()
+                sinks.append(timeline)
             result = run_scenario(
-                spec, n=n, seed=args.seed, tracing=not args.no_tracing
+                spec,
+                n=n,
+                seed=args.seed,
+                tracing=not args.no_tracing,
+                sinks=sinks or None,
             )
             status = (
                 "DISAGREED" if result.disagreement else f"agreed={result.agreed_value!r}"
@@ -181,6 +223,24 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 f"{name:<26} n={n:<3} seed={args.seed} "
                 f"steps={result.steps:<7} {status}"
             )
+            if jsonl_sink is not None:
+                print(f"  trace: {jsonl_sink.path} ({jsonl_sink.events_written} events)")
+            if timeline is not None:
+                out = Path(args.timeline)
+                if len(names) > 1:
+                    out = out.with_name(f"{out.stem}.{name}{out.suffix}")
+                if args.timeline_format == "chrome":
+                    import json as _json
+
+                    out.write_text(
+                        _json.dumps(timeline.to_chrome_json(), indent=2, sort_keys=True)
+                        + "\n"
+                    )
+                else:
+                    # render_text() is newline-terminated and byte-identical
+                    # to an offline `python -m repro.obs timeline` rebuild.
+                    out.write_text(timeline.render_text())
+                print(f"  timeline: {out} ({args.timeline_format})")
         return 0
 
     rows = []
@@ -275,6 +335,20 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_parser.add_argument(
         "--no-tracing", action="store_true",
         help="disable trace hooks (the campaign throughput configuration)",
+    )
+    scenarios_parser.add_argument(
+        "--trace-jsonl", metavar="PATH",
+        help="stream the trial's trace events to a JSONL file "
+             "(validate with `python -m repro.obs validate PATH`)",
+    )
+    scenarios_parser.add_argument(
+        "--timeline", metavar="PATH",
+        help="write a per-session timeline of the trial to PATH",
+    )
+    scenarios_parser.add_argument(
+        "--timeline-format", choices=("text", "chrome"), default="text",
+        help="timeline output format: human-readable text or Chrome "
+             "tracing JSON for chrome://tracing (default: text)",
     )
     scenarios_parser.set_defaults(handler=_cmd_scenarios)
 

@@ -61,6 +61,9 @@ class Network:
         keep_events: bool = False,
         tracing: bool = True,
         session_table: Optional[Dict[SessionId, SessionId]] = None,
+        metering: Optional[bool] = None,
+        metrics: Optional[object] = None,
+        sinks: Optional[List[object]] = None,
     ) -> None:
         self.params = params
         self.scheduler = scheduler or RandomScheduler()
@@ -68,6 +71,20 @@ class Network:
         self.master_rng = random.Random(seed)
         self.scheduler_rng = random.Random(self.master_rng.getrandbits(64))
         self.trace = Trace(keep_events=keep_events, enabled=tracing)
+        if sinks:
+            for sink in sinks:
+                self.trace.add_sink(sink)
+        #: Aggregate message meter for trace-free runs (``repro.obs.meter``):
+        #: with tracing on the trace itself carries the counts, so the meter
+        #: engages only when tracing is off, by default (``metering=None``)
+        #: or explicitly; ``metering=False`` opts the fast path out entirely.
+        self.meter = None
+        if not tracing and metering is not False:
+            from repro.obs.meter import GroupMeter
+
+            self.meter = GroupMeter()
+        #: Optional structured-metrics registry (``repro.obs.metrics``).
+        self.metrics = metrics
         self.step_count = 0
         self._next_seq = 0
         #: In-flight messages, held in the scheduler's delivery-queue strategy
@@ -110,6 +127,17 @@ class Network:
         self._queue_push = self._queue.push
         self._trace_on_send = self.trace.on_send
         self._tracing = self.trace.enabled
+        #: Pre-bound meter hook for the send paths (None when unmetered).
+        self._meter_count_send = None if self.meter is None else self.meter.count_send
+        #: Pre-bound registry hooks: completion-step recording (invoked from
+        #: :meth:`record_completion`, which needs an accurate ``step_count``)
+        #: and the queue-depth sampling period.
+        self._obs_on_complete = None
+        self._obs_sample_every = 0
+        if metrics is not None:
+            if getattr(metrics, "completion_steps", False):
+                self._obs_on_complete = metrics.on_complete
+            self._obs_sample_every = getattr(metrics, "queue_depth_every", 0)
         #: Queue fan-outs as single unmaterialised group entries.  Requires a
         #: queue that understands groups and tracing off (trace hooks need
         #: real Message objects at send time); fixed for the network's life.
@@ -200,6 +228,10 @@ class Network:
         self._queue_push(message)
         if self._tracing:
             self._trace_on_send(self.step_count, message)
+        else:
+            count_send = self._meter_count_send
+            if count_send is not None:
+                count_send(message.kind, message.root, 1)
 
     def submit_broadcast(self, sender: int, session: SessionId, payload: tuple) -> None:
         """Queue one copy of ``payload`` for every party, in pid order.
@@ -224,6 +256,11 @@ class Network:
                 self._full_fanout_mask,
                 n,
             )
+            count_send = self._meter_count_send
+            if count_send is not None:
+                # One counter bump for the whole fan-out: FanoutEntry
+                # granularity, not per-copy.
+                count_send(kind, root, n)
             return
         new = Message.__new__
         messages = []
@@ -245,6 +282,10 @@ class Network:
             step = self.step_count
             for message in messages:
                 on_send(step, message)
+        else:
+            count_send = self._meter_count_send
+            if count_send is not None:
+                count_send(kind, root, n)
 
     def submit_fanout(
         self,
@@ -277,6 +318,9 @@ class Network:
                 mask,
                 size,
             )
+            count_send = self._meter_count_send
+            if count_send is not None:
+                count_send(kind, root, size)
             return
         new = Message.__new__
         messages = []
@@ -300,6 +344,10 @@ class Network:
             step = self.step_count
             for message in messages:
                 on_send(step, message)
+        else:
+            count_send = self._meter_count_send
+            if count_send is not None:
+                count_send(kind, root, size)
 
     # ------------------------------------------------------------------
     # Stepping.
@@ -418,6 +466,12 @@ class Network:
         director = self.director
         if director is not None and getattr(director, "wants_deliveries", False):
             return self._run_observed(until=None, watch=session, max_steps=max_steps)
+        if self._obs_on_complete is not None or self._obs_sample_every:
+            # A metrics registry needs an eagerly-maintained step counter
+            # (completion-step histograms) and/or periodic queue-depth
+            # samples: route through the step-accurate instrumented loop.
+            # Delivery order is unchanged -- only bookkeeping differs.
+            return self._run_instrumented(session, max_steps)
         queue = self._queue
         queue_len = queue.__len__
         pop = queue.pop
@@ -544,6 +598,73 @@ class Network:
         """Deliver messages until none remain in flight."""
         return self.run(until=None, max_steps=max_steps)
 
+    def _run_instrumented(self, watch: SessionId, max_steps: int) -> int:
+        """Metrics-instrumented completion loop (registry attached).
+
+        Identical delivery order, stop conditions and errors to
+        :meth:`run_until_complete`; differences are bookkeeping only:
+        ``step_count`` is maintained eagerly so the completion-step hook in
+        :meth:`record_completion` sees accurate steps, and the in-flight
+        queue depth is sampled every ``metrics.queue_depth_every``-th
+        delivery.  Group queues still deliver through their generic ``pop``
+        (which materialises fan-out copies in the same order), so the
+        delivery *sequence* is untouched -- only the lazy-materialisation
+        speed-up is traded for observability.
+        """
+        queue = self._queue
+        queue_len = queue.__len__
+        pop = queue.pop
+        rng = self.scheduler_rng
+        deliver_by_pid = [process.deliver for process in self.processes]
+        on_deliver = self.trace.on_deliver
+        tracing = self._tracing
+        sample_every = self._obs_sample_every
+        on_depth = self.metrics.on_queue_depth if sample_every else None  # type: ignore[union-attr]
+        delivered = 0
+        self._watch_session = watch
+        self._watch_done = self._completions.get(watch, 0) >= self._honest_n
+        try:
+            while not self._watch_done:
+                if delivered >= max_steps:
+                    raise SimulationError(
+                        f"run() exceeded {max_steps} deliveries without reaching "
+                        f"its stop condition"
+                    )
+                if not queue_len():
+                    raise SimulationError(
+                        "network is quiescent but the stop condition is not met "
+                        "(protocol deadlock)"
+                    )
+                message = pop(rng, self.step_count)
+                self.step_count = step = self.step_count + 1
+                if tracing:
+                    on_deliver(step, message)
+                deliver_by_pid[message.receiver](message)
+                delivered += 1
+                if sample_every and delivered % sample_every == 0:
+                    on_depth(step, queue_len())
+            return delivered
+        finally:
+            self._watch_session = None
+            self._watch_done = False
+
+    def message_stats(self) -> Optional[Dict[str, object]]:
+        """Headline message counts, whichever tier collected them.
+
+        With tracing on this is :meth:`Trace.summary`; with tracing off it is
+        the group meter's equivalent (same core keys: ``messages_sent``,
+        ``messages_delivered``, ``messages_dropped``, ``shun_events``,
+        ``sent_by_root``, ``sent_by_kind``, ``dropped_by_reason``), with
+        deliveries read off the step counter (one step is one delivery).
+        Returns None only when metering was explicitly disabled.
+        """
+        if self._tracing:
+            return self.trace.summary()
+        meter = self.meter
+        if meter is not None:
+            return meter.summary(self.step_count)
+        return None
+
     def _run_observed(
         self,
         until: Optional[Callable[["Network"], bool]],
@@ -616,6 +737,9 @@ class Network:
             completions[session] = count = completions.get(session, 0) + 1
             if session == self._watch_session and count >= self._honest_n:
                 self._watch_done = True
+        obs = self._obs_on_complete
+        if obs is not None:
+            obs(self.step_count, pid, session)
         director = self.director
         if director is not None:
             director.on_complete(pid, session)

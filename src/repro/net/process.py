@@ -110,7 +110,9 @@ class Process:
         instance.birth_index = self._creation_counter
         self._creation_counter += 1
         self.protocols[session] = instance
-        director = self.network.director
+        network = self.network
+        network.trace.on_session_open(network.step_count, self.pid, session)
+        director = network.director
         if director is not None:
             # Scenario hook: adaptive adversaries may corrupt this party (or
             # others) the moment a session opens, before the instance starts.
@@ -166,7 +168,11 @@ class Process:
         if shunned:
             threshold = shunned.get(message.sender)
             if threshold is not None and instance.birth_index >= threshold:
-                self.network.trace.on_drop(self.network.step_count, message, "shunned")
+                network = self.network
+                network.trace.on_drop(network.step_count, message, "shunned")
+                meter = network.meter
+                if meter is not None:
+                    meter.count_drop("shunned")
                 return
         instance.on_message(message.sender, message.payload)
 
@@ -194,11 +200,16 @@ class Process:
                 # (this path normally runs with tracing off, where on_drop is
                 # a no-op and the Message would be built just to be thrown
                 # away; step_count may also lag the fast loop's local here).
-                trace = self.network.trace
+                network = self.network
+                trace = network.trace
                 if trace.enabled:
                     trace.on_drop(
-                        self.network.step_count, entry.materialize(bitpos), "shunned"
+                        network.step_count, entry.materialize(bitpos), "shunned"
                     )
+                else:
+                    meter = network.meter
+                    if meter is not None:
+                        meter.count_drop("shunned")
                 return
         instance.on_message(sender, payload)
 
@@ -213,9 +224,13 @@ class Process:
             return
         if party not in self._shunned_from:
             self._shunned_from[party] = self._creation_counter
-            self.network.trace.on_shun(
-                self.network.step_count, self.pid, party, tuple(session)
+            network = self.network
+            network.trace.on_shun(
+                network.step_count, self.pid, party, tuple(session)
             )
+            meter = network.meter
+            if meter is not None:
+                meter.count_shun()
 
     def is_shunning(self, party: int) -> bool:
         """True when this process has ever shunned ``party``."""

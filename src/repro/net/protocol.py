@@ -125,6 +125,18 @@ class Protocol:
         if self.parent is not None:
             self.parent.on_child_complete(self)
 
+    def annotate_phase(self, phase: str) -> None:
+        """Record that this instance entered ``phase`` (a trace milestone).
+
+        Feeds the session-timeline builder (:mod:`repro.obs.timeline`):
+        protocols mark their internal progress points -- SVSS row/ready,
+        ABA ``round-k``, coin ``iter-k`` -- as ``phase`` trace events.  A
+        no-op when tracing is off (the hook is rebound at construction), so
+        the group-mode fast path pays one dead call per milestone.
+        """
+        network = self.process.network
+        network.trace.on_phase(network.step_count, self.pid, self.session, phase)
+
     # ------------------------------------------------------------------
     # Communication.
     # ------------------------------------------------------------------

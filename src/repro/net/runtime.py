@@ -51,6 +51,9 @@ class SimulationResult:
     steps: int
     network: Network
     elapsed_s: float = 0.0
+    #: Snapshot of the structured-metrics registry (``repro.obs.metrics``)
+    #: taken at the end of the run, or None when no registry was attached.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def values(self) -> List[Any]:
@@ -93,6 +96,17 @@ class SimulationResult:
         """The network trace (message counts, shun events, completions)."""
         return self.network.trace
 
+    @property
+    def message_stats(self) -> Optional[Dict[str, Any]]:
+        """Headline message counts from whichever tier collected them.
+
+        ``Trace.summary()`` when tracing was on, the group meter's
+        equivalent when tracing was off (see
+        :meth:`~repro.net.network.Network.message_stats`); None only when
+        metering was explicitly disabled.
+        """
+        return self.network.message_stats()
+
 
 @dataclass
 class Simulation:
@@ -129,6 +143,18 @@ class Simulation:
     #: across same-topology trials so interned session tuples are allocated
     #: once per chunk instead of once per trial.
     session_table: Optional[Dict[SessionId, SessionId]] = None
+    #: Group-meter control for trace-free runs: None engages the meter
+    #: whenever tracing is off (the default -- campaigns keep the fast path
+    #: and still report message counts); False opts out entirely.
+    metering: Optional[bool] = None
+    #: Structured-metrics registry: ``True`` attaches a default
+    #: :class:`repro.obs.metrics.MetricsRegistry`, or pass a configured
+    #: instance.  The snapshot lands on ``SimulationResult.metrics``.
+    metrics: Optional[Any] = None
+    #: Streaming trace sinks (``repro.obs.sinks``) attached to the trace at
+    #: network construction; requires ``tracing=True``.  Sinks are closed
+    #: (flushed) when the run finishes.
+    sinks: Optional[List[Any]] = None
     _corruptions: Dict[int, BehaviorFactory] = field(default_factory=dict)
     network: Optional[Network] = None
 
@@ -147,6 +173,10 @@ class Simulation:
     def build_network(self) -> Network:
         """Create the network and apply corruptions (idempotent)."""
         if self.network is None:
+            if self.metrics is True:
+                from repro.obs.metrics import MetricsRegistry
+
+                self.metrics = MetricsRegistry()
             self.network = Network(
                 self.params,
                 scheduler=self.scheduler,
@@ -154,6 +184,9 @@ class Simulation:
                 keep_events=self.keep_events,
                 tracing=self.tracing,
                 session_table=self.session_table,
+                metering=self.metering,
+                metrics=self.metrics,
+                sinks=self.sinks,
             )
             for pid, factory in self._corruptions.items():
                 process = self.network.processes[pid]
@@ -186,6 +219,12 @@ class Simulation:
         """
         session = tuple(session)
         network = self.build_network()
+        registry = self.metrics
+        if registry is not None:
+            # Process-wide crypto tables (eval plan, Lagrange LRU) persist
+            # across trials: snapshot them before any protocol work so the
+            # final report is a per-run delta.
+            registry.capture_baseline(network)
         inputs = inputs or {}
         common_input = common_input or {}
         for process in network.processes:
@@ -217,10 +256,12 @@ class Simulation:
             elapsed = time.perf_counter() - started_at
             if pause:
                 gc.enable()
+            network.trace.close_sinks()
         return SimulationResult(
             session=session,
             outputs=network.honest_outputs(session),
             steps=network.step_count,
             network=network,
             elapsed_s=elapsed,
+            metrics=None if registry is None else registry.finalize(network),
         )

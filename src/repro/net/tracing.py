@@ -4,15 +4,32 @@ Every :class:`~repro.net.network.Network` owns a :class:`Trace`.  Protocols and
 the runtime record events into it; benchmarks and tests read aggregate
 statistics (message counts, delivery counts, shunning events, completion
 times) from it after the run.
+
+Event retention is tiered rather than all-or-nothing:
+
+* ``keep_events=False`` (default) -- aggregate counters only, no event
+  objects retained.
+* ``keep_events=True`` or an ``int`` -- a bounded ring buffer (default
+  capacity :data:`DEFAULT_EVENT_CAPACITY`); the oldest events are evicted
+  once full and counted in :attr:`Trace.events_dropped`.
+* ``keep_events="all"`` -- the historical unbounded list, for short runs
+  that need the complete event stream in memory.
+* :meth:`Trace.add_sink` -- streaming consumers (:mod:`repro.obs.sinks`)
+  that observe every event as it is recorded, independent of retention:
+  a JSONL writer can stream a multi-million-event run that keeps nothing
+  in memory.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.net.message import Message, SessionId
+
+#: Ring-buffer capacity used by ``keep_events=True``.
+DEFAULT_EVENT_CAPACITY = 65536
 
 
 @dataclass(frozen=True)
@@ -22,7 +39,8 @@ class TraceEvent:
     Attributes:
         step: network step counter at which the event occurred.
         kind: event category (``send``, ``deliver``, ``drop``, ``complete``,
-            ``shun``, ``corrupt``, ``note``).
+            ``shun``, ``corrupt``, ``phase``, ``session_open``, ``director``,
+            ``note``).
         party: the party the event concerns (receiver for deliveries, the
             shunning party for shun events), or None for global events.
         detail: free-form event payload.
@@ -42,33 +60,57 @@ class Trace:
     """Collects events and aggregate metrics for one simulated execution.
 
     With ``enabled=False`` every recording hook (``on_send``, ``on_deliver``,
-    ``on_drop``, ``on_complete``, ``on_shun``, ``on_corrupt``, ``note``,
-    ``record``) is rebound to a shared no-op at construction time, so the
-    network's hot loop pays one trivially-dispatched call and zero
-    message-formatting or counter work per event.  Counters then stay at
-    zero and no completions/shun events are recorded -- use a disabled trace
-    only for throughput campaigns that read protocol outputs, not metrics.
+    ``on_drop``, ``on_complete``, ``on_shun``, ``on_corrupt``, ``on_phase``,
+    ``on_session_open``, ``on_director``, ``note``, ``record``) is rebound to
+    a shared no-op at construction time, so the network's hot loop pays one
+    trivially-dispatched call and zero message-formatting or counter work per
+    event.  Counters then stay at zero and no completions/shun events are
+    recorded -- throughput campaigns with ``tracing=False`` read their
+    headline counts from the group meter (:mod:`repro.obs.meter`) instead.
     """
 
-    def __init__(self, keep_events: bool = False, enabled: bool = True) -> None:
-        #: When True the full event list is retained (memory heavy for large
-        #: runs); aggregate counters are always maintained while enabled.
+    def __init__(
+        self, keep_events: Union[bool, int, str] = False, enabled: bool = True
+    ) -> None:
+        #: Retention policy as passed in (False / True / int capacity / "all").
         self.keep_events = keep_events
         #: When False, all recording hooks are no-ops and metrics stay empty.
         self.enabled = enabled
-        self.events: List[TraceEvent] = []
+        #: Events evicted from the ring buffer once its capacity was reached.
+        self.events_dropped = 0
+        #: Streaming consumers fed every recorded event (see ``add_sink``).
+        self.sinks: List[Any] = []
+        if keep_events == "all":
+            self._events: Optional[Any] = []
+            self._capacity: Optional[int] = None
+        elif keep_events is True:
+            self._events = deque()
+            self._capacity = DEFAULT_EVENT_CAPACITY
+        elif isinstance(keep_events, int) and keep_events > 0:
+            self._events = deque()
+            self._capacity = keep_events
+        elif not keep_events:
+            self._events = None
+            self._capacity = None
+        else:
+            raise ValueError(
+                f"keep_events must be False, True, a positive int or 'all', "
+                f"got {keep_events!r}"
+            )
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.sent_by_root: Counter = Counter()
         self.sent_by_kind: Counter = Counter()
+        self.dropped_by_reason: Counter = Counter()
         self.completions: Dict[Tuple[int, SessionId], Tuple[int, Any]] = {}
         self.shun_events: List[Tuple[int, int, SessionId]] = []
         self.notes: List[Tuple[int, Any]] = []
-        if enabled and not keep_events:
+        if enabled and self._events is None:
             # The aggregate counters stay live, but per-event record() calls
-            # are no-ops unless the event list is kept -- rebinding removes
-            # their body from every hook on the hot path.
+            # are no-ops unless events are retained or streamed -- rebinding
+            # removes their body from every hook on the hot path.  add_sink()
+            # deletes the instance binding again when a sink arrives.
             self.record = _noop  # type: ignore[method-assign]
         if not enabled:
             # Rebinding beats per-call `if self.enabled` checks: the flag test
@@ -81,12 +123,57 @@ class Trace:
             self.on_complete = _noop  # type: ignore[method-assign]
             self.on_shun = _noop  # type: ignore[method-assign]
             self.on_corrupt = _noop  # type: ignore[method-assign]
+            self.on_phase = _noop  # type: ignore[method-assign]
+            self.on_session_open = _noop  # type: ignore[method-assign]
+            self.on_director = _noop  # type: ignore[method-assign]
             self.note = _noop  # type: ignore[method-assign]
 
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events (oldest first; empty when nothing is kept)."""
+        if self._events is None:
+            return []
+        return list(self._events)
+
+    def add_sink(self, sink: Any) -> Any:
+        """Attach a streaming event consumer and return it.
+
+        The sink's ``emit(event)`` is called for every subsequently recorded
+        :class:`TraceEvent`, regardless of the retention policy.  Sinks
+        require an enabled trace -- with ``tracing=False`` no events exist to
+        stream, so attaching one raises :class:`ValueError` instead of
+        silently observing nothing.
+        """
+        if not self.enabled:
+            raise ValueError(
+                "cannot attach a sink to a disabled trace; run with tracing "
+                "enabled (sinks consume trace events)"
+            )
+        if "record" in self.__dict__:
+            # record() was rebound to the shared no-op because nothing was
+            # retained; restore the class method so events flow to the sink.
+            del self.record
+        self.sinks.append(sink)
+        return sink
+
+    def close_sinks(self) -> None:
+        """Flush and close every attached sink (idempotent per sink)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
     def record(self, step: int, kind: str, party: Optional[int], detail: Any) -> None:
-        """Append a raw event (only stored when ``keep_events`` is set)."""
-        if self.keep_events:
-            self.events.append(TraceEvent(step, kind, party, detail))
+        """Store/stream a raw event per the retention policy and sinks."""
+        event = TraceEvent(step, kind, party, detail)
+        events = self._events
+        if events is not None:
+            if self._capacity is not None and len(events) == self._capacity:
+                events.popleft()
+                self.events_dropped += 1
+            events.append(event)
+        for sink in self.sinks:
+            sink.emit(event)
 
     def on_send(self, step: int, message: Message) -> None:
         """Record that ``message`` was handed to the network."""
@@ -103,6 +190,7 @@ class Trace:
     def on_drop(self, step: int, message: Message, reason: str) -> None:
         """Record that ``message`` was dropped (e.g. sender shunned)."""
         self.messages_dropped += 1
+        self.dropped_by_reason[reason] += 1
         self.record(step, "drop", message.receiver, (reason, message))
 
     def on_complete(self, step: int, party: int, session: SessionId, value: Any) -> None:
@@ -120,6 +208,24 @@ class Trace:
     def on_corrupt(self, step: int, party: int) -> None:
         """Record that ``party`` was corrupted by the adversary."""
         self.record(step, "corrupt", party, None)
+
+    def on_phase(self, step: int, party: int, session: SessionId, phase: str) -> None:
+        """Record that ``party`` entered ``phase`` of ``session``.
+
+        Protocols annotate their milestones through
+        :meth:`repro.net.protocol.Protocol.annotate_phase` (SVSS row/ready,
+        ABA rounds, coin iterations); the timeline builder turns these into
+        per-party phase spans.
+        """
+        self.record(step, "phase", party, (session, phase))
+
+    def on_session_open(self, step: int, party: int, session: SessionId) -> None:
+        """Record that ``party`` instantiated a protocol for ``session``."""
+        self.record(step, "session_open", party, session)
+
+    def on_director(self, step: int, action: str, party: Optional[int], detail: Any) -> None:
+        """Record a scenario-director action (corrupt/silence/recover/...)."""
+        self.record(step, "director", party, (action, detail))
 
     def note(self, step: int, detail: Any) -> None:
         """Record a free-form annotation."""
@@ -152,4 +258,7 @@ class Trace:
             "completions": len(self.completions),
             "shun_events": len(self.shun_events),
             "sent_by_root": dict(self.sent_by_root),
+            "sent_by_kind": dict(self.sent_by_kind),
+            "dropped_by_reason": dict(self.dropped_by_reason),
+            "events_dropped": self.events_dropped,
         }

@@ -1,0 +1,45 @@
+"""Deterministic observability plane: metering, metrics, streaming sinks.
+
+Three tiers, each composing with every execution mode of the simulator:
+
+1. **Metered group mode** (:mod:`repro.obs.meter`) -- aggregate message
+   counters maintained at :class:`~repro.net.queues.FanoutEntry` granularity
+   on the send/drop paths, so campaigns keep the lazy-materialisation
+   group-mode fast path *and* still report ``Trace.summary()``-equivalent
+   numbers.  Engaged automatically whenever tracing is off (pass
+   ``metering=False`` to opt out); never touches the scheduler RNG, so the
+   delivery order is byte-identical with metering on or off.
+2. **Structured metrics registry** (:mod:`repro.obs.metrics`) -- cheap
+   counters/gauges/histograms (completion-step latencies per session root,
+   queue depth over time, crypto-plane cache hit rates, evaluation-plan
+   dispatch counts) recorded through pre-bound hooks in the same rebinding
+   style :class:`~repro.net.tracing.Trace` uses.  Opt-in per simulation
+   (``metrics=True``); snapshots land on ``SimulationResult.metrics``.
+3. **Streaming trace sinks** (:mod:`repro.obs.sinks`,
+   :mod:`repro.obs.timeline`) -- pluggable per-event consumers replacing the
+   all-or-nothing ``keep_events`` list: a bounded ring buffer, a JSONL file
+   writer (schema in :mod:`repro.obs.schema`) and a session-timeline builder
+   rendering per-party phase/round timelines as text or Chrome
+   ``chrome://tracing`` JSON.  Sinks require tracing (they consume trace
+   events) and observe without perturbing determinism.
+
+``python -m repro.obs`` validates emitted JSONL traces and renders timelines
+offline.
+"""
+
+from repro.obs.meter import GroupMeter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import event_to_jsonable, validate_jsonl
+from repro.obs.sinks import JsonlSink, RingBufferSink, TraceSink
+from repro.obs.timeline import TimelineBuilder
+
+__all__ = [
+    "GroupMeter",
+    "MetricsRegistry",
+    "TraceSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "TimelineBuilder",
+    "event_to_jsonable",
+    "validate_jsonl",
+]

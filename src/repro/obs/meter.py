@@ -1,0 +1,75 @@
+"""Aggregate message metering for trace-free (group-mode) executions.
+
+A :class:`GroupMeter` gives the group-mode fast path the headline numbers a
+:class:`~repro.net.tracing.Trace` would have collected -- sends, deliveries,
+drops, shun events, per-kind and per-root send counts -- without requiring
+Message objects at send time.  The network updates it *once per fan-out*
+(:class:`~repro.net.queues.FanoutEntry` granularity: a broadcast of ``n``
+copies is one counter bump of ``n``), and the process layer counts drops on
+the unmaterialised delivery path.  Deliveries are not counted at all: every
+network step delivers exactly one message, so the delivered total is read off
+``Network.step_count`` at snapshot time.
+
+The meter never touches the scheduler RNG or the queue, so delivery order is
+byte-identical with metering on or off (locked by the golden-fingerprint
+determinism tests in ``tests/obs/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict
+
+
+class GroupMeter:
+    """Message counters for one network, maintained on the send/drop paths."""
+
+    __slots__ = (
+        "messages_sent",
+        "messages_dropped",
+        "shun_events",
+        "sent_by_kind",
+        "sent_by_root",
+        "dropped_by_reason",
+    )
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.shun_events = 0
+        self.sent_by_kind: Counter = Counter()
+        self.sent_by_root: Counter = Counter()
+        self.dropped_by_reason: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def count_send(self, kind: Any, root: Any, count: int) -> None:
+        """Count ``count`` copies of one logical send (fan-out granularity)."""
+        self.messages_sent += count
+        self.sent_by_kind[kind] += count
+        self.sent_by_root[root] += count
+
+    def count_drop(self, reason: str) -> None:
+        """Count one dropped delivery (e.g. a shunned sender's message)."""
+        self.messages_dropped += 1
+        self.dropped_by_reason[reason] += 1
+
+    def count_shun(self) -> None:
+        """Count one shunning event."""
+        self.shun_events += 1
+
+    # ------------------------------------------------------------------
+    def summary(self, messages_delivered: int) -> Dict[str, Any]:
+        """``Trace.summary()``-shaped headline metrics.
+
+        ``messages_delivered`` is the network's step count: one step is one
+        delivery, so the meter never pays a per-delivery update for it.
+        """
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "shun_events": self.shun_events,
+            "sent_by_root": dict(self.sent_by_root),
+            "sent_by_kind": dict(self.sent_by_kind),
+            "dropped_by_reason": dict(self.dropped_by_reason),
+        }

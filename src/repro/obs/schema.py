@@ -1,0 +1,195 @@
+"""JSONL trace schema: event serialisation and validation.
+
+One :class:`~repro.net.tracing.TraceEvent` maps to one JSON object (one line
+in a ``.jsonl`` file) with the envelope ``{"step", "kind", "party", ...}``
+plus kind-specific fields:
+
+========== ==========================================================
+kind        extra fields
+========== ==========================================================
+send        sender, receiver, session, msg_kind, seq
+deliver     sender, receiver, session, msg_kind, seq
+drop        reason, sender, receiver, session, msg_kind, seq
+complete    session, value
+shun        shunned, session
+corrupt     --
+phase       session, phase
+session_open  session
+director    action, detail
+note        detail
+========== ==========================================================
+
+Sessions serialise as lists (JSON has no tuples); payload values and
+free-form details pass through :func:`_jsonable`, which falls back to
+``repr`` for anything JSON cannot carry, so writing never fails mid-run.
+:func:`validate_jsonl` is the consumer-side check used by the CI smoke job
+and ``python -m repro.obs validate``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.net.message import Message
+from repro.net.tracing import TraceEvent
+
+#: Event kinds a conforming JSONL trace may contain.
+EVENT_KINDS = frozenset(
+    [
+        "send",
+        "deliver",
+        "drop",
+        "complete",
+        "shun",
+        "corrupt",
+        "phase",
+        "session_open",
+        "director",
+        "note",
+    ]
+)
+
+#: Required extra fields per event kind (the envelope step/kind/party is
+#: always required; party may be null).
+_REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "send": ("sender", "receiver", "session", "msg_kind", "seq"),
+    "deliver": ("sender", "receiver", "session", "msg_kind", "seq"),
+    "drop": ("reason", "sender", "receiver", "session", "msg_kind", "seq"),
+    "complete": ("session", "value"),
+    "shun": ("shunned", "session"),
+    "corrupt": (),
+    "phase": ("session", "phase"),
+    "session_open": ("session",),
+    "director": ("action", "detail"),
+    "note": ("detail",),
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to a JSON-compatible value (repr fallback)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(repr(item) for item in value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    return repr(value)
+
+
+def _message_fields(message: Message) -> Dict[str, Any]:
+    return {
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "session": _jsonable(message.session),
+        "msg_kind": _jsonable(message.kind),
+        "seq": message.seq,
+    }
+
+
+def event_to_jsonable(event: TraceEvent) -> Dict[str, Any]:
+    """Convert one trace event to its JSON-object (dict) form."""
+    data: Dict[str, Any] = {
+        "step": event.step,
+        "kind": event.kind,
+        "party": event.party,
+    }
+    kind = event.kind
+    detail = event.detail
+    if kind in ("send", "deliver"):
+        data.update(_message_fields(detail))
+    elif kind == "drop":
+        reason, message = detail
+        data["reason"] = reason
+        data.update(_message_fields(message))
+    elif kind == "complete":
+        session, value = detail
+        data["session"] = _jsonable(session)
+        data["value"] = _jsonable(value)
+    elif kind == "shun":
+        shunned, session = detail
+        data["shunned"] = shunned
+        data["session"] = _jsonable(session)
+    elif kind == "phase":
+        session, phase = detail
+        data["session"] = _jsonable(session)
+        data["phase"] = phase
+    elif kind == "session_open":
+        data["session"] = _jsonable(detail)
+    elif kind == "director":
+        action, extra = detail
+        data["action"] = action
+        data["detail"] = _jsonable(extra)
+    elif kind == "corrupt":
+        pass
+    else:  # note and any future free-form kinds
+        data["detail"] = _jsonable(detail)
+    return data
+
+
+def validate_event(data: Any, lineno: int = 0) -> List[str]:
+    """Schema-check one parsed event object; return a list of problems."""
+    where = f"line {lineno}: " if lineno else ""
+    if not isinstance(data, dict):
+        return [f"{where}event is not a JSON object"]
+    problems = []
+    kind = data.get("kind")
+    if kind not in EVENT_KINDS:
+        problems.append(f"{where}unknown event kind {kind!r}")
+        return problems
+    step = data.get("step")
+    if not isinstance(step, int) or step < 0:
+        problems.append(f"{where}step must be a non-negative integer, got {step!r}")
+    party = data.get("party")
+    if party is not None and not isinstance(party, int):
+        problems.append(f"{where}party must be an integer or null, got {party!r}")
+    for field in _REQUIRED_FIELDS[kind]:
+        if field not in data:
+            problems.append(f"{where}{kind} event missing field {field!r}")
+    if "session" in data and "session" in _REQUIRED_FIELDS[kind]:
+        if not isinstance(data.get("session"), list):
+            problems.append(f"{where}session must be a list")
+    return problems
+
+
+def validate_events(
+    lines: Iterable[str], max_problems: int = 20
+) -> Tuple[int, List[str]]:
+    """Validate an iterable of JSONL lines.
+
+    Returns ``(event_count, problems)``; validation stops collecting after
+    ``max_problems`` issues (the count keeps going).  Steps must be
+    non-decreasing -- the trace is recorded in execution order.
+    """
+    count = 0
+    problems: List[str] = []
+    last_step = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        if len(problems) >= max_problems:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        problems.extend(validate_event(data, lineno))
+        step = data.get("step") if isinstance(data, dict) else None
+        if isinstance(step, int):
+            if step < last_step:
+                problems.append(
+                    f"line {lineno}: step {step} went backwards (previous {last_step})"
+                )
+            last_step = step
+    return count, problems
+
+
+def validate_jsonl(path: Any, max_problems: int = 20) -> Tuple[int, List[str]]:
+    """Validate the JSONL trace file at ``path``; see :func:`validate_events`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_events(handle, max_problems=max_problems)

@@ -1,0 +1,93 @@
+"""Streaming trace sinks: per-event consumers attached to an enabled Trace.
+
+A sink observes every :class:`~repro.net.tracing.TraceEvent` as it is
+recorded (``Trace.add_sink``), independent of the trace's retention policy --
+a JSONL writer can stream a run whose trace keeps nothing in memory.  Sinks
+must never mutate events or touch simulation state: they are observers, and
+the determinism tests (``tests/obs/test_determinism.py``) lock in that
+attaching one does not change delivery order.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from typing import Any, Deque, List, Optional
+
+from repro.net.tracing import TraceEvent
+from repro.obs.schema import event_to_jsonable
+
+
+class TraceSink:
+    """Base class for streaming event consumers.
+
+    Subclasses override :meth:`emit`; :meth:`close` flushes/releases any
+    resources and must be idempotent (the runtime closes sinks after the run,
+    and CLI wrappers may close them again defensively).
+    """
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (default: nothing to do)."""
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` events plus per-kind totals.
+
+    Useful as a post-mortem flight recorder on long runs: total counts stay
+    exact while memory stays bounded.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.events_seen = 0
+        self.counts_by_kind: Counter = Counter()
+
+    @property
+    def events_dropped(self) -> int:
+        """Events evicted from the ring (seen minus retained)."""
+        return self.events_seen - len(self.events)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        self.counts_by_kind[event.kind] += 1
+        self.events.append(event)
+
+    def tail(self, count: int = 20) -> List[TraceEvent]:
+        """The last ``count`` retained events, oldest first."""
+        if count <= 0:
+            return []
+        return list(self.events)[-count:]
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per event to a ``.jsonl`` file.
+
+    Serialisation goes through :func:`repro.obs.schema.event_to_jsonable`
+    (schema documented there; ``repr`` fallback for exotic payloads, so
+    writing never fails mid-run).  Lines are written with sorted keys, making
+    the file byte-identical across runs of the same seed.
+    """
+
+    def __init__(self, path: Any) -> None:
+        self.path = path
+        self._handle: Optional[Any] = open(path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        handle = self._handle
+        if handle is None:
+            raise ValueError(f"JsonlSink({self.path!r}) is closed")
+        json.dump(event_to_jsonable(event), handle, sort_keys=True, default=repr)
+        handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

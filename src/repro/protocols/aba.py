@@ -185,6 +185,7 @@ class BinaryAgreement(Protocol):
     # ------------------------------------------------------------------
     def on_start(self, value: Any = 0, **_: Any) -> None:
         self.est = 1 if value else 0
+        self.annotate_phase(f"round-{self.round}")
         self._broadcast_bval(self.round, self.est)
         # Messages (and even whole thresholds) may have been buffered and
         # replayed before start -- for example when this party joins a
@@ -317,6 +318,7 @@ class BinaryAgreement(Protocol):
         if self.halted:
             return
         self.round += 1
+        self.annotate_phase(f"round-{self.round}")
         self._broadcast_bval(self.round, self.est)
         # Messages for the new round may already have arrived.
         self._try_advance(self.round)

@@ -102,6 +102,7 @@ class CoinFlip(Protocol):
     # ------------------------------------------------------------------
     def _begin_iteration(self, index: int) -> None:
         self.current_iteration = index
+        self.annotate_phase(f"iter-{index}")
         iteration = self.iterations.setdefault(index, _Iteration(index))
         my_bit = self.rng.randrange(2)
         for dealer in range(self.n):

@@ -283,6 +283,7 @@ class SVSSShare(Protocol):
 
     def _after_row_known(self, evals: Optional[List[int]] = None) -> None:
         assert self.row_ints is not None
+        self.annotate_phase("row")
         # One batched evaluation at all party points (cached network-wide)
         # backs both the POINT sends and every subsequent consistency check.
         if evals is None:
@@ -317,6 +318,7 @@ class SVSSShare(Protocol):
             return
         if self._consistent_count >= self._quorum:
             self._ready_sent = True
+            self.annotate_phase("ready")
             self.broadcast("READY")
 
     def _maybe_complete(self) -> None:

@@ -260,8 +260,14 @@ class ScenarioDirector:
         self._log("recover", pid, "outgoing channel restored")
 
     def _log(self, action: str, pid: int, detail: str) -> None:
-        step = self.network.step_count if self.network is not None else 0
+        network = self.network
+        step = network.step_count if network is not None else 0
         self.actions.append((step, action, pid, detail))
+        if network is not None:
+            # The audit log is also a trace client: every director action
+            # becomes a ``director`` trace event, so streaming sinks (JSONL,
+            # timeline) see the attack interleaved with the deliveries.
+            network.trace.on_director(step, action, pid, detail)
 
 
 class ScenarioRuntime:
@@ -349,6 +355,7 @@ def run_scenario(
     protocol: Optional[str] = None,
     params: Optional[Mapping[str, Any]] = None,
     tracing: bool = True,
+    sinks: Optional[List[Any]] = None,
 ) -> SimulationResult:
     """Run one trial of a scenario and return its :class:`SimulationResult`.
 
@@ -359,7 +366,11 @@ def run_scenario(
         seed: trial seed.
         protocol: runner-name override (default: the scenario's protocol).
         params: runner keyword overrides merged over the scenario's params.
-        tracing: forwarded to the runner (disable for throughput sweeps).
+        tracing: forwarded to the runner (disable for throughput sweeps;
+            trace-free trials still report message counts via the group
+            meter).
+        sinks: streaming trace sinks (:mod:`repro.obs.sinks`) attached to the
+            trial's trace; requires ``tracing=True``.
     """
     if isinstance(scenario, str):
         from repro.scenarios.library import get_scenario
@@ -372,6 +383,9 @@ def run_scenario(
     call: Dict[str, Any] = dict(kwargs)
     if runtime.prime is not None and "prime" not in call:
         call["prime"] = runtime.prime
+    call.setdefault("tracing", tracing)
+    if sinks:
+        call.setdefault("sinks", sinks)
     corruptions = runtime.static_corruptions()
     return runner(
         n=runtime.n,

@@ -1,0 +1,110 @@
+"""TrialAggregate observability fields: drops, director actions, metrics."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.adversary import attacks
+from repro.core import api
+from repro.core.results import TrialAggregate
+from repro.scenarios.engine import run_scenario
+from repro.scenarios.library import get_scenario
+
+
+def test_metered_trials_report_real_message_counts():
+    """Group-mode (tracing=False) trials must aggregate non-zero totals."""
+    traced = TrialAggregate()
+    metered = TrialAggregate()
+    for seed in range(2):
+        traced.add(api.run_weak_coin(8, seed=seed))
+        metered.add(api.run_weak_coin(8, seed=seed, tracing=False))
+    assert metered.total_messages == traced.total_messages > 0
+    assert metered.total_steps == traced.total_steps
+    assert metered.mean_messages == traced.mean_messages
+
+
+def test_dropped_totals_aggregate():
+    aggregate = TrialAggregate()
+    corruptions = {2: attacks.BadShareBehavior.factory()}
+    for seed in range(2):
+        aggregate.add(api.run_weak_coin(8, seed=seed, corruptions=corruptions))
+    assert aggregate.total_dropped > 0
+    assert aggregate.mean_dropped == aggregate.total_dropped / 2
+    assert aggregate.summary()["mean_dropped"] == round(aggregate.mean_dropped, 3)
+
+
+def test_director_actions_aggregate():
+    aggregate = TrialAggregate()
+    aggregate.add(run_scenario(get_scenario("dealer-ambush"), n=8, seed=0))
+    assert aggregate.director_actions  # the ambush corrupts dealers
+    assert aggregate.summary()["director_actions"] == dict(aggregate.director_actions)
+
+
+def test_metric_counters_aggregate():
+    aggregate = TrialAggregate()
+    for seed in range(2):
+        aggregate.add(api.run_weak_coin(8, seed=seed, metrics=True))
+    assert aggregate.metric_counters["completions"] > 0
+    assert aggregate.metric_counters["queue_depth_samples"] > 0
+
+
+def test_merge_sums_observability_fields():
+    left = TrialAggregate(
+        trials=1,
+        total_dropped=3,
+        director_actions=Counter({"corrupt": 1}),
+        metric_counters=Counter({"completions": 8}),
+    )
+    right = TrialAggregate(
+        trials=1,
+        total_dropped=4,
+        director_actions=Counter({"corrupt": 2, "silence": 1}),
+        metric_counters=Counter({"completions": 5}),
+    )
+    merged = left.merge(right)
+    assert merged.total_dropped == 7
+    assert merged.director_actions == Counter({"corrupt": 3, "silence": 1})
+    assert merged.metric_counters == Counter({"completions": 13})
+
+
+def test_round_trip_preserves_observability_fields():
+    aggregate = TrialAggregate()
+    aggregate.add(run_scenario(get_scenario("dealer-ambush"), n=8, seed=0))
+    rebuilt = TrialAggregate.from_dict(aggregate.to_dict())
+    assert rebuilt.total_dropped == aggregate.total_dropped
+    assert rebuilt.director_actions == aggregate.director_actions
+    assert rebuilt.metric_counters == aggregate.metric_counters
+
+
+def test_campaign_metrics_parallel_equals_sequential():
+    """Cells opt into metrics via params; chunk merging stays deterministic."""
+    from repro.experiments.runner import run_campaign
+    from repro.experiments.spec import CampaignSpec
+
+    data = {
+        "name": "m",
+        "cells": [
+            {
+                "name": "wc8",
+                "protocol": "weak_coin",
+                "n": 8,
+                "seeds": [0, 1, 2, 3],
+                "params": {"metrics": True},
+            }
+        ],
+    }
+    sequential = run_campaign(CampaignSpec.from_dict(data), workers=1)["wc8"]
+    parallel = run_campaign(CampaignSpec.from_dict(data), workers=2)["wc8"]
+    assert sequential.metric_counters["completions"] > 0
+    assert sequential.to_dict() == parallel.to_dict()
+
+
+def test_from_dict_tolerates_old_stores():
+    """Results files written before the observability fields must still load."""
+    data = TrialAggregate().to_dict()
+    for key in ("total_dropped", "director_actions", "metric_counters"):
+        del data[key]
+    rebuilt = TrialAggregate.from_dict(data)
+    assert rebuilt.total_dropped == 0
+    assert rebuilt.director_actions == Counter()
+    assert rebuilt.metric_counters == Counter()

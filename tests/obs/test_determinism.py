@@ -1,0 +1,137 @@
+"""Observability must never change behaviour.
+
+The fingerprints in ``tests/golden_trials.json`` pin whole executions --
+``[steps, sorted honest outputs, messages sent, shun events]`` per seed.
+Every observability configuration (tracing on, metered group mode, metering
+disabled, streaming sinks attached, metrics registry active, bounded event
+ring) must reproduce those fingerprints byte-for-byte: the instruments are
+observers, not participants.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.adversary import attacks
+from repro.core import api
+from repro.core.config import ProtocolParams
+from repro.net.runtime import Simulation
+from repro.obs.sinks import JsonlSink, RingBufferSink
+from repro.obs.timeline import TimelineBuilder
+from repro.protocols.weak_coin import WeakCommonCoin
+
+GOLDEN = json.loads((Path(__file__).parents[1] / "golden_trials.json").read_text())
+
+#: (golden key, runner kwargs) for the weak-coin cells used below.  n=32 uses
+#: the million-scale prime preset (the batched crypto path), matching the
+#: golden capture.
+CELLS = [
+    ("weakcoin_n16_s0", dict(n=16, seed=0)),
+    ("weakcoin_n16_s1", dict(n=16, seed=1)),
+    ("weakcoin_n32_s0", dict(n=32, seed=0, prime=1_000_003)),
+    ("weakcoin_n32_s1", dict(n=32, seed=1, prime=1_000_003)),
+]
+
+#: Observability configurations layered on top of each cell.  ``sinks`` is a
+#: factory so each run gets fresh sink instances.
+CONFIGS = {
+    "traced": dict(tracing=True),
+    "metered": dict(tracing=False),
+    "unmetered": dict(tracing=False, metering=False),
+    "metrics": dict(tracing=True, metrics=True),
+    "ring_sink": dict(tracing=True, sinks=lambda tmp: [RingBufferSink(512)]),
+    "jsonl_sink": dict(
+        tracing=True, sinks=lambda tmp: [JsonlSink(tmp / "trace.jsonl")]
+    ),
+    "timeline_sink": dict(tracing=True, sinks=lambda tmp: [TimelineBuilder()]),
+}
+
+
+def _run(cell_kwargs, config, tmp_path):
+    kwargs = dict(cell_kwargs)
+    for key, value in config.items():
+        kwargs[key] = value(tmp_path) if key == "sinks" else value
+    return api.run_weak_coin(**kwargs)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("key,cell", CELLS, ids=[key for key, _ in CELLS])
+def test_golden_fingerprint_is_config_independent(key, cell, config_name, tmp_path):
+    golden_steps, golden_outputs, golden_sent, golden_shuns = GOLDEN[key]
+    result = _run(cell, CONFIGS[config_name], tmp_path)
+
+    assert result.steps == golden_steps, (key, config_name)
+    assert [[p, v] for p, v in sorted(result.outputs.items())] == golden_outputs
+
+    stats = result.message_stats
+    if config_name == "unmetered":
+        # No trace, no meter: message statistics are deliberately absent.
+        assert stats is None
+        return
+    # Trace and meter must agree with the golden eager-trace counts.
+    assert stats["messages_sent"] == golden_sent, (key, config_name)
+    assert stats["shun_events"] == golden_shuns, (key, config_name)
+
+
+@pytest.mark.parametrize("key,cell", CELLS[:2], ids=[key for key, _ in CELLS[:2]])
+def test_meter_summary_matches_trace_summary(key, cell):
+    """Group-mode meter counters equal the eager per-message trace counters."""
+    traced = api.run_weak_coin(**cell).trace.summary()
+    metered = api.run_weak_coin(**cell, tracing=False).message_stats
+    for field in (
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped",
+        "shun_events",
+        "sent_by_root",
+        "sent_by_kind",
+        "dropped_by_reason",
+    ):
+        assert metered[field] == traced[field], field
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_meter_counts_drops_under_shunning(seed):
+    """A bad-share dealer gets shunned; the meter must count the resulting
+    dropped deliveries exactly as the trace does."""
+    corruptions = {2: attacks.BadShareBehavior.factory()}
+    traced = api.run_weak_coin(8, seed=seed, corruptions=corruptions)
+    metered = api.run_weak_coin(
+        8, seed=seed, corruptions=corruptions, tracing=False
+    )
+    assert metered.steps == traced.steps
+    assert metered.outputs == traced.outputs
+    t_summary = traced.trace.summary()
+    m_summary = metered.message_stats
+    assert t_summary["messages_dropped"] > 0  # the scenario must exercise drops
+    assert m_summary["messages_dropped"] == t_summary["messages_dropped"]
+    assert m_summary["dropped_by_reason"] == t_summary["dropped_by_reason"]
+    assert m_summary["shun_events"] == t_summary["shun_events"]
+
+
+def test_event_ring_does_not_change_execution():
+    """keep_events retention tiers are recording-only."""
+    params = ProtocolParams.for_parties(16)
+    results = [
+        Simulation(params=params, seed=0, keep_events=keep).run(
+            ("weak_coin",), WeakCommonCoin.factory()
+        )
+        for keep in (False, True, 64, "all")
+    ]
+    baseline = results[0]
+    for other in results[1:]:
+        assert other.steps == baseline.steps
+        assert other.outputs == baseline.outputs
+        assert other.trace.messages_sent == baseline.trace.messages_sent
+
+
+def test_jsonl_files_are_byte_identical_across_runs(tmp_path):
+    """Same seed, same sink => byte-identical JSONL (sorted keys, fixed order)."""
+    paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+    for path in paths:
+        api.run_weak_coin(8, seed=3, sinks=[JsonlSink(path)])
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+    assert paths[0].stat().st_size > 0

@@ -1,0 +1,52 @@
+"""Unit tests for the group-mode message meter."""
+
+from __future__ import annotations
+
+from repro.core import api
+from repro.obs.meter import GroupMeter
+
+
+def test_counts_and_summary_shape():
+    meter = GroupMeter()
+    meter.count_send("ROW", "svss", 7)
+    meter.count_send("READY", "svss", 7)
+    meter.count_send("ROW", "svss", 1)
+    meter.count_drop("shunned")
+    meter.count_drop("shunned")
+    meter.count_shun()
+
+    summary = meter.summary(messages_delivered=12)
+    assert summary == {
+        "messages_sent": 15,
+        "messages_delivered": 12,
+        "messages_dropped": 2,
+        "shun_events": 1,
+        "sent_by_root": {"svss": 15},
+        "sent_by_kind": {"ROW": 8, "READY": 7},
+        "dropped_by_reason": {"shunned": 2},
+    }
+
+
+def test_fresh_meter_is_zero():
+    summary = GroupMeter().summary(messages_delivered=0)
+    assert summary["messages_sent"] == 0
+    assert summary["messages_dropped"] == 0
+    assert summary["sent_by_kind"] == {}
+
+
+def test_network_attaches_meter_only_when_untraced():
+    traced = api.run_weak_coin(4, seed=0)
+    assert traced.network.meter is None  # the trace supersedes the meter
+    metered = api.run_weak_coin(4, seed=0, tracing=False)
+    assert metered.network.meter is not None
+    disabled = api.run_weak_coin(4, seed=0, tracing=False, metering=False)
+    assert disabled.network.meter is None
+    assert disabled.message_stats is None
+
+
+def test_message_stats_source_matches_mode():
+    traced = api.run_weak_coin(4, seed=0)
+    assert traced.message_stats["completions"] >= 4  # trace summary shape
+    metered = api.run_weak_coin(4, seed=0, tracing=False)
+    assert "completions" not in metered.message_stats  # meter summary shape
+    assert metered.message_stats["messages_delivered"] == metered.steps

@@ -1,0 +1,89 @@
+"""Tests for the session-timeline builder (text and Chrome tracing output)."""
+
+from __future__ import annotations
+
+from repro.adversary import attacks
+from repro.core import api
+from repro.obs.sinks import JsonlSink
+from repro.obs.timeline import TimelineBuilder
+
+
+def test_lanes_from_synthetic_events():
+    builder = TimelineBuilder()
+    builder.add({"step": 0, "kind": "session_open", "party": 1, "session": ["aba"]})
+    builder.add(
+        {"step": 5, "kind": "phase", "party": 1, "session": ["aba"], "phase": "round-0"}
+    )
+    builder.add(
+        {"step": 9, "kind": "phase", "party": 1, "session": ["aba"], "phase": "round-1"}
+    )
+    builder.add(
+        {"step": 12, "kind": "complete", "party": 1, "session": ["aba"], "value": 1}
+    )
+    builder.add({"step": 3, "kind": "shun", "party": 0, "session": ["aba"], "shunned": 2})
+    text = builder.render_text()
+    assert "session aba:" in text
+    assert "party 1: open@0 round-0@5 round-1@9 done@12=1" in text
+    assert "mark @3: shun party=0 2" in text
+    assert builder.max_step == 12
+
+
+def test_live_sink_equals_offline_rebuild(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    live = TimelineBuilder()
+    api.run_weak_coin(8, seed=0, sinks=[live, JsonlSink(path)])
+    offline = TimelineBuilder.from_jsonl(path)
+    assert offline.render_text() == live.render_text()
+    assert offline.to_chrome_json() == live.to_chrome_json()
+
+
+def test_protocol_phases_reach_the_timeline():
+    builder = TimelineBuilder()
+    api.run_weak_coin(8, seed=0, sinks=[builder])
+    text = builder.render_text()
+    # The weak coin opens per-dealer SVSS subsessions; their row/ready phase
+    # annotations and the root completion must all be present.
+    assert "session weak_coin:" in text
+    assert "row@" in text
+    assert "ready@" in text
+    assert "done@" in text
+
+
+def test_marks_capture_shuns():
+    builder = TimelineBuilder()
+    api.run_svss(
+        7,
+        31337,
+        seed=0,
+        corruptions={2: attacks.BadShareBehavior.factory()},
+        sinks=[builder],
+    )
+    assert any(kind == "shun" for _step, kind, _party, _detail in builder.marks)
+    assert "mark @" in builder.render_text()
+
+
+def test_chrome_json_structure():
+    builder = TimelineBuilder()
+    result = api.run_weak_coin(8, seed=0, sinks=[builder])
+    doc = builder.to_chrome_json()
+    events = doc["traceEvents"]
+    assert doc["otherData"]["time_axis"] == "delivery steps"
+    phases = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert phases and instants and metadata
+    for event in phases:
+        assert event["dur"] >= 0
+        assert 0 <= event["ts"] <= result.steps
+    # One process_name metadata record per party.
+    names = {e["pid"] for e in metadata if e["name"] == "process_name"}
+    assert names == set(range(8))
+
+
+def test_render_is_deterministic():
+    builders = []
+    for _ in range(2):
+        builder = TimelineBuilder()
+        api.run_weak_coin(8, seed=2, sinks=[builder])
+        builders.append(builder)
+    assert builders[0].render_text() == builders[1].render_text()
