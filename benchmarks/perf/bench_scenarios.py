@@ -15,6 +15,14 @@ Two kinds of measurement:
   the legacy full-scan queue via :func:`~repro.net.scheduler.force_scan`.
   Delivery order is byte-identical (asserted before timing); the speedup is
   pure queue indexing, measured exactly where the scan path degenerates.
+* **The reactive pairs** -- the director-driven `reactive-rush` scenario on
+  the rank-indexed :class:`~repro.scenarios.schedulers._ReactiveQueue` versus
+  the reference ``choose`` scan (same byte-identical guarantee, asserted
+  before timing), plus ``reactive_director_overhead_n32``: the same reactive
+  trial raced against the static-scheduler `restart-storm` trial at n=32.
+  Its "speedup" is the static/reactive time ratio -- the price of closing
+  the adversary loop -- and the regression checker's tolerance keeps the
+  reactive path within 2x of the static row.
 
 Every timed callable draws fresh seeds from its own counter so repeated
 calls never replay a warm trial, and a determinism pre-check asserts that
@@ -58,6 +66,31 @@ def _flood_trial(n: int, seed: int, scan: bool) -> SimulationResult:
     )
 
 
+def _reactive_trial(n: int, seed: int, scan: bool) -> SimulationResult:
+    """One reactive-rush trial, optionally pinned to the reference scan.
+
+    The scan wrapper hides the reactive scheduler's indexed queue but must
+    still let the director apply its actions, so the reaction entry points
+    are forwarded onto the wrapper.
+    """
+    spec = get_scenario("reactive-rush")
+    runtime = ScenarioRuntime(spec, n=n)
+    scheduler = runtime.build_scheduler()
+    if scan:
+        inner = scheduler
+        scheduler = force_scan(inner)
+        scheduler.supports_reactions = True
+        scheduler.apply_action = inner.apply_action
+    return RUNNERS.get(spec.protocol)(
+        n=n,
+        seed=seed,
+        scheduler=scheduler,
+        prime=runtime.prime,
+        director=runtime.build_director(),
+        tracing=False,
+    )
+
+
 def run(quick: bool) -> List[BenchResult]:
     n = 16 if quick else 32
     repeats = 2
@@ -69,6 +102,9 @@ def run(quick: bool) -> List[BenchResult]:
         ("adaptive-budget-burn", 1),
         ("late-crash-quorum", 2),
         ("partition-heal", 2),
+        ("restart-storm", 1),
+        ("tamper-on-share", 1),
+        ("reactive-rush", 1),
     ):
         _check_determinism(name, n)
         seeds = itertools.count(500)
@@ -115,4 +151,59 @@ def run(quick: bool) -> List[BenchResult]:
                 scenario="flood-fenwick",
             )
         )
+
+    # -- the reactive pairs: rank-indexed queue vs reference choose scan --
+    # Same quick/full split as the flood pairs: the reference scan is
+    # O(pending * rules) per delivery once the rush rule installs, so it is
+    # only affordable at the small sizes.
+    reactive_sizes = [8] if quick else [8, 16]
+    for reactive_n in reactive_sizes:
+        fast = _reactive_trial(reactive_n, 3, scan=False)
+        scan = _reactive_trial(reactive_n, 3, scan=True)
+        if _fingerprint(fast) != _fingerprint(scan):
+            raise AssertionError(
+                "reactive-rush: indexed queue diverged from the reference "
+                f"scan at n={reactive_n}"
+            )
+        fast_seeds = itertools.count(900)
+        scan_seeds = itertools.count(900)
+        results.append(
+            compare(
+                f"reactive_rush_delivery_n{reactive_n}",
+                lambda reactive_n=reactive_n, fast_seeds=fast_seeds: _reactive_trial(
+                    reactive_n, next(fast_seeds), scan=False
+                ),
+                lambda reactive_n=reactive_n, scan_seeds=scan_seeds: _reactive_trial(
+                    reactive_n, next(scan_seeds), scan=True
+                ),
+                number=1,
+                repeats=repeats,
+                n=reactive_n,
+                scenario="reactive-rush",
+            )
+        )
+
+    # -- director overhead: reactive trial vs the static-scheduler row ----
+    # Always at n=32 (both modes): the "speedup" is static over reactive
+    # wall time for same-protocol, same-scale trials, so the regression
+    # checker's tolerance pins the reactive director within 2x of the
+    # static-scheduler trial.
+    _check_determinism("reactive-rush", 32)
+    static_seeds = itertools.count(700)
+    reactive_seeds = itertools.count(700)
+    results.append(
+        compare(
+            "reactive_director_overhead_n32",
+            lambda reactive_seeds=reactive_seeds: run_scenario(
+                "reactive-rush", n=32, seed=next(reactive_seeds), tracing=False
+            ),
+            lambda static_seeds=static_seeds: run_scenario(
+                "restart-storm", n=32, seed=next(static_seeds), tracing=False
+            ),
+            number=1,
+            repeats=repeats,
+            n=32,
+            scenario="reactive-rush",
+        )
+    )
     return results

@@ -166,6 +166,52 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_scenarios(args: argparse.Namespace) -> int:
+    """Run scenarios trace-free and evaluate every safety invariant.
+
+    The chaos gate: each scenario runs ``--check-seeds`` trials in the
+    campaign throughput configuration (tracing off) and every
+    :mod:`repro.scenarios.invariants` check -- budget, termination, step
+    bound, agreement, validity -- is evaluated on each result.  Any
+    violation is printed and the command exits non-zero, so CI fails loudly
+    the moment an adversarial scenario breaks a guaranteed property.
+    """
+    from repro.scenarios.engine import ScenarioRuntime, run_scenario
+    from repro.scenarios.invariants import check_scenario_result
+    from repro.scenarios.library import get_scenario, scenario_names
+
+    names = [args.run] if args.run else scenario_names()
+    seeds = list(range(args.seed, args.seed + max(1, args.check_seeds)))
+    violations_total = 0
+    trials = 0
+    for name in names:
+        spec = get_scenario(name)
+        n = ScenarioRuntime(spec, n=args.n).n
+        bad: List[str] = []
+        steps = []
+        for seed in seeds:
+            result = run_scenario(spec, n=n, seed=seed, tracing=False)
+            trials += 1
+            steps.append(result.steps)
+            for violation in check_scenario_result(spec, result):
+                bad.append(f"seed={seed} {violation}")
+        status = "OK" if not bad else f"{len(bad)} VIOLATION(S)"
+        print(
+            f"{name:<26} n={n:<3} seeds={seeds[0]}..{seeds[-1]} "
+            f"steps={max(steps):<7} {status}"
+        )
+        for line in bad:
+            print(f"  {line}")
+        violations_total += len(bad)
+    verdict = (
+        "all invariants hold"
+        if not violations_total
+        else f"{violations_total} invariant violation(s)"
+    )
+    print(f"\n{len(names)} scenarios x {len(seeds)} seeds = {trials} trials: {verdict}")
+    return 0 if not violations_total else 1
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     """List, validate, inspect or smoke-run the named scenario library."""
     from repro.scenarios.engine import ScenarioRuntime, run_scenario
@@ -174,6 +220,16 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     if args.show:
         print(get_scenario(args.show).to_json(), end="")
         return 0
+
+    if args.check:
+        if args.smoke or args.no_tracing or args.trace_jsonl or args.timeline:
+            print(
+                "error: --check runs its own trace-free trials; it only "
+                "combines with --run/--n/--seed/--check-seeds",
+                file=sys.stderr,
+            )
+            return 2
+        return _check_scenarios(args)
 
     wants_sinks = bool(args.trace_jsonl or args.timeline)
     if wants_sinks and not (args.run or args.smoke):
@@ -324,6 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios_parser.add_argument(
         "--show", metavar="NAME", help="print one scenario's JSON definition"
+    )
+    scenarios_parser.add_argument(
+        "--check", action="store_true",
+        help="run trace-free trials of every scenario (or just --run NAME) "
+             "and fail on any safety-invariant violation",
+    )
+    scenarios_parser.add_argument(
+        "--check-seeds", type=int, default=2,
+        help="trials per scenario under --check, seeded from --seed "
+             "(default: 2)",
     )
     scenarios_parser.add_argument(
         "--n", type=int, default=None,

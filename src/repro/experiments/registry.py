@@ -161,3 +161,4 @@ def build_scheduler(spec: Optional[SchedulerSpec]) -> Optional[net_scheduler.Sch
 # can name targeted_delay / session_starvation / partition_heal / rushing
 # whether or not repro.scenarios was imported first.
 import repro.scenarios.schedulers  # noqa: E402,F401  (self-registration)
+import repro.scenarios.tamper  # noqa: E402,F401  (registers the tamper behaviour)

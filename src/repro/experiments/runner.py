@@ -114,6 +114,15 @@ class CellExecutor:
         self.kwargs = kwargs
         self.corruptions = corruptions
         self._extras = self._supported_extras()
+        #: Safety-invariant checking (repro.scenarios.invariants): the cell
+        #: may force it either way; the default is on exactly for scenario
+        #: cells, whose adversarial grids are where silent safety breaks
+        #: would otherwise aggregate into garbage statistics.
+        self.check_invariants = (
+            cell.invariants
+            if cell.invariants is not None
+            else cell.scenario is not None
+        )
 
     def _supported_extras(self) -> frozenset:
         """Which optional runner kwargs (director/session table) to forward.
@@ -153,13 +162,24 @@ class CellExecutor:
             call["session_table"] = self.session_table
         if self.scenario_runtime is not None:
             call["director"] = self.scenario_runtime.build_director()
-        return self.runner(
+        result = self.runner(
             n=self.cell.n,
             seed=seed,
             scheduler=self._build_scheduler(),
             corruptions=self.corruptions or None,
             **call,
         )
+        if self.check_invariants:
+            # Imported lazily, like the scenario runtime above.
+            from repro.scenarios.invariants import assert_invariants
+
+            assert_invariants(
+                result,
+                self.cell.protocol,
+                context=f"cell {self.cell.name!r} seed {seed}",
+                params=self.kwargs,
+            )
+        return result
 
 
 def run_trial(cell: ExperimentSpec, seed: int) -> SimulationResult:

@@ -98,6 +98,11 @@ class ExperimentSpec:
             cell's own ``params`` override the scenario's, its ``adversary``
             entries are applied on top of the scenario's static corruptions,
             and an explicit cell ``scheduler`` beats the scenario's.
+        invariants: safety-invariant checking
+            (:mod:`repro.scenarios.invariants`) per trial.  ``None`` (the
+            default, and the only value that serializes away) means "on for
+            scenario cells, off otherwise"; ``True``/``False`` force it.  A
+            violation aborts the campaign with an :class:`ExperimentError`.
     """
 
     #: Runner arguments the spec supplies through dedicated fields; cells may
@@ -112,6 +117,7 @@ class ExperimentSpec:
     adversary: Dict[int, BehaviorSpec] = field(default_factory=dict)
     scheduler: Optional[SchedulerSpec] = None
     scenario: Optional[str] = None
+    invariants: Optional[bool] = None
 
     def __post_init__(self) -> None:
         self.seeds = [int(seed) for seed in self.seeds]
@@ -178,6 +184,11 @@ class ExperimentSpec:
             data["scheduler"] = self.scheduler.to_dict()
         if self.scenario is not None:
             data["scenario"] = self.scenario
+        if self.invariants is not None:
+            # Serialized only when forced: the default (None) must hash
+            # identically to pre-invariant specs so resume checks keep
+            # accepting persisted results.
+            data["invariants"] = bool(self.invariants)
         return data
 
     @classmethod
@@ -199,6 +210,7 @@ class ExperimentSpec:
                     else None
                 ),
                 scenario=data.get("scenario"),
+                invariants=data.get("invariants"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExperimentError(f"malformed experiment cell: {exc}") from exc

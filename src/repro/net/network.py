@@ -100,6 +100,12 @@ class Network:
         )
         #: Lazily-built batched crypto plane (see :meth:`crypto_plane`).
         self._crypto_plane = None
+        #: How the root protocol was wired, recorded by
+        #: :meth:`repro.net.runtime.Simulation.run` as ``(session, factory,
+        #: inputs, common_input)``.  The scenario ``restart`` transition uses
+        #: it to re-open the root protocol at a restarted party; ``None``
+        #: until a simulation driver sets it.
+        self.root_recipe: Optional[tuple] = None
         #: Optional scenario director observing protocol lifecycle events and
         #: (for directors that want them) per-delivery callbacks.  ``None``
         #: keeps every hot path on its unobserved branch.
@@ -771,18 +777,24 @@ class Network:
     # Convenience queries.
     # ------------------------------------------------------------------
     def honest_pids(self) -> List[int]:
-        """Party ids that are not corrupted."""
-        return [p.pid for p in self.processes if not p.is_corrupted]
+        """Party ids the adversary has never controlled.
+
+        A party restarted after a corruption (scenario ``restart``) runs
+        honest code again but stays attributed to the adversary -- the
+        ``ever_corrupted`` flag, not the live behaviour, is what all honest
+        accounting keys on.
+        """
+        return [p.pid for p in self.processes if not p.ever_corrupted]
 
     def corrupted_pids(self) -> List[int]:
-        """Party ids controlled by the adversary."""
-        return [p.pid for p in self.processes if p.is_corrupted]
+        """Party ids the adversary has (ever) controlled."""
+        return [p.pid for p in self.processes if p.ever_corrupted]
 
     def honest_outputs(self, session: SessionId) -> Dict[int, object]:
-        """Outputs of honest parties that completed ``session``."""
+        """Outputs of never-corrupted parties that completed ``session``."""
         outputs: Dict[int, object] = {}
         for process in self.processes:
-            if process.is_corrupted:
+            if process.ever_corrupted:
                 continue
             instance = process.protocol(session)
             if instance is not None and instance.finished:
@@ -806,7 +818,7 @@ class Network:
         counter-backed version.
         """
         for process in self.processes:
-            if process.is_corrupted:
+            if process.ever_corrupted:
                 continue
             instance = process.protocol(session)
             if instance is None or not instance.finished:

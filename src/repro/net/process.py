@@ -40,6 +40,7 @@ class Process:
         "_creation_counter",
         "behavior",
         "outgoing_mutator",
+        "ever_corrupted",
     )
 
     def __init__(
@@ -62,6 +63,11 @@ class Process:
         self._creation_counter = 0
         #: Optional adversarial behaviour; None means honest.
         self.behavior: Optional["Behavior"] = None
+        #: Sticky corruption flag: once the adversary has controlled this
+        #: party it stays attributed to the adversary for budget and
+        #: honest-output accounting, even after a scenario ``restart``
+        #: returns it to running honest code (restart refunds nothing).
+        self.ever_corrupted = False
         #: Optional hook mutating outgoing (receiver, session, payload) tuples;
         #: returning None drops the message.  Used by honest-but-mutating
         #: adversaries.
@@ -84,9 +90,29 @@ class Process:
         # adversarial, and any completions this party already contributed
         # must be retracted.
         self.network.register_corruption(self)
+        self.ever_corrupted = True
         self.behavior = behavior
         behavior.attach(self)
         self.network.trace.on_corrupt(self.network.step_count, self.pid)
+
+    def reinitialize(self) -> None:
+        """Rejoin with fresh protocol state (the scenario ``restart`` path).
+
+        Drops the adversarial behaviour, the outgoing mutator, the entire
+        protocol tree, buffered messages and shun state: the party comes back
+        indistinguishable from a freshly constructed honest process (its RNG
+        stream continues -- a restarted party does not rewind randomness).
+        ``ever_corrupted`` stays set: the adversary paid for this party and a
+        restart refunds nothing, so completions and outputs remain excluded
+        from the honest accounting.
+        """
+        self.behavior = None
+        self.outgoing_mutator = None
+        self.protocols = {}
+        self._protocols_get = self.protocols.get
+        self._pending = {}
+        self._shunned_from = {}
+        self._creation_counter = 0
 
     # ------------------------------------------------------------------
     # Protocol management.

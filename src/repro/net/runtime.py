@@ -227,6 +227,9 @@ class Simulation:
             registry.capture_baseline(network)
         inputs = inputs or {}
         common_input = common_input or {}
+        # Record how the root protocol is wired so the scenario ``restart``
+        # transition can re-open it at a restarted party mid-run.
+        network.root_recipe = (session, factory, inputs, common_input)
         for process in network.processes:
             if process.is_corrupted and not getattr(
                 process.behavior, "runs_honest_protocol", False

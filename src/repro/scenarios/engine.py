@@ -97,26 +97,58 @@ class ScenarioDirector:
         self._step_rule_done = [False] * len(rules)
         self.timeline = timeline
         self._timeline_fired = [False] * len(timeline)
+        #: Per-entry count of phase events matched so far (``on.count``
+        #: triggers fire on the k-th match, not the first).
+        self._timeline_matches = [0] * len(timeline)
+        #: Step-triggered work still pending, as ``(index, entry)`` in spec
+        #: order.  ``on_deliver`` consumes these instead of rescanning the
+        #: full timeline/rule lists on every delivery: once both lists drain,
+        #: the per-delivery callback is two falsy checks.
+        self._pending_step_timeline: List[Tuple[int, FaultEvent]] = [
+            (index, event)
+            for index, event in enumerate(timeline)
+            if event.at_step is not None
+        ]
+        self._pending_step_rules: List[Tuple[int, AdaptiveRule]] = [
+            (index, rule) for index, rule in enumerate(rules) if rule.on == "step"
+        ]
         #: pid -> outgoing mutator saved when the party was silenced.
         self._silenced: Dict[int, Any] = {}
         #: Parties corrupted *by this director or the static plan* (budget).
         self.corrupted: set = set()
         #: pids whose corruption was refused on budget, already logged.
         self._budget_blocked: set = set()
-        #: Audit log of ``(step, action, pid, detail)`` tuples.
-        self.actions: List[Tuple[int, str, int, str]] = []
+        #: Audit log of ``(step, action, pid, detail)`` tuples (``pid`` is
+        #: None for actions without a subject party, e.g. scheduler clears).
+        self.actions: List[Tuple[int, str, Optional[int], str]] = []
         self.network: Optional[Network] = None
         #: Whether the network must route deliveries through the observed
         #: loop (only needed for step triggers).
-        self.wants_deliveries = any(rule.on == "step" for rule in rules) or any(
-            event.at_step is not None for event in timeline
+        self.wants_deliveries = bool(
+            self._pending_step_rules or self._pending_step_timeline
         )
+        #: Whether any entry carries scheduler_actions (requires the trial's
+        #: scheduler to be reactive -- checked at attach time).
+        self._needs_reactive = any(
+            event.scheduler_actions for event in timeline
+        ) or any(rule.scheduler_actions for rule in rules)
+        #: The trial's reactive scheduler, bound at attach time (None when
+        #: the scheduler does not accept director actions).
+        self.reactive_scheduler: Optional[Any] = None
         self._behavior_factories: Dict[Any, Callable[..., Any]] = {}
 
     # ------------------------------------------------------------------
     def attach(self, network: Network) -> None:
         """Bind to the network; pre-applied static corruptions join the budget."""
         self.network = network
+        scheduler = network.scheduler
+        if getattr(scheduler, "supports_reactions", False):
+            self.reactive_scheduler = scheduler
+        elif self._needs_reactive:
+            raise ExperimentError(
+                "scenario declares scheduler_actions but the trial's scheduler "
+                'does not accept them; use the "reactive" scheduler'
+            )
         for pid in network.corrupted_pids():
             self.corrupted.add(pid)
         if len(self.corrupted) > self.budget:
@@ -135,22 +167,29 @@ class ScenarioDirector:
         self._handle_phase_event("complete", pid, session)
 
     def on_deliver(self, step: int, message: Message) -> None:
-        for index, event in enumerate(self.timeline):
-            if (
-                not self._timeline_fired[index]
-                and event.at_step is not None
-                and step >= event.at_step
-            ):
-                self._timeline_fired[index] = True
-                self._apply_transition(event)
-        for index, rule in enumerate(self.rules):
-            if (
-                rule.on == "step"
-                and not self._step_rule_done[index]
-                and step >= rule.at_step
-            ):
-                self._step_rule_done[index] = True
-                self._maybe_fire_rule(index, rule, subject=None, captured=None)
+        # Step-triggered entries are consumed from pending lists (spec order
+        # preserved): after the last threshold fires, this callback is two
+        # falsy checks per delivery, not a rescan of the whole spec.
+        pending = self._pending_step_timeline
+        if pending:
+            remaining = []
+            for index, event in pending:
+                if step >= event.at_step:
+                    self._timeline_fired[index] = True
+                    self._apply_transition(event)
+                else:
+                    remaining.append((index, event))
+            self._pending_step_timeline = remaining
+        pending_rules = self._pending_step_rules
+        if pending_rules:
+            remaining_rules = []
+            for index, rule in pending_rules:
+                if step >= rule.at_step:
+                    self._step_rule_done[index] = True
+                    self._maybe_fire_rule(index, rule, subject=None, captured=None)
+                else:
+                    remaining_rules.append((index, rule))
+            self._pending_step_rules = remaining_rules
 
     # ------------------------------------------------------------------
     # Rule and timeline dispatch.
@@ -161,10 +200,14 @@ class ScenarioDirector:
                 continue
             if entry.on["event"] != event:
                 continue
-            if match_session(entry.on["pattern"], session) is None:
+            captures = match_session(entry.on["pattern"], session)
+            if captures is None:
+                continue
+            count = self._timeline_matches[index] = self._timeline_matches[index] + 1
+            if count < int(entry.on.get("count", 1)):
                 continue
             self._timeline_fired[index] = True
-            self._apply_transition(entry)
+            self._apply_transition(entry, event_pid=captures.get("pid", pid))
         for index, rule in enumerate(self.rules):
             if rule.on != event:
                 continue
@@ -182,26 +225,35 @@ class ScenarioDirector:
     ) -> None:
         if rule.max_firings is not None and self._rule_firings[index] >= rule.max_firings:
             return
-        if rule.target == "captured":
-            targets = [captured] if captured is not None else []
-        elif rule.target == "subject":
-            targets = [subject] if subject is not None else []
-        else:
-            targets = resolve_parties(rule.target, self.n)
         fired = False
-        for pid in targets:
-            if self._corrupt(pid, rule.behavior, f"rule[{index}]:{rule.on}"):
+        if rule.behavior is not None:
+            if rule.target == "captured":
+                targets = [captured] if captured is not None else []
+            elif rule.target == "subject":
+                targets = [subject] if subject is not None else []
+            else:
+                targets = resolve_parties(rule.target, self.n)
+            for pid in targets:
+                if self._corrupt(pid, rule.behavior, f"rule[{index}]:{rule.on}"):
+                    fired = True
+        if rule.scheduler_actions:
+            event_pid = captured if captured is not None else subject
+            if self._apply_scheduler_actions(
+                rule.scheduler_actions, event_pid, f"rule[{index}]:{rule.on}"
+            ):
                 fired = True
         if fired:
             self._rule_firings[index] += 1
 
-    def _apply_transition(self, event: FaultEvent) -> None:
+    def _apply_transition(self, event: FaultEvent, event_pid: Optional[int] = None) -> None:
         assert self.network is not None
         targets = resolve_parties(event.select, self.n)
         if event.transition in CORRUPTING_TRANSITIONS:
             # Corrupting transitions are irreversible and spend budget.
             if event.transition == "crash":
                 spec = BehaviorSpec("hard_crash")
+            elif event.transition == "tamper":
+                spec = BehaviorSpec("tamper", dict(event.tamper or {}))
             else:  # equivocate
                 spec = BehaviorSpec("split_equivocator", {"offset": event.offset})
             for pid in targets:
@@ -212,6 +264,15 @@ class ScenarioDirector:
         elif event.transition == "recover":
             for pid in targets:
                 self._recover(pid)
+        elif event.transition == "restart":
+            for pid in targets:
+                self._restart(pid, "timeline:restart")
+        # "reprioritize" touches no party; like every other transition it may
+        # carry scheduler actions, applied once per firing below.
+        if event.scheduler_actions:
+            self._apply_scheduler_actions(
+                event.scheduler_actions, event_pid, f"timeline:{event.transition}"
+            )
 
     # ------------------------------------------------------------------
     # Actions.
@@ -222,10 +283,12 @@ class ScenarioDirector:
         process = self.network.processes[pid]
         if process.is_corrupted:
             return False
-        if len(self.corrupted) >= self.budget:
+        if pid not in self.corrupted and len(self.corrupted) >= self.budget:
             # Log each blocked pid once; phase rules can re-attempt the same
             # corruption on every matching event, and the audit log must stay
-            # bounded by n, not by the event count.
+            # bounded by n, not by the event count.  A pid already in
+            # ``corrupted`` was paid for earlier (re-corrupting a restarted
+            # party costs nothing extra).
             if pid not in self._budget_blocked:
                 self._budget_blocked.add(pid)
                 self._log("budget-exhausted", pid, reason)
@@ -247,19 +310,85 @@ class ScenarioDirector:
         assert self.network is not None
         process = self.network.processes[pid]
         if process.is_corrupted or pid in self._silenced:
+            # Skips are audited (not silently swallowed) so a timeline that
+            # tries to silence an already-taken party stays explainable from
+            # the action log alone.
+            reason = "already corrupted" if process.is_corrupted else "already silenced"
+            self._log("silence-skipped", pid, reason)
             return
         self._silenced[pid] = process.outgoing_mutator
         process.outgoing_mutator = lambda receiver, session, payload: None
         self._log("silence", pid, "outgoing channel severed")
 
     def _recover(self, pid: int) -> None:
-        assert self.network is not None
-        if pid not in self._silenced:
-            return
-        self.network.processes[pid].outgoing_mutator = self._silenced.pop(pid)
-        self._log("recover", pid, "outgoing channel restored")
+        """Recover ``pid``: un-silence for free, or restart a corrupted party.
 
-    def _log(self, action: str, pid: int, detail: str) -> None:
+        Recovery of a silenced party restores its saved outgoing mutator and
+        costs nothing (the party was honest all along).  A *corrupted* party
+        cannot be un-corrupted -- recovering it is a restart: fresh protocol
+        state, ``ever_corrupted`` kept, no budget refund.
+        """
+        assert self.network is not None
+        process = self.network.processes[pid]
+        if process.is_corrupted:
+            self._restart(pid, "timeline:recover")
+            return
+        if pid in self._silenced:
+            process.outgoing_mutator = self._silenced.pop(pid)
+            self._log("recover", pid, "outgoing channel restored")
+            return
+        self._log("recover-skipped", pid, "party is neither silenced nor corrupted")
+
+    def _restart(self, pid: int, reason: str) -> None:
+        """Restart a corrupted party with fresh protocol state.
+
+        The behaviour and the whole protocol tree are discarded and the root
+        protocol is re-opened from the network's recorded recipe; the party
+        runs honest code again but remains the adversary's for accounting
+        (``ever_corrupted`` stays set, the budget refunds nothing, and its
+        completions/outputs stay excluded).  Messages delivered before the
+        restart are lost -- exactly the crash/recovery semantics of a node
+        that rejoins from a blank slate.
+        """
+        network = self.network
+        assert network is not None
+        process = network.processes[pid]
+        if not process.is_corrupted:
+            self._log("restart-skipped", pid, "party is not corrupted")
+            return
+        # Any mutator saved while silencing belongs to the discarded state.
+        self._silenced.pop(pid, None)
+        process.reinitialize()
+        self._log("restart", pid, f"{reason}: fresh protocol state, no budget refund")
+        recipe = network.root_recipe
+        if recipe is not None:
+            session, factory, inputs, common_input = recipe
+            kwargs = dict(common_input)
+            kwargs.update(inputs.get(pid, {}))
+            instance = process.create_protocol(session, factory)
+            if not instance.started:
+                instance.start(**kwargs)
+
+    def _apply_scheduler_actions(
+        self, actions: List[Dict[str, Any]], event_pid: Optional[int], reason: str
+    ) -> bool:
+        """Forward scheduler actions to the reactive scheduler; log changes."""
+        scheduler = self.reactive_scheduler
+        if scheduler is None:
+            # attach() rejects scenarios that need reactions without a
+            # reactive scheduler; this only guards directors constructed and
+            # driven by hand.
+            return False
+        step = self.network.step_count if self.network is not None else 0
+        changed = False
+        for action in actions:
+            described = scheduler.apply_action(action, self.n, step, event_pid)
+            if described is not None:
+                changed = True
+                self._log("scheduler", event_pid, f"{reason}: {described}")
+        return changed
+
+    def _log(self, action: str, pid: Optional[int], detail: str) -> None:
         network = self.network
         step = network.step_count if network is not None else 0
         self.actions.append((step, action, pid, detail))
@@ -371,7 +500,17 @@ def run_scenario(
             meter).
         sinks: streaming trace sinks (:mod:`repro.obs.sinks`) attached to the
             trial's trace; requires ``tracing=True``.
+
+    Raises:
+        ExperimentError: on unknown names/params, or when ``sinks`` are given
+            with ``tracing=False`` (sinks only see events the trace emits --
+            silently producing an empty trace file would hide the mistake).
     """
+    if sinks and not tracing:
+        raise ExperimentError(
+            "run_scenario: sinks require tracing=True (a trace-free trial "
+            "emits no events for them)"
+        )
     if isinstance(scenario, str):
         from repro.scenarios.library import get_scenario
 

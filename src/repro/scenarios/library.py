@@ -200,3 +200,133 @@ register_scenario(ScenarioSpec(
         "max_delay_steps": 120,
     }),
 ))
+
+
+# ----------------------------------------------------------------------
+# Restart / recovery scenarios (PR 7): the adversary gives parties back.
+# ----------------------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="restart-storm",
+    description="the coalition crashes, rejoins from a blank slate, crashes "
+    "again and rejoins again -- churn at the resilience bound",
+    protocol="weak_coin",
+    timeline=[
+        FaultEvent(transition="crash", select=_FAULTY, at_step=40),
+        FaultEvent(transition="restart", select=_FAULTY, at_step=300),
+        # Re-crashing a restarted party is free: the adversary already paid
+        # for it, so the churn never touches the budget clamp.
+        FaultEvent(transition="crash", select=_FAULTY, at_step=700),
+        FaultEvent(transition="restart", select=_FAULTY, at_step=1200),
+    ],
+))
+
+register_scenario(ScenarioSpec(
+    name="crash-recover-crash",
+    description="crash the coalition mid-agreement, recover it (a restart), "
+    "then crash it again for good",
+    protocol="aba",
+    params={"inputs": "alternating"},
+    timeline=[
+        FaultEvent(transition="crash", select=_FAULTY, at_step=60),
+        # ``recover`` on a corrupted party is a restart: fresh protocol
+        # state, no budget refund.
+        FaultEvent(transition="recover", select=_FAULTY, at_step=300),
+        FaultEvent(transition="crash", select=_FAULTY, at_step=700),
+    ],
+))
+
+
+# ----------------------------------------------------------------------
+# Tampering scenarios: honest code over adversarially mutated channels.
+# ----------------------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="tamper-on-share",
+    description="the coalition offsets every POINT field element it sends, "
+    "poisoning cross-validation of the sharings it participates in",
+    protocol="weak_coin",
+    timeline=[
+        FaultEvent(
+            transition="tamper",
+            select=_FAULTY,
+            at_step=10,
+            tamper={"kinds": ["POINT"], "offset": 5},
+        ),
+    ],
+))
+
+register_scenario(ScenarioSpec(
+    name="tamper-kind-noise",
+    description="the coalition rewrites its ROW payload kinds to garbage, "
+    "erasing its own sharing traffic without going silent",
+    protocol="weak_coin",
+    timeline=[
+        FaultEvent(
+            transition="tamper",
+            select=_FAULTY,
+            at_step=10,
+            tamper={"kinds": ["ROW"], "rewrite_kind": "NOISE"},
+        ),
+    ],
+))
+
+register_scenario(ScenarioSpec(
+    name="tamper-drop-fraction",
+    description="a lossy-link coalition that deterministically drops half of "
+    "its reconstruction traffic against an honest dealer",
+    protocol="svss",
+    params={"secret": 171_717, "dealer": 0},
+    timeline=[
+        FaultEvent(
+            transition="tamper",
+            select=_FAULTY,
+            at_step=5,
+            tamper={"session": ["...", "rec"], "drop_fraction": 0.5},
+        ),
+    ],
+))
+
+
+# ----------------------------------------------------------------------
+# Reactive-scheduler scenarios: the director reprioritises deliveries live.
+# ----------------------------------------------------------------------
+register_scenario(ScenarioSpec(
+    name="reactive-starvation",
+    description="each time a sharing completes, the director delays all "
+    "further traffic from the party that finished it",
+    protocol="weak_coin",
+    scheduler=SchedulerSpec("reactive"),
+    corruption=CorruptionPlan(adaptive=[
+        AdaptiveRule(
+            on="complete",
+            pattern=["...", "share", {"pid": True}],
+            scheduler_actions=[{
+                "op": "delay",
+                "predicate": {"senders": "event"},
+                "expires": 150,
+            }],
+            max_firings=6,
+        ),
+    ]),
+))
+
+register_scenario(ScenarioSpec(
+    name="reactive-rush",
+    description="once the third sharing completes anywhere, rush the "
+    "coalition's remaining traffic ahead of everything else",
+    protocol="weak_coin",
+    scheduler=SchedulerSpec("reactive"),
+    timeline=[
+        FaultEvent(
+            transition="reprioritize",
+            select=[],
+            on={
+                "event": "complete",
+                "pattern": ["...", "share", {"pid": True}],
+                "count": 3,
+            },
+            scheduler_actions=[
+                {"op": "boost", "predicate": {"senders": _FAULTY}},
+            ],
+        ),
+    ],
+))

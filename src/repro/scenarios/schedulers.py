@@ -19,10 +19,13 @@ name them with or without a scenario.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+import json
+import random
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.registry import SCHEDULERS
 from repro.net.message import Message
+from repro.net.queues import DeliveryQueue
 from repro.net.scheduler import (
     DelayScheduler,
     PartitionScheduler,
@@ -136,7 +139,320 @@ def message_filter_delay(
     return DelayScheduler(compiled, max_delay_steps=max_delay_steps)
 
 
+class _PriorityRule:
+    """One live boost/delay rule of a :class:`ReactiveScheduler`."""
+
+    __slots__ = ("predicate", "expires_at", "key")
+
+    def __init__(
+        self,
+        predicate: Callable[[Message], bool],
+        expires_at: Optional[int],
+        key: str,
+    ) -> None:
+        self.predicate = predicate
+        self.expires_at = expires_at
+        self.key = key
+
+
+class ReactiveScheduler(Scheduler):
+    """A scheduler the scenario director reprioritises mid-run.
+
+    Until the first action arrives it is exactly the uniform random
+    scheduler (one ``randrange``-equivalent draw per delivery).  Each applied
+    action installs a *boost* or *delay* rule -- a compiled message
+    predicate, optionally expiring after a step budget -- and from then on
+    every delivery picks uniformly among the best-ranked pending messages
+    (boosted < neutral < delayed).  Delayed traffic is still delivered once
+    nothing better is pending (or the rule expires), so runs remain valid
+    asynchronous executions.
+
+    ``make_queue`` pins a :class:`_ReactiveQueue`: pending messages are
+    ranked once at submit time and kept in per-rank Fenwick trees, so a
+    delivery is one draw plus an O(log m) search instead of an O(m * rules)
+    rescan; when the rule set changes (installs, clears, expiries --
+    tracked by ``rules_version``) the queue re-ranks lazily on its next pop.
+    The queue holds materialised messages, which (exactly like tracing)
+    also forces the network's eager fan-out path -- group queues holding
+    unmaterialised :class:`~repro.net.queues.FanoutEntry`\\ s never engage.
+    Determinism is untouched: decisions are pure functions of the (seeded)
+    event stream and the rule set, so trials stay byte-identical per seed,
+    traced or untraced -- and byte-identical to the reference
+    :meth:`choose` scan (``tests/scenarios/test_scenario_robustness.py``
+    diffs full delivery orders against a ``force_scan`` run).
+    """
+
+    #: Marks this scheduler as accepting director ``scheduler_actions``.
+    supports_reactions = True
+
+    def __init__(self) -> None:
+        self._boosts: List[_PriorityRule] = []
+        self._delays: List[_PriorityRule] = []
+        #: Count of actions that changed the rule set (audit/testing aid).
+        self.actions_applied = 0
+        #: Bumped whenever the *effective* rule set changes (rule installed,
+        #: cleared or expired); the reactive queue re-ranks on mismatch.
+        self.rules_version = 0
+        #: Earliest step at which any live rule lapses (None = no expiries).
+        self._next_expiry: Optional[int] = None
+
+    def make_queue(self) -> DeliveryQueue:
+        return _ReactiveQueue(self)
+
+    # ------------------------------------------------------------------
+    def apply_action(
+        self,
+        action: Mapping[str, Any],
+        n: int,
+        step: int,
+        event_pid: Optional[int] = None,
+    ) -> Optional[str]:
+        """Apply one JSON scheduler action (validated at spec time).
+
+        Returns a human-readable description when the rule set changed, or
+        ``None`` when the action was a no-op (duplicate rule -- its expiry is
+        refreshed -- or an ``"event"`` placeholder with no event party).
+        """
+        op = action["op"]
+        if op == "clear":
+            if not self._boosts and not self._delays:
+                return None
+            self._boosts.clear()
+            self._delays.clear()
+            self.actions_applied += 1
+            self.rules_version += 1
+            self._next_expiry = None
+            return "clear: all priority rules dropped"
+        spec = dict(action.get("predicate", {}))
+        for key in ("senders", "receivers"):
+            if spec.get(key) == "event":
+                if event_pid is None:
+                    return None
+                spec[key] = [event_pid]
+        expires = action.get("expires")
+        expires_at = None if expires is None else step + int(expires)
+        key = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        rules = self._boosts if op == "boost" else self._delays
+        for rule in rules:
+            if rule.key == key:
+                # Same predicate fired again: refresh the expiry window
+                # instead of stacking duplicates, keeping the rule set (and
+                # the ranking cost) bounded by the distinct predicates a
+                # scenario can name.  Membership is unchanged, so the
+                # version stays put; only the expiry horizon moves.
+                rule.expires_at = expires_at
+                self._recompute_next_expiry()
+                return None
+        rules.append(_PriorityRule(compile_message_predicate(spec, n), expires_at, key))
+        self.actions_applied += 1
+        self.rules_version += 1
+        if expires_at is not None and (
+            self._next_expiry is None or expires_at < self._next_expiry
+        ):
+            self._next_expiry = expires_at
+        window = "" if expires is None else f" for {int(expires)} steps"
+        return f"{op} {key}{window}"
+
+    # ------------------------------------------------------------------
+    def _recompute_next_expiry(self) -> None:
+        expiries = [
+            rule.expires_at
+            for rule in self._boosts + self._delays
+            if rule.expires_at is not None
+        ]
+        self._next_expiry = min(expiries) if expiries else None
+
+    def expire(self, step: int) -> None:
+        """Drop rules whose window lapsed before ``step`` (O(1) when none)."""
+        next_expiry = self._next_expiry
+        if next_expiry is None or step < next_expiry:
+            return
+        for rules in (self._boosts, self._delays):
+            rules[:] = [
+                rule for rule in rules
+                if rule.expires_at is None or step < rule.expires_at
+            ]
+        self.rules_version += 1
+        self._recompute_next_expiry()
+
+    def rank(self, message: Message) -> int:
+        """0 = boosted, 1 = neutral, 2 = delayed (boost beats delay)."""
+        for rule in self._boosts:
+            if rule.predicate(message):
+                return 0
+        for rule in self._delays:
+            if rule.predicate(message):
+                return 2
+        return 1
+
+    def choose(self, pending: Sequence[Message], rng: random.Random, step: int) -> int:
+        """Reference O(pending) scan; the indexed queue must match it exactly."""
+        self.expire(step)
+        if not self._boosts and not self._delays:
+            return rng.randrange(len(pending))
+        best_rank = 3
+        best: List[int] = []
+        for index, message in enumerate(pending):
+            rank = self.rank(message)
+            if rank < best_rank:
+                best_rank = rank
+                best = [index]
+            elif rank == best_rank:
+                best.append(index)
+        return best[rng.randrange(len(best))]
+
+
+class _ReactiveQueue(DeliveryQueue):
+    """Rank-indexed delivery for :class:`ReactiveScheduler`.
+
+    Send-order slots with one Fenwick tree per rank class (boosted /
+    neutral / delayed).  Ranks are evaluated once per message at submit
+    time; a pop picks the best non-empty class, draws one
+    ``randrange``-equivalent rank and searches that class's tree -- the
+    same single draw over the same population as the reference scan in
+    :meth:`ReactiveScheduler.choose`, hence byte-identical delivery per
+    seed (the ``r``-th live slot of a class in send order is exactly the
+    ``r``-th entry of the scan's ``best`` list).  When the scheduler's
+    effective rule set changes (``rules_version``), every live slot is
+    re-ranked on the next pop -- an O(m) pass per *change*, not per
+    delivery, and scenario directors make at most a handful of changes per
+    run.  Tombstones are compacted once they outnumber live messages.
+    """
+
+    def __init__(self, scheduler: ReactiveScheduler) -> None:
+        self.scheduler = scheduler
+        self._slots: List[Optional[Message]] = []
+        #: Parallel rank per slot (stale entries tolerated for tombstones).
+        self._ranks: List[int] = []
+        self._count = 0
+        self._class_counts = [0, 0, 0]
+        self._trees: List[List[int]] = [[0] * 17, [0] * 17, [0] * 17]
+        self._capacity = 16
+        self._version = scheduler.rules_version
+        self._randbelow: Optional[Callable[[int], int]] = None
+        self._randbelow_rng: Optional[random.Random] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- index maintenance ----------------------------------------------
+    def _rebuild(self) -> None:
+        """Rebuild trees and class counts from the current slots/ranks."""
+        slots = self._slots
+        ranks = self._ranks
+        capacity = 16
+        while capacity <= len(slots):
+            capacity *= 2
+        trees = [[0] * (capacity + 1) for _ in range(3)]
+        class_counts = [0, 0, 0]
+        for index, message in enumerate(slots):
+            if message is None:
+                continue
+            rank = ranks[index]
+            class_counts[rank] += 1
+            tree = trees[rank]
+            position = index + 1
+            while position <= capacity:
+                tree[position] += 1
+                position += position & -position
+        self._trees = trees
+        self._class_counts = class_counts
+        self._capacity = capacity
+
+    def _drop_tombstones(self) -> None:
+        slots: List[Optional[Message]] = []
+        ranks: List[int] = []
+        for message, rank in zip(self._slots, self._ranks):
+            if message is not None:
+                slots.append(message)
+                ranks.append(rank)
+        self._slots = slots
+        self._ranks = ranks
+
+    def _reflag(self) -> None:
+        """Re-rank every live slot against the scheduler's current rules."""
+        self._drop_tombstones()
+        rank = self.scheduler.rank
+        self._ranks = [rank(message) for message in self._slots]
+        self._rebuild()
+        self._version = self.scheduler.rules_version
+
+    def _search(self, tree: List[int], rank: int) -> int:
+        """Smallest slot index whose prefix count in ``tree`` is ``rank + 1``."""
+        position = 0
+        remaining = rank + 1
+        bit = 1 << (self._capacity.bit_length() - 1)
+        while bit:
+            candidate = position + bit
+            if candidate <= self._capacity and tree[candidate] < remaining:
+                position = candidate
+                remaining -= tree[candidate]
+            bit >>= 1
+        return position
+
+    # -- queue protocol --------------------------------------------------
+    def push(self, message: Message) -> None:
+        index = len(self._slots)
+        if index >= self._capacity:
+            self._rebuild()
+        rank = self.scheduler.rank(message)
+        self._slots.append(message)
+        self._ranks.append(rank)
+        self._count += 1
+        self._class_counts[rank] += 1
+        tree = self._trees[rank]
+        capacity = self._capacity
+        position = index + 1
+        while position <= capacity:
+            tree[position] += 1
+            position += position & -position
+
+    def pop(self, rng: random.Random, step: int) -> Message:
+        if not self._count:
+            raise IndexError("pop from an empty delivery queue")
+        scheduler = self.scheduler
+        scheduler.expire(step)
+        if scheduler.rules_version != self._version:
+            self._reflag()
+        if rng is not self._randbelow_rng:
+            self._randbelow_rng = rng
+            self._randbelow = getattr(rng, "_randbelow", rng.randrange)
+        class_counts = self._class_counts
+        if class_counts[0]:
+            cls = 0
+        elif class_counts[1]:
+            cls = 1
+        else:
+            cls = 2
+        draw = self._randbelow(class_counts[cls])
+        position = self._search(self._trees[cls], draw)
+        message = self._slots[position]
+        assert message is not None
+        self._slots[position] = None
+        self._count -= 1
+        class_counts[cls] -= 1
+        tree = self._trees[cls]
+        capacity = self._capacity
+        position += 1
+        while position <= capacity:
+            tree[position] -= 1
+            position += position & -position
+        if len(self._slots) > 2 * self._count:
+            self._drop_tombstones()
+            self._rebuild()
+        return message
+
+    def snapshot(self) -> List[Message]:
+        return [message for message in self._slots if message is not None]
+
+
+def reactive() -> Scheduler:
+    """The director-driven scheduler (see :class:`ReactiveScheduler`)."""
+    return ReactiveScheduler()
+
+
 SCHEDULERS.add("targeted_delay", targeted_delay)
+SCHEDULERS.add("reactive", reactive)
 SCHEDULERS.add("session_starvation", session_starvation)
 SCHEDULERS.add("partition_heal", partition_heal)
 SCHEDULERS.add("rushing", rushing)

@@ -1,0 +1,54 @@
+"""Byte-identical regression fingerprints for adversarial scenario trials.
+
+Extends ``tests/golden_trials.json`` with restart, tamper and
+reactive-scheduler scenarios at n=16 and n=32.  Each entry is
+``[steps, sorted honest outputs, messages sent, shun events]``, read off
+:meth:`~repro.net.runtime.SimulationResult.message_stats` so the same
+fingerprint is checkable with tracing on *and* off -- locking in both the
+scenario semantics and the traced==untraced determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import run_scenario
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "golden_trials.json").read_text()
+)
+
+SCENARIOS = ("restart-storm", "tamper-on-share", "reactive-rush")
+
+
+def _fingerprint(result):
+    stats = result.message_stats
+    return [
+        result.steps,
+        [[pid, value] for pid, value in sorted(result.outputs.items())],
+        stats["messages_sent"],
+        stats["shun_events"],
+    ]
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_scenario_golden_n16(name):
+    key = f"scenario_{name}_n16_s0"
+    assert _fingerprint(run_scenario(name, n=16, seed=0, tracing=False)) == GOLDEN[key]
+    assert _fingerprint(run_scenario(name, n=16, seed=0, tracing=True)) == GOLDEN[key]
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_scenario_golden_n32_untraced(name):
+    key = f"scenario_{name}_n32_s0"
+    assert _fingerprint(run_scenario(name, n=32, seed=0, tracing=False)) == GOLDEN[key]
+
+
+def test_scenario_golden_n32_traced():
+    # One traced n=32 trial locks the heavyweight mode too without tripling
+    # the suite's runtime.
+    key = "scenario_restart-storm_n32_s0"
+    assert _fingerprint(run_scenario("restart-storm", n=32, seed=0, tracing=True)) == GOLDEN[key]
