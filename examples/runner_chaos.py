@@ -1,0 +1,200 @@
+"""Runner chaos harness: kill, hang and poison the campaign execution plane.
+
+The protocols under test tolerate ``t < n/3`` Byzantine parties; this script
+checks that the harness *measuring* them tolerates a SIGKILL.  It runs one
+small campaign four ways -- sequentially (the baseline artifact), under a
+SIGKILLed worker, under a hung worker with a deadline, and with a poison
+chunk that quarantines its cell and is healed on resume -- and asserts after
+every recovery that the persisted store is byte-identical to the baseline
+(modulo the single advisory wall-clock field).
+
+This is the script behind the ``runner-chaos`` CI job.  Exit code 0 means
+every chaos flow converged to the baseline bytes; any mismatch or unexpected
+failure exits non-zero.
+
+Run with::
+
+    PYTHONPATH=src python examples/runner_chaos.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments import (
+    CampaignSpec,
+    ExecutionPolicy,
+    ExperimentSpec,
+    FaultSpec,
+    ResultStore,
+    run_campaign,
+)
+from repro.obs.metrics import MetricsRegistry
+
+CHUNK_TRIALS = 2  # three chunks for the six-seed cells: room for targeted chaos
+
+
+def build_campaign(fault_by_cell=None) -> CampaignSpec:
+    """The smoke campaign's cheap cells, with optional per-cell chaos."""
+    faults = fault_by_cell or {}
+    return CampaignSpec(
+        name="runner-chaos",
+        cells=[
+            ExperimentSpec(
+                name="coin-fair",
+                protocol="coinflip",
+                n=4,
+                seeds=list(range(6)),
+                params={"rounds": 1},
+                fault=faults.get("coin-fair"),
+            ),
+            ExperimentSpec(
+                name="coin-crash",
+                protocol="coinflip",
+                n=4,
+                seeds=list(range(6)),
+                params={"rounds": 1},
+                adversary={3: {"behavior": "crash"}},
+                fault=faults.get("coin-crash"),
+            ),
+            ExperimentSpec(
+                name="acast-delayed",
+                protocol="acast",
+                n=4,
+                seeds=list(range(3)),
+                params={"value": "hello", "sender": 0},
+                fault=faults.get("acast-delayed"),
+            ),
+        ],
+    )
+
+
+def canonical(path: Path) -> str:
+    """Store contents minus the advisory per-cell wall-clock field."""
+    data = json.loads(path.read_text())
+    for cell in data["cells"].values():
+        cell.pop("elapsed_s", None)
+    return json.dumps(data, sort_keys=True, indent=1)
+
+
+def metrics() -> MetricsRegistry:
+    return MetricsRegistry(queue_depth_every=0, completion_steps=False)
+
+
+def check(label: str, condition: bool, detail: str = "") -> bool:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}" + (f" -- {detail}" if detail else ""))
+    return condition
+
+
+def main() -> int:
+    out = Path(tempfile.mkdtemp(prefix="runner-chaos-"))
+    ok = True
+
+    print("baseline: sequential, fault-free")
+    base_path = out / "baseline.json"
+    run_campaign(
+        build_campaign(),
+        workers=1,
+        chunk_trials=CHUNK_TRIALS,
+        store=ResultStore.open(base_path),
+    )
+    baseline = canonical(base_path)
+
+    print("chaos 1: SIGKILL the worker holding chunk 1 of every cell")
+    kill_path = out / "sigkill.json"
+    registry = metrics()
+    run_campaign(
+        build_campaign(
+            {
+                name: FaultSpec("sigkill", {"chunks": [1], "attempts": [0]})
+                for name in ("coin-fair", "coin-crash")
+            }
+        ),
+        workers=2,
+        chunk_trials=CHUNK_TRIALS,
+        store=ResultStore.open(kill_path),
+        metrics=registry,
+    )
+    counters = registry.counter_values()
+    ok &= check(
+        "store byte-identical to baseline", canonical(kill_path) == baseline
+    )
+    ok &= check(
+        "workers were restarted",
+        counters.get("runner.worker_restarts", 0) >= 1,
+        f"counters={counters}",
+    )
+
+    print("chaos 2: hang a worker past its deadline (trial_timeout_s=0.2)")
+    hang_path = out / "hang.json"
+    registry = metrics()
+    run_campaign(
+        build_campaign(
+            {"coin-fair": FaultSpec("hang", {"seconds": 60, "chunks": [0], "attempts": [0]})}
+        ),
+        workers=2,
+        chunk_trials=CHUNK_TRIALS,
+        store=ResultStore.open(hang_path),
+        policy=ExecutionPolicy(trial_timeout_s=0.2),
+        metrics=registry,
+    )
+    counters = registry.counter_values()
+    ok &= check(
+        "store byte-identical to baseline", canonical(hang_path) == baseline
+    )
+    ok &= check(
+        "deadline fired",
+        counters.get("runner.timeouts", 0) >= 1,
+        f"counters={counters}",
+    )
+
+    print("chaos 3: poison chunk quarantines its cell; resume heals it")
+    poison_path = out / "poison.json"
+    failures: dict = {}
+    results = run_campaign(
+        build_campaign(
+            {"coin-crash": FaultSpec("raise", {"chunks": [1], "attempts": None})}
+        ),
+        workers=2,
+        chunk_trials=CHUNK_TRIALS,
+        store=ResultStore.open(poison_path),
+        policy=ExecutionPolicy(max_chunk_retries=1),
+        failures=failures,
+    )
+    store = ResultStore.open(poison_path)
+    ok &= check(
+        "healthy cells completed", set(results) == {"coin-fair", "acast-delayed"}
+    )
+    ok &= check(
+        "poison cell quarantined with a structured record",
+        store.quarantined_cells() == ["coin-crash"]
+        and store.failures()["coin-crash"]["attempts"] == 2,
+    )
+    ok &= check(
+        "healthy chunks of the poison cell checkpointed",
+        store.partial_cells().get("coin-crash", 0) >= 1,
+    )
+
+    # Resume without the fault: the quarantined cell reruns its poison chunk,
+    # reuses its healthy checkpoints, and the store converges to baseline.
+    run_campaign(
+        build_campaign(),
+        workers=2,
+        chunk_trials=CHUNK_TRIALS,
+        store=ResultStore.open(poison_path),
+    )
+    store = ResultStore.open(poison_path)
+    ok &= check("resume converges to baseline bytes", canonical(poison_path) == baseline)
+    ok &= check("quarantine record cleared", store.failures() == {})
+    ok &= check("no partial chunks left", store.partial_cells() == {})
+
+    print("runner-chaos:", "all flows converged" if ok else "MISMATCH (see above)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,3 +47,11 @@ class SchedulingError(ReproError):
 class ExperimentError(ReproError):
     """Raised for invalid campaign specs, unknown registry names and
     incompatible result stores in :mod:`repro.experiments`."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised by the chaos-injection ``raise`` fault
+    (:data:`repro.experiments.registry.FAULTS`).
+
+    A dedicated class so tests and quarantine records can tell an injected
+    fault apart from a genuine failure of the code under test."""

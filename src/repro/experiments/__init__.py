@@ -14,8 +14,9 @@ package turns "many executions" into a first-class artifact:
   ``repro-experiments``.
 """
 
-from repro.experiments.registry import BEHAVIORS, RUNNERS, SCHEDULERS
+from repro.experiments.registry import BEHAVIORS, FAULTS, RUNNERS, SCHEDULERS
 from repro.experiments.runner import (
+    CampaignInterrupted,
     CampaignProgress,
     run_campaign,
     run_cell,
@@ -25,21 +26,31 @@ from repro.experiments.runner import (
 from repro.experiments.spec import (
     BehaviorSpec,
     CampaignSpec,
+    ExecutionPolicy,
     ExperimentSpec,
+    FaultSpec,
     SchedulerSpec,
 )
 from repro.experiments.store import ResultStore
+from repro.experiments.supervisor import ChunkFailure, ChunkTask, WorkerSupervisor
 
 __all__ = [
     "BEHAVIORS",
+    "FAULTS",
     "RUNNERS",
     "SCHEDULERS",
     "BehaviorSpec",
+    "CampaignInterrupted",
     "CampaignProgress",
     "CampaignSpec",
+    "ChunkFailure",
+    "ChunkTask",
+    "ExecutionPolicy",
     "ExperimentSpec",
+    "FaultSpec",
     "ResultStore",
     "SchedulerSpec",
+    "WorkerSupervisor",
     "run_campaign",
     "run_cell",
     "run_seeds",

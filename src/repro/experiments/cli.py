@@ -21,9 +21,14 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ExperimentError
-from repro.experiments.registry import BEHAVIORS, RUNNERS, SCHEDULERS
-from repro.experiments.runner import DEFAULT_CHUNK_TRIALS, CampaignProgress, run_campaign
-from repro.experiments.spec import CampaignSpec
+from repro.experiments.registry import BEHAVIORS, FAULTS, RUNNERS, SCHEDULERS
+from repro.experiments.runner import (
+    DEFAULT_CHUNK_TRIALS,
+    CampaignInterrupted,
+    CampaignProgress,
+    run_campaign,
+)
+from repro.experiments.spec import CampaignSpec, ExecutionPolicy, FaultSpec
 from repro.experiments.store import ResultStore
 
 
@@ -87,13 +92,63 @@ SUMMARY_HEADER = (
 
 
 # ----------------------------------------------------------------------
+def _parse_int_list(text: Optional[str]) -> Optional[List[int]]:
+    """``"0,2,5"`` -> ``[0, 2, 5]``; ``None``/``"all"`` -> ``None`` (no filter)."""
+    if text is None or text.strip().lower() == "all":
+        return None
+    try:
+        return [int(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError as exc:
+        raise ExperimentError(f"expected a comma-separated int list: {exc}") from None
+
+
+def _cli_policy(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
+    """Execution-policy override from CLI flags (None when no flag given)."""
+    policy = ExecutionPolicy(
+        trial_timeout_s=args.trial_timeout,
+        max_chunk_retries=args.max_chunk_retries,
+        fail_fast=True if args.fail_fast else None,
+    )
+    return policy if policy.to_dict() else None
+
+
+def _print_failures(failures: Dict[str, Dict[str, Any]]) -> None:
+    print("\nquarantined cells:", file=sys.stderr)
+    for name, record in sorted(failures.items()):
+        print(
+            f"  {name}: chunk {record.get('chunk_index')} "
+            f"{record.get('kind')} after {record.get('attempts')} attempt(s): "
+            f"{record.get('error')}: {record.get('message')}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+
     campaign_path = Path(args.campaign)
     campaign = CampaignSpec.load(campaign_path)
     out_path = Path(args.out) if args.out else _default_out(campaign_path)
     if args.fresh and out_path.exists():
         out_path.unlink()
-    store = ResultStore.open(out_path)
+    store = ResultStore.open(out_path, recover_corrupt=args.recover_corrupt)
+    if store.recovered_from is not None:
+        print(
+            f"warning: {out_path} was corrupt; quarantined to "
+            f"{store.recovered_from} and starting fresh",
+            file=sys.stderr,
+        )
+
+    if args.inject:
+        fault = FaultSpec(
+            fault=args.inject,
+            params={
+                "chunks": _parse_int_list(args.inject_chunks),
+                "attempts": _parse_int_list(args.inject_attempts),
+            },
+        )
+        for cell in campaign.cells:
+            cell.fault = fault
 
     def report_progress(event: CampaignProgress) -> None:
         if args.quiet:
@@ -105,12 +160,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    metrics = MetricsRegistry(queue_depth_every=0, completion_steps=False)
     results = run_campaign(
         campaign,
         workers=args.workers,
         store=store,
         progress=report_progress,
         chunk_trials=args.chunk_trials,
+        policy=_cli_policy(args),
+        metrics=metrics,
     )
     if not args.quiet:
         print()
@@ -120,6 +178,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             SUMMARY_HEADER,
             _summary_rows({name: agg.summary() for name, agg in results.items()}),
         )
+        supervision = {
+            name: value
+            for name, value in metrics.counter_values().items()
+            if name.startswith("runner.") and value
+        }
+        if supervision:
+            print("supervision: " + ", ".join(
+                f"{name.split('.', 1)[1]}: {value}"
+                for name, value in sorted(supervision.items())
+            ))
+    failures = store.failures()
+    if failures:
+        _print_failures(failures)
+        print(
+            f"error: {len(failures)} cell(s) quarantined; healthy cells "
+            f"completed and were saved -- re-run to retry the quarantined ones",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -134,6 +211,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 0
     print(f"campaign: {store.campaign}")
     _print_table(SUMMARY_HEADER, _summary_rows(store.summaries()))
+    partial = store.partial_cells()
+    if partial:
+        print("\nin progress (checkpointed chunks): " + ", ".join(
+            f"{name}: {count} chunk(s)" for name, count in sorted(partial.items())
+        ))
+    failures = store.failures()
+    if failures:
+        _print_failures(failures)
+        return 1
     return 0
 
 
@@ -155,6 +241,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             )
         if cell.scenario is not None and cell.scenario not in SCENARIOS:
             unknown.append(f"cell {cell.name!r}: unknown scenario {cell.scenario!r}")
+        if cell.fault is not None and cell.fault.fault not in FAULTS:
+            unknown.append(f"cell {cell.name!r}: unknown fault {cell.fault.fault!r}")
     if unknown:
         for line in unknown:
             print(line, file=sys.stderr)
@@ -353,6 +441,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh", action="store_true", help="discard existing results instead of resuming"
     )
     run_parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    run_parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="S",
+        help="per-trial wall-clock budget; a chunk past timeout x chunk-size "
+             "is killed and retried (needs --workers > 1)",
+    )
+    run_parser.add_argument(
+        "--max-chunk-retries", type=int, default=None, metavar="N",
+        help="re-dispatches of a failed/timed-out chunk before its cell is "
+             "quarantined (default: 2)",
+    )
+    run_parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the campaign on the first quarantined cell instead of "
+             "completing the healthy ones",
+    )
+    run_parser.add_argument(
+        "--recover-corrupt", action="store_true",
+        help="if the --out file is corrupt/truncated, quarantine it to "
+             "<out>.corrupt and start fresh instead of failing",
+    )
+    run_parser.add_argument(
+        "--inject", metavar="FAULT", default=None,
+        help=f"chaos: inject a named worker fault into every cell "
+             f"({', '.join(FAULTS.names())})",
+    )
+    run_parser.add_argument(
+        "--inject-chunks", metavar="I,J,...", default=None,
+        help="chunk indices the injected fault hits (default: all)",
+    )
+    run_parser.add_argument(
+        "--inject-attempts", metavar="I,J,...", default="0",
+        help="dispatch attempts the injected fault hits "
+             "('all' = every attempt; default: 0, so retries recover)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     report_parser = sub.add_parser("report", help="summarise a results file")
@@ -432,6 +554,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except CampaignInterrupted as exc:
+        # Workers were torn down and completed chunks flushed before the
+        # runner re-raised; report exactly what is resumable.
+        print(
+            f"\ninterrupted; {exc.checkpointed_trials}/{exc.total_trials} "
+            f"trials checkpointed -- re-run to resume",
+            file=sys.stderr,
+        )
+        return 130
     except KeyboardInterrupt:
         # Completed cells are already persisted; re-running resumes there.
         print("\ninterrupted; completed cells were saved -- re-run to resume",

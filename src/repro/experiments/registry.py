@@ -19,11 +19,14 @@ Downstream code can extend any registry::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import os
+import signal
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.adversary import attacks, behaviors, scheduling
 from repro.core import api
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, FaultInjectionError
 from repro.experiments.spec import BehaviorSpec, SchedulerSpec
 from repro.net import scheduler as net_scheduler
 
@@ -85,6 +88,7 @@ class Registry:
 RUNNERS = Registry("protocol runner")
 BEHAVIORS = Registry("adversary behavior")
 SCHEDULERS = Registry("scheduler")
+FAULTS = Registry("chaos fault")
 
 
 # ----------------------------------------------------------------------
@@ -136,6 +140,57 @@ SCHEDULERS.add("split_brain", scheduling.split_brain)
 SCHEDULERS.add("delay_protocol", scheduling.delay_protocol)
 SCHEDULERS.add("delay_from_parties", net_scheduler.delay_from_parties)
 SCHEDULERS.add("delay_to_parties", net_scheduler.delay_to_parties)
+
+
+# ----------------------------------------------------------------------
+# Chaos faults.  Registry-named process-level failures the worker entrypoint
+# injects into itself (spec-activatable via ``ExperimentSpec.fault``); the
+# supervised runner must survive every one of them.  They model, in order:
+# a bug in trial code, a livelocked/hung trial, a worker whose interpreter
+# bails out (e.g. a failed assertion in a compiled extension), and the OOM
+# killer / a segfault.
+def _fault_raise(message: str = "injected chaos fault") -> None:
+    raise FaultInjectionError(message)
+
+
+def _fault_hang(seconds: float = 3600.0) -> None:
+    time.sleep(float(seconds))
+
+
+def _fault_exit(code: int = 3) -> None:
+    os._exit(int(code))
+
+
+def _fault_sigkill() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+FAULTS.add("raise", _fault_raise)
+FAULTS.add("hang", _fault_hang)
+FAULTS.add("exit", _fault_exit)
+FAULTS.add("sigkill", _fault_sigkill)
+
+
+def inject_fault(spec: Optional[Mapping[str, Any]], chunk_index: int, attempt: int) -> None:
+    """Worker-side chaos hook: fire the cell's fault if this dispatch matches.
+
+    ``spec`` is the serialized :class:`~repro.experiments.spec.FaultSpec`
+    (or ``None`` for the overwhelmingly common no-chaos case).  The
+    ``chunks`` / ``attempts`` selector parameters are consumed here; the
+    rest are passed to the registered fault callable.  ``attempts``
+    defaults to ``[0]`` so a fault hits only the first dispatch of a chunk
+    and bounded retries recover; ``None`` makes it hit every attempt.
+    """
+    if not spec:
+        return
+    params = dict(spec.get("params", {}))
+    chunks = params.pop("chunks", None)
+    attempts = params.pop("attempts", [0])
+    if chunks is not None and chunk_index not in chunks:
+        return
+    if attempts is not None and attempt not in attempts:
+        return
+    FAULTS.get(str(spec["fault"]))(**params)
 
 
 # ----------------------------------------------------------------------

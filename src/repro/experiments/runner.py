@@ -1,30 +1,58 @@
-"""Campaign orchestration: sequential or process-parallel trial execution.
+"""Campaign orchestration: sequential or supervised-parallel trial execution.
 
 The runner turns a :class:`~repro.experiments.spec.CampaignSpec` into
 :class:`~repro.core.results.TrialAggregate` statistics, one per cell.  Trials
 are grouped into fixed-size *chunks*; each chunk is executed by a worker (a
-``multiprocessing`` pool process, or inline when ``workers <= 1``) and the
-per-chunk aggregates are merged back **in chunk order**.
+supervised :class:`~repro.experiments.supervisor.WorkerSupervisor` process,
+or inline when ``workers <= 1``) and the per-chunk aggregates are merged back
+**in chunk order**.
 
 Determinism: every trial is seeded explicitly from the spec's seed list and
 workers carry no other randomness, so the merged statistics are identical
-whatever the worker count or completion order -- a parallel campaign is
-byte-for-byte the same artifact as a sequential one.  This is asserted by
-``tests/experiments/test_runner.py``.
+whatever the worker count, completion order, or number of retries -- a
+parallel campaign is byte-for-byte the same artifact as a sequential one,
+even when workers were SIGKILLed and chunks re-dispatched.  This is asserted
+by ``tests/experiments/test_runner.py`` and the chaos suite in
+``tests/experiments/test_supervisor.py``.
+
+Fault tolerance (see :mod:`repro.experiments.supervisor` for the execution
+plane):
+
+* chunks that raise, hang past their deadline, or lose their worker are
+  re-dispatched with bounded retries and deterministic backoff;
+* completed chunks are checkpointed to the :class:`ResultStore` as they
+  land, so a killed campaign resumes mid-cell;
+* a chunk that exhausts its retries *quarantines* its cell -- the campaign
+  completes every healthy cell and surfaces a structured failure record --
+  unless the policy says ``fail_fast``;
+* ``KeyboardInterrupt`` tears the workers down, flushes the checkpoints and
+  re-raises as :class:`CampaignInterrupted` (which reports how many trials
+  were saved).
 """
 
 from __future__ import annotations
 
 import inspect
 import multiprocessing
-from dataclasses import dataclass
+import time
+import traceback
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.results import TrialAggregate
 from repro.errors import ExperimentError
 from repro.experiments.registry import RUNNERS, build_behavior_factory, build_scheduler
-from repro.experiments.spec import CampaignSpec, ExperimentSpec
+from repro.experiments.spec import CampaignSpec, ExecutionPolicy, ExperimentSpec
 from repro.experiments.store import ResultStore
+from repro.experiments.supervisor import (
+    DEFAULT_BACKOFF_BASE_S,
+    DEFAULT_MAX_CHUNK_RETRIES,
+    ChunkFailure,
+    ChunkTask,
+    WorkerSupervisor,
+    backoff_delay,
+    execute_chunk,
+)
 from repro.net.runtime import SimulationResult
 
 #: Seeds per dispatched chunk.  Small enough to keep a pool busy and progress
@@ -32,6 +60,20 @@ from repro.net.runtime import SimulationResult
 DEFAULT_CHUNK_TRIALS = 8
 
 ProgressCallback = Callable[["CampaignProgress"], None]
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a campaign, after workers were torn down and completed
+    chunks flushed to the store.  ``checkpointed_trials`` counts the trials
+    persisted (resumable) at the moment of interruption."""
+
+    def __init__(self, checkpointed_trials: int, total_trials: int) -> None:
+        super().__init__(
+            f"campaign interrupted; {checkpointed_trials}/{total_trials} "
+            f"trials checkpointed"
+        )
+        self.checkpointed_trials = checkpointed_trials
+        self.total_trials = total_trials
 
 
 @dataclass
@@ -192,12 +234,14 @@ def run_trial(cell: ExperimentSpec, seed: int) -> SimulationResult:
 
 
 def _run_cell_chunk(task: Tuple[int, Dict[str, Any], List[int]]) -> Tuple[int, Dict[str, Any]]:
-    """Worker entry point: run one chunk of one cell's seeds.
+    """Run one chunk of one cell's seeds (the chunk-execution primitive).
 
     Takes and returns plain picklable data (the cell as a dict, the aggregate
     as a dict) so it works under both fork and spawn start methods.  The
     sequential path calls this exact function inline, which is what makes
-    parallel and sequential campaigns bit-identical by construction.
+    parallel and sequential campaigns bit-identical by construction.  Chaos
+    faults are injected one level up (``supervisor.execute_chunk``), never
+    here, so ``run_cell`` and direct callers stay fault-free.
     """
     index, cell_dict, seeds = task
     executor = CellExecutor(ExperimentSpec.from_dict(cell_dict))
@@ -219,6 +263,48 @@ def run_cell(cell: ExperimentSpec, chunk_trials: int = DEFAULT_CHUNK_TRIALS) -> 
 
 
 # ----------------------------------------------------------------------
+# Policy resolution
+def _resolve_policy(
+    campaign: CampaignSpec, override: Optional[ExecutionPolicy]
+) -> ExecutionPolicy:
+    """Fold override -> campaign policy -> defaults into a concrete policy."""
+
+    def pick(attr: str, default: Any) -> Any:
+        for layer in (override, campaign.policy):
+            if layer is not None:
+                value = getattr(layer, attr)
+                if value is not None:
+                    return value
+        return default
+
+    resolved = ExecutionPolicy(
+        trial_timeout_s=pick("trial_timeout_s", None),
+        max_chunk_retries=pick("max_chunk_retries", DEFAULT_MAX_CHUNK_RETRIES),
+        fail_fast=pick("fail_fast", False),
+        backoff_base_s=pick("backoff_base_s", DEFAULT_BACKOFF_BASE_S),
+    )
+    resolved.validate()
+    return resolved
+
+
+def _cell_limits(
+    cell: ExperimentSpec, policy: ExecutionPolicy
+) -> Tuple[Optional[float], int]:
+    """(trial timeout, max retries) for one cell: cell override beats policy."""
+    timeout = (
+        cell.trial_timeout_s
+        if cell.trial_timeout_s is not None
+        else policy.trial_timeout_s
+    )
+    retries = (
+        cell.max_chunk_retries
+        if cell.max_chunk_retries is not None
+        else policy.max_chunk_retries
+    )
+    return timeout, retries
+
+
+# ----------------------------------------------------------------------
 # Campaign orchestration
 def run_campaign(
     campaign: CampaignSpec,
@@ -226,20 +312,37 @@ def run_campaign(
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressCallback] = None,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    policy: Optional[ExecutionPolicy] = None,
+    metrics: Optional[Any] = None,
+    failures: Optional[Dict[str, ChunkFailure]] = None,
 ) -> Dict[str, TrialAggregate]:
     """Run (or resume) a campaign and return ``{cell name: aggregate}``.
 
     Args:
         campaign: the declarative spec; validated before anything runs.
-        workers: process-pool size; ``<= 1`` runs inline in this process.
+        workers: supervised worker processes; ``<= 1`` runs inline in this
+            process (retries still apply; timeouts need ``workers > 1``,
+            since an inline trial cannot be preempted).
         store: optional :class:`ResultStore`.  Cells whose results are
-            already persisted (matching spec hash) are *not* re-run; freshly
-            completed cells are persisted -- and the store saved -- as soon
-            as their last chunk lands, so an interrupted campaign resumes at
-            cell granularity.
+            already persisted (matching spec hash) are *not* re-run, and
+            checkpointed chunks of unfinished cells are reused, so an
+            interrupted -- or killed -- campaign resumes at chunk
+            granularity.  Completed chunks and quarantine records are
+            persisted as they land.  The store's ownership lock is held for
+            the duration of the run.
         progress: optional callback invoked after every completed chunk (and
             once per resumed cell) with a :class:`CampaignProgress`.
         chunk_trials: seeds per dispatched chunk.
+        policy: execution-policy override (beats ``campaign.policy``).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            retries, timeouts, worker restarts and quarantines are counted
+            on it (``runner.*`` counters).
+        failures: optional dict populated with ``{cell name: ChunkFailure}``
+            for every quarantined cell (also persisted to ``store``).
+
+    Returns the aggregates of every *healthy* cell.  Quarantined cells are
+    absent from the result; with ``fail_fast`` the first quarantine raises
+    :class:`ExperimentError` instead (after flushing the store).
     """
     campaign.validate()
     for cell in campaign.cells:
@@ -248,126 +351,297 @@ def run_campaign(
         # a worker would, before any trial runs.
         CellExecutor(cell)
         build_scheduler(cell.scheduler)
+    resolved = _resolve_policy(campaign, policy)
     if store is not None:
         store.bind_campaign(campaign.name)
+        store.acquire_lock()
 
     total = campaign.trials
     completed = 0
     results: Dict[str, TrialAggregate] = {}
+    quarantined: Dict[str, ChunkFailure] = failures if failures is not None else {}
 
-    # Partition cells into resumed and pending, then chunk the pending ones.
-    tasks: List[Tuple[int, Dict[str, Any], List[int]]] = []
-    task_cell: Dict[int, ExperimentSpec] = {}
-    cell_chunks: Dict[str, Dict[int, Optional[Dict[str, Any]]]] = {}
-    cell_done: Dict[str, int] = {}
-    for cell in campaign.cells:
-        if store is not None and store.has_cell(cell.name, cell.spec_hash()):
-            results[cell.name] = store.get(cell.name)
-            completed += cell.trials
-            if progress is not None:
+    def inc(name: str, amount: int = 1) -> None:
+        if metrics is not None:
+            metrics.counter(name).inc(amount)
+
+    try:
+        # Partition cells into resumed and pending, then chunk the pending
+        # ones -- reusing any checkpointed chunks whose seeds still match.
+        tasks: List[ChunkTask] = []
+        cell_specs: Dict[str, ExperimentSpec] = {}
+        cell_chunks: Dict[str, Dict[int, Optional[Dict[str, Any]]]] = {}
+        cell_done: Dict[str, int] = {}
+
+        def finalize_cell(name: str) -> None:
+            """Merge a cell's chunks in chunk order and persist the result."""
+            cell = cell_specs[name]
+            merged = TrialAggregate.empty()
+            for chunk_index in sorted(cell_chunks[name]):
+                merged = merged.merge(
+                    TrialAggregate.from_transport_dict(cell_chunks[name][chunk_index])
+                )
+            results[name] = merged
+            if store is not None:
+                store.put(name, cell.spec_hash(), merged)
+
+        for cell in campaign.cells:
+            if store is not None and store.has_cell(cell.name, cell.spec_hash()):
+                results[cell.name] = store.get(cell.name)
+                completed += cell.trials
+                if progress is not None:
+                    progress(
+                        CampaignProgress(
+                            cell=cell.name,
+                            cell_completed=cell.trials,
+                            cell_trials=cell.trials,
+                            completed=completed,
+                            total=total,
+                            resumed=True,
+                        )
+                    )
+                continue
+            cell_specs[cell.name] = cell
+            cell_dict = cell.to_dict()
+            timeout_s, max_retries = _cell_limits(cell, resolved)
+            stored = (
+                store.partial_chunks(cell.name, cell.spec_hash())
+                if store is not None
+                else {}
+            )
+            cell_chunks[cell.name] = {}
+            cell_done[cell.name] = 0
+            resumed_trials = 0
+            for chunk_index, chunk in enumerate(_chunks(cell.seeds, chunk_trials)):
+                entry = stored.get(chunk_index)
+                if entry is not None and list(entry.get("seeds", [])) == chunk:
+                    transport = dict(entry["aggregate"])
+                    transport["total_elapsed_s"] = float(entry.get("elapsed_s", 0.0))
+                    cell_chunks[cell.name][chunk_index] = transport
+                    cell_done[cell.name] += len(chunk)
+                    completed += len(chunk)
+                    resumed_trials += len(chunk)
+                else:
+                    cell_chunks[cell.name][chunk_index] = None
+                    tasks.append(
+                        ChunkTask(
+                            cell_name=cell.name,
+                            chunk_index=chunk_index,
+                            seeds=chunk,
+                            cell_dict=cell_dict,
+                            timeout_s=(
+                                timeout_s * len(chunk)
+                                if timeout_s is not None
+                                else None
+                            ),
+                            max_retries=max_retries,
+                        )
+                    )
+            if resumed_trials and progress is not None:
                 progress(
                     CampaignProgress(
                         cell=cell.name,
-                        cell_completed=cell.trials,
+                        cell_completed=cell_done[cell.name],
                         cell_trials=cell.trials,
                         completed=completed,
                         total=total,
                         resumed=True,
                     )
                 )
-            continue
-        cell_dict = cell.to_dict()
-        cell_chunks[cell.name] = {}
-        cell_done[cell.name] = 0
-        for chunk in _chunks(cell.seeds, chunk_trials):
-            index = len(tasks)
-            tasks.append((index, cell_dict, chunk))
-            task_cell[index] = cell
-            cell_chunks[cell.name][index] = None
+            if all(part is not None for part in cell_chunks[cell.name].values()):
+                # Every chunk was checkpointed; the previous run died between
+                # the last chunk and the cell promotion.
+                finalize_cell(cell.name)
+                if store is not None:
+                    store.save()
 
-    def complete_chunk(index: int, aggregate_dict: Dict[str, Any]) -> None:
-        nonlocal completed
-        cell = task_cell[index]
-        chunks = cell_chunks[cell.name]
-        chunks[index] = aggregate_dict
-        chunk_len = len(tasks[index][2])
-        cell_done[cell.name] += chunk_len
-        completed += chunk_len
-        if all(part is not None for part in chunks.values()):
-            merged = TrialAggregate.empty()
-            for task_index in sorted(chunks):
-                merged = merged.merge(TrialAggregate.from_transport_dict(chunks[task_index]))
-            results[cell.name] = merged
+        supervisor: Optional[WorkerSupervisor] = None
+
+        def complete_chunk(task: ChunkTask, transport: Dict[str, Any]) -> None:
+            nonlocal completed
+            if task.cell_name in quarantined:
+                return
+            cell = cell_specs[task.cell_name]
+            chunks = cell_chunks[task.cell_name]
+            chunks[task.chunk_index] = transport
+            cell_done[task.cell_name] += len(task.seeds)
+            completed += len(task.seeds)
             if store is not None:
-                store.put(cell.name, cell.spec_hash(), merged)
-                store.save()
-        if progress is not None:
-            progress(
-                CampaignProgress(
-                    cell=cell.name,
-                    cell_completed=cell_done[cell.name],
-                    cell_trials=cell.trials,
-                    completed=completed,
-                    total=total,
+                store.put_chunk(
+                    task.cell_name,
+                    cell.spec_hash(),
+                    task.chunk_index,
+                    task.seeds,
+                    transport,
                 )
-            )
+            if all(part is not None for part in chunks.values()):
+                finalize_cell(task.cell_name)
+            if store is not None:
+                store.save()
+            if progress is not None:
+                progress(
+                    CampaignProgress(
+                        cell=task.cell_name,
+                        cell_completed=cell_done[task.cell_name],
+                        cell_trials=cell.trials,
+                        completed=completed,
+                        total=total,
+                    )
+                )
 
-    if workers > 1 and len(tasks) > 1:
-        context = _pool_context()
-        with context.Pool(processes=min(workers, len(tasks))) as pool:
-            for index, aggregate_dict in pool.imap_unordered(_run_cell_chunk, tasks):
-                complete_chunk(index, aggregate_dict)
-    else:
-        for task in tasks:
-            index, aggregate_dict = _run_cell_chunk(task)
-            complete_chunk(index, aggregate_dict)
+        def handle_failure(task: ChunkTask, failure: ChunkFailure) -> None:
+            if task.cell_name in quarantined:
+                return
+            quarantined[task.cell_name] = failure
+            inc("runner.quarantined_cells")
+            if supervisor is not None:
+                supervisor.cancel_cell(task.cell_name)
+            if store is not None:
+                cell = cell_specs[task.cell_name]
+                store.quarantine(task.cell_name, cell.spec_hash(), failure.to_record())
+                store.save()
+            if resolved.fail_fast:
+                raise ExperimentError(
+                    f"cell {task.cell_name!r} quarantined after "
+                    f"{failure.attempts} attempt(s) on chunk "
+                    f"{failure.chunk_index} ({failure.kind}: {failure.error}: "
+                    f"{failure.message}) -- fail_fast aborted the campaign"
+                )
 
-    return results
+        try:
+            if workers > 1 and tasks:
+                supervisor = WorkerSupervisor(
+                    min(workers, len(tasks)),
+                    backoff_base_s=resolved.backoff_base_s,
+                    metrics=metrics,
+                )
+                supervisor.run(tasks, complete_chunk, handle_failure)
+            else:
+                _run_inline(
+                    tasks, resolved, quarantined, complete_chunk, handle_failure, inc
+                )
+        except KeyboardInterrupt:
+            # Workers are already torn down (supervisor's finally); completed
+            # chunks were flushed as they landed.  One more save picks up
+            # anything recorded since, then report what survived.
+            if store is not None:
+                store.save()
+            raise CampaignInterrupted(
+                checkpointed_trials=completed, total_trials=total
+            ) from None
+
+        return results
+    finally:
+        if store is not None:
+            store.release_lock()
+
+
+def _run_inline(
+    tasks: Sequence[ChunkTask],
+    policy: ExecutionPolicy,
+    quarantined: Dict[str, ChunkFailure],
+    complete_chunk: Callable[[ChunkTask, Dict[str, Any]], None],
+    handle_failure: Callable[[ChunkTask, ChunkFailure], None],
+    inc: Callable[..., None],
+) -> None:
+    """Single-process execution with the same retry/quarantine semantics.
+
+    Timeouts are not enforced here -- an inline trial cannot be preempted --
+    which is why hang-style chaos needs ``workers > 1``.
+    """
+    for task in tasks:
+        if task.cell_name in quarantined:
+            continue
+        current = task
+        while True:
+            try:
+                payload = execute_chunk(current)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                if current.attempt < current.max_retries:
+                    inc("runner.retries")
+                    current = replace(current, attempt=current.attempt + 1)
+                    time.sleep(
+                        backoff_delay(current.attempt, policy.backoff_base_s)
+                    )
+                    continue
+                handle_failure(
+                    current,
+                    ChunkFailure(
+                        cell_name=current.cell_name,
+                        chunk_index=current.chunk_index,
+                        seeds=list(current.seeds),
+                        kind="exception",
+                        error=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback.format_exc(),
+                        attempts=current.attempt + 1,
+                    ),
+                )
+                break
+            complete_chunk(current, payload)
+            break
 
 
 # ----------------------------------------------------------------------
 # Generic seed fan-out (backs api.run_many(workers=N))
-def _run_seeds_chunk(
-    task: Tuple[int, Callable[..., SimulationResult], List[int], Dict[str, Any]],
-) -> Tuple[int, TrialAggregate]:
-    index, runner, seeds, kwargs = task
-    aggregate = TrialAggregate()
-    for seed in seeds:
-        aggregate.add(runner(seed=seed, **kwargs))
-    # Unlike the campaign path, chunks travel back as pickled aggregates (not
-    # to_dict), so outputs keep their Python types (frozensets, tuples, ...)
-    # and the result is indistinguishable from a sequential run_many.
-    return index, aggregate
-
-
 def run_seeds(
     runner: Callable[..., SimulationResult],
     seeds: Iterable[int],
     workers: int = 1,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    trial_timeout_s: Optional[float] = None,
+    max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
     **kwargs: Any,
 ) -> TrialAggregate:
-    """Fan ``runner`` out over ``seeds`` across a process pool.
+    """Fan ``runner`` out over ``seeds`` across supervised workers.
 
     ``runner`` and ``kwargs`` must be picklable (module-level callables and
     plain data).  For registry-named experiments prefer :func:`run_campaign`,
-    whose tasks are always plain JSON-shaped data.
+    whose tasks are always plain JSON-shaped data.  The parallel path rides
+    the same supervisor as campaigns (worker-death recovery, per-chunk
+    deadlines, bounded retries); a chunk that exhausts its retries raises
+    :class:`ExperimentError` -- there is no quarantine at this level.
+
+    Chunks travel back as pickled aggregates (not ``to_dict``), so outputs
+    keep their Python types (frozensets, tuples, ...) and the result is
+    indistinguishable from a sequential ``run_many``.
     """
     seed_list = [int(seed) for seed in seeds]
     tasks = [
-        (index, runner, chunk, kwargs)
+        ChunkTask(
+            cell_name="run_seeds",
+            chunk_index=index,
+            seeds=chunk,
+            callable_runner=runner,
+            runner_kwargs=kwargs,
+            timeout_s=(
+                trial_timeout_s * len(chunk) if trial_timeout_s is not None else None
+            ),
+            max_retries=max_chunk_retries,
+        )
         for index, chunk in enumerate(_chunks(seed_list, chunk_trials))
     ]
     parts: Dict[int, TrialAggregate] = {}
     if workers > 1 and len(tasks) > 1:
-        context = _pool_context()
-        with context.Pool(processes=min(workers, len(tasks))) as pool:
-            for index, aggregate in pool.imap_unordered(_run_seeds_chunk, tasks):
-                parts[index] = aggregate
+        errors: List[ChunkFailure] = []
+        supervisor = WorkerSupervisor(min(workers, len(tasks)))
+        supervisor.run(
+            tasks,
+            lambda task, aggregate: parts.__setitem__(task.chunk_index, aggregate),
+            lambda task, failure: errors.append(failure),
+        )
+        if errors:
+            failure = errors[0]
+            raise ExperimentError(
+                f"run_seeds chunk {failure.chunk_index} failed after "
+                f"{failure.attempts} attempt(s): {failure.kind}: "
+                f"{failure.error}: {failure.message}"
+            )
     else:
         for task in tasks:
-            index, aggregate = _run_seeds_chunk(task)
-            parts[index] = aggregate
+            parts[task.chunk_index] = execute_chunk(task)
     merged = TrialAggregate.empty()
     for index in sorted(parts):
         merged = merged.merge(parts[index])

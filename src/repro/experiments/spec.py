@@ -77,6 +77,103 @@ class SchedulerSpec:
 
 
 @dataclass
+class FaultSpec:
+    """A named chaos fault plus its parameters, injected in the worker.
+
+    The fault is resolved against :data:`repro.experiments.registry.FAULTS`
+    and invoked by the worker entrypoint *before* a chunk's trials run.  Two
+    well-known parameters select when it fires (both are consumed by the
+    injection hook, everything else is passed to the fault callable):
+
+    * ``chunks``: list of per-cell chunk indices to hit (default: all);
+    * ``attempts``: list of dispatch attempts to hit (default ``[0]``, i.e.
+      only the first try -- so retries recover; ``None`` means every
+      attempt, which drives a cell into quarantine).
+
+    Faults are *execution-plane* chaos: they never change what a trial
+    computes, so they are excluded from :meth:`ExperimentSpec.spec_hash` and
+    a chaos campaign checkpoints/merges byte-identically to a clean one.
+    """
+
+    fault: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"fault": self.fault}
+        if self.params:
+            data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(fault=str(data["fault"]), params=dict(data.get("params", {})))
+
+
+@dataclass
+class ExecutionPolicy:
+    """Fault-tolerance policy for campaign execution.
+
+    Every field is optional; ``None`` means "inherit" -- a policy given to
+    :func:`~repro.experiments.runner.run_campaign` overrides the campaign's
+    own ``policy`` field, which overrides the built-in defaults (no timeout,
+    2 retries, no fail-fast).  Policy never affects *what* is computed, only
+    how failures are handled, so it is not part of any spec hash.
+
+    Attributes:
+        trial_timeout_s: per-trial wall-clock budget.  A chunk's deadline is
+            ``trial_timeout_s * len(chunk)``; a worker past its deadline is
+            killed and the chunk re-dispatched.  Requires ``workers > 1``
+            (the inline path cannot preempt a hung trial).
+        max_chunk_retries: how many times a failed/timed-out chunk is
+            re-dispatched before its cell is quarantined.
+        fail_fast: abort the whole campaign on the first quarantined cell
+            instead of completing the healthy ones.
+        backoff_base_s: base of the deterministic exponential backoff
+            (``min(2.0, base * 2**(attempt-1))`` seconds before retry k).
+    """
+
+    trial_timeout_s: Optional[float] = None
+    max_chunk_retries: Optional[int] = None
+    fail_fast: Optional[bool] = None
+    backoff_base_s: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise ExperimentError(
+                f"trial_timeout_s must be positive, got {self.trial_timeout_s}"
+            )
+        if self.max_chunk_retries is not None and self.max_chunk_retries < 0:
+            raise ExperimentError(
+                f"max_chunk_retries must be >= 0, got {self.max_chunk_retries}"
+            )
+        if self.backoff_base_s is not None and self.backoff_base_s < 0:
+            raise ExperimentError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        if self.trial_timeout_s is not None:
+            data["trial_timeout_s"] = self.trial_timeout_s
+        if self.max_chunk_retries is not None:
+            data["max_chunk_retries"] = self.max_chunk_retries
+        if self.fail_fast is not None:
+            data["fail_fast"] = bool(self.fail_fast)
+        if self.backoff_base_s is not None:
+            data["backoff_base_s"] = self.backoff_base_s
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionPolicy":
+        return cls(
+            trial_timeout_s=data.get("trial_timeout_s"),
+            max_chunk_retries=data.get("max_chunk_retries"),
+            fail_fast=data.get("fail_fast"),
+            backoff_base_s=data.get("backoff_base_s"),
+        )
+
+
+@dataclass
 class ExperimentSpec:
     """One cell of a campaign: a protocol configuration and its seeds.
 
@@ -103,11 +200,26 @@ class ExperimentSpec:
             default, and the only value that serializes away) means "on for
             scenario cells, off otherwise"; ``True``/``False`` force it.  A
             violation aborts the campaign with an :class:`ExperimentError`.
+        trial_timeout_s: per-cell override of
+            :attr:`ExecutionPolicy.trial_timeout_s`.
+        max_chunk_retries: per-cell override of
+            :attr:`ExecutionPolicy.max_chunk_retries`.
+        fault: optional chaos fault (:class:`FaultSpec`) injected in the
+            worker entrypoint before this cell's chunks run.  Used by the
+            chaos harness and CI; excluded from :meth:`spec_hash` along with
+            the policy overrides, because none of them change the computed
+            statistics.
     """
 
     #: Runner arguments the spec supplies through dedicated fields; cells may
     #: not also smuggle them in through ``params``.
     RESERVED_PARAMS = frozenset({"n", "seed", "seeds", "scheduler", "corruptions"})
+
+    #: Execution-plane keys: serialized with the cell (workers need them) but
+    #: excluded from :meth:`spec_hash` -- they change how trials are
+    #: *supervised*, never what they compute, so stored results stay valid
+    #: (and chaos runs checkpoint byte-identically to clean ones).
+    EXECUTION_KEYS = ("fault", "trial_timeout_s", "max_chunk_retries")
 
     name: str
     protocol: str
@@ -118,6 +230,9 @@ class ExperimentSpec:
     scheduler: Optional[SchedulerSpec] = None
     scenario: Optional[str] = None
     invariants: Optional[bool] = None
+    trial_timeout_s: Optional[float] = None
+    max_chunk_retries: Optional[int] = None
+    fault: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         self.seeds = [int(seed) for seed in self.seeds]
@@ -127,6 +242,8 @@ class ExperimentSpec:
         }
         if isinstance(self.scheduler, Mapping):
             self.scheduler = SchedulerSpec.from_dict(self.scheduler)
+        if isinstance(self.fault, Mapping):
+            self.fault = FaultSpec.from_dict(self.fault)
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -150,6 +267,18 @@ class ExperimentSpec:
                 raise ExperimentError(
                     f"cell {self.name!r}: corrupted pid {pid} outside 0..{self.n - 1}"
                 )
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise ExperimentError(
+                f"cell {self.name!r}: trial_timeout_s must be positive, "
+                f"got {self.trial_timeout_s}"
+            )
+        if self.max_chunk_retries is not None and self.max_chunk_retries < 0:
+            raise ExperimentError(
+                f"cell {self.name!r}: max_chunk_retries must be >= 0, "
+                f"got {self.max_chunk_retries}"
+            )
+        if self.fault is not None and not self.fault.fault:
+            raise ExperimentError(f"cell {self.name!r}: fault needs a non-empty name")
 
     @property
     def trials(self) -> int:
@@ -161,9 +290,14 @@ class ExperimentSpec:
 
         Stored next to persisted results; a cell whose definition changed
         hashes differently, so stale results are never silently reused.
+        Execution-plane keys (:data:`EXECUTION_KEYS`: chaos faults, timeout
+        and retry overrides) are excluded -- they never change the computed
+        statistics, so toggling them must not invalidate stored results.
         """
         data = self.to_dict()
         data.pop("name")
+        for key in self.EXECUTION_KEYS:
+            data.pop(key, None)
         return hashlib.sha256(canonical_json(data).encode()).hexdigest()[:16]
 
     # ------------------------------------------------------------------
@@ -189,6 +323,12 @@ class ExperimentSpec:
             # identically to pre-invariant specs so resume checks keep
             # accepting persisted results.
             data["invariants"] = bool(self.invariants)
+        if self.trial_timeout_s is not None:
+            data["trial_timeout_s"] = self.trial_timeout_s
+        if self.max_chunk_retries is not None:
+            data["max_chunk_retries"] = self.max_chunk_retries
+        if self.fault is not None:
+            data["fault"] = self.fault.to_dict()
         return data
 
     @classmethod
@@ -211,6 +351,13 @@ class ExperimentSpec:
                 ),
                 scenario=data.get("scenario"),
                 invariants=data.get("invariants"),
+                trial_timeout_s=data.get("trial_timeout_s"),
+                max_chunk_retries=data.get("max_chunk_retries"),
+                fault=(
+                    FaultSpec.from_dict(data["fault"])
+                    if data.get("fault") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExperimentError(f"malformed experiment cell: {exc}") from exc
@@ -218,10 +365,22 @@ class ExperimentSpec:
 
 @dataclass
 class CampaignSpec:
-    """A named, ordered collection of experiment cells."""
+    """A named, ordered collection of experiment cells.
+
+    ``policy`` (optional) is the campaign's fault-tolerance
+    :class:`ExecutionPolicy`; per-cell ``trial_timeout_s`` /
+    ``max_chunk_retries`` override it, and a policy passed directly to
+    :func:`~repro.experiments.runner.run_campaign` (e.g. from CLI flags)
+    overrides both.
+    """
 
     name: str
     cells: List[ExperimentSpec] = field(default_factory=list)
+    policy: Optional[ExecutionPolicy] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.policy, Mapping):
+            self.policy = ExecutionPolicy.from_dict(self.policy)
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -229,6 +388,8 @@ class CampaignSpec:
             raise ExperimentError("campaign needs a non-empty name")
         if not self.cells:
             raise ExperimentError(f"campaign {self.name!r} has no cells")
+        if self.policy is not None:
+            self.policy.validate()
         seen: set = set()
         for cell in self.cells:
             cell.validate()
@@ -252,7 +413,13 @@ class CampaignSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "cells": [cell.to_dict() for cell in self.cells]}
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+        if self.policy is not None and self.policy.to_dict():
+            data["policy"] = self.policy.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -260,6 +427,11 @@ class CampaignSpec:
             return cls(
                 name=str(data["name"]),
                 cells=[ExperimentSpec.from_dict(cell) for cell in data["cells"]],
+                policy=(
+                    ExecutionPolicy.from_dict(data["policy"])
+                    if data.get("policy") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError) as exc:
             raise ExperimentError(f"malformed campaign: {exc}") from exc

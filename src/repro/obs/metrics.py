@@ -117,6 +117,20 @@ class MetricsRegistry:
             metric = self._counters[name] = CounterMetric()
         return metric
 
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment the named counter (get-or-create convenience)."""
+        self.counter(name).inc(amount)
+
+    def counter_values(self) -> Dict[str, int]:
+        """Current counter values by name, sorted (no full snapshot needed).
+
+        The campaign runner uses a registry for its supervision counters --
+        ``runner.retries``, ``runner.timeouts``, ``runner.worker_restarts``,
+        ``runner.quarantined_cells`` -- which the CLI reads back through
+        this accessor.
+        """
+        return {name: metric.value for name, metric in sorted(self._counters.items())}
+
     def gauge(self, name: str) -> Gauge:
         metric = self._gauges.get(name)
         if metric is None:

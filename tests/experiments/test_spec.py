@@ -8,7 +8,9 @@ from repro.errors import ExperimentError
 from repro.experiments.spec import (
     BehaviorSpec,
     CampaignSpec,
+    ExecutionPolicy,
     ExperimentSpec,
+    FaultSpec,
     SchedulerSpec,
 )
 
@@ -121,6 +123,68 @@ class TestSpecHash:
         cell = _campaign().cells[1]
         clone = ExperimentSpec.from_dict(cell.to_dict())
         assert clone.spec_hash() == cell.spec_hash()
+
+
+class TestExecutionPlane:
+    def test_policy_and_fault_round_trip(self):
+        campaign = _campaign()
+        campaign.policy = ExecutionPolicy(
+            trial_timeout_s=2.5, max_chunk_retries=1, fail_fast=True
+        )
+        campaign.cells[0].fault = FaultSpec("sigkill", {"chunks": [1]})
+        campaign.cells[0].trial_timeout_s = 0.5
+        campaign.cells[0].max_chunk_retries = 4
+
+        clone = CampaignSpec.from_json(campaign.to_json())
+        assert clone == campaign
+        assert clone.policy == campaign.policy
+        assert clone.cells[0].fault == FaultSpec("sigkill", {"chunks": [1]})
+        assert clone.cells[0].trial_timeout_s == 0.5
+        assert clone.cells[0].max_chunk_retries == 4
+
+    def test_policy_accepts_plain_dicts(self):
+        campaign = CampaignSpec(
+            name="c",
+            cells=_campaign().cells,
+            policy={"max_chunk_retries": 3},  # type: ignore[arg-type]
+        )
+        assert campaign.policy == ExecutionPolicy(max_chunk_retries=3)
+        cell = ExperimentSpec(
+            name="x",
+            protocol="coinflip",
+            n=4,
+            seeds=[0],
+            fault={"fault": "raise"},  # type: ignore[arg-type]
+        )
+        assert cell.fault == FaultSpec("raise")
+
+    def test_execution_keys_do_not_change_spec_hash(self):
+        """Chaos faults and supervision overrides never invalidate stored
+        results: they change how trials are supervised, not what they compute."""
+        clean = _campaign().cells[0]
+        chaotic = ExperimentSpec.from_dict(clean.to_dict())
+        chaotic.fault = FaultSpec("sigkill", {"attempts": None})
+        chaotic.trial_timeout_s = 0.1
+        chaotic.max_chunk_retries = 9
+        assert chaotic.spec_hash() == clean.spec_hash()
+
+    def test_policy_validation(self):
+        with pytest.raises(ExperimentError, match="trial_timeout_s"):
+            ExecutionPolicy(trial_timeout_s=0).validate()
+        with pytest.raises(ExperimentError, match="max_chunk_retries"):
+            ExecutionPolicy(max_chunk_retries=-1).validate()
+        with pytest.raises(ExperimentError, match="backoff_base_s"):
+            ExecutionPolicy(backoff_base_s=-0.5).validate()
+
+    def test_cell_execution_field_validation(self):
+        campaign = _campaign()
+        campaign.cells[0].trial_timeout_s = -1.0
+        with pytest.raises(ExperimentError, match="trial_timeout_s"):
+            campaign.validate()
+        campaign.cells[0].trial_timeout_s = None
+        campaign.cells[0].fault = FaultSpec("")
+        with pytest.raises(ExperimentError, match="fault"):
+            campaign.validate()
 
 
 class TestGrid:
