@@ -1,0 +1,701 @@
+"""Ablation harness: per-factor contribution tables and attack sweeps.
+
+The simulator has accumulated a stack of independent optimisations (vectorised
+evaluation plans, the group-mode fan-out queue, GC pausing, session interning,
+trace-free metering) and a library of attack scenarios composed from four
+components (corruption plan, fault timeline, hostile scheduler, tamper
+transitions).  This module makes each of them a *factor* that can be toggled
+declaratively and measured in isolation:
+
+* a :class:`Factor` registry describing every toggle as a campaign-cell
+  parameter overlay (optimisations ride the ``tuning`` runner kwarg; scenario
+  components ride the ``<base>~no-<component>`` variant syntax of
+  :func:`repro.scenarios.library.get_scenario`);
+* grid builders expanding factors into ordinary
+  :class:`~repro.experiments.spec.ExperimentSpec` cells -- one-factor-out by
+  default, full factorial on request -- which run on the existing
+  fault-tolerant campaign runner (parallel, resumable, quarantine-aware for
+  free) and therefore serialize, hash and resume like any other campaign;
+* :func:`contribution_table`, aggregating the resulting
+  :class:`~repro.core.results.TrialAggregate` per cell into per-factor rows
+  (wall time, deliveries/s, sends-by-kind, crypto cache hit rates, and a
+  statistics-identity check against the baseline for the semantics-preserving
+  toggles);
+* :func:`build_attack_sweep` / :func:`sweep_table`, reporting bias /
+  disagreement probability / message complexity *as a function of the
+  scenario* across ``n`` and seeds, with Wilson binomial confidence
+  intervals (:func:`repro.analysis.binomial.wilson_interval`).
+
+The machine-checked paper-claims layer on top lives in
+:mod:`repro.analysis.claims`; the ``repro-experiments ablate`` CLI mode wires
+both together.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.binomial import wilson_interval
+from repro.analysis.complexity import (
+    acast_messages,
+    aba_expected_messages,
+    coinflip_expected_messages,
+    common_subset_expected_messages,
+    fair_choice_expected_messages,
+    fba_expected_messages,
+    svss_rec_messages,
+    svss_share_messages,
+)
+from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # heavy layers; imported lazily at runtime because
+    # ``protocols.coinflip`` imports this package during ``repro.core.api``'s
+    # own initialisation (analysis must stay a leaf of the import graph).
+    from repro.core.results import TrialAggregate
+    from repro.experiments.spec import CampaignSpec, ExperimentSpec
+
+#: Parameters every ablation cell shares unless overridden: the campaign
+#: throughput configuration (tracing off, so the group-mode fast path and the
+#: meter are engaged) plus the structured-metrics registry, which supplies
+#: the cache-hit-rate and histogram columns of the contribution table.
+DEFAULT_BASE_PARAMS: Dict[str, Any] = {"tracing": False, "metrics": True}
+
+#: Name of the all-factors-on cell in every ablation campaign.
+BASELINE_CELL = "baseline"
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One independently-toggleable factor of the system under ablation.
+
+    Attributes:
+        name: registry key; the one-factor-out cell is named ``no-<name>``.
+        description: one-line human description of what the factor buys.
+        ablated: cell-parameter overlay applied when the factor is *off*
+            (merged over the base params; the ``tuning`` sub-dict merges
+            keywise so several factors compose in factorial grids).
+        scenario_component: when set, ablating the factor swaps the cell's
+            scenario for its ``~no-<component>`` variant instead of touching
+            params (see :data:`repro.scenarios.library.SCENARIO_COMPONENTS`).
+        stats_preserving: the ablated configuration is expected to produce
+            byte-identical per-seed statistics (outputs, message counts,
+            steps) -- true for every pure optimisation, false when the toggle
+            changes what is measured (metering off) or what the adversary
+            does (scenario components).
+    """
+
+    name: str
+    description: str
+    ablated: Mapping[str, Any] = field(default_factory=dict)
+    scenario_component: Optional[str] = None
+    stats_preserving: bool = True
+
+
+#: The optimisation factors, one per independent fast path.  Ablating
+#: ``trace_free`` re-enables full tracing, which also forfeits group mode
+#: (trace hooks need materialised messages) -- that composite cost is the
+#: honest price of tracing and is reported as such.
+OPTIMISATION_FACTORS: Tuple[Factor, ...] = (
+    Factor(
+        "eval_plan",
+        "vectorised EvalPlan crypto kernels (vs forced scalar)",
+        ablated={"tuning": {"eval_plan": "scalar"}},
+    ),
+    Factor(
+        "group_queue",
+        "group-mode fan-out delivery queue (vs flat per-message queue)",
+        ablated={"tuning": {"group_mode": False}},
+    ),
+    Factor(
+        "gc_pause",
+        "cyclic GC paused during the delivery loop (vs live collector)",
+        ablated={"tuning": {"pause_gc": False}},
+    ),
+    Factor(
+        "interned_sessions",
+        "network-wide session-tuple interning (vs per-caller allocation)",
+        ablated={"tuning": {"intern_sessions": False}},
+    ),
+    Factor(
+        "trace_free",
+        "trace hooks disabled, metered group mode (vs full tracing)",
+        ablated={"tracing": True},
+    ),
+    Factor(
+        "metering",
+        "aggregate message meter on trace-free runs (vs no meter)",
+        ablated={"metering": False},
+        stats_preserving=False,
+    ),
+)
+
+
+def scenario_factors() -> Tuple[Factor, ...]:
+    """Factors toggling each attack-scenario component independently."""
+    from repro.scenarios.library import SCENARIO_COMPONENTS
+
+    return tuple(
+        Factor(
+            f"scenario_{component}",
+            f"attack scenario component: {component}",
+            scenario_component=component,
+            stats_preserving=False,
+        )
+        for component in SCENARIO_COMPONENTS
+    )
+
+
+def factor_names(factors: Iterable[Factor]) -> List[str]:
+    return [factor.name for factor in factors]
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+def _merge_params(
+    base: Mapping[str, Any], overlay: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Overlay ``overlay`` onto ``base``; the ``tuning`` sub-dict merges keywise."""
+    merged: Dict[str, Any] = {
+        key: dict(value) if isinstance(value, dict) else value
+        for key, value in base.items()
+    }
+    for key, value in overlay.items():
+        if key == "tuning" and isinstance(merged.get("tuning"), dict):
+            merged["tuning"] = {**merged["tuning"], **value}
+        else:
+            merged[key] = dict(value) if isinstance(value, dict) else value
+    return merged
+
+
+def _ablated_cell(
+    name: str,
+    protocol: str,
+    n: int,
+    seeds: Sequence[int],
+    base: Mapping[str, Any],
+    off_factors: Sequence[Factor],
+    scenario: Optional[str],
+) -> "ExperimentSpec":
+    from repro.experiments.spec import ExperimentSpec
+
+    params: Dict[str, Any] = _merge_params(base, {})
+    cell_scenario = scenario
+    dropped_components: List[str] = []
+    for factor in off_factors:
+        if factor.scenario_component is not None:
+            if scenario is None:
+                raise ExperimentError(
+                    f"factor {factor.name!r} ablates a scenario component but "
+                    f"the ablation has no scenario"
+                )
+            dropped_components.append(f"no-{factor.scenario_component}")
+        else:
+            params = _merge_params(params, factor.ablated)
+    if dropped_components:
+        cell_scenario = f"{scenario}~{','.join(dropped_components)}"
+    return ExperimentSpec(
+        name=name,
+        protocol=protocol,
+        n=n,
+        seeds=list(seeds),
+        params=params,
+        scenario=cell_scenario,
+    )
+
+
+def one_factor_out_cells(
+    protocol: str,
+    n: int,
+    seeds: Sequence[int],
+    factors: Sequence[Factor],
+    base_params: Optional[Mapping[str, Any]] = None,
+    scenario: Optional[str] = None,
+) -> List[ExperimentSpec]:
+    """The baseline cell plus one ``no-<factor>`` cell per factor."""
+    base = _merge_params(DEFAULT_BASE_PARAMS, base_params or {})
+    cells = [
+        _ablated_cell(BASELINE_CELL, protocol, n, seeds, base, (), scenario)
+    ]
+    for factor in factors:
+        cells.append(
+            _ablated_cell(
+                f"no-{factor.name}", protocol, n, seeds, base, (factor,), scenario
+            )
+        )
+    return cells
+
+
+#: Factorial grids double per factor; more than this many factors is almost
+#: certainly a mistake (256 cells), so the builder refuses.
+MAX_FACTORIAL_FACTORS = 8
+
+
+def factorial_cells(
+    protocol: str,
+    n: int,
+    seeds: Sequence[int],
+    factors: Sequence[Factor],
+    base_params: Optional[Mapping[str, Any]] = None,
+    scenario: Optional[str] = None,
+) -> List[ExperimentSpec]:
+    """The full ``2^k`` factorial grid over ``factors``.
+
+    Cell names list the ablated factors (``no-a+no-b``); the all-on corner
+    keeps the :data:`BASELINE_CELL` name so contribution tables and claims
+    find it under either expansion mode.
+    """
+    if len(factors) > MAX_FACTORIAL_FACTORS:
+        raise ExperimentError(
+            f"factorial grid over {len(factors)} factors would need "
+            f"{2 ** len(factors)} cells; cap is {MAX_FACTORIAL_FACTORS} factors"
+        )
+    base = _merge_params(DEFAULT_BASE_PARAMS, base_params or {})
+    cells = []
+    for bits in itertools.product((False, True), repeat=len(factors)):
+        off = [factor for factor, is_off in zip(factors, bits) if is_off]
+        name = "+".join(f"no-{factor.name}" for factor in off) or BASELINE_CELL
+        cells.append(
+            _ablated_cell(name, protocol, n, seeds, base, off, scenario)
+        )
+    return cells
+
+
+def build_ablation_campaign(
+    name: str,
+    protocol: str,
+    n: int,
+    seeds: Sequence[int],
+    factors: Optional[Sequence[Factor]] = None,
+    mode: str = "one-out",
+    base_params: Optional[Mapping[str, Any]] = None,
+    scenario: Optional[str] = None,
+) -> CampaignSpec:
+    """Expand a factor set into a validated, hash-stable campaign spec.
+
+    ``mode`` is ``"one-out"`` (baseline + one cell per factor, the default)
+    or ``"factorial"`` (the full ``2^k`` grid).  When ``scenario`` is given,
+    :func:`scenario_factors` are appended to the default factor set, so the
+    attack's components are ablated alongside the optimisations.
+    """
+    if factors is None:
+        factors = list(OPTIMISATION_FACTORS)
+        if scenario is not None:
+            factors += list(scenario_factors())
+    if mode == "one-out":
+        cells = one_factor_out_cells(
+            protocol, n, seeds, factors, base_params, scenario
+        )
+    elif mode == "factorial":
+        cells = factorial_cells(protocol, n, seeds, factors, base_params, scenario)
+    else:
+        raise ExperimentError(
+            f'ablation mode must be "one-out" or "factorial", got {mode!r}'
+        )
+    from repro.experiments.spec import CampaignSpec
+
+    campaign = CampaignSpec(name=name, cells=cells)
+    campaign.validate()
+    return campaign
+
+
+# ----------------------------------------------------------------------
+# Contribution tables
+def _stats_signature(aggregate: TrialAggregate) -> Tuple[Any, ...]:
+    """The deterministic statistics a pure optimisation must not change."""
+    return (
+        aggregate.trials,
+        aggregate.disagreements,
+        tuple(sorted(aggregate.value_counts.items())),
+        aggregate.total_messages,
+        aggregate.total_steps,
+        aggregate.total_shun_events,
+        aggregate.total_dropped,
+        tuple(sorted(aggregate.sent_by_kind.items())),
+    )
+
+
+def cache_hit_rate(aggregate: TrialAggregate) -> Optional[float]:
+    """Crypto-plane cache hit rate over the aggregate's trials (or None).
+
+    Pools the row/eval/weight caches (``crypto.plane.*`` counters folded by
+    :meth:`TrialAggregate.add`); None when the cells ran without a metrics
+    registry or never touched the plane.
+    """
+    hits = misses = 0
+    for key, value in aggregate.metric_counters.items():
+        if key.startswith("crypto.plane.") and key.endswith("_hits"):
+            hits += value
+        elif key.startswith("crypto.plane.") and key.endswith("_misses"):
+            misses += value
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
+@dataclass
+class ContributionRow:
+    """One row of the per-factor contribution table.
+
+    The ``baseline`` row carries the all-factors-on measurements; every
+    ``no-<factor>`` row reports the same columns for the ablated run plus the
+    relative wall-time delta (positive = removing the factor made trials
+    slower, i.e. the factor contributes that much) and, for
+    statistics-preserving factors, whether the deterministic statistics
+    stayed byte-identical to the baseline.
+    """
+
+    cell: str
+    factor: Optional[str]
+    description: str
+    trials: int
+    wall_s_per_trial: Optional[float]
+    deliveries_per_s: Optional[float]
+    wall_delta_pct: Optional[float]
+    mean_messages: float
+    mean_steps: float
+    sent_by_kind: Dict[str, int]
+    cache_hit_rate: Optional[float]
+    stats_expected_identical: bool
+    stats_identical: Optional[bool]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "factor": self.factor,
+            "description": self.description,
+            "trials": self.trials,
+            "wall_s_per_trial": self.wall_s_per_trial,
+            "deliveries_per_s": self.deliveries_per_s,
+            "wall_delta_pct": self.wall_delta_pct,
+            "mean_messages": self.mean_messages,
+            "mean_steps": self.mean_steps,
+            "sent_by_kind": dict(self.sent_by_kind),
+            "cache_hit_rate": self.cache_hit_rate,
+            "stats_expected_identical": self.stats_expected_identical,
+            "stats_identical": self.stats_identical,
+        }
+
+
+def _row_for(
+    cell: str,
+    factor: Optional[Factor],
+    aggregate: TrialAggregate,
+    baseline: Optional[TrialAggregate],
+) -> ContributionRow:
+    trials = aggregate.trials
+    wall = aggregate.total_elapsed_s / trials if trials and aggregate.total_elapsed_s else None
+    delta = None
+    identical = None
+    if baseline is not None and factor is not None:
+        base_wall = (
+            baseline.total_elapsed_s / baseline.trials
+            if baseline.trials and baseline.total_elapsed_s
+            else None
+        )
+        if wall is not None and base_wall:
+            delta = 100.0 * (wall - base_wall) / base_wall
+        if factor.stats_preserving:
+            identical = _stats_signature(aggregate) == _stats_signature(baseline)
+    return ContributionRow(
+        cell=cell,
+        factor=factor.name if factor else None,
+        description=factor.description if factor else "all factors on",
+        trials=trials,
+        wall_s_per_trial=wall,
+        deliveries_per_s=aggregate.deliveries_per_s,
+        wall_delta_pct=delta,
+        mean_messages=aggregate.mean_messages,
+        mean_steps=aggregate.mean_steps,
+        sent_by_kind=dict(aggregate.sent_by_kind),
+        cache_hit_rate=cache_hit_rate(aggregate),
+        stats_expected_identical=factor.stats_preserving if factor else True,
+        stats_identical=identical,
+    )
+
+
+def contribution_table(
+    results: Mapping[str, TrialAggregate],
+    factors: Sequence[Factor],
+) -> List[ContributionRow]:
+    """Per-factor contribution rows from one-factor-out campaign results.
+
+    ``results`` maps cell names to aggregates and must contain the
+    :data:`BASELINE_CELL`; a factor whose ``no-<name>`` cell is missing
+    (e.g. quarantined) is skipped rather than failing the whole table.
+    """
+    if BASELINE_CELL not in results:
+        raise ExperimentError(
+            f"contribution table needs a {BASELINE_CELL!r} cell; "
+            f"got {sorted(results)}"
+        )
+    baseline = results[BASELINE_CELL]
+    rows = [_row_for(BASELINE_CELL, None, baseline, None)]
+    for factor in factors:
+        cell = f"no-{factor.name}"
+        aggregate = results.get(cell)
+        if aggregate is None:
+            continue
+        rows.append(_row_for(cell, factor, aggregate, baseline))
+    return rows
+
+
+CONTRIBUTION_HEADER = (
+    "cell",
+    "trials",
+    "wall s/trial",
+    "deliveries/s",
+    "Δwall vs base",
+    "msgs/trial",
+    "cache hit",
+    "stats",
+)
+
+
+def format_contribution_rows(rows: Sequence[ContributionRow]) -> List[Tuple[str, ...]]:
+    """Human-readable cells for :data:`CONTRIBUTION_HEADER` (CLI/examples)."""
+    formatted = []
+    for row in rows:
+        if row.stats_identical is None:
+            stats = "-" if row.stats_expected_identical else "n/a"
+        else:
+            stats = "identical" if row.stats_identical else "DIVERGED"
+        formatted.append(
+            (
+                row.cell,
+                str(row.trials),
+                "-" if row.wall_s_per_trial is None else f"{row.wall_s_per_trial:.4f}",
+                "-" if row.deliveries_per_s is None else f"{row.deliveries_per_s:,.0f}".replace(",", "_"),
+                "-" if row.wall_delta_pct is None else f"{row.wall_delta_pct:+.1f}%",
+                f"{row.mean_messages:.1f}",
+                "-" if row.cache_hit_rate is None else f"{100.0 * row.cache_hit_rate:.1f}%",
+                stats,
+            )
+        )
+    return formatted
+
+
+# ----------------------------------------------------------------------
+# Attack sweeps
+def build_attack_sweep(
+    name: str,
+    scenarios: Sequence[str],
+    ns: Sequence[int],
+    seeds: Sequence[int],
+    base_params: Optional[Mapping[str, Any]] = None,
+) -> CampaignSpec:
+    """A campaign sweeping the named scenarios across party counts.
+
+    One cell per ``(scenario, n)`` named ``<scenario>|n=<n>``; each cell's
+    protocol comes from the scenario itself, and every cell runs in the
+    trace-free metered configuration so sweeps stay on the fast path.
+    """
+    from repro.experiments.spec import CampaignSpec, ExperimentSpec
+    from repro.scenarios.library import get_scenario
+
+    base = _merge_params({"tracing": False}, base_params or {})
+    cells = []
+    for scenario in scenarios:
+        protocol = get_scenario(scenario).protocol
+        for n in ns:
+            cells.append(
+                ExperimentSpec(
+                    name=f"{scenario}|n={n}",
+                    protocol=protocol,
+                    n=n,
+                    seeds=list(seeds),
+                    params=dict(base),
+                    scenario=scenario,
+                )
+            )
+    campaign = CampaignSpec(name=name, cells=cells)
+    campaign.validate()
+    return campaign
+
+
+def predicted_messages(
+    protocol: str, n: int, params: Mapping[str, Any]
+) -> Optional[float]:
+    """Closed-form honest-execution message prediction for one cell (or None).
+
+    Wraps :mod:`repro.analysis.complexity` with the registry's protocol names
+    and each runner's iteration-count parameters; protocols without a
+    closed-form prediction (``weak_coin``'s single flip is modelled as one
+    CoinFlip iteration without the final BA) return a best-effort figure,
+    unknown protocols return None.
+    """
+    try:
+        if protocol == "acast":
+            return float(acast_messages(n))
+        if protocol == "svss":
+            return float(svss_share_messages(n) + svss_rec_messages(n))
+        if protocol == "aba":
+            return aba_expected_messages(n)
+        if protocol == "common_subset":
+            return common_subset_expected_messages(n)
+        if protocol == "coinflip":
+            rounds = int(params.get("rounds", 5))
+            return coinflip_expected_messages(n, rounds)
+        if protocol == "weak_coin":
+            t = (n - 1) // 3
+            return (
+                n * svss_share_messages(n)
+                + common_subset_expected_messages(n)
+                + (n - t) * svss_rec_messages(n)
+            )
+        if protocol == "fair_choice":
+            m = int(params["m"])
+            rounds = int(params.get("coinflip_rounds", 1))
+            return fair_choice_expected_messages(n, m, rounds)
+        if protocol == "fba":
+            rounds = int(params.get("coinflip_rounds", 1))
+            return fba_expected_messages(n, rounds)
+    except (KeyError, ValueError):
+        return None
+    return None
+
+
+@dataclass
+class SweepRow:
+    """One ``(scenario, n)`` point of an attack sweep.
+
+    ``bias`` is the empirical frequency of output ``1`` over all trials (for
+    binary-output protocols), with a Wilson interval; ``disagreement`` is the
+    honest-disagreement probability with its interval; ``message_ratio`` is
+    measured mean messages over the closed-form honest prediction -- the
+    attack's message-complexity amplification.
+    """
+
+    cell: str
+    scenario: str
+    n: int
+    trials: int
+    disagreement_rate: float
+    disagreement_ci: Tuple[float, float]
+    ones: int
+    bias: Optional[float]
+    bias_ci: Optional[Tuple[float, float]]
+    mean_messages: float
+    predicted_messages: Optional[float]
+    message_ratio: Optional[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "scenario": self.scenario,
+            "n": self.n,
+            "trials": self.trials,
+            "disagreement_rate": self.disagreement_rate,
+            "disagreement_ci": list(self.disagreement_ci),
+            "ones": self.ones,
+            "bias": self.bias,
+            "bias_ci": None if self.bias_ci is None else list(self.bias_ci),
+            "mean_messages": self.mean_messages,
+            "predicted_messages": self.predicted_messages,
+            "message_ratio": self.message_ratio,
+        }
+
+
+def sweep_table(
+    campaign: CampaignSpec, results: Mapping[str, TrialAggregate]
+) -> List[SweepRow]:
+    """Sweep rows for every campaign cell present in ``results``."""
+    from repro.scenarios.invariants import BINARY_OUTPUT_PROTOCOLS
+
+    rows = []
+    for cell in campaign.cells:
+        aggregate = results.get(cell.name)
+        if aggregate is None or aggregate.trials == 0:
+            continue
+        trials = aggregate.trials
+        scenario = cell.scenario or "-"
+        disagreement_ci = wilson_interval(aggregate.disagreements, trials)
+        bias = bias_ci = None
+        ones = aggregate.value_counts.get("1", 0)
+        if cell.protocol in BINARY_OUTPUT_PROTOCOLS:
+            bias = ones / trials
+            bias_ci = wilson_interval(ones, trials)
+        predicted = predicted_messages(cell.protocol, cell.n, cell.params)
+        ratio = (
+            aggregate.mean_messages / predicted
+            if predicted
+            else None
+        )
+        rows.append(
+            SweepRow(
+                cell=cell.name,
+                scenario=scenario,
+                n=cell.n,
+                trials=trials,
+                disagreement_rate=aggregate.disagreement_rate,
+                disagreement_ci=disagreement_ci,
+                ones=ones,
+                bias=bias,
+                bias_ci=bias_ci,
+                mean_messages=aggregate.mean_messages,
+                predicted_messages=predicted,
+                message_ratio=ratio,
+            )
+        )
+    return rows
+
+
+SWEEP_HEADER = (
+    "cell",
+    "n",
+    "trials",
+    "disagree",
+    "disagree 95% CI",
+    "Pr[coin=1]",
+    "bias 95% CI",
+    "msgs/trial",
+    "msg ratio",
+)
+
+
+def format_sweep_rows(rows: Sequence[SweepRow]) -> List[Tuple[str, ...]]:
+    """Human-readable cells for :data:`SWEEP_HEADER`."""
+
+    def ci(interval: Optional[Tuple[float, float]]) -> str:
+        if interval is None:
+            return "-"
+        return f"[{interval[0]:.3f}, {interval[1]:.3f}]"
+
+    return [
+        (
+            row.cell,
+            str(row.n),
+            str(row.trials),
+            f"{row.disagreement_rate:.3f}",
+            ci(row.disagreement_ci),
+            "-" if row.bias is None else f"{row.bias:.3f}",
+            ci(row.bias_ci),
+            f"{row.mean_messages:.1f}",
+            "-" if row.message_ratio is None else f"{row.message_ratio:.2f}x",
+        )
+        for row in rows
+    ]
+
+
+def render_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width text table (the CLI's format, reusable from examples)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(column) for column in header]
+    for row in rows:
+        widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+    lines = ["  ".join(name.ljust(width) for name, width in zip(header, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines) + "\n"

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 
 def coinflip_iterations(epsilon: float, n: int) -> int:
@@ -94,6 +94,41 @@ def exact_tail_probability(k: int, threshold: int) -> float:
             total += math.exp(log_pmf)
         log_pmf += math.log(k - i) - math.log(i + 1) if i < k else 0.0
     return min(1.0, total)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Returns ``(lower, upper)`` bounds on the true success probability given
+    ``successes`` out of ``trials`` observations, at normal quantile ``z``
+    (1.96 for 95%).  Unlike the normal approximation it behaves sensibly at
+    the boundaries (0 or all successes with few trials), which is exactly
+    the regime quick ablation runs live in; the claims harness uses it so a
+    paper claim only *fails* when the data statistically refutes it, never
+    because a handful of seeds happened to land on one side.
+
+    Raises:
+        ValueError: on ``trials < 1``, ``successes`` outside ``0..trials``
+            or non-positive ``z``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must lie in 0..{trials}, got {successes}")
+    if z <= 0:
+        raise ValueError(f"z must be positive, got {z}")
+    p_hat = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = p_hat + z2 / (2.0 * trials)
+    margin = z * math.sqrt(
+        p_hat * (1.0 - p_hat) / trials + z2 / (4.0 * trials * trials)
+    )
+    lower = (center - margin) / denominator
+    upper = (center + margin) / denominator
+    return max(0.0, lower), min(1.0, upper)
 
 
 def monte_carlo_tail(

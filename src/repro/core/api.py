@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional
 
 from repro.core.config import ProtocolParams
+from repro.errors import ConfigurationError
 from repro.core.results import TrialAggregate, aggregate
 from repro.net.message import SessionId
 from repro.net.process import Process
@@ -35,6 +36,25 @@ from repro.protocols.weak_coin import WeakCommonCoin
 
 BehaviorFactory = Callable[[Process], Any]
 Corruptions = Optional[Mapping[int, BehaviorFactory]]
+#: Optional per-run optimisation toggles (``tuning={...}``): a JSON-shaped
+#: mapping every runner threads onto :class:`~repro.net.runtime.Simulation`.
+#: Keys (all optional) and their default-on semantics:
+#:
+#: * ``pause_gc`` (bool, default True) -- pause the cyclic GC during the run;
+#: * ``group_mode`` (bool | None, default None) -- False forces the flat
+#:   per-message delivery queue even when group batching is possible;
+#: * ``intern_sessions`` (bool, default True) -- False disables network-wide
+#:   session-tuple canonicalisation;
+#: * ``eval_plan`` (``"auto"`` | ``"scalar"``, default auto) -- "scalar"
+#:   forces the plain-int crypto kernels for the whole run.
+#:
+#: The ablation harness (:mod:`repro.analysis.ablation`) drives these through
+#: campaign cell params; every toggle preserves per-seed outputs and message
+#: statistics byte-identically (the fast paths are tested against the scalar/
+#: flat oracles), only wall-clock behaviour changes.
+Tuning = Optional[Mapping[str, Any]]
+
+_TUNING_KEYS = frozenset({"pause_gc", "group_mode", "intern_sessions", "eval_plan"})
 
 #: Default iteration override used when callers do not specify one.  The
 #: paper's CoinFlip runs k = Theta(log(1/epsilon)) SVSS iterations; at
@@ -59,11 +79,19 @@ def _simulation(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> Simulation:
     if prime is None:
         params = ProtocolParams.for_parties(n)
     else:
         params = ProtocolParams.for_parties(n, prime=prime)
+    knobs = dict(tuning or {})
+    unknown = set(knobs) - _TUNING_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown tuning keys {sorted(unknown)}; "
+            f"known: {sorted(_TUNING_KEYS)}"
+        )
     sim = Simulation(
         params=params,
         scheduler=scheduler,
@@ -74,6 +102,10 @@ def _simulation(
         metering=metering,
         metrics=metrics,
         sinks=list(sinks) if sinks else None,
+        pause_gc=bool(knobs.get("pause_gc", True)),
+        group_mode=knobs.get("group_mode"),
+        intern_sessions=bool(knobs.get("intern_sessions", True)),
+        eval_plan=knobs.get("eval_plan"),
     )
     if max_steps is not None:
         sim.max_steps = max_steps
@@ -96,12 +128,13 @@ def run_acast(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> SimulationResult:
     """Run one reliable broadcast of ``value`` from ``sender``."""
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
-        metering=metering, metrics=metrics, sinks=sinks,
+        metering=metering, metrics=metrics, sinks=sinks, tuning=tuning,
     )
     return sim.run(
         ("acast",),
@@ -156,6 +189,7 @@ def run_svss(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> SimulationResult:
     """Run SVSS-Share followed by SVSS-Rec and return the reconstructed values.
 
@@ -165,7 +199,7 @@ def run_svss(
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
-        metering=metering, metrics=metrics, sinks=sinks,
+        metering=metering, metrics=metrics, sinks=sinks, tuning=tuning,
     )
     return sim.run(
         ("svss_harness",),
@@ -188,12 +222,13 @@ def run_aba(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> SimulationResult:
     """Run binary Byzantine agreement with the given per-party inputs."""
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
-        metering=metering, metrics=metrics, sinks=sinks,
+        metering=metering, metrics=metrics, sinks=sinks, tuning=tuning,
     )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
@@ -242,6 +277,7 @@ def run_common_subset(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> SimulationResult:
     """Run CommonSubset where the predicate is immediately true for ``ready_parties``."""
     ready = set(ready_parties)
@@ -253,7 +289,7 @@ def run_common_subset(
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
-        metering=metering, metrics=metrics, sinks=sinks,
+        metering=metering, metrics=metrics, sinks=sinks, tuning=tuning,
     )
     return sim.run(("common_subset_harness",), factory)
 
@@ -270,12 +306,13 @@ def run_weak_coin(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> SimulationResult:
     """Run one weak common coin flip."""
     sim = _simulation(
         n, seed, scheduler, corruptions, tracing=tracing, prime=prime,
         director=director, session_table=session_table,
-        metering=metering, metrics=metrics, sinks=sinks,
+        metering=metering, metrics=metrics, sinks=sinks, tuning=tuning,
     )
     return sim.run(("weak_coin",), WeakCommonCoin.factory())
 
@@ -296,6 +333,7 @@ def run_coinflip(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> SimulationResult:
     """Run the strong common coin (Algorithm 1) once.
 
@@ -305,7 +343,7 @@ def run_coinflip(
     sim = _simulation(
         n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
         prime=prime, director=director, session_table=session_table,
-        metering=metering, metrics=metrics, sinks=sinks,
+        metering=metering, metrics=metrics, sinks=sinks, tuning=tuning,
     )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
@@ -330,12 +368,13 @@ def run_fair_choice(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> SimulationResult:
     """Run FairChoice (Algorithm 2) over ``m`` candidates."""
     sim = _simulation(
         n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
         prime=prime, director=director, session_table=session_table,
-        metering=metering, metrics=metrics, sinks=sinks,
+        metering=metering, metrics=metrics, sinks=sinks, tuning=tuning,
     )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(
@@ -363,12 +402,13 @@ def run_fba(
     metering: Optional[bool] = None,
     metrics: Optional[Any] = None,
     sinks: Optional[Any] = None,
+    tuning: Tuning = None,
 ) -> SimulationResult:
     """Run fair Byzantine agreement (Algorithm 3) with the given inputs."""
     sim = _simulation(
         n, seed, scheduler, corruptions, max_steps=max_steps, tracing=tracing,
         prime=prime, director=director, session_table=session_table,
-        metering=metering, metrics=metrics, sinks=sinks,
+        metering=metering, metrics=metrics, sinks=sinks, tuning=tuning,
     )
     source = coin_source or OracleCoinSource(seed)
     return sim.run(

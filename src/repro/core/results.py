@@ -16,6 +16,15 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.net.runtime import SimulationResult
 
 
+def _merge_histograms(
+    target: Optional[Dict[str, Any]], incoming: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Bucketwise histogram merge (lazy import: obs builds on core elsewhere)."""
+    from repro.obs.metrics import merge_histogram_dicts
+
+    return merge_histogram_dicts(target, incoming)
+
+
 def _jsonable(value: Any) -> Any:
     """Best-effort conversion of an output value to JSON-compatible types.
 
@@ -57,7 +66,19 @@ class TrialAggregate:
     #: over the trials that ran under a director.
     director_actions: Counter = field(default_factory=Counter)
     #: Structured-metrics counter totals from trials run with a registry.
+    #: Includes the per-network crypto-plane cache deltas folded in under
+    #: ``crypto.plane.*`` names, which back the ablation harness's
+    #: cache-hit-rate column.  The process-global Lagrange / plan-dispatch
+    #: counters are deliberately NOT folded in -- their hit/miss split
+    #: depends on cache warmth from earlier trials in the same process.
     metric_counters: Counter = field(default_factory=Counter)
+    #: Message counts by payload kind (string keys), summed over trials that
+    #: collected message stats (trace or group meter).
+    sent_by_kind: Counter = field(default_factory=Counter)
+    #: Merged structured-metrics histograms (``Histogram.to_dict`` payloads
+    #: keyed by metric name), bucketwise-summed across trials -- the source
+    #: of the completion-step / queue-depth percentiles in reports.
+    metric_histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     outputs: List[Any] = field(default_factory=list)
     total_elapsed_s: float = 0.0
 
@@ -75,6 +96,8 @@ class TrialAggregate:
             self.total_messages += stats["messages_sent"]
             self.total_shun_events += stats["shun_events"]
             self.total_dropped += stats["messages_dropped"]
+            for kind, count in (stats.get("sent_by_kind") or {}).items():
+                self.sent_by_kind[str(kind)] += count
         self.total_steps += result.steps
         self.total_elapsed_s += getattr(result, "elapsed_s", 0.0)
         director = result.network.director
@@ -83,6 +106,23 @@ class TrialAggregate:
                 self.director_actions[action] += 1
         if result.metrics is not None:
             self.metric_counters.update(result.metrics.get("counters", {}))
+            crypto = result.metrics.get("crypto") or {}
+            # Only the crypto-*plane* cache is folded in: it lives on the
+            # trial's own network, so its hit/miss split is a deterministic
+            # function of the trial.  The Lagrange and plan-dispatch deltas
+            # track process-global caches whose warmth depends on which
+            # trials ran earlier in the same process -- folding them would
+            # break the parallel == sequential aggregate guarantee.
+            for key, value in (crypto.get("plane_cache") or {}).items():
+                # Cache *sizes* are end-of-trial gauges, not additive;
+                # zero counts stay absent (``Counter.__add__`` drops
+                # zeros, so folding them would break merge identity).
+                if value and not key.endswith("_size"):
+                    self.metric_counters["crypto.plane." + key] += value
+            for name, hist in (result.metrics.get("histograms") or {}).items():
+                self.metric_histograms[name] = _merge_histograms(
+                    self.metric_histograms.get(name), hist
+                )
         if result.disagreement:
             self.disagreements += 1
             self.outputs.append(dict(result.outputs))
@@ -111,9 +151,19 @@ class TrialAggregate:
             total_dropped=self.total_dropped + other.total_dropped,
             director_actions=self.director_actions + other.director_actions,
             metric_counters=self.metric_counters + other.metric_counters,
+            sent_by_kind=self.sent_by_kind + other.sent_by_kind,
             outputs=self.outputs + other.outputs,
             total_elapsed_s=self.total_elapsed_s + other.total_elapsed_s,
         )
+        # ``Counter.__add__`` drops zero/negative entries; histogram payloads
+        # need an explicit keywise merge instead.
+        histograms = {
+            name: _merge_histograms(None, hist)
+            for name, hist in self.metric_histograms.items()
+        }
+        for name, hist in other.metric_histograms.items():
+            histograms[name] = _merge_histograms(histograms.get(name), hist)
+        combined.metric_histograms = histograms
         return combined
 
     @classmethod
@@ -139,6 +189,10 @@ class TrialAggregate:
             "total_dropped": self.total_dropped,
             "director_actions": dict(self.director_actions),
             "metric_counters": dict(self.metric_counters),
+            "sent_by_kind": dict(self.sent_by_kind),
+            "metric_histograms": {
+                name: dict(hist) for name, hist in self.metric_histograms.items()
+            },
             "outputs": [_jsonable(output) for output in self.outputs],
         }
 
@@ -159,6 +213,11 @@ class TrialAggregate:
             total_dropped=int(data.get("total_dropped", 0)),
             director_actions=Counter(data.get("director_actions", {})),
             metric_counters=Counter(data.get("metric_counters", {})),
+            sent_by_kind=Counter(data.get("sent_by_kind", {})),
+            metric_histograms={
+                name: dict(hist)
+                for name, hist in data.get("metric_histograms", {}).items()
+            },
             outputs=list(data["outputs"]),
         )
 
@@ -247,6 +306,7 @@ class TrialAggregate:
             "mean_shun_events": round(self.mean_shun_events, 3),
             "mean_dropped": round(self.mean_dropped, 3),
             "director_actions": dict(self.director_actions),
+            "sent_by_kind": dict(self.sent_by_kind),
             "deliveries_per_s": None if throughput is None else round(throughput),
         }
 

@@ -31,8 +31,9 @@ single dot product.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import lru_cache
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import DecodingError, FieldError, InterpolationError
 
@@ -563,6 +564,15 @@ _PLANE_WEIGHTS_CACHE_LIMIT = 8192
 #: the same either way.
 _NUMPY_MIN_N = 24
 
+#: Process-wide evaluation-mode override (the ablation hook).  ``None`` keeps
+#: the automatic numpy-vs-scalar choice below; ``"scalar"`` forces every plan
+#: built while the override is set onto the plain-int kernels, which are the
+#: byte-identical oracle the vectorised modes are tested against.  Set it
+#: through :func:`set_plan_mode_override` / :func:`plan_mode_override` only --
+#: they invalidate the shared :func:`get_eval_plan` cache on change, so plans
+#: built under a different override are never reused.
+_PLAN_MODE_OVERRIDE: Optional[str] = None
+
 _MISSING = object()
 
 
@@ -598,7 +608,7 @@ class EvalPlan:
         #: read by the metrics registry.  Plans are shared process-wide, so
         #: per-run numbers are deltas against a captured baseline.
         self.stats: Dict[str, int] = {"vector_calls": 0, "scalar_calls": 0}
-        if _np is None or n < _NUMPY_MIN_N:
+        if _PLAN_MODE_OVERRIDE == "scalar" or _np is None or n < _NUMPY_MIN_N:
             self.mode = "scalar"
         elif (prime - 1) * (prime - 1) * n < 2**63:
             self.mode = "matmul"
@@ -760,6 +770,37 @@ class EvalPlan:
 def get_eval_plan(prime: int, n: int) -> EvalPlan:
     """The process-wide shared :class:`EvalPlan` for ``(prime, n)``."""
     return EvalPlan(prime, n)
+
+
+def set_plan_mode_override(mode: Optional[str]) -> None:
+    """Force (``"scalar"``) or restore (``None``/``"auto"``) plan selection.
+
+    Changing the override invalidates :func:`get_eval_plan`'s process-wide
+    cache, so plans constructed under the previous policy are never served to
+    code expecting the new one.  The cache is only cleared when the value
+    actually changes -- repeated no-op calls keep the warm tables.
+    """
+    global _PLAN_MODE_OVERRIDE
+    if mode == "auto":
+        mode = None
+    if mode not in (None, "scalar"):
+        raise ValueError(
+            f'plan-mode override must be None, "auto" or "scalar", got {mode!r}'
+        )
+    if mode != _PLAN_MODE_OVERRIDE:
+        _PLAN_MODE_OVERRIDE = mode
+        get_eval_plan.cache_clear()
+
+
+@contextmanager
+def plan_mode_override(mode: Optional[str]) -> Iterator[None]:
+    """Scoped :func:`set_plan_mode_override` (restores the previous value)."""
+    previous = _PLAN_MODE_OVERRIDE
+    set_plan_mode_override(mode)
+    try:
+        yield
+    finally:
+        set_plan_mode_override(previous)
 
 
 class CryptoPlane:

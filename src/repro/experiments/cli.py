@@ -5,12 +5,19 @@ Usage (also installed as the ``repro-experiments`` console script)::
     python -m repro.experiments run campaign.json --workers 4
     python -m repro.experiments report campaign.results.json
     python -m repro.experiments validate campaign.json
+    python -m repro.experiments ablate --quick --json ablation.json
 
 ``run`` executes (or resumes) a campaign and persists per-cell aggregates to
 the ``--out`` JSON file; cells already present in the file with a matching
 spec hash are skipped, so re-running after an interruption only pays for the
-missing cells.  ``report`` pretty-prints a results file; ``--drop CELL``
+missing cells.  ``report`` pretty-prints a results file (``--format
+text|markdown|json``; ``--campaign SPEC`` additionally machine-checks the
+paper claims and fails the exit status when one is refuted); ``--drop CELL``
 removes one cell first (the next ``run`` recomputes exactly that cell).
+``ablate`` expands the factor registry of :mod:`repro.analysis.ablation`
+into a one-factor-out (or factorial) campaign, prints the per-factor
+contribution table and the claims report, and exits non-zero when a claim
+fails -- the CI claims gate.
 """
 
 from __future__ import annotations
@@ -28,8 +35,16 @@ from repro.experiments.runner import (
     CampaignProgress,
     run_campaign,
 )
+from repro.experiments.report import (
+    SUMMARY_HEADER,
+    build_report,
+    render_report,
+    summary_rows as _summary_rows,
+)
 from repro.experiments.spec import CampaignSpec, ExecutionPolicy, FaultSpec
 from repro.experiments.store import ResultStore
+
+REPORT_FORMATS = ("text", "markdown", "json")
 
 
 def _print_table(header: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
@@ -46,49 +61,6 @@ def _print_table(header: Sequence[str], rows: Iterable[Sequence[Any]]) -> None:
 
 def _default_out(campaign_path: Path) -> Path:
     return campaign_path.with_name(campaign_path.stem + ".results.json")
-
-
-def _summary_rows(summaries: Dict[str, Dict[str, Any]]) -> List[Sequence[Any]]:
-    rows: List[Sequence[Any]] = []
-    for name, summary in sorted(summaries.items()):
-        counts = ", ".join(
-            f"{value}: {count}" for value, count in sorted(summary["value_counts"].items())
-        )
-        throughput = summary.get("deliveries_per_s")
-        # Observability columns (.get: results files written before these
-        # fields existed keep reporting).
-        dropped = summary.get("mean_dropped")
-        director = summary.get("director_actions") or {}
-        director_cell = ", ".join(
-            f"{action}: {count}" for action, count in sorted(director.items())
-        )
-        rows.append(
-            (
-                name,
-                summary["trials"],
-                f"{summary['disagreement_rate']:.3f}",
-                summary["mean_messages"],
-                summary["mean_steps"],
-                "-" if dropped is None else dropped,
-                "-" if not throughput else f"{throughput:,.0f}".replace(",", "_"),
-                director_cell or "-",
-                counts or "-",
-            )
-        )
-    return rows
-
-
-SUMMARY_HEADER = (
-    "cell",
-    "trials",
-    "disagree",
-    "msgs/trial",
-    "steps/trial",
-    "drops/trial",
-    "deliveries/s",
-    "director actions",
-    "value counts",
-)
 
 
 # ----------------------------------------------------------------------
@@ -209,22 +181,187 @@ def _cmd_report(args: argparse.Namespace) -> int:
         store.save()
         print(f"dropped cell {args.drop!r}; the next `run` will recompute it")
         return 0
-    print(f"campaign: {store.campaign}")
-    _print_table(SUMMARY_HEADER, _summary_rows(store.summaries()))
-    partial = store.partial_cells()
-    if partial:
-        print("\nin progress (checkpointed chunks): " + ", ".join(
-            f"{name}: {count} chunk(s)" for name, count in sorted(partial.items())
-        ))
+    results = {name: store.get(name) for name in store.cell_names()}
+    claims_report = None
+    if args.campaign:
+        from repro.analysis.claims import evaluate_claims
+
+        campaign = CampaignSpec.load(Path(args.campaign))
+        claims_report = evaluate_claims(campaign, results)
     failures = store.failures()
+    payload = build_report(
+        store.campaign, results, claims=claims_report, failures=failures or None
+    )
+    print(render_report(payload, args.format), end="")
+    if args.format == "text":
+        partial = store.partial_cells()
+        if partial:
+            print("\nin progress (checkpointed chunks): " + ", ".join(
+                f"{name}: {count} chunk(s)" for name, count in sorted(partial.items())
+            ))
     if failures:
         _print_failures(failures)
+        return 1
+    if claims_report is not None and not claims_report.passed:
+        print("error: paper claims refuted by the results", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _select_factors(names: Optional[str], scenario: Optional[str]) -> List[Any]:
+    """Resolve ``--factors a,b`` against the registry (scenario factors too)."""
+    from repro.analysis.ablation import OPTIMISATION_FACTORS, scenario_factors
+
+    available = list(OPTIMISATION_FACTORS)
+    if scenario is not None:
+        available += list(scenario_factors())
+    if names is None:
+        return available
+    by_name = {factor.name: factor for factor in available}
+    selected = []
+    for name in names.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in by_name:
+            raise ExperimentError(
+                f"unknown factor {name!r}; available: {', '.join(sorted(by_name))}"
+            )
+        selected.append(by_name[name])
+    if not selected:
+        raise ExperimentError("--factors selected no factors")
+    return selected
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    """Build, run and report an ablation campaign; gate on the paper claims.
+
+    ``--quick`` is the CI preset (honest coinflip at n=16, 10 seeds, one
+    cell per optimisation factor); ``--biased`` replaces the seed list with
+    one seed repeated, a deliberately rigged coin that the bias claim must
+    refute -- the smoke test that the claims gate actually fails.  Exit
+    status: 0 all claims hold, 1 a claim failed, 3 cells quarantined.
+    """
+    from repro.analysis.ablation import (
+        build_ablation_campaign,
+        build_attack_sweep,
+        contribution_table,
+        sweep_table,
+    )
+    from repro.analysis.claims import evaluate_claims
+
+    n = args.n if args.n is not None else 16
+    seeds_count = args.seeds if args.seeds is not None else 10
+    rounds = args.rounds if args.rounds is not None else (3 if args.quick else 2)
+    if args.biased:
+        # One seed repeated: every trial is the same execution, so the coin
+        # lands on one side every time.  At least 16 repeats are needed for
+        # the Wilson upper bound on the other side's probability to drop
+        # below 1/2 - 0.25 (fewer trials cannot statistically refute the
+        # bound, by design of the claim).
+        seeds = [args.seed_base] * max(16, 2 * seeds_count)
+        factor_arg: Optional[str] = args.factors or ""
+    else:
+        seeds = list(range(args.seed_base, args.seed_base + seeds_count))
+        factor_arg = args.factors
+    protocol = args.protocol
+    base_params: Dict[str, Any] = {}
+    if args.scenario is not None:
+        from repro.scenarios.library import get_scenario
+
+        protocol = get_scenario(args.scenario).protocol
+    if protocol == "coinflip":
+        base_params["rounds"] = rounds
+    factors = (
+        [] if factor_arg == "" else _select_factors(factor_arg, args.scenario)
+    )
+    campaign = build_ablation_campaign(
+        name=f"ablation-{args.scenario or protocol}-n{n}",
+        protocol=protocol,
+        n=n,
+        seeds=seeds,
+        factors=factors,
+        mode=args.mode,
+        base_params=base_params,
+        scenario=args.scenario,
+    )
+
+    store = None
+    if args.out:
+        store = ResultStore.open(Path(args.out))
+
+    def report_progress(event: CampaignProgress) -> None:
+        if args.quiet:
+            return
+        state = "resumed" if event.resumed else "ran"
+        print(
+            f"[{event.completed}/{event.total}] {event.cell}: "
+            f"{state} {event.cell_completed}/{event.cell_trials} trials",
+            flush=True,
+        )
+
+    failures: Dict[str, Any] = {}
+    results = run_campaign(
+        campaign,
+        workers=args.workers,
+        store=store,
+        progress=report_progress,
+        chunk_trials=args.chunk_trials,
+        failures=failures,
+    )
+    contribution = contribution_table(results, factors) if factors else None
+
+    sweep_rows = None
+    if args.sweep:
+        sweep_campaign = build_attack_sweep(
+            name=f"{campaign.name}-sweep",
+            scenarios=[name.strip() for name in args.sweep.split(",") if name.strip()],
+            ns=_parse_int_list(args.sweep_ns) or [n],
+            seeds=list(range(args.seed_base, args.seed_base + seeds_count)),
+        )
+        sweep_results = run_campaign(
+            sweep_campaign,
+            workers=args.workers,
+            progress=report_progress,
+            chunk_trials=args.chunk_trials,
+        )
+        sweep_rows = sweep_table(sweep_campaign, sweep_results)
+        claims_campaign = CampaignSpec(
+            name=campaign.name, cells=campaign.cells + sweep_campaign.cells
+        )
+        claims_results = dict(results)
+        claims_results.update(sweep_results)
+    else:
+        claims_campaign, claims_results = campaign, results
+
+    claims_report = evaluate_claims(claims_campaign, claims_results)
+    payload = build_report(
+        campaign.name,
+        claims_results,
+        contribution=contribution,
+        sweep=sweep_rows,
+        claims=claims_report,
+        failures={name: failure.to_record() for name, failure in failures.items()}
+        or None,
+    )
+    if args.json:
+        Path(args.json).write_text(render_report(payload, "json"))
+        if not args.quiet:
+            print(f"report JSON -> {args.json}")
+    if not args.quiet:
+        print()
+    print(render_report(payload, args.format), end="")
+    if failures:
+        _print_failures({name: f.to_record() for name, f in failures.items()})
+        return 3
+    if not claims_report.passed:
+        print("error: paper claims refuted by the results", file=sys.stderr)
         return 1
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.scenarios.library import SCENARIOS
+    from repro.scenarios.library import get_scenario
 
     campaign = CampaignSpec.load(Path(args.campaign))
     campaign.validate()
@@ -239,8 +376,12 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             unknown.append(
                 f"cell {cell.name!r}: unknown scheduler {cell.scheduler.scheduler!r}"
             )
-        if cell.scenario is not None and cell.scenario not in SCENARIOS:
-            unknown.append(f"cell {cell.name!r}: unknown scenario {cell.scenario!r}")
+        if cell.scenario is not None:
+            try:
+                # Resolves ablation variants (`base~no-component`) too.
+                get_scenario(cell.scenario)
+            except ExperimentError as exc:
+                unknown.append(f"cell {cell.name!r}: {exc}")
         if cell.fault is not None and cell.fault.fault not in FAULTS:
             unknown.append(f"cell {cell.name!r}: unknown fault {cell.fault.fault!r}")
     if unknown:
@@ -482,7 +623,101 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--drop", metavar="CELL", help="delete one cell's result (forces recompute)"
     )
+    report_parser.add_argument(
+        "--format", choices=REPORT_FORMATS, default="text",
+        help="output format (default: text; json follows the schema in "
+             "repro.obs.schema and validates with validate_report)",
+    )
+    report_parser.add_argument(
+        "--campaign", metavar="SPEC", default=None,
+        help="campaign JSON the results came from; evaluates the machine-"
+             "checked paper claims against the aggregates and exits 1 when "
+             "any claim is refuted",
+    )
     report_parser.set_defaults(handler=_cmd_report)
+
+    ablate_parser = sub.add_parser(
+        "ablate",
+        help="run a factor-ablation campaign, print the per-factor "
+             "contribution table and machine-check the paper claims",
+    )
+    ablate_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI preset: honest coinflip, n=16, 10 seeds, 3 rounds, "
+             "one-factor-out over every optimisation factor",
+    )
+    ablate_parser.add_argument(
+        "--biased", action="store_true",
+        help="deliberately rigged run (one seed repeated) that the coin-bias "
+             "claim must refute; used by CI to prove the gate fails non-zero",
+    )
+    ablate_parser.add_argument(
+        "--mode", choices=("one-out", "factorial"), default="one-out",
+        help="grid expansion: baseline + one cell per factor (default) or "
+             "the full 2^k factorial",
+    )
+    ablate_parser.add_argument(
+        "--protocol", default="coinflip",
+        help="runner to ablate (default: coinflip; ignored with --scenario)",
+    )
+    ablate_parser.add_argument(
+        "--n", type=int, default=None, help="party count (default: 16)"
+    )
+    ablate_parser.add_argument(
+        "--seeds", type=int, default=None,
+        help="trials per cell (default: 10; keep <= 11 so an honest coin "
+             "that happens to land one-sided is not statistically refuted)",
+    )
+    ablate_parser.add_argument(
+        "--seed-base", type=int, default=0, help="first seed (default: 0)"
+    )
+    ablate_parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="coinflip rounds (default: 3 with --quick, else 2)",
+    )
+    ablate_parser.add_argument(
+        "--factors", metavar="A,B,...", default=None,
+        help="comma-separated factor subset (default: every optimisation "
+             "factor, plus scenario-component factors with --scenario)",
+    )
+    ablate_parser.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="ablate under this attack scenario; its components (scheduler, "
+             "corruption, timeline, tamper) become factors via the "
+             "~no-<component> variants",
+    )
+    ablate_parser.add_argument(
+        "--sweep", metavar="SCEN,SCEN", default=None,
+        help="also sweep these scenarios across --sweep-ns and the seed "
+             "range, reporting bias/disagreement/message ratios with 95%% CIs",
+    )
+    ablate_parser.add_argument(
+        "--sweep-ns", metavar="N,N", default=None,
+        help="party counts for --sweep (default: the ablation --n)",
+    )
+    ablate_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: 1)"
+    )
+    ablate_parser.add_argument(
+        "--chunk-trials", type=int, default=DEFAULT_CHUNK_TRIALS,
+        help=f"seeds per dispatched chunk (default: {DEFAULT_CHUNK_TRIALS})",
+    )
+    ablate_parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="persist per-cell aggregates to this results JSON (resumable)",
+    )
+    ablate_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the structured report JSON here (schema: repro.obs.schema)",
+    )
+    ablate_parser.add_argument(
+        "--format", choices=REPORT_FORMATS, default="text",
+        help="stdout format (default: text)",
+    )
+    ablate_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    ablate_parser.set_defaults(handler=_cmd_ablate)
 
     validate_parser = sub.add_parser(
         "validate", help="check a campaign spec without running it"

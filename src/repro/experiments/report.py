@@ -1,0 +1,278 @@
+"""Structured campaign reports: one canonical payload, three renderings.
+
+The CLI's ``report`` and ``ablate`` commands both build the same JSON-shaped
+payload (schema documented and validated in :mod:`repro.obs.schema`) and then
+render it as fixed-width text, GitHub markdown, or raw JSON.  Keeping the
+payload canonical means CI can validate one artifact, the claims gate reads
+the same numbers humans see, and the renderings cannot drift apart.
+
+The payload is deterministic for a given campaign and seed list: cell
+summaries, histogram percentiles, contribution and sweep rows and claim
+verdicts are all functions of the trial statistics.  The only wall-clock
+derived fields are the advisory throughput columns (``deliveries_per_s``,
+``wall_s_per_trial``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import summarize_histogram
+from repro.obs.schema import REPORT_VERSION
+
+if TYPE_CHECKING:
+    from repro.core.results import TrialAggregate
+
+
+def histogram_summaries(
+    results: Mapping[str, "TrialAggregate"]
+) -> Dict[str, Dict[str, Dict[str, Any]]]:
+    """Per-cell percentile summaries of every merged metric histogram.
+
+    ``{cell: {metric: {count, mean, p50, p90, p99, max}}}``; cells whose
+    trials ran without a metrics registry simply have no entry.
+    """
+    summaries: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for name, aggregate in results.items():
+        metrics = {
+            metric: summarize_histogram(hist)
+            for metric, hist in sorted(aggregate.metric_histograms.items())
+        }
+        if metrics:
+            summaries[name] = metrics
+    return summaries
+
+
+def build_report(
+    campaign: Optional[str],
+    results: Mapping[str, "TrialAggregate"],
+    contribution: Optional[Sequence[Any]] = None,
+    sweep: Optional[Sequence[Any]] = None,
+    claims: Optional[Any] = None,
+    failures: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Assemble the canonical report payload (see :mod:`repro.obs.schema`).
+
+    ``contribution`` / ``sweep`` rows and the ``claims`` report are included
+    via their ``to_dict`` methods when given; absent analyses are absent
+    keys, never empty placeholders, so a payload says what actually ran.
+    """
+    payload: Dict[str, Any] = {
+        "report_version": REPORT_VERSION,
+        "campaign": campaign,
+        "cells": {
+            name: aggregate.summary() for name, aggregate in sorted(results.items())
+        },
+    }
+    histograms = histogram_summaries(results)
+    if histograms:
+        payload["histograms"] = histograms
+    if contribution is not None:
+        payload["contribution"] = [row.to_dict() for row in contribution]
+    if sweep is not None:
+        payload["sweep"] = [row.to_dict() for row in sweep]
+    if claims is not None:
+        payload["claims"] = claims.to_dict()
+    if failures:
+        payload["failures"] = {name: dict(record) for name, record in failures.items()}
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Renderings
+SUMMARY_HEADER = (
+    "cell",
+    "trials",
+    "disagree",
+    "msgs/trial",
+    "steps/trial",
+    "drops/trial",
+    "deliveries/s",
+    "director actions",
+    "value counts",
+)
+
+
+def summary_rows(summaries: Mapping[str, Mapping[str, Any]]) -> List[Sequence[Any]]:
+    """:data:`SUMMARY_HEADER` rows from ``{cell: TrialAggregate.summary()}``."""
+    rows: List[Sequence[Any]] = []
+    for name, summary in sorted(summaries.items()):
+        counts = ", ".join(
+            f"{value}: {count}"
+            for value, count in sorted(summary["value_counts"].items())
+        )
+        throughput = summary.get("deliveries_per_s")
+        # .get throughout: results files written before the newer
+        # observability columns existed keep reporting.
+        dropped = summary.get("mean_dropped")
+        director = summary.get("director_actions") or {}
+        director_cell = ", ".join(
+            f"{action}: {count}" for action, count in sorted(director.items())
+        )
+        rows.append(
+            (
+                name,
+                summary["trials"],
+                f"{summary['disagreement_rate']:.3f}",
+                summary["mean_messages"],
+                summary["mean_steps"],
+                "-" if dropped is None else dropped,
+                "-" if not throughput else f"{throughput:,.0f}".replace(",", "_"),
+                director_cell or "-",
+                counts or "-",
+            )
+        )
+    return rows
+
+
+HISTOGRAM_HEADER = ("cell", "metric", "count", "mean", "p50", "p90", "p99", "max")
+
+
+def histogram_rows(
+    histograms: Mapping[str, Mapping[str, Mapping[str, Any]]]
+) -> List[Sequence[Any]]:
+    """:data:`HISTOGRAM_HEADER` rows from a payload's ``histograms`` section."""
+
+    def fmt(value: Any) -> str:
+        if value is None:
+            return "-"
+        return f"{value:g}"
+
+    rows: List[Sequence[Any]] = []
+    for cell in sorted(histograms):
+        for metric, summary in sorted(histograms[cell].items()):
+            rows.append(
+                (
+                    cell,
+                    metric,
+                    summary.get("count", 0),
+                    fmt(summary.get("mean")),
+                    fmt(summary.get("p50")),
+                    fmt(summary.get("p90")),
+                    fmt(summary.get("p99")),
+                    fmt(summary.get("max")),
+                )
+            )
+    return rows
+
+
+def _text_table(header: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    from repro.analysis.ablation import render_table
+
+    return render_table(header, [tuple(str(cell) for cell in row) for row in rows])
+
+
+def _markdown_table(header: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "| " + " | ".join("---" for _ in header) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def _contribution_tables(payload: Mapping[str, Any]):
+    from repro.analysis.ablation import (
+        CONTRIBUTION_HEADER,
+        SWEEP_HEADER,
+        ContributionRow,
+        SweepRow,
+        format_contribution_rows,
+        format_sweep_rows,
+    )
+
+    sections = []
+    if "contribution" in payload:
+        rows = [ContributionRow(**row) for row in payload["contribution"]]
+        sections.append(
+            ("per-factor contribution", CONTRIBUTION_HEADER, format_contribution_rows(rows))
+        )
+    if "sweep" in payload:
+        rows = [
+            SweepRow(
+                **{
+                    **row,
+                    "disagreement_ci": tuple(row["disagreement_ci"]),
+                    "bias_ci": None
+                    if row.get("bias_ci") is None
+                    else tuple(row["bias_ci"]),
+                }
+            )
+            for row in payload["sweep"]
+        ]
+        sections.append(("attack sweep", SWEEP_HEADER, format_sweep_rows(rows)))
+    return sections
+
+
+def render_report_text(payload: Mapping[str, Any]) -> str:
+    """Fixed-width text rendering of a report payload."""
+    from repro.analysis.claims import ClaimReport, ClaimResult
+
+    parts = [f"campaign: {payload.get('campaign')}\n"]
+    parts.append(_text_table(SUMMARY_HEADER, summary_rows(payload["cells"])))
+    histograms = payload.get("histograms")
+    if histograms:
+        parts.append("\nhistogram percentiles:\n")
+        parts.append(_text_table(HISTOGRAM_HEADER, histogram_rows(histograms)))
+    for title, header, rows in _contribution_tables(payload):
+        parts.append(f"\n{title}:\n")
+        parts.append(_text_table(header, rows))
+    claims = payload.get("claims")
+    if claims:
+        report = ClaimReport(
+            campaign=claims.get("campaign", ""),
+            results=[ClaimResult(**entry) for entry in _claim_entries(claims)],
+        )
+        parts.append("\n" + report.render_text())
+    failures = payload.get("failures")
+    if failures:
+        parts.append("\nquarantined cells: " + ", ".join(sorted(failures)) + "\n")
+    return "".join(parts)
+
+
+def render_report_markdown(payload: Mapping[str, Any]) -> str:
+    """GitHub-markdown rendering of a report payload."""
+    from repro.analysis.claims import ClaimReport, ClaimResult
+
+    parts = [f"## Campaign `{payload.get('campaign')}`\n\n"]
+    parts.append(_markdown_table(SUMMARY_HEADER, summary_rows(payload["cells"])))
+    histograms = payload.get("histograms")
+    if histograms:
+        parts.append("\n### Histogram percentiles\n\n")
+        parts.append(_markdown_table(HISTOGRAM_HEADER, histogram_rows(histograms)))
+    for title, header, rows in _contribution_tables(payload):
+        parts.append(f"\n### {title.title()}\n\n")
+        parts.append(_markdown_table(header, rows))
+    claims = payload.get("claims")
+    if claims:
+        report = ClaimReport(
+            campaign=claims.get("campaign", ""),
+            results=[ClaimResult(**entry) for entry in _claim_entries(claims)],
+        )
+        parts.append("\n" + report.render_markdown())
+    failures = payload.get("failures")
+    if failures:
+        parts.append(
+            "\n**Quarantined cells:** " + ", ".join(sorted(failures)) + "\n"
+        )
+    return "".join(parts)
+
+
+def _claim_entries(claims: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    return [
+        {**entry, "cells": tuple(entry.get("cells", ()))}
+        for entry in claims.get("claims", [])
+    ]
+
+
+def render_report(payload: Mapping[str, Any], fmt: str) -> str:
+    """Render a payload as ``text``, ``markdown`` or ``json``."""
+    if fmt == "json":
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if fmt == "markdown":
+        return render_report_markdown(payload)
+    if fmt == "text":
+        return render_report_text(payload)
+    raise ValueError(f"unknown report format {fmt!r}")

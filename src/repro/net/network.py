@@ -64,6 +64,8 @@ class Network:
         metering: Optional[bool] = None,
         metrics: Optional[object] = None,
         sinks: Optional[List[object]] = None,
+        group_mode: Optional[bool] = None,
+        intern_sessions: bool = True,
     ) -> None:
         self.params = params
         self.scheduler = scheduler or RandomScheduler()
@@ -98,6 +100,11 @@ class Network:
         self._sessions: Dict[SessionId, SessionId] = (
             session_table if session_table is not None else {}
         )
+        #: Ablation switch: ``False`` makes :meth:`intern_session` a plain
+        #: tuple copy (every caller gets its own allocation, identity-equal
+        #: lookups degrade to value equality) without touching routing
+        #: semantics -- tuples hash and compare by value either way.
+        self._intern_sessions = bool(intern_sessions)
         #: Lazily-built batched crypto plane (see :meth:`crypto_plane`).
         self._crypto_plane = None
         #: How the root protocol was wired, recorded by
@@ -147,9 +154,14 @@ class Network:
         #: Queue fan-outs as single unmaterialised group entries.  Requires a
         #: queue that understands groups and tracing off (trace hooks need
         #: real Message objects at send time); fixed for the network's life.
-        self._group_mode = not self._tracing and getattr(
+        #: ``group_mode=False`` opts a capable configuration out (the ablation
+        #: switch); ``True``/``None`` engage it whenever the prerequisites
+        #: hold -- the flag can never force groups onto a queue or a traced
+        #: run that cannot support them.
+        groups_possible = not self._tracing and getattr(
             self._queue, "supports_groups", False
         )
+        self._group_mode = groups_possible and group_mode is not False
         self._full_fanout_mask = (1 << params.n) - 1
         self.processes: List[Process] = [
             Process(
@@ -167,6 +179,8 @@ class Network:
     def intern_session(self, session: SessionId) -> SessionId:
         """Return the canonical tuple for ``session`` (allocating it once)."""
         session = tuple(session)
+        if not self._intern_sessions:
+            return session
         return self._sessions.setdefault(session, session)
 
     # ------------------------------------------------------------------

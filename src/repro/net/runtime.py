@@ -155,6 +155,18 @@ class Simulation:
     #: network construction; requires ``tracing=True``.  Sinks are closed
     #: (flushed) when the run finishes.
     sinks: Optional[List[Any]] = None
+    #: Ablation switch for the group-mode fan-out queue: ``False`` forces the
+    #: flat per-message path even when the queue could batch; ``None``/``True``
+    #: keep the automatic choice (see :class:`~repro.net.network.Network`).
+    group_mode: Optional[bool] = None
+    #: Ablation switch for network-wide session interning; ``False`` allocates
+    #: session tuples per caller instead of canonicalising them.
+    intern_sessions: bool = True
+    #: Ablation switch for the crypto evaluation plan: ``"scalar"`` runs the
+    #: whole simulation under a scoped
+    #: :func:`repro.crypto.kernels.plan_mode_override`, forcing the plain-int
+    #: kernels; ``None``/``"auto"`` keep the numpy-vs-scalar auto choice.
+    eval_plan: Optional[str] = None
     _corruptions: Dict[int, BehaviorFactory] = field(default_factory=dict)
     network: Optional[Network] = None
 
@@ -187,6 +199,8 @@ class Simulation:
                 metering=self.metering,
                 metrics=self.metrics,
                 sinks=self.sinks,
+                group_mode=self.group_mode,
+                intern_sessions=self.intern_sessions,
             )
             for pid, factory in self._corruptions.items():
                 process = self.network.processes[pid]
@@ -217,6 +231,29 @@ class Simulation:
             run_to_quiescence: after the stop condition holds, keep delivering
                 the remaining messages (useful when inspecting full traces).
         """
+        if self.eval_plan is not None and self.eval_plan != "auto":
+            # The network (and with it the crypto plane and the metrics
+            # baseline) is built lazily inside this call, so a scoped plan
+            # override here covers every plan the run constructs or reads.
+            from repro.crypto.kernels import plan_mode_override
+
+            with plan_mode_override(self.eval_plan):
+                return self._run_impl(
+                    session, factory, inputs, common_input, until, run_to_quiescence
+                )
+        return self._run_impl(
+            session, factory, inputs, common_input, until, run_to_quiescence
+        )
+
+    def _run_impl(
+        self,
+        session: SessionId,
+        factory: ProtocolFactory,
+        inputs: Optional[Dict[int, Dict[str, Any]]],
+        common_input: Optional[Dict[str, Any]],
+        until: Optional[Callable[[Network], bool]],
+        run_to_quiescence: bool,
+    ) -> SimulationResult:
         session = tuple(session)
         network = self.build_network()
         registry = self.metrics

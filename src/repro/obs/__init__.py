@@ -29,7 +29,12 @@ offline.
 
 from repro.obs.meter import GroupMeter
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.schema import event_to_jsonable, validate_jsonl
+from repro.obs.schema import (
+    REPORT_VERSION,
+    event_to_jsonable,
+    validate_jsonl,
+    validate_report,
+)
 from repro.obs.sinks import JsonlSink, RingBufferSink, TraceSink
 from repro.obs.timeline import TimelineBuilder
 
@@ -42,4 +47,6 @@ __all__ = [
     "TimelineBuilder",
     "event_to_jsonable",
     "validate_jsonl",
+    "REPORT_VERSION",
+    "validate_report",
 ]

@@ -18,8 +18,9 @@ simply maintained eagerly).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 #: Default bucket bounds for completion-step histograms (deliveries).
 STEP_BUCKETS: Tuple[int, ...] = (64, 256, 1024, 4096, 16384, 65536, 262144)
@@ -227,3 +228,84 @@ class MetricsRegistry:
         if self._crypto is not None:
             data["crypto"] = self._crypto
         return data
+
+
+# ----------------------------------------------------------------------
+# Aggregation helpers over serialized Histogram.to_dict() payloads.  The
+# campaign layer carries histograms across process boundaries (and across
+# trials) in exactly that shape, so merging and quantile extraction operate
+# on the dict form rather than on live Histogram objects.
+def _bucket_bound(label: str) -> float:
+    """Sort key for a bucket label: ``"<=64"`` -> 64, ``">262144"`` -> +inf."""
+    if label.startswith("<="):
+        return float(label[2:])
+    return math.inf
+
+
+def merge_histogram_dicts(
+    target: Optional[Mapping[str, Any]], incoming: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Combine two :meth:`Histogram.to_dict` payloads (bucketwise sums).
+
+    ``target`` may be None (returns a copy of ``incoming``).  Both payloads
+    must share bucket bounds -- they do by construction, since every
+    histogram of a given metric name uses the same fixed bounds.  The
+    ``mean`` is recomputed from the merged count/sum, so merging is
+    associative and order-independent.
+    """
+    if target is None:
+        merged = dict(incoming)
+        merged["buckets"] = dict(incoming.get("buckets", {}))
+        return merged
+    buckets = dict(target.get("buckets", {}))
+    for label, count in incoming.get("buckets", {}).items():
+        buckets[label] = buckets.get(label, 0) + count
+    count = target.get("count", 0) + incoming.get("count", 0)
+    total = target.get("sum", 0) + incoming.get("sum", 0)
+    maxes = [m for m in (target.get("max"), incoming.get("max")) if m is not None]
+    return {
+        "count": count,
+        "sum": total,
+        "max": max(maxes) if maxes else None,
+        "mean": round(total / count, 2) if count else None,
+        "buckets": buckets,
+    }
+
+
+def histogram_quantile(hist: Mapping[str, Any], q: float) -> Optional[float]:
+    """Conservative q-quantile from a bucketed payload (upper bucket edge).
+
+    Returns the inclusive upper bound of the first bucket whose cumulative
+    count reaches ``q * count`` -- an upper estimate, exact to bucket
+    granularity.  For the overflow bucket the recorded ``max`` is returned.
+    None when the histogram is empty.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must lie in (0, 1], got {q}")
+    count = hist.get("count") or 0
+    if not count:
+        return None
+    target = math.ceil(q * count)
+    cumulative = 0
+    buckets = sorted(hist.get("buckets", {}).items(), key=lambda kv: _bucket_bound(kv[0]))
+    for label, bucket_count in buckets:
+        cumulative += bucket_count
+        if cumulative >= target:
+            bound = _bucket_bound(label)
+            if math.isinf(bound):
+                break
+            return bound
+    maximum = hist.get("max")
+    return float(maximum) if maximum is not None else None
+
+
+def summarize_histogram(hist: Mapping[str, Any]) -> Dict[str, Any]:
+    """Headline percentiles for reporting: count, mean, p50/p90/p99, max."""
+    return {
+        "count": hist.get("count", 0),
+        "mean": hist.get("mean"),
+        "p50": histogram_quantile(hist, 0.50),
+        "p90": histogram_quantile(hist, 0.90),
+        "p99": histogram_quantile(hist, 0.99),
+        "max": hist.get("max"),
+    }

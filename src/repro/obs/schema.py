@@ -193,3 +193,139 @@ def validate_jsonl(path: Any, max_problems: int = 20) -> Tuple[int, List[str]]:
     """Validate the JSONL trace file at ``path``; see :func:`validate_events`."""
     with open(path, "r", encoding="utf-8") as handle:
         return validate_events(handle, max_problems=max_problems)
+
+
+# ----------------------------------------------------------------------
+# Structured campaign reports
+#
+# ``repro-experiments report --format json`` and ``ablate --json`` emit one
+# JSON object per campaign with this shape (top-level keys marked (opt) are
+# present only when the corresponding analysis ran):
+#
+#     {
+#       "report_version": 1,
+#       "campaign": "<campaign name>" | null,
+#       "cells": {                     # per-cell TrialAggregate.summary()
+#         "<cell>": {
+#           "trials": int,
+#           "disagreement_rate": float,
+#           "value_counts": {"<repr(value)>": int, ...},
+#           "mean_messages": float,
+#           "mean_steps": float,
+#           "mean_shun_events": float,
+#           "mean_dropped": float,
+#           "director_actions": {"<action>": int, ...},
+#           "sent_by_kind": {"<kind>": int, ...},
+#           "deliveries_per_s": int | null
+#         }, ...
+#       },
+#       "histograms": {                # (opt) per-cell metric percentiles
+#         "<cell>": {"<metric>": {"count": int, "mean": float|null,
+#                                  "p50": float|null, "p90": float|null,
+#                                  "p99": float|null, "max": float|null}}
+#       },
+#       "contribution": [...],         # (opt) ablation ContributionRow.to_dict()
+#       "sweep": [...],                # (opt) attack-sweep SweepRow.to_dict()
+#       "claims": {...},               # (opt) claims ClaimReport.to_dict()
+#       "failures": {"<cell>": {...}}  # (opt) quarantine records
+#     }
+#
+# The payload is deterministic for a given campaign + seeds (no timestamps;
+# the advisory deliveries_per_s column is the only wall-clock-derived field).
+
+#: Version tag of the structured campaign-report payload.
+REPORT_VERSION = 1
+
+#: Cell-summary keys every report must carry (older optional columns are
+#: allowed to be absent so archived stores keep validating).
+_SUMMARY_REQUIRED = (
+    "trials",
+    "disagreement_rate",
+    "value_counts",
+    "mean_messages",
+    "mean_steps",
+)
+
+_CLAIM_STATUSES = frozenset({"pass", "fail", "skip"})
+
+
+def validate_report(data: Any) -> List[str]:
+    """Schema-check a structured campaign report; return a list of problems.
+
+    Mirrors :func:`validate_event` in spirit: purely structural, no
+    dependency on how the payload was produced, usable from CI on a JSON
+    file that just crossed a process boundary.
+    """
+    if not isinstance(data, dict):
+        return ["report is not a JSON object"]
+    problems: List[str] = []
+    version = data.get("report_version")
+    if version != REPORT_VERSION:
+        problems.append(
+            f"report_version must be {REPORT_VERSION}, got {version!r}"
+        )
+    campaign = data.get("campaign")
+    if campaign is not None and not isinstance(campaign, str):
+        problems.append(f"campaign must be a string or null, got {campaign!r}")
+    cells = data.get("cells")
+    if not isinstance(cells, dict):
+        problems.append("cells must be an object of per-cell summaries")
+        cells = {}
+    for name, summary in cells.items():
+        if not isinstance(summary, dict):
+            problems.append(f"cell {name!r}: summary is not an object")
+            continue
+        for key in _SUMMARY_REQUIRED:
+            if key not in summary:
+                problems.append(f"cell {name!r}: summary missing {key!r}")
+        trials = summary.get("trials")
+        if trials is not None and (not isinstance(trials, int) or trials < 0):
+            problems.append(
+                f"cell {name!r}: trials must be a non-negative integer"
+            )
+    histograms = data.get("histograms")
+    if histograms is not None:
+        if not isinstance(histograms, dict):
+            problems.append("histograms must be an object keyed by cell")
+        else:
+            for cell, metrics in histograms.items():
+                if not isinstance(metrics, dict):
+                    problems.append(f"histograms[{cell!r}] is not an object")
+                    continue
+                for metric, summary in metrics.items():
+                    if not isinstance(summary, dict) or "count" not in summary:
+                        problems.append(
+                            f"histograms[{cell!r}][{metric!r}] needs a 'count'"
+                        )
+    for key in ("contribution", "sweep"):
+        rows = data.get(key)
+        if rows is None:
+            continue
+        if not isinstance(rows, list):
+            problems.append(f"{key} must be a list of row objects")
+            continue
+        for index, row in enumerate(rows):
+            if not isinstance(row, dict) or "cell" not in row:
+                problems.append(f"{key}[{index}] must be an object with 'cell'")
+    claims = data.get("claims")
+    if claims is not None:
+        if not isinstance(claims, dict):
+            problems.append("claims must be an object")
+        else:
+            if not isinstance(claims.get("passed"), bool):
+                problems.append("claims.passed must be a boolean")
+            entries = claims.get("claims")
+            if not isinstance(entries, list):
+                problems.append("claims.claims must be a list")
+            else:
+                for index, entry in enumerate(entries):
+                    status = entry.get("status") if isinstance(entry, dict) else None
+                    if status not in _CLAIM_STATUSES:
+                        problems.append(
+                            f"claims.claims[{index}].status must be one of "
+                            f"{sorted(_CLAIM_STATUSES)}, got {status!r}"
+                        )
+    failures = data.get("failures")
+    if failures is not None and not isinstance(failures, dict):
+        problems.append("failures must be an object keyed by cell")
+    return problems

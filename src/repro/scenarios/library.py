@@ -47,14 +47,91 @@ def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec
     return spec
 
 
+#: Scenario components the ablation harness can strip out with the
+#: ``<name>~no-<component>`` variant syntax (see :func:`get_scenario`).
+SCENARIO_COMPONENTS = ("scheduler", "corruption", "timeline", "tamper")
+
+
+def _drop_component(spec: ScenarioSpec, component: str) -> ScenarioSpec:
+    """Return ``spec`` with one attack component removed (deterministically).
+
+    * ``scheduler`` -- drop the hostile scheduler; scheduler *actions* carried
+      by timeline entries and adaptive rules are stripped too (they cannot
+      fire without one), and entries/rules that only existed to reprioritise
+      are removed entirely.
+    * ``corruption`` -- empty the corruption plan (static and adaptive).
+    * ``timeline`` -- drop every fault-timeline transition.
+    * ``tamper`` -- drop only the ``tamper`` transitions.
+    """
+    if component == "scheduler":
+        spec.scheduler = None
+        spec.timeline = [
+            event for event in spec.timeline if event.transition != "reprioritize"
+        ]
+        for event in spec.timeline:
+            event.scheduler_actions = None
+        spec.corruption.adaptive = [
+            rule for rule in spec.corruption.adaptive if rule.behavior is not None
+        ]
+        for rule in spec.corruption.adaptive:
+            rule.scheduler_actions = None
+    elif component == "corruption":
+        spec.corruption = CorruptionPlan()
+    elif component == "timeline":
+        spec.timeline = []
+    elif component == "tamper":
+        spec.timeline = [
+            event for event in spec.timeline if event.transition != "tamper"
+        ]
+    else:
+        raise ExperimentError(
+            f"unknown scenario component {component!r}; "
+            f"known: {', '.join(SCENARIO_COMPONENTS)}"
+        )
+    return spec
+
+
 def get_scenario(name: str) -> ScenarioSpec:
-    """Look a scenario up by name; returns a private copy safe to mutate."""
+    """Look a scenario up by name; returns a private copy safe to mutate.
+
+    Beyond plain registry names, the ablation variant syntax
+    ``<base>~no-<component>[,no-<component>...]`` derives a copy of ``base``
+    with the named attack components removed (see
+    :data:`SCENARIO_COMPONENTS`).  Variants are derived purely from the
+    registered base spec, so any process -- CLI, campaign worker under fork
+    or spawn -- resolves the same variant name to the identical scenario.
+    """
+    base_name, tilde, variant = name.partition("~")
     try:
-        spec = SCENARIOS[name]
+        spec = SCENARIOS[base_name]
     except KeyError:
         known = ", ".join(sorted(SCENARIOS)) or "<none>"
-        raise ExperimentError(f"unknown scenario {name!r}; known: {known}") from None
-    return ScenarioSpec.from_dict(spec.to_dict())
+        raise ExperimentError(
+            f"unknown scenario {base_name!r}; known: {known}"
+        ) from None
+    spec = ScenarioSpec.from_dict(spec.to_dict())
+    if not tilde:
+        return spec
+    dropped = []
+    for token in variant.split(","):
+        token = token.strip()
+        if not token.startswith("no-"):
+            raise ExperimentError(
+                f"scenario variant {name!r}: expected 'no-<component>' tokens "
+                f"after '~', got {token!r}"
+            )
+        component = token[3:]
+        if component in dropped:
+            raise ExperimentError(
+                f"scenario variant {name!r} drops {component!r} twice"
+            )
+        spec = _drop_component(spec, component)
+        dropped.append(component)
+    spec.name = name
+    if spec.description:
+        spec.description += f" [without {', '.join(dropped)}]"
+    spec.validate()
+    return spec
 
 
 def scenario_names() -> List[str]:

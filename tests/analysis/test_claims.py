@@ -1,0 +1,265 @@
+"""Machine-checked paper claims on known-good and deliberately-broken data."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.claims import (
+    FAIL,
+    PASS,
+    SKIP,
+    ClaimReport,
+    ClaimResult,
+    check_agreement,
+    check_coin_bias,
+    check_corruption_tolerance,
+    check_message_complexity,
+    check_output_domain,
+    check_termination,
+    evaluate_claims,
+)
+from repro.core.results import TrialAggregate
+from repro.experiments.spec import CampaignSpec, ExperimentSpec
+
+
+def make_aggregate(
+    trials: int,
+    ones: int = 0,
+    zeros: int = 0,
+    disagreements: int = 0,
+    messages: int = 0,
+    steps: int = 0,
+    director_actions=None,
+    extra_values=None,
+) -> TrialAggregate:
+    agg = TrialAggregate()
+    agg.trials = trials
+    agg.disagreements = disagreements
+    agg.value_counts = Counter({"1": ones, "0": zeros})
+    if extra_values:
+        agg.value_counts.update(extra_values)
+    agg.total_messages = messages
+    agg.total_steps = steps
+    agg.director_actions = Counter(director_actions or {})
+    return agg
+
+
+def campaign_of(*cells: ExperimentSpec) -> CampaignSpec:
+    return CampaignSpec(name="claims-test", cells=list(cells))
+
+
+def coin_cell(name="coin", n=4, seeds=10, **params) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name, protocol="coinflip", n=n, seeds=list(range(seeds)), params=params
+    )
+
+
+class TestCoinBias:
+    def test_balanced_honest_coin_passes(self):
+        campaign = campaign_of(coin_cell())
+        result = check_coin_bias(campaign, {"coin": make_aggregate(10, ones=5, zeros=5)})
+        assert result.status == PASS
+        assert result.cells == ("coin",)
+
+    def test_one_sided_small_sample_is_not_refuted(self):
+        # 10/10 on one side cannot statistically refute Pr >= 0.25 at 95%:
+        # the Wilson upper bound for 0/10 is ~0.28.
+        campaign = campaign_of(coin_cell())
+        result = check_coin_bias(campaign, {"coin": make_aggregate(10, ones=10)})
+        assert result.status == PASS
+
+    def test_rigged_coin_fails(self):
+        # 20/20 on one side: the other bit's 95% UCB is ~0.16 < 0.25.
+        campaign = campaign_of(coin_cell(seeds=20))
+        result = check_coin_bias(campaign, {"coin": make_aggregate(20, ones=20)})
+        assert result.status == FAIL
+        assert "refutes bound" in result.detail
+
+    def test_uses_cell_epsilon(self):
+        # With a looser epsilon = 0.45 the bound is 0.05, which 20 one-sided
+        # trials cannot refute.
+        campaign = campaign_of(coin_cell(seeds=20, epsilon=0.45))
+        result = check_coin_bias(campaign, {"coin": make_aggregate(20, ones=20)})
+        assert result.status == PASS
+
+    def test_adversarial_and_foreign_cells_are_skipped(self):
+        scenario_cell = ExperimentSpec(
+            name="attack", protocol="coinflip", n=4, seeds=[0], scenario="dealer-ambush"
+        )
+        campaign = campaign_of(scenario_cell)
+        result = check_coin_bias(campaign, {"attack": make_aggregate(1, ones=1)})
+        assert result.status == SKIP
+
+
+class TestCorruptionTolerance:
+    def test_within_budget_passes(self):
+        cell = ExperimentSpec(
+            name="attack", protocol="weak_coin", n=4, seeds=[0, 1], scenario="x"
+        )
+        agg = make_aggregate(2, director_actions={"corrupt": 2})
+        result = check_corruption_tolerance(campaign_of(cell), {"attack": agg})
+        assert result.status == PASS
+
+    def test_director_overrun_fails(self):
+        cell = ExperimentSpec(
+            name="attack", protocol="weak_coin", n=4, seeds=[0, 1], scenario="x"
+        )
+        agg = make_aggregate(2, director_actions={"corrupt": 3})  # t=1, trials=2
+        result = check_corruption_tolerance(campaign_of(cell), {"attack": agg})
+        assert result.status == FAIL
+
+    def test_static_adversary_overrun_fails(self):
+        cell = ExperimentSpec(
+            name="attack",
+            protocol="weak_coin",
+            n=4,
+            seeds=[0],
+            # Two static corruptions exceed t = 1 for n = 4.
+            adversary={0: {"behavior": "silent"}, 1: {"behavior": "silent"}},
+        )
+        result = check_corruption_tolerance(
+            campaign_of(cell), {"attack": make_aggregate(1)}
+        )
+        assert result.status == FAIL
+
+    def test_honest_campaign_skips(self):
+        campaign = campaign_of(coin_cell())
+        result = check_corruption_tolerance(campaign, {"coin": make_aggregate(10)})
+        assert result.status == SKIP
+
+
+class TestAgreement:
+    def test_zero_disagreements_pass(self):
+        cell = ExperimentSpec(name="aba", protocol="aba", n=4, seeds=[0, 1])
+        result = check_agreement(
+            campaign_of(cell), {"aba": make_aggregate(2, ones=2)}
+        )
+        assert result.status == PASS
+
+    def test_disagreement_fails(self):
+        cell = ExperimentSpec(name="aba", protocol="aba", n=4, seeds=[0, 1])
+        result = check_agreement(
+            campaign_of(cell), {"aba": make_aggregate(2, ones=1, disagreements=1)}
+        )
+        assert result.status == FAIL
+
+    def test_weak_coin_is_exempt(self):
+        cell = ExperimentSpec(name="wc", protocol="weak_coin", n=4, seeds=[0])
+        result = check_agreement(
+            campaign_of(cell), {"wc": make_aggregate(1, disagreements=1)}
+        )
+        assert result.status == SKIP
+
+
+class TestOutputDomain:
+    def test_bits_pass(self):
+        cell = coin_cell()
+        result = check_output_domain(
+            campaign_of(cell), {"coin": make_aggregate(10, ones=4, zeros=6)}
+        )
+        assert result.status == PASS
+
+    def test_stray_value_fails(self):
+        cell = coin_cell()
+        agg = make_aggregate(10, ones=9, extra_values={"2": 1})
+        result = check_output_domain(campaign_of(cell), {"coin": agg})
+        assert result.status == FAIL
+        assert "'2'" in result.detail
+
+
+class TestMessageComplexity:
+    def test_within_envelope_passes(self):
+        cell = coin_cell(rounds=2)
+        agg = make_aggregate(10, ones=5, zeros=5, messages=10 * 1300)
+        result = check_message_complexity(campaign_of(cell), {"coin": agg})
+        assert result.status == PASS
+
+    def test_blowup_fails(self):
+        cell = coin_cell(rounds=2)
+        agg = make_aggregate(10, ones=5, zeros=5, messages=10 * 100000)
+        result = check_message_complexity(campaign_of(cell), {"coin": agg})
+        assert result.status == FAIL
+        assert "x the predicted" in result.detail
+
+    def test_meterless_cells_are_skipped(self):
+        cell = coin_cell(rounds=2)
+        agg = make_aggregate(10, ones=5, zeros=5, messages=0)
+        result = check_message_complexity(campaign_of(cell), {"coin": agg})
+        assert result.status == SKIP
+
+
+class TestTermination:
+    # For a 2-round coinflip at n=4 the envelope is max(120 * 16,
+    # 3 * 1360) = 4080 delivered messages per trial.
+    def test_within_bound_passes(self):
+        agg = make_aggregate(10, ones=5, zeros=5, steps=10 * 1000)
+        result = check_termination(campaign_of(coin_cell(rounds=2)), {"coin": agg})
+        assert result.status == PASS
+
+    def test_runaway_fails(self):
+        agg = make_aggregate(10, ones=5, zeros=5, steps=10 * 5000)
+        result = check_termination(campaign_of(coin_cell(rounds=2)), {"coin": agg})
+        assert result.status == FAIL
+
+    def test_flat_envelope_applies_without_a_prediction(self):
+        cell = ExperimentSpec(name="wc", protocol="nonesuch", n=4, seeds=[0])
+        agg = make_aggregate(1, steps=5000)  # default_step_bound(4) = 1920
+        result = check_termination(campaign_of(cell), {"wc": agg})
+        assert result.status == FAIL
+
+
+class TestEvaluateClaims:
+    def test_known_good_campaign_passes_everything_applicable(self):
+        campaign = campaign_of(coin_cell(rounds=2))
+        agg = make_aggregate(10, ones=5, zeros=5, messages=13000, steps=12000)
+        report = evaluate_claims(campaign, {"coin": agg})
+        assert report.passed
+        statuses = {result.claim: result.status for result in report.results}
+        assert statuses == {
+            "coin_bias": PASS,
+            "corruption_tolerance": SKIP,
+            "agreement": SKIP,
+            "output_domain": PASS,
+            "message_complexity": PASS,
+            "termination": PASS,
+        }
+
+    def test_single_failure_fails_the_report(self):
+        campaign = campaign_of(coin_cell(seeds=20, rounds=2))
+        agg = make_aggregate(20, ones=20, messages=26000, steps=24000)
+        report = evaluate_claims(campaign, {"coin": agg})
+        assert not report.passed
+        assert report.counts[FAIL] == 1
+
+    def test_report_renderings_and_dict_shape(self):
+        campaign = campaign_of(coin_cell(rounds=2))
+        agg = make_aggregate(10, ones=5, zeros=5, messages=13000, steps=12000)
+        report = evaluate_claims(campaign, {"coin": agg})
+        text = report.render_text()
+        assert "[PASS] coin_bias" in text
+        assert text.endswith("skipped\n")
+        markdown = report.render_markdown()
+        assert markdown.startswith("### Claims:")
+        assert "| pass | `coin_bias` |" in markdown
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert payload["counts"][PASS] == 4
+        assert [entry["claim"] for entry in payload["claims"]] == [
+            "coin_bias",
+            "corruption_tolerance",
+            "agreement",
+            "output_domain",
+            "message_complexity",
+            "termination",
+        ]
+
+    def test_claim_result_round_trips_through_dict(self):
+        result = ClaimResult(
+            claim="x", statement="s", status=PASS, detail="d", cells=("a", "b")
+        )
+        data = result.to_dict()
+        rebuilt = ClaimResult(**{**data, "cells": tuple(data["cells"])})
+        assert rebuilt == result
+
+    def test_empty_report_passes_vacuously(self):
+        assert ClaimReport(campaign="empty").passed
