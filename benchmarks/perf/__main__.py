@@ -13,6 +13,7 @@ import pstats
 from pathlib import Path
 
 from benchmarks.perf import (
+    bench_beacon,
     bench_coin_scale,
     bench_crypto,
     bench_net,
@@ -53,6 +54,12 @@ FAMILIES = {
         "BENCH_coin_scale.json",
         "coin trials at n=16/32/64 (batched crypto plane vs frozen pre-batching stack)",
         lambda: {"lagrange_cache": kernels.lagrange_cache_info().to_dict()},
+    ),
+    "beacon": (
+        bench_beacon,
+        "BENCH_beacon.json",
+        "beacon service (warm resident executors vs cold one-shot worlds)",
+        None,
     ),
 }
 
@@ -107,7 +114,7 @@ def main(argv=None) -> int:
         return _profile_family(args.profile, args.quick)
 
     args.out_dir.mkdir(parents=True, exist_ok=True)
-    for name in ("crypto", "net", "sim", "scenarios", "coin_scale"):
+    for name in ("crypto", "net", "sim", "scenarios", "coin_scale", "beacon"):
         module, filename, title, extra_meta = FAMILIES[name]
         print(f"{name} workloads ({'quick' if args.quick else 'full'} mode):")
         results = module.run(args.quick)

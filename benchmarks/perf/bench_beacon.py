@@ -1,0 +1,22 @@
+"""Beacon-service perf family: warm resident executors vs cold worlds.
+
+Thin adapter over :mod:`repro.service.bench` so the beacon rows plug into the
+standard ``python -m benchmarks.perf`` harness and the ``check_regression``
+gate alongside the crypto/net/sim families.  The speedup rows measure the
+exact quantity the service exists to buy -- per-request latency with warm
+per-(prime, n) state versus rebuilding the world each request; the
+end-to-end service row is trend-only (``speedup: null``) and records
+p50/p95/p99 latency and requests/s in its params.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from benchmarks.perf.harness import BenchResult
+
+
+def run(quick: bool) -> List[BenchResult]:
+    from repro.service import bench
+
+    return bench.run(quick)

@@ -28,6 +28,7 @@ FAMILIES = (
     "BENCH_sim.json",
     "BENCH_scenarios.json",
     "BENCH_coin_scale.json",
+    "BENCH_beacon.json",
 )
 
 #: A fresh speedup below baseline/2 fails the build.

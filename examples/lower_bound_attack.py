@@ -16,6 +16,11 @@ This example runs both attacks against two candidate AVSS protocols:
   secret, so it is not actually an AVSS.  You cannot have both, which is the
   content of the theorem.
 
+The run is gated: the aggregated rows are evaluated through the machine-
+checked claims plane (:func:`repro.analysis.claims.avss_lower_bound_claim`)
+and the script exits non-zero when any candidate is inconsistent with the
+theorem -- CI can run it as a refutation check, not just a demo.
+
 Run with::
 
     python examples/lower_bound_attack.py
@@ -23,6 +28,9 @@ Run with::
 
 from __future__ import annotations
 
+import sys
+
+from repro.analysis.claims import avss_lower_bound_claim
 from repro.lowerbound import (
     DealerSplitAttack,
     ReconstructionAttack,
@@ -62,16 +70,29 @@ def detailed_attack_trace() -> None:
     print()
 
 
-def full_report() -> None:
-    """Aggregate statistics over many attack executions for every candidate."""
+def full_report() -> int:
+    """Aggregate statistics over many attack executions for every candidate.
+
+    Returns the process exit status: 0 when every candidate is consistent
+    with Theorem 2.2, 1 when the claim is refuted.
+    """
     rows = run_experiment(trials=400, seed=1)
     print(format_report(list(rows.values())))
+    print()
+    claim = avss_lower_bound_claim(rows)
+    print(f"[{claim.status.upper()}] {claim.claim}: {claim.statement}")
+    print(f"       {claim.detail}")
+    if claim.status == "fail":
+        print("error: lower-bound claim refuted by the measured rows",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
-def main() -> None:
+def main() -> int:
     detailed_attack_trace()
-    full_report()
+    return full_report()
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

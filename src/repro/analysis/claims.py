@@ -405,6 +405,94 @@ def check_termination(
     return ClaimResult(claim, statement, PASS, "; ".join(details), cells)
 
 
+def check_message_lower_bound(
+    campaign: CampaignSpec, results: Mapping[str, TrialAggregate]
+) -> ClaimResult:
+    """Lower bound: any fault-tolerant protocol sends at least Omega(n) messages.
+
+    The complement of the upper-envelope claim: a protocol in which every
+    honest party participates must deliver at least ``n - t`` messages per
+    trial (with ``t = floor((n-1)/3)``, a party that sends nothing cannot be
+    distinguished from a crashed one, and fewer than ``n - t`` active parties
+    cannot carry a ``t``-resilient execution).  A measured mean *below* that
+    floor means the message accounting itself is broken -- results that look
+    impossibly cheap are wrong, not fast.  Evaluated per honest cell with
+    message statistics; deterministic, so one counterexample fails.
+    """
+    claim = "message_lower_bound"
+    statement = (
+        "honest executions deliver at least n - t messages per trial (Omega(n))"
+    )
+    from repro.core.config import max_faults
+
+    pairs = [
+        (cell, agg)
+        for cell, agg in _cells_with_results(campaign, results)
+        if _is_honest(cell) and agg.total_messages > 0
+    ]
+    if not pairs:
+        return _skip(claim, statement, "no honest cells with message stats")
+    details = []
+    failures = []
+    for cell, agg in pairs:
+        floor = cell.n - max_faults(cell.n)
+        if agg.mean_messages < floor:
+            failures.append(
+                f"{cell.name}: mean {agg.mean_messages:.1f} msgs/trial is "
+                f"below the n-t={floor} lower bound (n={cell.n}) -- "
+                f"message accounting is broken"
+            )
+        else:
+            details.append(
+                f"{cell.name}: {agg.mean_messages:.0f} >= n-t={floor}"
+            )
+    cells = tuple(cell.name for cell, _ in pairs)
+    if failures:
+        return ClaimResult(claim, statement, FAIL, "; ".join(failures), cells)
+    return ClaimResult(claim, statement, PASS, "; ".join(details), cells)
+
+
+def avss_lower_bound_claim(rows: Mapping[str, Any]) -> ClaimResult:
+    """Theorem 2.2 as a claim over E6 lower-bound rows.
+
+    ``rows`` maps candidate names to
+    :class:`~repro.lowerbound.experiment.LowerBoundRow`.  The theorem says a
+    candidate AVSS with Secrecy and share-phase Termination at ``n <= 4t``
+    must violate ``(2/3 + eps)``-correctness; a candidate satisfying all
+    three at once would *refute* the paper, so it fails this claim.  Used by
+    ``examples/lower_bound_attack.py`` to gate its exit status.
+    """
+    claim = "avss_lower_bound"
+    statement = (
+        "no candidate AVSS with secrecy and termination at n <= 4t is "
+        "(2/3 + eps)-correct (Theorem 2.2)"
+    )
+    if not rows:
+        return _skip(claim, statement, "no lower-bound rows to evaluate")
+    details = []
+    failures = []
+    for name, row in sorted(rows.items()):
+        if not row.consistent_with_theorem:
+            failure = row.claim2_wrong_output_rate + row.claim2_no_output_rate
+            failures.append(
+                f"{name}: secrecy and termination hold yet the attack "
+                f"failure rate {failure:.2f} stays within the 1/3 "
+                f"correctness budget -- this would refute the theorem"
+            )
+        else:
+            if row.secrecy_holds and row.termination_rate > 0.99:
+                reason = "attacks break correctness"
+            elif not row.secrecy_holds:
+                reason = "secrecy already fails"
+            else:
+                reason = "termination already fails"
+            details.append(f"{name}: consistent ({reason})")
+    cells = tuple(sorted(rows))
+    if failures:
+        return ClaimResult(claim, statement, FAIL, "; ".join(failures), cells)
+    return ClaimResult(claim, statement, PASS, "; ".join(details), cells)
+
+
 #: The shipped claim checks, in report order.
 CLAIM_CHECKS = (
     check_coin_bias,
@@ -412,6 +500,7 @@ CLAIM_CHECKS = (
     check_agreement,
     check_output_domain,
     check_message_complexity,
+    check_message_lower_bound,
     check_termination,
 )
 

@@ -40,6 +40,15 @@ class SimulationError(ReproError):
     """Raised by the network runtime (e.g. step budget exhausted)."""
 
 
+class ServiceError(ReproError):
+    """Raised by the beacon service plane (bad request, closed service, ...).
+
+    Service *execution* failures -- a shard dying, a deadline firing -- are
+    never raised; they surface as structured error responses so one bad
+    request cannot take the resident front-end down.
+    """
+
+
 class SchedulingError(ReproError):
     """Raised when a scheduler returns an invalid choice."""
 

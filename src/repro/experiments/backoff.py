@@ -1,0 +1,25 @@
+"""Deterministic retry backoff shared by every supervised execution plane.
+
+Both the campaign supervisor (:mod:`repro.experiments.supervisor`) and the
+beacon service front-end (:mod:`repro.service.frontend`) re-dispatch failed
+work after an exponential delay.  The schedule lives here, once, as a pure
+function of the attempt number -- no jitter, no clock reads -- so retry
+timing is reproducible, testable and identical across the two planes:
+``base``, ``2*base``, ``4*base``, ... capped at :data:`BACKOFF_CAP_S`.
+"""
+
+from __future__ import annotations
+
+#: Default base of the retry backoff schedule (seconds).
+DEFAULT_BACKOFF_BASE_S = 0.05
+#: Backoff ceiling: no retry ever waits longer than this.
+BACKOFF_CAP_S = 2.0
+
+
+def backoff_delay(attempt: int, base_s: float = DEFAULT_BACKOFF_BASE_S) -> float:
+    """Deterministic exponential backoff before dispatch ``attempt`` (>= 1).
+
+    ``min(BACKOFF_CAP_S, base_s * 2**(attempt-1))``; attempts below 1 are
+    clamped to the first step so callers may pass a raw retry counter.
+    """
+    return min(BACKOFF_CAP_S, base_s * (2 ** max(0, attempt - 1)))

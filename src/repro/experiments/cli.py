@@ -27,7 +27,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ServiceError
 from repro.experiments.registry import BEHAVIORS, FAULTS, RUNNERS, SCHEDULERS
 from repro.experiments.runner import (
     DEFAULT_CHUNK_TRIALS,
@@ -357,6 +357,86 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     if not claims_report.passed:
         print("error: paper claims refuted by the results", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the beacon service, drive a synthetic load, report and gate.
+
+    The self-contained service harness: boots a sharded
+    :class:`~repro.service.frontend.BeaconService`, generates ``--requests``
+    deterministic mixed-protocol requests (optionally lacing chaos faults
+    via ``--inject``), and verifies every completed response byte-for-byte
+    against a cold one-shot rerun unless ``--no-verify``.  Exit status: 0
+    healthy, 1 on any divergent response or availability below
+    ``--min-availability``.
+    """
+    import json as _json
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service.frontend import BeaconService, ServicePolicy
+    from repro.service.loadgen import build_requests, run_load
+
+    policy = ServicePolicy(
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        request_timeout_s=args.timeout,
+        max_retries=args.max_retries,
+    )
+    requests = build_requests(
+        args.requests,
+        n=args.n,
+        protocols=[name.strip() for name in args.protocols.split(",") if name.strip()],
+        seed_base=args.seed_base,
+        inject=args.inject,
+        inject_every=args.inject_every,
+    )
+    metrics = MetricsRegistry(queue_depth_every=0, completion_steps=False)
+    with BeaconService(policy, metrics=metrics) as service:
+        report = run_load(service, requests, verify=not args.no_verify)
+        dump = service.metrics_dump()
+    if not args.quiet:
+        print(report.render_text())
+        counters = {k: v for k, v in dump["counters"].items() if v}
+        print("service: " + ", ".join(
+            f"{name.split('.', 1)[1]}: {value}"
+            for name, value in sorted(counters.items())
+        ))
+    if args.metrics_json:
+        Path(args.metrics_json).write_text(_json.dumps(dump, indent=2) + "\n")
+        if not args.quiet:
+            print(f"metrics JSON -> {args.metrics_json}")
+    failed = False
+    if report.divergent:
+        print(
+            f"error: {len(report.divergent)} response(s) diverged from the "
+            f"cold rerun oracle -- a correctness failure",
+            file=sys.stderr,
+        )
+        failed = True
+    if report.availability < args.min_availability:
+        print(
+            f"error: availability {report.availability:.4f} below the "
+            f"--min-availability floor {args.min_availability:g}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def _cmd_bench_beacon(args: argparse.Namespace) -> int:
+    """Run the beacon perf family and write its ``BENCH_beacon.json``."""
+    from benchmarks.perf.harness import run_and_write
+    from repro.service import bench as beacon_bench
+
+    print(f"beacon workloads ({'quick' if args.quick else 'full'} mode):")
+    results = beacon_bench.run(args.quick)
+    run_and_write(
+        "beacon service (warm resident executors vs cold one-shot worlds)",
+        Path(args.out),
+        results,
+        args.quick,
+    )
     return 0
 
 
@@ -719,6 +799,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ablate_parser.set_defaults(handler=_cmd_ablate)
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="boot the sharded beacon service, drive a synthetic load "
+             "(optionally with chaos) and verify responses against cold reruns",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=200,
+        help="requests in the synthetic load (default: 200)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=2, help="resident shard processes (default: 2)"
+    )
+    serve_parser.add_argument(
+        "--n", type=int, default=4, help="party count per request (default: 4)"
+    )
+    serve_parser.add_argument(
+        "--protocols", default="coinflip,weak_coin,aba,fba",
+        help="comma-separated protocol mix (default: coinflip,weak_coin,aba,fba)",
+    )
+    serve_parser.add_argument(
+        "--seed-base", type=int, default=1000, help="first request seed (default: 1000)"
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="per-shard queue bound before load-shedding (default: 32)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=5.0, metavar="S",
+        help="per-request deadline; a shard past it is killed and replaced "
+             "(default: 5.0)",
+    )
+    serve_parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-dispatches of a failed request before a terminal error "
+             "(default: 2)",
+    )
+    serve_parser.add_argument(
+        "--inject", metavar="FAULT", default=None,
+        help="chaos: lace the load with a shard fault "
+             "(raise, exit, sigkill, hang)",
+    )
+    serve_parser.add_argument(
+        "--inject-every", type=int, default=7,
+        help="inject the fault into every k-th request (default: 7)",
+    )
+    serve_parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the byte-identity check of responses against cold reruns",
+    )
+    serve_parser.add_argument(
+        "--min-availability", type=float, default=1.0,
+        help="fail when ok/(ok+errors) drops below this (default: 1.0)",
+    )
+    serve_parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="write the service metrics dump here (schema: "
+             "repro.obs.schema.validate_service_metrics)",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the load report"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    bench_beacon_parser = sub.add_parser(
+        "bench-beacon",
+        help="time warm resident executors vs cold one-shot worlds and the "
+             "end-to-end service; writes BENCH_beacon.json",
+    )
+    bench_beacon_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: same workloads, smaller request counts",
+    )
+    bench_beacon_parser.add_argument(
+        "--out", default="BENCH_beacon.json",
+        help="output baseline path (default: BENCH_beacon.json)",
+    )
+    bench_beacon_parser.set_defaults(handler=_cmd_bench_beacon)
+
     validate_parser = sub.add_parser(
         "validate", help="check a campaign spec without running it"
     )
@@ -783,7 +941,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except ExperimentError as exc:
+    except (ExperimentError, ServiceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:

@@ -40,27 +40,18 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import TrialAggregate
+from repro.experiments.backoff import (  # noqa: F401  (re-exported: public API)
+    BACKOFF_CAP_S,
+    DEFAULT_BACKOFF_BASE_S,
+    backoff_delay,
+)
 
 #: Default bound on re-dispatches of one chunk before its cell quarantines.
 DEFAULT_MAX_CHUNK_RETRIES = 2
-#: Default base of the retry backoff schedule (seconds).
-DEFAULT_BACKOFF_BASE_S = 0.05
-#: Backoff ceiling: no retry ever waits longer than this.
-BACKOFF_CAP_S = 2.0
 #: Supervisor poll tick when no deadline is nearer (seconds).
 _POLL_INTERVAL_S = 0.25
 #: Grace given to a killed worker's ``join`` before it is abandoned.
 _JOIN_GRACE_S = 5.0
-
-
-def backoff_delay(attempt: int, base_s: float = DEFAULT_BACKOFF_BASE_S) -> float:
-    """Deterministic exponential backoff before dispatch ``attempt`` (>= 1).
-
-    A pure function of the attempt number -- no jitter -- so retry schedules
-    are reproducible and testable: ``base``, ``2*base``, ``4*base``, ...
-    capped at :data:`BACKOFF_CAP_S`.
-    """
-    return min(BACKOFF_CAP_S, base_s * (2 ** max(0, attempt - 1)))
 
 
 @dataclass

@@ -329,3 +329,89 @@ def validate_report(data: Any) -> List[str]:
     if failures is not None and not isinstance(failures, dict):
         problems.append("failures must be an object keyed by cell")
     return problems
+
+
+# ----------------------------------------------------------------------
+# Beacon-service metrics dumps
+#
+# ``BeaconService.metrics_dump()`` (and ``repro-experiments serve
+# --metrics-json``) emits one JSON object with this shape:
+#
+#     {
+#       "schema": "repro.service.metrics/v1",
+#       "policy": {"shards": int, "queue_depth": int, ...},
+#       "counters": {"service.requests": int, "service.ok": int,
+#                    "service.errors": int, "service.shed": int,
+#                    "service.retries": int, "service.timeouts": int,
+#                    "service.shard_restarts": int,
+#                    "service.heartbeat_failures": int, ...},
+#       "latency_ms": {<Histogram.to_dict()> + "summary": {...}},
+#       "pending": int,
+#       "uptime_s": float,          (opt)
+#       "requests_per_s": float     (opt)
+#     }
+
+#: Schema tag of the beacon-service metrics payload.
+SERVICE_METRICS_SCHEMA = "repro.service.metrics/v1"
+
+#: Counters every service metrics dump must carry.
+_SERVICE_COUNTERS_REQUIRED = (
+    "service.requests",
+    "service.ok",
+    "service.errors",
+    "service.shed",
+    "service.retries",
+    "service.timeouts",
+    "service.shard_restarts",
+    "service.heartbeat_failures",
+)
+
+
+def validate_service_metrics(data: Any) -> List[str]:
+    """Schema-check a beacon-service metrics dump; return a problem list.
+
+    Purely structural (like :func:`validate_report`): usable from the CI
+    ``beacon-smoke`` job on a JSON file that just crossed a process boundary.
+    Beyond shape, the only semantic check is conservation: every accepted
+    request must be accounted for as ok, error, shed or still pending.
+    """
+    if not isinstance(data, dict):
+        return ["service metrics dump is not a JSON object"]
+    problems: List[str] = []
+    schema = data.get("schema")
+    if schema != SERVICE_METRICS_SCHEMA:
+        problems.append(
+            f"schema must be {SERVICE_METRICS_SCHEMA!r}, got {schema!r}"
+        )
+    counters = data.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("counters must be an object")
+        counters = {}
+    for name in _SERVICE_COUNTERS_REQUIRED:
+        value = counters.get(name)
+        if not isinstance(value, int) or value < 0:
+            problems.append(
+                f"counters[{name!r}] must be a non-negative integer, got {value!r}"
+            )
+    latency = data.get("latency_ms")
+    if not isinstance(latency, dict) or "count" not in latency:
+        problems.append("latency_ms must be a histogram object with 'count'")
+    elif not isinstance(latency.get("summary"), dict):
+        problems.append("latency_ms.summary must be an object")
+    pending = data.get("pending")
+    if not isinstance(pending, int) or pending < 0:
+        problems.append(f"pending must be a non-negative integer, got {pending!r}")
+    if not problems:
+        accounted = (
+            counters["service.ok"]
+            + counters["service.errors"]
+            + counters["service.shed"]
+            + pending
+        )
+        if accounted != counters["service.requests"]:
+            problems.append(
+                f"request conservation violated: requests="
+                f"{counters['service.requests']} but ok+errors+shed+pending="
+                f"{accounted}"
+            )
+    return problems

@@ -1,0 +1,150 @@
+"""Beacon benchmark: warm resident service vs cold one-shot processes, plus
+end-to-end service latency/throughput.
+
+Two kinds of rows, matching the repo's perf-harness conventions
+(:mod:`benchmarks.perf.harness`):
+
+* **speedup rows** -- per-request latency through a live, warm
+  :class:`~repro.service.frontend.BeaconService` (*after*) against the
+  workflow the service replaces: a cold one-shot Python process per request
+  (*before* -- fresh interpreter, fresh imports, fresh protocol world,
+  exactly what ``cold_payload`` computes).  These carry a real ``speedup``
+  and are gated by ``check_regression``.  Their ``params`` hold only the
+  request shape (not measurement sizes), so quick-mode CI runs gate against
+  the checked-in full-mode baseline instead of being skipped.
+* **trend rows** -- end-to-end latency through the full sharded service
+  under a closed-loop load (pipes, dispatch, backpressure all included).
+  No legacy equivalent exists, so ``before_s`` is ``None`` (``speedup:
+  null``, reported but never gated); p50/p95/p99 queue latency, shard
+  execution p50 and requests/s land in ``params`` for the record.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from benchmarks.perf.harness import BenchResult, compare
+from repro.obs.metrics import histogram_quantile
+from repro.service.frontend import BeaconService, ServicePolicy
+from repro.service.loadgen import build_requests, run_load
+from repro.service.requests import BeaconRequest
+
+
+def _cold_process_env() -> Dict[str, str]:
+    """Subprocess environment whose ``PYTHONPATH`` can import ``repro``."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+def _warm_vs_cold_process(service: BeaconService, protocol: str, n: int,
+                          params: Dict[str, Any], seeds: List[int],
+                          number: int, repeats: int) -> BenchResult:
+    """Warm resident service call vs the cold one-shot process it replaces."""
+    env = _cold_process_env()
+    cursor = {"index": 0}
+
+    def next_seed() -> int:
+        seed = seeds[cursor["index"] % len(seeds)]
+        cursor["index"] += 1
+        return seed
+
+    def warm() -> None:
+        request = BeaconRequest(protocol=protocol, n=n, seed=next_seed(),
+                                params=dict(params))
+        response = service.call(request, timeout_s=120)
+        assert response.ok, response.to_dict()
+
+    def cold() -> None:
+        script = (
+            "from repro.service.requests import BeaconRequest, cold_payload\n"
+            f"cold_payload(BeaconRequest(protocol={protocol!r}, n={n}, "
+            f"seed={next_seed()}, params={params!r}))\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    return compare(
+        f"beacon_warm_{protocol}_n{n}",
+        after=warm,
+        before=cold,
+        number=number,
+        repeats=repeats,
+        # Shape only: identical in quick and full mode, so quick CI runs
+        # compare against the checked-in full baseline instead of skipping.
+        protocol=protocol,
+        n=n,
+    )
+
+
+def _service_end_to_end(count: int, n: int, shards: int) -> BenchResult:
+    """Drive a request stream through a live service; record the tail.
+
+    The bounded queue keeps the load generator in a closed loop (shed ->
+    back off -> resubmit), so latency percentiles reflect a bounded number
+    of requests in flight rather than one giant initial burst.
+    """
+    policy = ServicePolicy(shards=shards, queue_depth=8,
+                           shed_retry_after_s=0.005)
+    with BeaconService(policy) as service:
+        report = run_load(
+            service,
+            build_requests(count, n=n, seed_base=42_000),
+            verify=False,
+        )
+        latency = service.metrics.histogram("service.latency_ms").to_dict()
+        exec_hist = service.metrics.histogram("service.exec_ms").to_dict()
+    result = BenchResult(
+        name=f"beacon_service_n{n}",
+        after_s=(report.elapsed_s / report.ok) if report.ok else float("inf"),
+        before_s=None,
+        params={
+            "n": n,
+            "shards": shards,
+            "requests": count,
+            "ok": report.ok,
+            "p50_ms": histogram_quantile(latency, 0.50),
+            "p95_ms": histogram_quantile(latency, 0.95),
+            "p99_ms": histogram_quantile(latency, 0.99),
+            "exec_p50_ms": histogram_quantile(exec_hist, 0.50),
+            "requests_per_s": (
+                round(report.requests_per_s, 2)
+                if report.requests_per_s is not None else None
+            ),
+            "warm_hits": report.warm_hits,
+        },
+    )
+    per_call = result.after_s * 1e6
+    print(f"  {result.name:<28} after={per_call:9.1f}us  (trend only)")
+    return result
+
+
+def run(quick: bool) -> List[BenchResult]:
+    """Run the beacon family; returns rows for ``run_and_write``."""
+    number = 3 if quick else 6
+    repeats = 2
+    seeds = list(range(7_000, 7_000 + 64))
+    with BeaconService(ServicePolicy(shards=2)) as service:
+        results = [
+            _warm_vs_cold_process(service, "weak_coin", 4, {}, seeds,
+                                  number, repeats),
+            _warm_vs_cold_process(service, "coinflip", 16, {"rounds": 2},
+                                  seeds, number, repeats),
+        ]
+    results.append(
+        _service_end_to_end(count=24 if quick else 96, n=4, shards=2)
+    )
+    return results

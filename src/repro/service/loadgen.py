@@ -1,0 +1,228 @@
+"""Synthetic load for the beacon service, with chaos and verification.
+
+:func:`build_requests` manufactures a deterministic mixed-protocol request
+stream (coinflip / weak_coin / aba / fba over explicit seeds), optionally
+lacing every k-th request with a chaos fault from the campaign plane's
+``FAULTS`` registry -- a SIGKILL or hang that takes the serving shard down
+mid-request.  :func:`run_load` drives the stream through a running
+:class:`~repro.service.frontend.BeaconService`, honouring shed responses by
+backing off and resubmitting, and (optionally) verifies **every** OK response
+against :func:`~repro.service.requests.cold_payload` -- a cold one-shot rerun
+of the same request in this process.  A single byte of divergence between the
+service's answer (possibly computed after shard deaths and retries) and the
+cold oracle is a correctness failure, recorded per request in the
+:class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ServiceError
+from repro.experiments.spec import canonical_json
+from repro.service.frontend import BeaconService
+from repro.service.requests import BeaconRequest, BeaconResponse, cold_payload
+
+#: Default protocol mix exercised by the load generator.
+DEFAULT_PROTOCOLS = ("coinflip", "weak_coin", "aba", "fba")
+
+#: Faults the load generator knows how to inject (subset of ``FAULTS``).
+INJECTABLE_FAULTS = ("raise", "exit", "sigkill", "hang")
+
+
+def _protocol_params(protocol: str, n: int, seed: int) -> Dict[str, Any]:
+    """Deterministic per-protocol params; input bits derive from the seed."""
+    if protocol == "coinflip":
+        return {"rounds": 2}
+    if protocol == "aba":
+        return {"inputs": {pid: (seed >> pid) & 1 for pid in range(n)}}
+    if protocol == "fba":
+        return {
+            "inputs": {pid: (seed >> pid) & 1 for pid in range(n)},
+            "coinflip_rounds": 1,
+        }
+    return {}
+
+
+def build_requests(
+    count: int,
+    n: int = 4,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    seed_base: int = 1000,
+    inject: Optional[str] = None,
+    inject_every: int = 7,
+) -> List[BeaconRequest]:
+    """A deterministic request stream: ``count`` requests cycling ``protocols``.
+
+    Seeds run ``seed_base, seed_base + 1, ...`` so the stream is reproducible
+    and every request is distinct.  With ``inject``, every ``inject_every``-th
+    request carries that fault with ``attempts=[0]`` -- it fires on the first
+    dispatch only, so the service's retry machinery must recover it.
+    """
+    if inject is not None and inject not in INJECTABLE_FAULTS:
+        raise ServiceError(
+            f"unknown injectable fault {inject!r}; known: "
+            f"{', '.join(INJECTABLE_FAULTS)}"
+        )
+    requests: List[BeaconRequest] = []
+    for index in range(count):
+        protocol = protocols[index % len(protocols)]
+        seed = seed_base + index
+        fault: Optional[Dict[str, Any]] = None
+        if inject is not None and inject_every > 0 and index % inject_every == 0:
+            fault = {"fault": inject, "params": {"attempts": [0]}}
+            if inject == "hang":
+                # Hang "forever" relative to the request deadline; the
+                # SIGKILL-and-replace sweep is what must end it.
+                fault["params"]["seconds"] = 30.0
+        requests.append(
+            BeaconRequest(
+                protocol=protocol,
+                n=n,
+                seed=seed,
+                params=_protocol_params(protocol, n, seed),
+                request_id=f"load-{index}",
+                fault=fault,
+            )
+        )
+    return requests
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run: availability, latency, divergence."""
+
+    total: int
+    ok: int
+    errors: int
+    shed_events: int
+    divergent: List[Dict[str, Any]] = field(default_factory=list)
+    error_ids: List[str] = field(default_factory=list)
+    verified: int = 0
+    warm_hits: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        """Completed-OK fraction of all finally-answered requests."""
+        answered = self.ok + self.errors
+        return self.ok / answered if answered else 0.0
+
+    @property
+    def requests_per_s(self) -> Optional[float]:
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "errors": self.errors,
+            "shed_events": self.shed_events,
+            "availability": round(self.availability, 6),
+            "verified": self.verified,
+            "divergent": list(self.divergent),
+            "error_ids": list(self.error_ids),
+            "warm_hits": self.warm_hits,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "requests_per_s": (
+                round(self.requests_per_s, 3)
+                if self.requests_per_s is not None else None
+            ),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"load: {self.ok}/{self.total} ok, {self.errors} errors, "
+            f"{self.shed_events} shed events "
+            f"(availability {self.availability:.4f})",
+            f"verified: {self.verified} responses against cold reruns, "
+            f"{len(self.divergent)} divergent",
+        ]
+        if self.requests_per_s is not None:
+            lines.append(
+                f"throughput: {self.requests_per_s:.1f} requests/s "
+                f"({self.warm_hits} warm hits) in {self.elapsed_s:.2f}s"
+            )
+        for entry in self.divergent[:5]:
+            lines.append(f"  DIVERGENT {entry['request_id']}")
+        return "\n".join(lines)
+
+
+def run_load(
+    service: BeaconService,
+    requests: Sequence[BeaconRequest],
+    verify: bool = True,
+    max_shed_rounds: int = 100_000,
+) -> LoadReport:
+    """Drive ``requests`` through ``service`` and collect a :class:`LoadReport`.
+
+    Shed responses are honoured: the request waits out ``retry_after_s`` and
+    is resubmitted (counted in ``shed_events``), so backpressure costs
+    latency, never answers.  With ``verify``, every OK payload is compared --
+    via canonical JSON bytes -- against a cold one-shot rerun.
+    """
+    started = time.monotonic()
+    by_id = {request.request_id: request for request in requests}
+    submit_queue: List[BeaconRequest] = list(requests)
+    outstanding: set = set()
+    report = LoadReport(total=len(requests), ok=0, errors=0, shed_events=0)
+    responses: Dict[str, BeaconResponse] = {}
+    shed_rounds = 0
+    retry_at: Dict[str, float] = {}
+
+    while submit_queue or outstanding:
+        # Submit whatever is due (respecting shed retry-after hints).
+        now = time.monotonic()
+        deferred: List[BeaconRequest] = []
+        for request in submit_queue:
+            if retry_at.get(request.request_id, 0.0) > now:
+                deferred.append(request)
+                continue
+            shed = service.submit(request)
+            if shed is not None:
+                report.shed_events += 1
+                shed_rounds += 1
+                if shed_rounds > max_shed_rounds:
+                    raise ServiceError(
+                        f"load generator shed {shed_rounds} times; the "
+                        f"service is not absorbing this request rate"
+                    )
+                retry_at[request.request_id] = now + (shed.retry_after_s or 0.01)
+                deferred.append(request)
+            else:
+                outstanding.add(request.request_id)
+        submit_queue = deferred
+
+        service.poll()
+        for request_id in list(outstanding):
+            response = service.take_response(request_id)
+            if response is not None:
+                outstanding.discard(request_id)
+                responses[request_id] = response
+
+    report.elapsed_s = time.monotonic() - started
+
+    for request_id, response in sorted(responses.items()):
+        if response.ok:
+            report.ok += 1
+            if response.warm:
+                report.warm_hits += 1
+            if verify:
+                request = by_id[request_id]
+                expected = cold_payload(request)
+                report.verified += 1
+                if canonical_json(response.payload) != canonical_json(expected):
+                    report.divergent.append(
+                        {
+                            "request_id": request_id,
+                            "request": request.to_dict(),
+                            "service": response.payload,
+                            "cold": expected,
+                        }
+                    )
+        else:
+            report.errors += 1
+            report.error_ids.append(request_id)
+    return report

@@ -1,0 +1,115 @@
+"""Resident shard worker: warm executors behind a pipe.
+
+Each shard is a long-lived ``multiprocessing.Process`` holding a cache of
+:class:`~repro.experiments.runner.CellExecutor` instances keyed by the
+request's :meth:`~repro.service.requests.BeaconRequest.warm_key` -- the
+per-(prime, n) evaluation plans, behaviour factories and interned session
+tables built once and reused for every subsequent request of the same shape.
+Request N+1 skips world-building entirely; only the seeded trial runs.
+
+The shard speaks a small tagged-tuple protocol over its pipe:
+
+* ``("request", dict)``   -> ``("ok", rid, payload, warm, elapsed_ms)`` or
+  ``("error", rid, error, message, traceback)``
+* ``("ping", token)``     -> ``("pong", token)`` -- heartbeat liveness probe
+* ``("stats", token)``    -> ``("stats", token, dict)`` -- cache/serve counters
+* ``None``                -> clean exit
+
+Chaos faults ride inside the request (``fault`` field) and fire *before* the
+trial, exactly like the campaign plane's chunk hook -- an injected SIGKILL or
+hang takes the shard down mid-request and exercises the front-end's
+replace-and-retry machinery, never the result.  Crash isolation mirrors
+:func:`repro.experiments.supervisor._worker_main`: every ``BaseException``
+becomes a structured error reply; only a broken pipe or ``KeyboardInterrupt``
+ends the loop silently.
+"""
+
+from __future__ import annotations
+
+import multiprocessing.connection
+import time
+import traceback
+from typing import Any, Dict, Tuple
+
+from repro.service.requests import BeaconRequest, canonical_payload
+
+
+class ShardState:
+    """Warm-executor cache plus serve counters for one shard process."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.executors: Dict[str, Any] = {}
+        self.served = 0
+        self.warm_hits = 0
+
+    def execute(self, request: BeaconRequest) -> Tuple[Dict[str, Any], bool]:
+        """Run one request, reusing (or building) its warm executor."""
+        # Imported lazily, like the supervisor's worker body: the runner pulls
+        # in the whole protocol stack and must not load at service-import time.
+        from repro.experiments.registry import inject_fault
+        from repro.experiments.runner import CellExecutor
+
+        inject_fault(request.fault, 0, request.attempt)
+        key = request.warm_key()
+        executor = self.executors.get(key)
+        warm = executor is not None
+        if executor is None:
+            executor = CellExecutor(request.cell())
+            self.executors[key] = executor
+        result = executor.run(request.seed)
+        self.served += 1
+        if warm:
+            self.warm_hits += 1
+        return canonical_payload(result), warm
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard_id,
+            "served": self.served,
+            "warm_hits": self.warm_hits,
+            "executors": len(self.executors),
+        }
+
+
+def shard_main(conn: multiprocessing.connection.Connection, shard_id: int) -> None:
+    """Shard process entrypoint: serve requests until told to stop."""
+    state = ShardState(shard_id)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if message is None:
+            conn.close()
+            return
+        kind = message[0]
+        if kind == "ping":
+            reply: Tuple[Any, ...] = ("pong", message[1])
+        elif kind == "stats":
+            reply = ("stats", message[1], state.stats())
+        elif kind == "request":
+            request = BeaconRequest.from_dict(message[1])
+            started = time.monotonic()
+            try:
+                payload, warm = state.execute(request)
+            except KeyboardInterrupt:
+                return
+            except BaseException as exc:  # noqa: BLE001 -- crash isolation
+                reply = (
+                    "error",
+                    request.request_id,
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                )
+            else:
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                reply = ("ok", request.request_id, payload, warm, elapsed_ms)
+        else:
+            reply = ("error", None, "ProtocolError",
+                     f"unknown shard message {kind!r}", "")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return

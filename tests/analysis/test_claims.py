@@ -10,10 +10,12 @@ from repro.analysis.claims import (
     SKIP,
     ClaimReport,
     ClaimResult,
+    avss_lower_bound_claim,
     check_agreement,
     check_coin_bias,
     check_corruption_tolerance,
     check_message_complexity,
+    check_message_lower_bound,
     check_output_domain,
     check_termination,
     evaluate_claims,
@@ -208,6 +210,82 @@ class TestTermination:
         assert result.status == FAIL
 
 
+class TestMessageLowerBound:
+    def test_honest_cell_above_floor_passes(self):
+        # n=4 -> t=1 -> floor n-t=3; 10 trials x 1300 msgs is far above.
+        campaign = campaign_of(coin_cell(rounds=2))
+        agg = make_aggregate(10, ones=5, zeros=5, messages=13000)
+        result = check_message_lower_bound(campaign, {"coin": agg})
+        assert result.status == PASS
+        assert "n-t=3" in result.detail
+
+    def test_impossibly_cheap_cell_fails(self):
+        # 10 trials, 10 messages total: mean 1 < n-t = 3.  No real protocol
+        # run can be this cheap; the accounting must be broken.
+        campaign = campaign_of(coin_cell(rounds=2))
+        agg = make_aggregate(10, ones=5, zeros=5, messages=10)
+        result = check_message_lower_bound(campaign, {"coin": agg})
+        assert result.status == FAIL
+        assert "below the n-t=3 lower bound" in result.detail
+
+    def test_skips_without_message_stats(self):
+        campaign = campaign_of(coin_cell(rounds=2))
+        agg = make_aggregate(10, ones=5, zeros=5, messages=0)
+        result = check_message_lower_bound(campaign, {"coin": agg})
+        assert result.status == SKIP
+
+    def test_skips_adversarial_cells(self):
+        cell = ExperimentSpec(
+            name="attack", protocol="coinflip", n=4, seeds=[0], scenario="x"
+        )
+        agg = make_aggregate(1, ones=1, messages=100)
+        result = check_message_lower_bound(campaign_of(cell), {"attack": agg})
+        assert result.status == SKIP
+
+
+class TestAvssLowerBoundClaim:
+    @staticmethod
+    def row(secrecy=True, termination=1.0, wrong=0.5, none=0.0):
+        from repro.lowerbound.experiment import LowerBoundRow
+
+        return LowerBoundRow(
+            candidate="x",
+            secrecy_a=secrecy,
+            secrecy_b=secrecy,
+            termination_rate=termination,
+            claim1_split_rate_given_guess=1.0,
+            claim1_guess_rate=0.5,
+            claim2_wrong_output_rate=wrong,
+            claim2_no_output_rate=none,
+        )
+
+    def test_attack_breaking_correctness_is_consistent(self):
+        result = avss_lower_bound_claim({"masked": self.row(wrong=0.5)})
+        assert result.status == PASS
+        assert "attacks break correctness" in result.detail
+
+    def test_candidate_without_secrecy_is_consistent(self):
+        result = avss_lower_bound_claim({"echo": self.row(secrecy=False, wrong=0.0)})
+        assert result.status == PASS
+        assert "secrecy already fails" in result.detail
+
+    def test_refuting_candidate_fails_the_claim(self):
+        # Secrecy and termination hold, yet the attack stays inside the 1/3
+        # budget: such a candidate would disprove Theorem 2.2.
+        result = avss_lower_bound_claim({"magic": self.row(wrong=0.1)})
+        assert result.status == FAIL
+        assert "refute the theorem" in result.detail
+
+    def test_empty_rows_skip(self):
+        assert avss_lower_bound_claim({}).status == SKIP
+
+    def test_real_experiment_rows_pass(self):
+        from repro.lowerbound.experiment import run_experiment
+
+        rows = run_experiment(trials=60, seed=3)
+        assert avss_lower_bound_claim(rows).status == PASS
+
+
 class TestEvaluateClaims:
     def test_known_good_campaign_passes_everything_applicable(self):
         campaign = campaign_of(coin_cell(rounds=2))
@@ -221,6 +299,7 @@ class TestEvaluateClaims:
             "agreement": SKIP,
             "output_domain": PASS,
             "message_complexity": PASS,
+            "message_lower_bound": PASS,
             "termination": PASS,
         }
 
@@ -243,13 +322,14 @@ class TestEvaluateClaims:
         assert "| pass | `coin_bias` |" in markdown
         payload = report.to_dict()
         assert payload["passed"] is True
-        assert payload["counts"][PASS] == 4
+        assert payload["counts"][PASS] == 5
         assert [entry["claim"] for entry in payload["claims"]] == [
             "coin_bias",
             "corruption_tolerance",
             "agreement",
             "output_domain",
             "message_complexity",
+            "message_lower_bound",
             "termination",
         ]
 

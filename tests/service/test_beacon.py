@@ -1,0 +1,135 @@
+"""Beacon service happy paths: warm reuse, byte identity, metrics, shutdown."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.spec import canonical_json
+from repro.obs.schema import validate_service_metrics
+from repro.service import (
+    BeaconRequest,
+    BeaconService,
+    ServicePolicy,
+    cold_payload,
+)
+
+
+def make_service(**kwargs) -> BeaconService:
+    kwargs.setdefault("shards", 2)
+    return BeaconService(ServicePolicy(**kwargs))
+
+
+def no_leaked_children() -> bool:
+    return not multiprocessing.active_children()
+
+
+class TestHappyPath:
+    def test_response_matches_cold_oneshot_byte_for_byte(self):
+        request = BeaconRequest(protocol="weak_coin", n=4, seed=21)
+        oracle = cold_payload(BeaconRequest(protocol="weak_coin", n=4, seed=21))
+        with make_service() as service:
+            response = service.call(request, timeout_s=60)
+        assert response.ok
+        assert canonical_json(response.payload) == canonical_json(oracle)
+        assert response.attempts == 1
+
+    def test_second_same_shape_request_is_warm(self):
+        with make_service() as service:
+            first = service.call(
+                BeaconRequest(protocol="weak_coin", n=4, seed=1), timeout_s=60
+            )
+            second = service.call(
+                BeaconRequest(protocol="weak_coin", n=4, seed=2), timeout_s=60
+            )
+        assert first.ok and second.ok
+        assert first.warm is False
+        assert second.warm is True
+
+    def test_mixed_protocols_one_service(self):
+        with make_service() as service:
+            for protocol, params in (
+                ("coin", {"rounds": 2}),
+                ("weak_coin", {}),
+                ("aba", {"inputs": {p: p % 2 for p in range(4)}}),
+                ("fba", {"inputs": {p: 1 for p in range(4)},
+                         "coinflip_rounds": 1}),
+            ):
+                request = BeaconRequest(protocol=protocol, n=4, seed=5,
+                                        params=dict(params))
+                oracle = cold_payload(
+                    BeaconRequest(protocol=protocol, n=4, seed=5,
+                                  params=dict(params))
+                )
+                response = service.call(request, timeout_s=60)
+                assert response.ok, (protocol, response.to_dict())
+                assert canonical_json(response.payload) == canonical_json(oracle)
+
+    def test_same_shape_routes_to_same_shard(self):
+        with make_service(shards=2) as service:
+            shards = {
+                service.call(
+                    BeaconRequest(protocol="weak_coin", n=4, seed=seed),
+                    timeout_s=60,
+                ).shard
+                for seed in range(4)
+            }
+        assert len(shards) == 1
+
+
+class TestMetrics:
+    def test_dump_validates_and_conserves_requests(self):
+        with make_service() as service:
+            for seed in range(3):
+                service.call(
+                    BeaconRequest(protocol="weak_coin", n=4, seed=seed),
+                    timeout_s=60,
+                )
+            dump = service.metrics_dump()
+        assert validate_service_metrics(dump) == []
+        assert dump["counters"]["service.requests"] == 3
+        assert dump["counters"]["service.ok"] == 3
+        assert dump["latency_ms"]["count"] == 3
+        assert dump["latency_ms"]["summary"]["p50"] is not None
+
+    def test_empty_service_dump_still_validates(self):
+        with make_service(shards=1) as service:
+            dump = service.metrics_dump()
+        assert validate_service_metrics(dump) == []
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        service = BeaconService(ServicePolicy(shards=1))
+        with pytest.raises(ServiceError, match="not running"):
+            service.submit(BeaconRequest(protocol="weak_coin", n=4, seed=1))
+
+    def test_submit_after_stop_raises(self):
+        service = make_service(shards=1).start()
+        service.stop()
+        with pytest.raises(ServiceError, match="not running"):
+            service.submit(BeaconRequest(protocol="weak_coin", n=4, seed=1))
+
+    def test_stop_is_idempotent_and_leaks_nothing(self):
+        service = make_service().start()
+        service.call(BeaconRequest(protocol="weak_coin", n=4, seed=1),
+                     timeout_s=60)
+        service.stop()
+        service.stop()
+        assert no_leaked_children()
+
+    def test_restart_requires_new_instance(self):
+        service = make_service(shards=1).start()
+        service.stop()
+        with pytest.raises(ServiceError, match="stopped"):
+            service.start()
+
+    def test_policy_rejects_nonsense(self):
+        with pytest.raises(ServiceError):
+            ServicePolicy(shards=0)
+        with pytest.raises(ServiceError):
+            ServicePolicy(queue_depth=0)
+        with pytest.raises(ServiceError):
+            ServicePolicy(max_retries=-1)

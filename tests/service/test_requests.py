@@ -1,0 +1,139 @@
+"""Beacon request/response envelopes: validation, routing, canonical payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.spec import canonical_json
+from repro.service.requests import (
+    BeaconRequest,
+    BeaconResponse,
+    canonical_payload,
+    cold_payload,
+    resolve_protocol,
+)
+
+
+class TestBeaconRequest:
+    def test_coin_alias_resolves_to_coinflip(self):
+        request = BeaconRequest(protocol="coin", n=4, seed=1)
+        assert request.protocol == "coinflip"
+        assert resolve_protocol("coin") == "coinflip"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ServiceError, match="unknown beacon protocol"):
+            resolve_protocol("nonsense")
+        with pytest.raises(ServiceError):
+            BeaconRequest(protocol="nonsense", n=4, seed=1).validate()
+
+    def test_reserved_params_rejected(self):
+        request = BeaconRequest(
+            protocol="weak_coin", n=4, seed=1, params={"seed": 9}
+        )
+        with pytest.raises(ServiceError, match="may not override"):
+            request.validate()
+
+    def test_unknown_fault_rejected(self):
+        request = BeaconRequest(
+            protocol="weak_coin", n=4, seed=1, fault={"fault": "gremlin"}
+        )
+        with pytest.raises(ServiceError, match="unknown fault"):
+            request.validate()
+
+    def test_request_ids_autogenerate_uniquely(self):
+        a = BeaconRequest(protocol="weak_coin", n=4, seed=1)
+        b = BeaconRequest(protocol="weak_coin", n=4, seed=1)
+        assert a.request_id and b.request_id and a.request_id != b.request_id
+
+    def test_round_trips_through_dict(self):
+        request = BeaconRequest(
+            protocol="aba",
+            n=4,
+            seed=7,
+            params={"inputs": {0: 1, 1: 0, 2: 1, 3: 0}},
+            request_id="r-1",
+            fault={"fault": "sigkill", "params": {"attempts": [0]}},
+            attempt=1,
+        )
+        clone = BeaconRequest.from_dict(request.to_dict())
+        assert clone.to_dict() == request.to_dict()
+
+    def test_malformed_dict_raises_service_error(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            BeaconRequest.from_dict({"protocol": "weak_coin"})
+
+    def test_warm_key_ignores_seed_but_not_params(self):
+        a = BeaconRequest(protocol="coinflip", n=4, seed=1, params={"rounds": 2})
+        b = BeaconRequest(protocol="coinflip", n=4, seed=999, params={"rounds": 2})
+        c = BeaconRequest(protocol="coinflip", n=4, seed=1, params={"rounds": 3})
+        assert a.warm_key() == b.warm_key()
+        assert a.warm_key() != c.warm_key()
+
+    def test_shard_slot_is_stable_and_in_range(self):
+        request = BeaconRequest(protocol="weak_coin", n=4, seed=1)
+        slots = {request.shard_slot(4) for _ in range(10)}
+        assert len(slots) == 1
+        assert 0 <= slots.pop() < 4
+        # Same shape -> same slot, whatever the seed.
+        other = BeaconRequest(protocol="weak_coin", n=4, seed=12345)
+        assert other.shard_slot(4) == request.shard_slot(4)
+
+    def test_cell_defaults_tracing_off(self):
+        cell = BeaconRequest(protocol="weak_coin", n=4, seed=3).cell()
+        assert cell.params["tracing"] is False
+        assert cell.seeds == [3]
+
+
+class TestPayloads:
+    def test_cold_payload_is_deterministic(self):
+        request = BeaconRequest(protocol="weak_coin", n=4, seed=11)
+        first = cold_payload(request)
+        second = cold_payload(
+            BeaconRequest(protocol="weak_coin", n=4, seed=11)
+        )
+        assert canonical_json(first) == canonical_json(second)
+        assert set(first) == {"disagreement", "outputs", "steps", "value"}
+        assert len(first["outputs"]) == 4
+
+    def test_different_seeds_can_differ(self):
+        payloads = {
+            canonical_json(
+                cold_payload(BeaconRequest(protocol="coinflip", n=4, seed=seed,
+                                           params={"rounds": 2}))
+            )
+            for seed in range(6)
+        }
+        assert len(payloads) > 1
+
+    def test_canonical_payload_agreed_value(self):
+        class FakeResult:
+            outputs = {1: 0, 0: 0, 2: 0, 3: 0}
+            steps = 42
+
+        payload = canonical_payload(FakeResult())
+        assert payload["value"] == "0"
+        assert payload["disagreement"] is False
+        assert list(payload["outputs"]) == ["0", "1", "2", "3"]
+
+    def test_canonical_payload_disagreement(self):
+        class FakeResult:
+            outputs = {0: 0, 1: 1}
+            steps = 7
+
+        payload = canonical_payload(FakeResult())
+        assert payload["value"] is None
+        assert payload["disagreement"] is True
+
+
+class TestBeaconResponse:
+    def test_to_dict_drops_absent_fields(self):
+        response = BeaconResponse(request_id="r", status="shed", retry_after_s=0.05)
+        data = response.to_dict()
+        assert data == {
+            "request_id": "r",
+            "status": "shed",
+            "attempts": 0,
+            "retry_after_s": 0.05,
+        }
+        assert response.shed and not response.ok
